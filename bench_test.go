@@ -1,0 +1,274 @@
+package xtq
+
+// Benchmarks regenerating the paper's figures, one benchmark tree per
+// figure (see DESIGN.md's per-experiment index and EXPERIMENTS.md for the
+// expected shapes). The factors are scaled down from the paper's so that
+// `go test -bench=.` completes in minutes; `cmd/xbench` runs the
+// full-scale sweeps.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xtq/internal/compose"
+	"xtq/internal/core"
+	"xtq/internal/queries"
+	"xtq/internal/saxeval"
+	"xtq/internal/tree"
+	"xtq/internal/xmark"
+)
+
+// benchState lazily generates and caches benchmark documents.
+var benchState = struct {
+	docs map[float64]*tree.Node
+	xml  map[float64][]byte
+}{docs: map[float64]*tree.Node{}, xml: map[float64][]byte{}}
+
+func benchDoc(b *testing.B, factor float64) *tree.Node {
+	b.Helper()
+	if d, ok := benchState.docs[factor]; ok {
+		return d
+	}
+	d, err := xmark.Generate(xmark.Config{Factor: factor, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchState.docs[factor] = d
+	return d
+}
+
+func benchXML(b *testing.B, factor float64) []byte {
+	b.Helper()
+	if x, ok := benchState.xml[factor]; ok {
+		return x
+	}
+	doc := benchDoc(b, factor)
+	x := []byte(doc.String())
+	benchState.xml[factor] = x
+	return x
+}
+
+var benchMethods = []struct {
+	name   string
+	method core.Method
+}{
+	{"GalaXUpdate", core.MethodCopyUpdate},
+	{"NAIVE", core.MethodNaive},
+	{"TD-BU", core.MethodTwoPass},
+	{"GENTOP", core.MethodTopDown},
+}
+
+// BenchmarkFig12 reproduces Figure 12: all five evaluation methods over
+// the ten insert transform queries at one document size.
+func BenchmarkFig12(b *testing.B) {
+	const factor = 0.02
+	for i := 1; i <= 10; i++ {
+		c, err := queries.Compile(i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, m := range benchMethods {
+			b.Run(fmt.Sprintf("U%d/%s", i, m.name), func(b *testing.B) {
+				doc := benchDoc(b, factor)
+				b.ResetTimer()
+				for n := 0; n < b.N; n++ {
+					if _, err := c.Eval(doc, m.method); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		b.Run(fmt.Sprintf("U%d/twoPassSAX", i), func(b *testing.B) {
+			xml := benchXML(b, factor)
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				if _, err := saxeval.Transform(c, saxeval.BytesSource(xml), discard{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig13 reproduces Figure 13: scalability with document size for
+// the representative queries U2, U4, U7, U10.
+func BenchmarkFig13(b *testing.B) {
+	for _, qi := range []int{2, 4, 7, 10} {
+		c, err := queries.Compile(qi)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, factor := range []float64{0.01, 0.02, 0.04} {
+			for _, m := range benchMethods {
+				b.Run(fmt.Sprintf("U%d/factor=%g/%s", qi, factor, m.name), func(b *testing.B) {
+					doc := benchDoc(b, factor)
+					b.ResetTimer()
+					for n := 0; n < b.N; n++ {
+						if _, err := c.Eval(doc, m.method); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+			b.Run(fmt.Sprintf("U%d/factor=%g/twoPassSAX", qi, factor), func(b *testing.B) {
+				xml := benchXML(b, factor)
+				b.ResetTimer()
+				for n := 0; n < b.N; n++ {
+					if _, err := saxeval.Transform(c, saxeval.BytesSource(xml), discard{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig14 reproduces Figure 14: the streaming evaluator over files,
+// with -benchmem substantiating the flat memory claim (allocation per op
+// stays constant as the factor grows).
+func BenchmarkFig14(b *testing.B) {
+	for _, factor := range []float64{0.02, 0.05, 0.1} {
+		path := filepath.Join(b.TempDir(), fmt.Sprintf("xmark-%g.xml", factor))
+		if _, err := xmark.WriteFile(xmark.Config{Factor: factor, Seed: 42}, path); err != nil {
+			b.Fatal(err)
+		}
+		for _, qi := range []int{2, 4, 7, 10} {
+			c, err := queries.Compile(qi)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("factor=%g/U%d", factor, qi), func(b *testing.B) {
+				for n := 0; n < b.N; n++ {
+					if _, err := saxeval.Transform(c, saxeval.FileSource(path), discard{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		b.Cleanup(func() { os.Remove(path) })
+	}
+}
+
+// BenchmarkFig15 reproduces Figure 15: Naive Composition versus the
+// Compose Method over the four transform/user query pairs.
+func BenchmarkFig15(b *testing.B) {
+	for _, p := range queries.Pairs() {
+		ct, err := p.Transform.Compile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		comp, err := compose.New(ct, p.User)
+		if err != nil {
+			b.Fatal(err)
+		}
+		naive, err := compose.NewNaive(ct, p.User)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, factor := range []float64{0.02, 0.04} {
+			b.Run(fmt.Sprintf("%s/factor=%g/NaiveComposition", p.Name, factor), func(b *testing.B) {
+				doc := benchDoc(b, factor)
+				b.ResetTimer()
+				for n := 0; n < b.N; n++ {
+					if _, err := naive.Eval(doc); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("%s/factor=%g/Compose", p.Name, factor), func(b *testing.B) {
+				doc := benchDoc(b, factor)
+				b.ResetTimer()
+				for n := 0; n < b.N; n++ {
+					if _, err := comp.Eval(doc); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkNaiveQuadratic isolates the §7.1 claim that NAIVE degrades when
+// |$xp| grows with the document (U1) but stays linear when |$xp| is fixed
+// (U2).
+func BenchmarkNaiveQuadratic(b *testing.B) {
+	for _, factor := range []float64{0.01, 0.02, 0.04} {
+		for _, qi := range []int{1, 2} {
+			c, err := queries.Compile(qi)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("U%d/factor=%g", qi, factor), func(b *testing.B) {
+				doc := benchDoc(b, factor)
+				b.ResetTimer()
+				for n := 0; n < b.N; n++ {
+					if _, err := c.Eval(doc, core.MethodNaive); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationNoPrune quantifies the subtree-pruning design choice:
+// topDown with and without the empty-state-set shortcut (DESIGN.md,
+// ablation 1).
+func BenchmarkAblationNoPrune(b *testing.B) {
+	c, err := queries.Compile(2) // highly selective: pruning matters most
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("pruned", func(b *testing.B) {
+		doc := benchDoc(b, 0.02)
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			if _, err := core.EvalTopDown(c, doc, core.DirectChecker{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("noprune", func(b *testing.B) {
+		doc := benchDoc(b, 0.02)
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			if _, err := core.EvalTopDownNoPrune(c, doc, core.DirectChecker{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkQualifierStrategies compares GENTOP's direct qualifier
+// evaluation against TD-BU's annotated lookups on the complex-qualifier
+// queries (DESIGN.md, ablation 2).
+func BenchmarkQualifierStrategies(b *testing.B) {
+	for _, qi := range []int{7, 8} {
+		c, err := queries.Compile(qi)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, m := range []core.Method{core.MethodTopDown, core.MethodTwoPass} {
+			b.Run(fmt.Sprintf("U%d/%s", qi, m), func(b *testing.B) {
+				doc := benchDoc(b, 0.02)
+				b.ResetTimer()
+				for n := 0; n < b.N; n++ {
+					if _, err := c.Eval(doc, m); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// discard swallows the streamed output events.
+type discard struct{}
+
+func (discard) StartDocument() error                   { return nil }
+func (discard) StartElement(string, []tree.Attr) error { return nil }
+func (discard) Text(string) error                      { return nil }
+func (discard) EndElement(string) error                { return nil }
+func (discard) EndDocument() error                     { return nil }

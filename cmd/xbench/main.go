@@ -1,0 +1,92 @@
+// Command xbench reproduces the experimental study of the paper (§7):
+// one table per figure, generated on the fly from the XMark-like workload.
+//
+// Usage:
+//
+//	xbench -all                        # every figure at default scale
+//	xbench -fig12                      # method comparison, factor 0.02
+//	xbench -fig13 -factors 0.02,0.1,0.18,0.26,0.34
+//	xbench -fig14 -fig14factors 2,4,6,8,10   # the paper's 224 MB-1.1 GB sweep
+//	xbench -fig15 -repeats 5
+//	xbench -claims                     # §7.1 textual claims
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"xtq/internal/harness"
+)
+
+func parseFactors(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad factor %q: %w", p, err)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func main() {
+	fig11 := flag.Bool("fig11", false, "print the workload table (Fig. 11)")
+	fig12 := flag.Bool("fig12", false, "method comparison at factor 0.02 (Fig. 12)")
+	fig13 := flag.Bool("fig13", false, "scalability sweep (Fig. 13)")
+	fig14 := flag.Bool("fig14", false, "twoPassSAX on large files (Fig. 14)")
+	fig15 := flag.Bool("fig15", false, "composition methods (Fig. 15)")
+	claims := flag.Bool("claims", false, "check the §7.1 textual claims")
+	all := flag.Bool("all", false, "run everything")
+	factors := flag.String("factors", "", "comma-separated factors for Fig. 13/15 (default 0.02..0.34)")
+	fig14factors := flag.String("fig14factors", "", "comma-separated factors for Fig. 14 (default 0.1,0.2,0.4; paper used 2..10)")
+	repeats := flag.Int("repeats", 3, "measurements per cell; the median is reported")
+	seed := flag.Int64("seed", 42, "workload generator seed")
+	tmp := flag.String("tmp", "", "directory for generated large files (default: system temp)")
+	flag.Parse()
+
+	fs, err := parseFactors(*factors)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xbench:", err)
+		os.Exit(2)
+	}
+	f14, err := parseFactors(*fig14factors)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xbench:", err)
+		os.Exit(2)
+	}
+	r := harness.New(harness.Options{
+		Out:          os.Stdout,
+		Factors:      fs,
+		Fig14Factors: f14,
+		Repeats:      *repeats,
+		Seed:         *seed,
+		TempDir:      *tmp,
+	})
+
+	ran := false
+	section := func(enabled bool, fn func()) {
+		if enabled || *all {
+			fn()
+			fmt.Println()
+			ran = true
+		}
+	}
+	section(*fig11, r.Fig11)
+	section(*fig12, r.Fig12)
+	section(*fig13, r.Fig13)
+	section(*fig14, r.Fig14)
+	section(*fig15, r.Fig15)
+	section(*claims, r.Claims)
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,100 @@
+// Command xtq evaluates a transform query over an XML document.
+//
+// Usage:
+//
+//	xtq -in doc.xml -query 'transform copy $a := doc("d") modify do delete $a//price return $a'
+//	xtq -in big.xml -query @query.tq -method sax -out result.xml
+//
+// Methods: naive, topdown (default), twopass, copyupdate — in-memory
+// evaluation per the paper's §3/§5 algorithms — and sax, the streaming
+// twoPassSAX evaluator of §6 that never materializes the document.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"xtq"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "xtq:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("xtq", flag.ContinueOnError)
+	in := fs.String("in", "", "input XML document (required)")
+	querySrc := fs.String("query", "", "transform query text, or @file to read it from a file (required)")
+	method := fs.String("method", "topdown", "evaluation method: naive|topdown|twopass|copyupdate|sax")
+	out := fs.String("out", "", "output file (default: stdout)")
+	indent := fs.Bool("indent", false, "pretty-print the result (in-memory methods only)")
+	timing := fs.Bool("time", false, "report evaluation time on stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *querySrc == "" {
+		fs.Usage()
+		return fmt.Errorf("-in and -query are required")
+	}
+	text := *querySrc
+	if strings.HasPrefix(text, "@") {
+		b, err := os.ReadFile(text[1:])
+		if err != nil {
+			return err
+		}
+		text = string(b)
+	}
+	q, err := xtq.ParseQuery(text)
+	if err != nil {
+		return err
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	start := time.Now()
+	defer func() {
+		if *timing {
+			fmt.Fprintf(os.Stderr, "evaluated in %v\n", time.Since(start))
+		}
+	}()
+
+	if *method == "sax" {
+		res, err := xtq.TransformStream(q, xtq.FileSource(*in), w)
+		if err != nil {
+			return err
+		}
+		if *timing {
+			fmt.Fprintf(os.Stderr, "twoPassSAX: %d elements, stack depth %d, %d qualifier values\n",
+				res.Second.ElementsSeen, res.First.MaxStackDepth, res.QualOccurrences)
+		}
+		return nil
+	}
+
+	doc, err := xtq.ParseFile(*in)
+	if err != nil {
+		return err
+	}
+	result, err := xtq.Transform(doc, q, xtq.Method(*method))
+	if err != nil {
+		return err
+	}
+	if *indent {
+		return result.WriteIndented(w)
+	}
+	return result.WriteXML(w)
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const doc = `<db><part><pname>kb</pname><price>9</price></part></db>`
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunMethods(t *testing.T) {
+	dir := t.TempDir()
+	in := write(t, dir, "doc.xml", doc)
+	query := `transform copy $a := doc("d") modify do delete $a//price return $a`
+	for _, method := range []string{"naive", "topdown", "twopass", "copyupdate", "sax"} {
+		var sb strings.Builder
+		err := run([]string{"-in", in, "-query", query, "-method", method}, &sb)
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		if strings.Contains(sb.String(), "<price>") {
+			t.Errorf("%s: price not deleted: %s", method, sb.String())
+		}
+		if !strings.Contains(sb.String(), "<pname>kb</pname>") {
+			t.Errorf("%s: content damaged: %s", method, sb.String())
+		}
+	}
+}
+
+func TestRunQueryFromFile(t *testing.T) {
+	dir := t.TempDir()
+	in := write(t, dir, "doc.xml", doc)
+	qf := write(t, dir, "q.tq", `transform copy $a := doc("d") modify do rename $a//pname as name return $a`)
+	out := filepath.Join(dir, "out.xml")
+	var sb strings.Builder
+	if err := run([]string{"-in", in, "-query", "@" + qf, "-out", out}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "<name>kb</name>") {
+		t.Errorf("rename missing: %s", b)
+	}
+}
+
+func TestRunIndent(t *testing.T) {
+	dir := t.TempDir()
+	in := write(t, dir, "doc.xml", doc)
+	var sb strings.Builder
+	err := run([]string{"-in", in, "-indent",
+		"-query", `transform copy $a := doc("d") modify do delete $a//price return $a`}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "\n") {
+		t.Errorf("indent produced single line")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	in := write(t, dir, "doc.xml", doc)
+	query := `transform copy $a := doc("d") modify do delete $a//price return $a`
+	cases := [][]string{
+		{},
+		{"-in", in},
+		{"-query", query},
+		{"-in", dir + "/missing.xml", "-query", query},
+		{"-in", in, "-query", "not a query"},
+		{"-in", in, "-query", "@" + dir + "/missing.tq"},
+		{"-in", in, "-query", query, "-method", "bogus"},
+		{"-in", in, "-query", query, "-out", dir + "/no/dir/out.xml"},
+		{"-in", dir + "/missing.xml", "-query", query, "-method", "sax"},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}

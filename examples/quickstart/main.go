@@ -1,0 +1,48 @@
+// Quickstart: evaluate a transform query — a query written in update
+// syntax that returns the updated tree without touching the source
+// (Example 1.1 of the paper).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"xtq"
+)
+
+const doc = `<db>
+  <part><pname>keyboard</pname>
+    <supplier><sname>HP</sname><price>15</price><country>US</country></supplier>
+    <supplier><sname>Logi</sname><price>12</price><country>DE</country></supplier>
+  </part>
+  <part><pname>mouse</pname>
+    <supplier><sname>Dell</sname><price>9</price><country>US</country></supplier>
+  </part>
+</db>`
+
+func main() {
+	source, err := xtq.ParseString(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// "Find all the information in the document except price."
+	q, err := xtq.ParseQuery(
+		`transform copy $a := doc("parts") modify do delete $a//price return $a`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("query:", q)
+
+	view, err := xtq.Transform(source, q, xtq.MethodTopDown)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nresult (prices removed):")
+	view.WriteIndented(os.Stdout)
+
+	fmt.Println("\nsource still intact:")
+	source.WriteIndented(os.Stdout)
+}

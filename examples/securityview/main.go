@@ -1,0 +1,64 @@
+// Security views (Example 1.1, second application): a per-group virtual
+// view that hides price information from suppliers of certain countries.
+// The view is defined with update syntax, kept virtual (never
+// materialized), and a user query is composed with it so the composition
+// runs directly on the source document.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xtq"
+)
+
+const doc = `<db>
+  <part><pname>keyboard</pname>
+    <supplier><sname>HP</sname><price>15</price><country>US</country></supplier>
+    <supplier><sname>Spy Corp</sname><price>1</price><country>C1</country></supplier>
+  </part>
+  <part><pname>mouse</pname>
+    <supplier><sname>Dell</sname><price>9</price><country>C2</country></supplier>
+  </part>
+</db>`
+
+func main() {
+	source, err := xtq.ParseString(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The access-control policy: users in this group must not see
+	// prices of suppliers based in countries C1 and C2.
+	view, err := xtq.ParseQuery(`transform copy $a := doc("parts") modify
+		do delete $a//supplier[country = "C1" or country = "C2"]/price return $a`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("security view definition:")
+	fmt.Println(" ", view)
+
+	// A user queries the view for all suppliers and their prices.
+	user, err := xtq.ParseUserQuery(
+		`for $x in /db/part/supplier return <entry>{$x/sname}{$x/price}</entry>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nuser query over the view:")
+	fmt.Println(" ", user)
+
+	// Compose the two: one pass over the source, no materialized view.
+	comp, err := xtq.Compose(view, user)
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := comp.Eval(source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncomposed result (sensitive prices absent):")
+	fmt.Println(" ", result)
+
+	fmt.Println("\ncomposed query in XQuery form:")
+	fmt.Println(comp.XQueryText())
+}

@@ -1,0 +1,305 @@
+package automaton
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xtq/internal/sax"
+	"xtq/internal/tree"
+	"xtq/internal/xpath"
+)
+
+const fig1 = `<db>
+<part><pname>keyboard</pname>
+  <supplier><sname>HP</sname><price>15</price><country>US</country></supplier>
+  <supplier><sname>Logi</sname><price>12</price><country>A</country></supplier>
+  <subPart><part><pname>key</pname>
+    <supplier><sname>Acme</sname><price>20</price><country>CN</country></supplier>
+  </part></subPart>
+</part>
+<part><pname>mouse</pname>
+  <supplier><sname>Dell</sname><price>9</price><country>A</country></supplier>
+</part>
+</db>`
+
+func mustNFA(t *testing.T, expr string) *NFA {
+	t.Helper()
+	m, err := New(xpath.MustParse(expr))
+	if err != nil {
+		t.Fatalf("New(%s): %v", expr, err)
+	}
+	return m
+}
+
+// matchByNFA walks doc with StepDirect and returns all matched nodes.
+func matchByNFA(m *NFA, doc *tree.Node) []*tree.Node {
+	var out []*tree.Node
+	var walk func(n *tree.Node, s StateSet)
+	walk = func(n *tree.Node, s StateSet) {
+		for _, c := range n.Children {
+			if c.Kind != tree.Element {
+				continue
+			}
+			next := m.StepDirect(s, c)
+			if next.Empty() {
+				continue
+			}
+			if m.Matches(next) {
+				out = append(out, c)
+			}
+			walk(c, next)
+		}
+	}
+	walk(doc, m.InitialSet())
+	return out
+}
+
+func sameNodes(a, b []*tree.Node) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[*tree.Node]struct{}, len(a))
+	for _, n := range a {
+		set[n] = struct{}{}
+	}
+	for _, n := range b {
+		if _, ok := set[n]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func TestExample31Structure(t *testing.T) {
+	// Fig. 5: //part[q1]//part[q2] has 5 states: start, two '//' states
+	// with self-loops, two part states.
+	m := mustNFA(t, `//part[pname = "keyboard"]//part[not(supplier/sname = "HP") and not(supplier/price < 15)]`)
+	if m.Size() != 5 {
+		t.Fatalf("states = %d, want 5\n%s", m.Size(), m)
+	}
+	loops := 0
+	for _, st := range m.States {
+		if st.SelfLoop {
+			loops++
+		}
+	}
+	if loops != 2 {
+		t.Errorf("self-loops = %d, want 2 (one per '//')", loops)
+	}
+	start := m.States[m.Start]
+	if start.Eps < 0 || !m.States[start.Eps].SelfLoop {
+		t.Errorf("start should have ε to a '//' state:\n%s", m)
+	}
+	if !m.States[m.Final].Final || m.States[m.Final].Quals == nil {
+		t.Errorf("final state should carry q2:\n%s", m)
+	}
+	if !strings.Contains(m.String(), "final") {
+		t.Errorf("String() missing final marker:\n%s", m)
+	}
+}
+
+func TestLinearSize(t *testing.T) {
+	// |Mp| = O(|p|): one state per step plus one per '//'.
+	m := mustNFA(t, "a/b/c/d/e")
+	if m.Size() != 6 {
+		t.Errorf("a/b/c/d/e: %d states, want 6", m.Size())
+	}
+	m = mustNFA(t, "a//b//c")
+	if m.Size() != 6 {
+		t.Errorf("a//b//c: %d states, want 6 (3 labels + start + 2 desc)", m.Size())
+	}
+}
+
+func TestNFAMatchesSelectOnFig1(t *testing.T) {
+	doc, err := sax.ParseString(fig1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exprs := []string{
+		"db/part",
+		"db/part/pname",
+		"//part",
+		"//part//part",
+		"//price",
+		"//supplier/price",
+		"db//supplier",
+		"*/part",
+		"db/*/supplier",
+		`//part[pname = "keyboard"]`,
+		`//part[pname = "keyboard"]//part`,
+		`//supplier[country = "A"]/price`,
+		`//part[not(supplier/sname = "HP") and not(supplier/price < 15)]`,
+		`//part[.//supplier/price > 10]`,
+		`db/part[subPart/part/pname = "key"]/supplier`,
+		"nosuch/part",
+		"db/part/part",
+	}
+	for _, e := range exprs {
+		m := mustNFA(t, e)
+		got := matchByNFA(m, doc)
+		want := xpath.Select(doc, m.Path)
+		if !sameNodes(got, want) {
+			t.Errorf("%s: NFA matched %d nodes, Select %d\n%s", e, len(got), len(want), m)
+		}
+	}
+}
+
+// Property: NFA matching agrees with the reference Select on random
+// documents and random paths.
+func TestNFAMatchesSelectRandom(t *testing.T) {
+	genOpts := tree.DefaultGenOptions()
+	cfg := xpath.DefaultGenConfig()
+	checked := 0
+	for seed := int64(0); seed < 400; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		doc := tree.Generate(rng, genOpts)
+		p := xpath.RandomPath(rng, cfg)
+		m, err := New(p)
+		if err != nil {
+			continue // paths outside the NFA fragment are allowed to be rejected
+		}
+		checked++
+		got := matchByNFA(m, doc)
+		want := xpath.Select(doc, p)
+		if !sameNodes(got, want) {
+			t.Fatalf("seed %d: %s: NFA %d nodes, Select %d nodes", seed, p, len(got), len(want))
+		}
+	}
+	if checked < 300 {
+		t.Fatalf("only %d/400 random paths were NFA-compatible; generator too restrictive", checked)
+	}
+}
+
+func TestNewRejects(t *testing.T) {
+	bad := []*xpath.Path{
+		xpath.MustParse("."),
+		{Steps: []xpath.Step{{Axis: xpath.Attribute, Label: "id"}}},
+		{Steps: []xpath.Step{{Axis: xpath.DescendantOrSelf}}},
+		{Steps: []xpath.Step{
+			{Axis: xpath.Child, Label: "a"},
+			{Axis: xpath.DescendantOrSelf},
+		}},
+		xpath.MustParse(`.[x = "1"]/a`), // qualified self at head
+	}
+	for i, p := range bad {
+		if _, err := New(p); err == nil {
+			t.Errorf("case %d (%s): New accepted invalid selection path", i, p)
+		}
+	}
+	// a//.[q]/b: qualified self after '//' is rejected.
+	p := xpath.MustParse("a//b")
+	p.Steps = append(p.Steps[:2:2], xpath.Step{Axis: xpath.Self, Quals: []xpath.Qual{&xpath.TrueQual{}}}, p.Steps[2])
+	if _, err := New(p); err == nil {
+		t.Errorf("qualified self after '//' should be rejected")
+	}
+}
+
+func TestSelfStepFolding(t *testing.T) {
+	doc, err := sax.ParseString(fig1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a/./b ≡ a/b; a/.[q]/b ≡ a[q]/b.
+	m1 := mustNFA(t, "db/./part")
+	m2 := mustNFA(t, "db/part")
+	if m1.Size() != m2.Size() {
+		t.Errorf("self step not folded: %d vs %d states", m1.Size(), m2.Size())
+	}
+	m3 := mustNFA(t, `db/.[part/pname = "keyboard"]/part`)
+	got := matchByNFA(m3, doc)
+	want := xpath.Select(doc, m3.Path)
+	if !sameNodes(got, want) {
+		t.Errorf("folded self qualifier: NFA %d, Select %d", len(got), len(want))
+	}
+}
+
+func TestStateSetOps(t *testing.T) {
+	m := mustNFA(t, "a/b/c")
+	s := m.NewSet()
+	if !s.Empty() {
+		t.Errorf("new set not empty")
+	}
+	s.Add(0)
+	s.Add(2)
+	if !s.Has(0) || !s.Has(2) || s.Has(1) {
+		t.Errorf("membership wrong: %v", s.IDs())
+	}
+	c := s.Clone()
+	if !c.Equal(s) {
+		t.Errorf("clone not equal")
+	}
+	c.Add(1)
+	if c.Equal(s) || s.Has(1) {
+		t.Errorf("clone shares storage")
+	}
+	if got := s.IDs(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("IDs = %v", got)
+	}
+	if s.Equal(StateSet{}) {
+		t.Errorf("sets of different widths cannot be equal")
+	}
+}
+
+func TestInitialSetEpsClosure(t *testing.T) {
+	// For //part//part the initial set is {s0, s1} (Example 3.2).
+	m := mustNFA(t, "//part//part")
+	ids := m.InitialSet().IDs()
+	if len(ids) != 2 {
+		t.Fatalf("initial set = %v, want 2 states\n%s", ids, m)
+	}
+}
+
+func TestStepUncheckedSuperset(t *testing.T) {
+	doc, err := sax.ParseString(fig1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mustNFA(t, `db/part[pname = "nothing"]`)
+	s := m.InitialSet()
+	root := doc.Root()
+	s = m.Step(s, root.Label, nil)
+	part := root.Children[0]
+	checked := m.StepDirect(s, part)
+	unchecked := m.Step(s, part.Label, nil)
+	if m.Matches(checked) {
+		t.Errorf("qualifier should have failed")
+	}
+	if !m.Matches(unchecked) {
+		t.Errorf("unchecked step should reach the final state")
+	}
+}
+
+func TestEnteredQuals(t *testing.T) {
+	m := mustNFA(t, `db/part[pname = "keyboard"]`)
+	s := m.InitialSet()
+	if got := m.EnteredQuals(s, "db"); len(got) != 0 {
+		t.Errorf("db step should enter no qualified state, got %v", got)
+	}
+	s = m.Step(s, "db", nil)
+	got := m.EnteredQuals(s, "part")
+	if len(got) != 1 {
+		t.Fatalf("part step should enter one qualified state, got %v", got)
+	}
+	if m.LQ.String(got[0]) == "" {
+		t.Errorf("qualifier id not renderable")
+	}
+	if got := m.EnteredQuals(s, "other"); len(got) != 0 {
+		t.Errorf("non-matching label entered states: %v", got)
+	}
+}
+
+func TestWildcardTransitions(t *testing.T) {
+	doc, err := sax.ParseString(fig1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []string{"*", "*/*", "//*", "db//*", `*[pname]`} {
+		m := mustNFA(t, e)
+		got := matchByNFA(m, doc)
+		want := xpath.Select(doc, m.Path)
+		if !sameNodes(got, want) {
+			t.Errorf("%s: NFA %d, Select %d", e, len(got), len(want))
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package compose
+
+import (
+	"fmt"
+
+	"xtq/internal/core"
+	"xtq/internal/tree"
+	"xtq/internal/xquery"
+)
+
+// NaiveComposition is the Naive Composition Method of §4: Qt and Q are
+// evaluated sequentially —
+//
+//	let $d := Qt(T) let $d' := Q($d) return $d'
+//
+// The transform query is evaluated with the topDown method (GENTOP), the
+// best-performing on-top-of-engine method in §7.1, matching the
+// configuration the paper benchmarks Fig. 15 against.
+type NaiveComposition struct {
+	Transform *core.Compiled
+	User      *xquery.UserQuery
+	// Method evaluates the transform step; defaults to MethodTopDown.
+	Method core.Method
+}
+
+// NewNaive builds a naive composition.
+func NewNaive(qt *core.Compiled, q *xquery.UserQuery) (*NaiveComposition, error) {
+	if qt == nil || q == nil {
+		return nil, fmt.Errorf("compose: nil input")
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return &NaiveComposition{Transform: qt, User: q, Method: core.MethodTopDown}, nil
+}
+
+// Eval materializes Qt(doc) and evaluates the user query over it.
+func (n *NaiveComposition) Eval(doc *tree.Node) (*tree.Node, error) {
+	mid, err := n.Transform.Eval(doc, n.Method)
+	if err != nil {
+		return nil, err
+	}
+	return n.User.Eval(mid)
+}
+
+// XQueryText renders the sequential composition in XQuery, as in
+// Example 4.1.
+func (n *NaiveComposition) XQueryText() string {
+	return fmt.Sprintf("<result> {\nlet $n := %s\n%s\n} </result>",
+		n.Transform.Query, userOverVar(n.User, "n"))
+}
+
+// userOverVar renders the user query with its for path anchored at $v
+// instead of the document.
+func userOverVar(q *xquery.UserQuery, v string) string {
+	ps := q.Path.String()
+	sep := "/"
+	if len(ps) > 0 && ps[0] == '/' {
+		sep = ""
+	}
+	s := fmt.Sprintf("for $%s in $%s%s%s", q.Var, v, sep, ps)
+	if len(q.Conds) > 0 {
+		s += " where "
+		for i, c := range q.Conds {
+			if i > 0 {
+				s += " and "
+			}
+			s += c.String(q.Var)
+		}
+	}
+	rendered := q.String()
+	if idx := lastReturn(rendered); idx >= 0 {
+		s += rendered[idx:]
+	}
+	return s
+}
+
+func lastReturn(s string) int {
+	const kw = " return "
+	for i := len(s) - len(kw); i >= 0; i-- {
+		if s[i:i+len(kw)] == kw {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,134 @@
+package compose
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"xtq/internal/core"
+	"xtq/internal/tree"
+	"xtq/internal/xpath"
+	"xtq/internal/xquery"
+)
+
+// randomComposition couples a document, a compilable transform query and a
+// valid user query.
+type randomComposition struct {
+	Doc  *tree.Node
+	Qt   *core.Compiled
+	User *xquery.UserQuery
+}
+
+// Generate implements quick.Generator.
+func (randomComposition) Generate(r *rand.Rand, _ int) reflect.Value {
+	doc := tree.Generate(r, tree.DefaultGenOptions())
+	cfg := xpath.DefaultGenConfig()
+	var qt *core.Compiled
+	for {
+		u := core.Update{Path: xpath.RandomPath(r, cfg)}
+		switch r.Intn(4) {
+		case 0:
+			u.Op = core.Insert
+			u.Elem = tree.NewElement("b", tree.NewText("1"))
+		case 1:
+			u.Op = core.Delete
+		case 2:
+			u.Op = core.Replace
+			u.Elem = tree.NewElement("part")
+		case 3:
+			u.Op = core.Rename
+			u.Label = "c"
+		}
+		c, err := (&core.Query{Var: "a", Doc: "gen", Update: u}).Compile()
+		if err == nil {
+			qt = c
+			break
+		}
+	}
+	var user *xquery.UserQuery
+	for {
+		user = &xquery.UserQuery{Var: "x", Path: xpath.RandomPath(r, cfg), Return: &xquery.Hole{}}
+		if r.Intn(2) == 0 {
+			user.Conds = []xquery.Cond{{
+				L:  xquery.Operand{Path: xpath.RandomPath(r, cfg)},
+				Op: []xpath.CmpOp{xpath.OpEq, xpath.OpNe, xpath.OpLt, xpath.OpGt}[r.Intn(4)],
+				R:  xquery.Operand{IsConst: true, Const: cfg.Values[r.Intn(len(cfg.Values))]},
+			}}
+		}
+		if r.Intn(3) == 0 {
+			user.Return = &xquery.Hole{Operand: xquery.Operand{Path: xpath.RandomPath(r, cfg)}}
+		}
+		if user.Validate() == nil {
+			break
+		}
+	}
+	return reflect.ValueOf(randomComposition{Doc: doc, Qt: qt, User: user})
+}
+
+// Property: the Compose Method, the Naive Composition and the literal
+// Q(Qt(T)) reference agree on arbitrary inputs.
+func TestQuickCompositionEquivalence(t *testing.T) {
+	prop := func(tc randomComposition) bool {
+		comp, err := New(tc.Qt, tc.User)
+		if err != nil {
+			return false
+		}
+		got, err := comp.Eval(tc.Doc)
+		if err != nil {
+			return false
+		}
+		mid, err := tc.Qt.Eval(tc.Doc, core.MethodCopyUpdate)
+		if err != nil {
+			return false
+		}
+		want, err := tc.User.Eval(mid)
+		if err != nil {
+			return false
+		}
+		if !tree.Equal(got, want) {
+			return false
+		}
+		naive, err := NewNaive(tc.Qt, tc.User)
+		if err != nil {
+			return false
+		}
+		ngot, err := naive.Eval(tc.Doc)
+		if err != nil {
+			return false
+		}
+		return tree.Equal(ngot, want)
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(31))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: composing with a transform whose path is disjoint from the
+// user query's navigation never materializes nodes.
+func TestQuickDisjointNoMaterialization(t *testing.T) {
+	prop := func(tc randomComposition) bool {
+		// Force a transform on a label absent from the generator
+		// vocabulary: guaranteed disjoint.
+		qt, err := (&core.Query{Var: "a", Doc: "gen", Update: core.Update{
+			Op:   core.Delete,
+			Path: xpath.MustParse("nowhere/never"),
+		}}).Compile()
+		if err != nil {
+			return false
+		}
+		comp, err := New(qt, tc.User)
+		if err != nil {
+			return false
+		}
+		if _, err := comp.Eval(tc.Doc); err != nil {
+			return false
+		}
+		return comp.LastStats.Materialized == 0
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(32))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"xtq/internal/tree"
+	"xtq/internal/xpath"
+)
+
+func TestNoPruneAgrees(t *testing.T) {
+	genOpts := tree.DefaultGenOptions()
+	cfg := xpath.DefaultGenConfig()
+	for seed := int64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		d := tree.Generate(rng, genOpts)
+		p := xpath.RandomPath(rng, cfg)
+		q := &Query{Var: "a", Doc: "gen", Update: Update{Op: Delete, Path: p}}
+		c, err := q.Compile()
+		if err != nil {
+			continue
+		}
+		want, err := EvalTopDown(c, d, DirectChecker{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := EvalTopDownNoPrune(c, d, DirectChecker{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tree.Equal(want, got) {
+			t.Fatalf("seed %d: ablation differs for %s", seed, p)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"xtq/internal/automaton"
+	"xtq/internal/tree"
+	"xtq/internal/xpath"
+)
+
+// Annotations is the output of the bottomUp pass: for every node at which
+// some qualifier (or sub-qualifier) had to be evaluated, the sat vector
+// over the automaton's qualifier list LQ. topDown's checkp() then answers
+// in constant time from these vectors (§5).
+type Annotations struct {
+	Sat map[*tree.Node]xpath.SatVec
+	// NodesVisited counts nodes the pass descended into; the pruning
+	// claim of Fig. 9 (line 6) is asserted on it in tests.
+	NodesVisited int
+}
+
+// EvalBottomUp implements algorithm bottomUp (§5, Fig. 9): a single pass
+// over the tree that evaluates every qualifier needed by the selecting NFA
+// using the QualDP recurrence.
+//
+// Differences in formulation (not in behaviour) from Fig. 9:
+//
+//   - Fig. 9 simulates the bottom-up traversal by recursing on the
+//     left-most child and right sibling so the algorithm can be coded in
+//     side-effect-free XQuery; in Go a direct post-order recursion visits
+//     the same nodes in the same order.
+//   - The paper's filtering NFA tracks, via qualifier-path states, which
+//     sub-qualifiers must be evaluated at a node. Here the same set — the
+//     list LQ(S') — is computed by propagating normalized expression ids
+//     (xpath.LQ.ChildNeeds); see the automaton package comment.
+//
+// The pass transitions the NFA without checking qualifiers (its state sets
+// are supersets of the checked sets used by topDown) and prunes subtrees
+// that can contribute neither to node selection nor to any pending
+// qualifier (S' empty and no inherited needs).
+func EvalBottomUp(c *Compiled, doc *tree.Node) *Annotations {
+	ann := &Annotations{Sat: make(map[*tree.Node]xpath.SatVec)}
+	lq := c.NFA.LQ
+	m := c.NFA
+
+	// visit processes node n entered with (unchecked) state set s and
+	// inherited qualifier needs; it returns n's sat and selfOrDesc
+	// vectors, or (nil, nil) when nothing was evaluated below n.
+	var visit func(n *tree.Node, s automaton.StateSet, inherited []int) (sat, selfOrDesc xpath.SatVec)
+	visit = func(n *tree.Node, s automaton.StateSet, inherited []int) (xpath.SatVec, xpath.SatVec) {
+		ann.NodesVisited++
+		next := m.Step(s, n.Label, nil)
+		roots := m.EnteredQuals(s, n.Label)
+		roots = append(roots, inherited...)
+		if next.Empty() && len(roots) == 0 {
+			// Pruning: no automaton state alive and no qualifier
+			// pending — the subtree is irrelevant (Fig. 9 line 6).
+			return nil, nil
+		}
+		evalIDs := lq.Closure(roots)
+		childNeeds := lq.ChildNeeds(evalIDs)
+
+		csat := lq.NewSatVec()
+		dsat := lq.NewSatVec()
+		descend := !next.Empty() || len(childNeeds) > 0
+		if descend {
+			for _, ch := range n.Children {
+				if ch.Kind != tree.Element {
+					continue
+				}
+				cSat, cSelfOrDesc := visit(ch, next, childNeeds)
+				if cSat == nil {
+					continue
+				}
+				for i := range csat {
+					csat[i] = csat[i] || cSat[i]
+					dsat[i] = dsat[i] || cSelfOrDesc[i]
+				}
+			}
+		}
+		if len(evalIDs) == 0 {
+			return nil, nil
+		}
+		sat := lq.NewSatVec()
+		lq.QualDP(n, evalIDs, csat, dsat, sat)
+		selfOrDesc := lq.NewSatVec()
+		for _, id := range evalIDs {
+			selfOrDesc[id] = sat[id] || dsat[id]
+		}
+		ann.Sat[n] = sat
+		return sat, selfOrDesc
+	}
+
+	s0 := m.InitialSet()
+	for _, ch := range doc.Children {
+		if ch.Kind == tree.Element {
+			visit(ch, s0, nil)
+		}
+	}
+	return ann
+}
+
+// EvalTwoPass is the twoPass implementation of transform queries (§5,
+// Fig. 10, "TD-BU" in the experiments): bottomUp to annotate qualifier
+// truth values, then topDown with constant-time qualifier checks. Two
+// passes over (the relevant part of) the tree, linear data complexity
+// regardless of qualifier complexity.
+func EvalTwoPass(c *Compiled, doc *tree.Node) (*tree.Node, error) {
+	ann := EvalBottomUp(c, doc)
+	checker := &AnnotChecker{Annot: ann.Sat}
+	return EvalTopDown(c, doc, checker)
+}

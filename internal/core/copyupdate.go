@@ -1,0 +1,18 @@
+package core
+
+import "xtq/internal/tree"
+
+// EvalCopyUpdate is the copy-and-update baseline: snapshot the document,
+// then destructively apply the embedded update to the copy. This is the
+// strategy the paper attributes to engines with native update support
+// ("GalaXUpdate" in §7: "Galax implements transform queries by taking a
+// snapshot of XML files"); it always costs Θ(|T|) time and space, which is
+// why it loses to the automaton methods whenever the update touches a
+// small part of the document.
+func EvalCopyUpdate(c *Compiled, doc *tree.Node) (*tree.Node, error) {
+	snapshot := doc.DeepCopy()
+	if err := c.Query.Update.Apply(snapshot); err != nil {
+		return nil, err
+	}
+	return snapshot, nil
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+
+	"xtq/internal/tree"
+)
+
+// Method selects a transform-query evaluation algorithm. The names follow
+// the paper's experimental section (§7.1).
+type Method string
+
+const (
+	// MethodNaive is the rewriting-based Naive method of §3.1 ("NAIVE").
+	MethodNaive Method = "naive"
+	// MethodTopDown is algorithm topDown with direct qualifier
+	// evaluation (§3.3; "GENTOP").
+	MethodTopDown Method = "topdown"
+	// MethodTwoPass is bottomUp followed by topDown with annotated
+	// qualifier checks (§5; "TD-BU").
+	MethodTwoPass Method = "twopass"
+	// MethodCopyUpdate is the snapshot-and-update baseline
+	// ("GalaXUpdate").
+	MethodCopyUpdate Method = "copyupdate"
+)
+
+// Methods lists the in-memory evaluation methods in the order the paper's
+// figures report them. The streaming twoPassSAX method lives in the
+// saxeval package since it consumes readers, not trees.
+func Methods() []Method {
+	return []Method{MethodCopyUpdate, MethodNaive, MethodTwoPass, MethodTopDown}
+}
+
+// Eval evaluates the compiled transform query on doc with the given
+// method. The input tree is never modified; depending on the method the
+// result may share unmodified subtrees with doc (see EvalTopDown).
+func (c *Compiled) Eval(doc *tree.Node, m Method) (*tree.Node, error) {
+	switch m {
+	case MethodNaive:
+		return EvalNaive(c, doc)
+	case MethodTopDown:
+		return EvalTopDown(c, doc, DirectChecker{})
+	case MethodTwoPass:
+		return EvalTwoPass(c, doc)
+	case MethodCopyUpdate:
+		return EvalCopyUpdate(c, doc)
+	default:
+		return nil, fmt.Errorf("core: unknown method %q", m)
+	}
+}
+
+// Eval compiles and evaluates q on doc; a convenience for one-shot use.
+func (q *Query) Eval(doc *tree.Node, m Method) (*tree.Node, error) {
+	c, err := q.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return c.Eval(doc, m)
+}

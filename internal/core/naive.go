@@ -1,0 +1,69 @@
+package core
+
+import (
+	"xtq/internal/tree"
+	"xtq/internal/xpath"
+)
+
+// EvalNaive implements the Naive Method of §3.1 (Fig. 2): it first
+// materializes the selected node set $xp = r[[p]] and then reconstructs the
+// whole document, testing every element for membership in $xp with a linear
+// scan — the "some $x in $xp satisfies ($n is $x)" test of the rewritten
+// XQuery. This faithfully reproduces the method's O(|T|·|$xp|) worst-case
+// behaviour: quadratic when the update's scope is broad, linear when p is
+// highly selective.
+//
+// The input tree is not modified; element nodes are rebuilt (as the
+// rewritten query's element constructors do) while text leaves are shared.
+func EvalNaive(c *Compiled, doc *tree.Node) (*tree.Node, error) {
+	u := &c.Query.Update
+	xp := xpath.Select(doc, u.Path)
+
+	// member reproduces the unindexed node-set membership test of the
+	// rewritten query; deliberately a linear scan, see above.
+	member := func(n *tree.Node) bool {
+		for _, x := range xp {
+			if x == n {
+				return true
+			}
+		}
+		return false
+	}
+
+	var rebuild func(n *tree.Node) *tree.Node
+	rebuild = func(n *tree.Node) *tree.Node {
+		if n.Kind != tree.Element {
+			return n // "else $n": non-elements pass through
+		}
+		hit := member(n)
+		if hit {
+			switch u.Op {
+			case Delete:
+				return nil
+			case Replace:
+				return u.Elem.DeepCopy()
+			}
+		}
+		out := &tree.Node{Kind: tree.Element, Label: n.Label, Attrs: n.Attrs}
+		if hit && u.Op == Rename {
+			out.Label = u.Label
+		}
+		for _, ch := range n.Children {
+			if r := rebuild(ch); r != nil {
+				out.Children = append(out.Children, r)
+			}
+		}
+		if hit && u.Op == Insert {
+			out.Children = append(out.Children, u.Elem.DeepCopy())
+		}
+		return out
+	}
+
+	result := tree.NewDocument(nil)
+	for _, ch := range doc.Children {
+		if r := rebuild(ch); r != nil {
+			result.Children = append(result.Children, r)
+		}
+	}
+	return result, nil
+}

@@ -1,0 +1,397 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"xtq/internal/automaton"
+	"xtq/internal/sax"
+	"xtq/internal/tree"
+	"xtq/internal/xpath"
+)
+
+// Query is a transform query
+//
+//	transform copy $a := doc("T") modify do u($a) return $a.
+type Query struct {
+	Var    string // variable name without '$', e.g. "a"
+	Doc    string // the doc(...) argument, informational
+	Update Update
+}
+
+// Validate checks the query.
+func (q *Query) Validate() error {
+	if q.Var == "" {
+		return errors.New("core: transform query without variable")
+	}
+	return q.Update.Validate()
+}
+
+// String renders the query in the W3C draft surface syntax used throughout
+// the paper.
+func (q *Query) String() string {
+	v := "$" + q.Var
+	return fmt.Sprintf("transform copy %s := doc(%q) modify do %s return %s",
+		v, q.Doc, q.Update.String(v), v)
+}
+
+// Compiled is a transform query with its selecting NFA built; evaluation
+// methods operate on compiled queries so the O(|p|) automaton construction
+// (§3.4) happens once.
+type Compiled struct {
+	Query *Query
+	NFA   *automaton.NFA
+}
+
+// Compile validates the query and builds its selecting NFA.
+func (q *Query) Compile() (*Compiled, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	nfa, err := automaton.New(q.Update.Path)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{Query: q, NFA: nfa}, nil
+}
+
+// ParseQuery parses a transform query in surface syntax, e.g.
+//
+//	transform copy $a := doc("foo") modify do delete $a//price return $a
+//	transform copy $a := doc("foo") modify
+//	    do insert <supplier><sname>HP</sname></supplier> into $a//part
+//	    return $a
+//
+// The embedded update forms are: "insert ELEM into $v/p", "delete $v/p",
+// "replace $v/p with ELEM" and "rename $v/p as label", where ELEM is a
+// literal XML element and p an expression of the fragment X.
+func ParseQuery(src string) (*Query, error) {
+	s := strings.TrimSpace(src)
+	var err error
+	if s, err = expectWord(s, "transform"); err != nil {
+		return nil, err
+	}
+	if s, err = expectWord(s, "copy"); err != nil {
+		return nil, err
+	}
+	varName, s, err := parseVar(s)
+	if err != nil {
+		return nil, err
+	}
+	if s, err = expectToken(s, ":="); err != nil {
+		return nil, err
+	}
+	docArg, s, err := parseDocCall(s)
+	if err != nil {
+		return nil, err
+	}
+	if s, err = expectWord(s, "modify"); err != nil {
+		return nil, err
+	}
+	if s, err = expectWord(s, "do"); err != nil {
+		return nil, err
+	}
+	u, s, err := parseUpdate(s, varName)
+	if err != nil {
+		return nil, err
+	}
+	if s, err = expectWord(s, "return"); err != nil {
+		return nil, err
+	}
+	retVar, s, err := parseVar(s)
+	if err != nil {
+		return nil, err
+	}
+	if retVar != varName {
+		return nil, fmt.Errorf("core: return variable $%s does not match copied $%s", retVar, varName)
+	}
+	if strings.TrimSpace(s) != "" {
+		return nil, fmt.Errorf("core: trailing input after transform query: %q", strings.TrimSpace(s))
+	}
+	q := &Query{Var: varName, Doc: docArg, Update: *u}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParseQuery parses src and panics on error; for tests and examples.
+func MustParseQuery(src string) *Query {
+	q, err := ParseQuery(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func expectWord(s, word string) (string, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, word) {
+		return "", fmt.Errorf("core: expected %q at %q", word, truncate(s))
+	}
+	rest := s[len(word):]
+	if rest != "" && !isWordBreak(rest[0]) {
+		return "", fmt.Errorf("core: expected %q at %q", word, truncate(s))
+	}
+	return rest, nil
+}
+
+func isWordBreak(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '$' || c == '<' || c == '(' || c == ':'
+}
+
+func expectToken(s, tok string) (string, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, tok) {
+		return "", fmt.Errorf("core: expected %q at %q", tok, truncate(s))
+	}
+	return s[len(tok):], nil
+}
+
+func parseVar(s string) (string, string, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "$") {
+		return "", "", fmt.Errorf("core: expected a variable at %q", truncate(s))
+	}
+	i := 1
+	for i < len(s) && (s[i] == '_' || s[i] >= 'a' && s[i] <= 'z' || s[i] >= 'A' && s[i] <= 'Z' || s[i] >= '0' && s[i] <= '9') {
+		i++
+	}
+	if i == 1 {
+		return "", "", fmt.Errorf("core: empty variable name at %q", truncate(s))
+	}
+	return s[1:i], s[i:], nil
+}
+
+func parseDocCall(s string) (string, string, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "doc(") {
+		return "", "", fmt.Errorf("core: expected doc(...) at %q", truncate(s))
+	}
+	s = s[len("doc("):]
+	s = strings.TrimSpace(s)
+	if s == "" || (s[0] != '"' && s[0] != '\'') {
+		return "", "", errors.New("core: doc() argument must be a quoted string")
+	}
+	quote := s[0]
+	end := strings.IndexByte(s[1:], quote)
+	if end < 0 {
+		return "", "", errors.New("core: unterminated doc() argument")
+	}
+	arg := s[1 : 1+end]
+	s = strings.TrimSpace(s[2+end:])
+	if !strings.HasPrefix(s, ")") {
+		return "", "", errors.New("core: expected ')' after doc() argument")
+	}
+	return arg, s[1:], nil
+}
+
+func parseUpdate(s, varName string) (*Update, string, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case strings.HasPrefix(s, "insert"):
+		s = s[len("insert"):]
+		elem, rest, err := parseElem(s)
+		if err != nil {
+			return nil, "", err
+		}
+		if rest, err = expectWord(rest, "into"); err != nil {
+			return nil, "", err
+		}
+		p, rest, err := parseVarPath(rest, varName)
+		if err != nil {
+			return nil, "", err
+		}
+		return &Update{Op: Insert, Path: p, Elem: elem}, rest, nil
+	case strings.HasPrefix(s, "delete"):
+		p, rest, err := parseVarPath(s[len("delete"):], varName)
+		if err != nil {
+			return nil, "", err
+		}
+		return &Update{Op: Delete, Path: p}, rest, nil
+	case strings.HasPrefix(s, "replace"):
+		p, rest, err := parseVarPath(s[len("replace"):], varName)
+		if err != nil {
+			return nil, "", err
+		}
+		if rest, err = expectWord(rest, "with"); err != nil {
+			return nil, "", err
+		}
+		elem, rest, err := parseElem(rest)
+		if err != nil {
+			return nil, "", err
+		}
+		return &Update{Op: Replace, Path: p, Elem: elem}, rest, nil
+	case strings.HasPrefix(s, "rename"):
+		p, rest, err := parseVarPath(s[len("rename"):], varName)
+		if err != nil {
+			return nil, "", err
+		}
+		if rest, err = expectWord(rest, "as"); err != nil {
+			return nil, "", err
+		}
+		rest = strings.TrimSpace(rest)
+		i := 0
+		for i < len(rest) && !isWordBreak(rest[i]) {
+			i++
+		}
+		if i == 0 {
+			return nil, "", errors.New("core: rename requires a label")
+		}
+		return &Update{Op: Rename, Path: p, Label: rest[:i]}, rest[i:], nil
+	default:
+		return nil, "", fmt.Errorf("core: expected an update (insert/delete/replace/rename) at %q", truncate(s))
+	}
+}
+
+// parseVarPath parses "$v/path" or "$v//path".
+func parseVarPath(s, varName string) (*xpath.Path, string, error) {
+	v, rest, err := parseVar(s)
+	if err != nil {
+		return nil, "", err
+	}
+	if v != varName {
+		return nil, "", fmt.Errorf("core: update path uses $%s, query copies $%s", v, varName)
+	}
+	rest = strings.TrimLeft(rest, " \t\n\r")
+	if !strings.HasPrefix(rest, "/") {
+		return nil, "", fmt.Errorf("core: expected a path after $%s", varName)
+	}
+	// The path extends to the next top-level keyword (return/into/with/as)
+	// or end of string; paths cannot contain those words outside string
+	// literals, so scan with quote awareness.
+	end := pathEnd(rest)
+	expr := strings.TrimSpace(rest[:end])
+	p, err := xpath.Parse(expr)
+	if err != nil {
+		return nil, "", err
+	}
+	return p, rest[end:], nil
+}
+
+// pathEnd returns the index where the path expression ends: the first
+// keyword boundary (" return", " with", " as", " into") outside quotes.
+func pathEnd(s string) int {
+	inQuote := byte(0)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if inQuote != 0 {
+			if c == inQuote {
+				inQuote = 0
+			}
+			continue
+		}
+		if c == '"' || c == '\'' {
+			inQuote = c
+			continue
+		}
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			rest := strings.TrimLeft(s[i:], " \t\n\r")
+			for _, kw := range []string{"return", "with", "as", "into"} {
+				if strings.HasPrefix(rest, kw) {
+					tail := rest[len(kw):]
+					if tail == "" || isWordBreak(tail[0]) || tail[0] == '/' {
+						return i
+					}
+				}
+			}
+		}
+	}
+	return len(s)
+}
+
+// parseElem parses a literal XML element from the head of s and returns it
+// with the unconsumed remainder.
+func parseElem(s string) (*tree.Node, string, error) {
+	s2 := strings.TrimLeft(s, " \t\n\r")
+	if !strings.HasPrefix(s2, "<") {
+		return nil, "", fmt.Errorf("core: expected a literal XML element at %q", truncate(s2))
+	}
+	end, err := elemEnd(s2)
+	if err != nil {
+		return nil, "", err
+	}
+	doc, err := sax.ParseString(s2[:end])
+	if err != nil {
+		return nil, "", fmt.Errorf("core: invalid constant element: %w", err)
+	}
+	root := doc.Root()
+	if root == nil {
+		return nil, "", errors.New("core: constant element is empty")
+	}
+	return root, s2[end:], nil
+}
+
+// elemEnd scans a balanced XML element and returns the index just past it.
+func elemEnd(s string) (int, error) {
+	depth := 0
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch c {
+		case '<':
+			if strings.HasPrefix(s[i:], "<!--") {
+				end := strings.Index(s[i:], "-->")
+				if end < 0 {
+					return 0, errors.New("core: unterminated comment in constant element")
+				}
+				i += end + 3
+				continue
+			}
+			closing := i+1 < len(s) && s[i+1] == '/'
+			// Scan to the matching '>' with quote awareness.
+			j := i + 1
+			inQuote := byte(0)
+			selfClose := false
+			for j < len(s) {
+				cj := s[j]
+				if inQuote != 0 {
+					if cj == inQuote {
+						inQuote = 0
+					}
+					j++
+					continue
+				}
+				if cj == '"' || cj == '\'' {
+					inQuote = cj
+					j++
+					continue
+				}
+				if cj == '>' {
+					selfClose = s[j-1] == '/'
+					break
+				}
+				j++
+			}
+			if j >= len(s) {
+				return 0, errors.New("core: unterminated tag in constant element")
+			}
+			switch {
+			case closing:
+				depth--
+			case selfClose:
+				// depth unchanged
+			default:
+				depth++
+			}
+			i = j + 1
+			if depth == 0 {
+				return i, nil
+			}
+			if depth < 0 {
+				return 0, errors.New("core: unbalanced end tag in constant element")
+			}
+		default:
+			i++
+		}
+	}
+	return 0, errors.New("core: unterminated constant element")
+}
+
+func truncate(s string) string {
+	if len(s) > 40 {
+		return s[:40] + "..."
+	}
+	return s
+}

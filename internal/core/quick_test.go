@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"xtq/internal/tree"
+	"xtq/internal/xpath"
+)
+
+// randomCase couples a random document with a random compilable update.
+type randomCase struct {
+	Doc    *tree.Node
+	Update Update
+}
+
+// Generate implements quick.Generator; it retries path generation until
+// the update compiles, so properties never skip.
+func (randomCase) Generate(r *rand.Rand, _ int) reflect.Value {
+	doc := tree.Generate(r, tree.DefaultGenOptions())
+	cfg := xpath.DefaultGenConfig()
+	var u Update
+	for {
+		u = Update{Path: xpath.RandomPath(r, cfg)}
+		switch r.Intn(4) {
+		case 0:
+			u.Op = Insert
+			u.Elem = tree.NewElement("new", tree.NewText("v"))
+		case 1:
+			u.Op = Delete
+		case 2:
+			u.Op = Replace
+			u.Elem = tree.NewElement("sub")
+		case 3:
+			u.Op = Rename
+			u.Label = "renamed"
+		}
+		q := Query{Var: "a", Doc: "gen", Update: u}
+		if _, err := q.Compile(); err == nil {
+			break
+		}
+	}
+	return reflect.ValueOf(randomCase{Doc: doc, Update: u})
+}
+
+// Property: all four in-memory methods compute identical results and leave
+// the input untouched.
+func TestQuickMethodsAgree(t *testing.T) {
+	prop := func(tc randomCase) bool {
+		q := &Query{Var: "a", Doc: "gen", Update: tc.Update}
+		c, err := q.Compile()
+		if err != nil {
+			return false
+		}
+		before := tc.Doc.String()
+		var ref *tree.Node
+		for _, m := range Methods() {
+			got, err := c.Eval(tc.Doc, m)
+			if err != nil {
+				return false
+			}
+			if ref == nil {
+				ref = got
+			} else if !tree.Equal(ref, got) {
+				return false
+			}
+		}
+		return tc.Doc.String() == before
+	}
+	cfg := &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(21))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: no node of r[[p]] (by identity) survives a delete. Note the
+// *path* may select fresh nodes in the result — removing a node can make
+// an ancestor start satisfying a negated qualifier like //b[not(b)] — so
+// the invariant is stated over the original selection, exactly as the
+// semantics of §2 defines the update.
+func TestQuickDeleteRemovesSelection(t *testing.T) {
+	prop := func(tc randomCase) bool {
+		u := Update{Op: Delete, Path: tc.Update.Path}
+		q := &Query{Var: "a", Doc: "gen", Update: u}
+		c, err := q.Compile()
+		if err != nil {
+			return false
+		}
+		selected := make(map[*tree.Node]struct{})
+		for _, n := range xpath.Select(tc.Doc, u.Path) {
+			selected[n] = struct{}{}
+		}
+		// topDown shares surviving subtrees by pointer, so identity
+		// membership is meaningful.
+		got, err := c.Eval(tc.Doc, MethodTopDown)
+		if err != nil {
+			return false
+		}
+		ok := true
+		tree.Walk(got, func(n *tree.Node, _ int) bool {
+			if _, hit := selected[n]; hit {
+				ok = false
+			}
+			return ok
+		})
+		return ok
+	}
+	cfg := &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(22))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: insert adds exactly |r[[p]]| copies of the element, and the
+// result size is the input size plus that many subtree sizes.
+func TestQuickInsertCountsMatchSelection(t *testing.T) {
+	elem := tree.NewElement("inserted-marker")
+	prop := func(tc randomCase) bool {
+		u := Update{Op: Insert, Path: tc.Update.Path, Elem: elem}
+		q := &Query{Var: "a", Doc: "gen", Update: u}
+		c, err := q.Compile()
+		if err != nil {
+			return false
+		}
+		selected := len(xpath.Select(tc.Doc, u.Path))
+		got, err := c.Eval(tc.Doc, MethodTwoPass)
+		if err != nil {
+			return false
+		}
+		if tree.CountLabel(got, "inserted-marker") != selected {
+			return false
+		}
+		return got.Size() == tc.Doc.Size()+selected*elem.Size()
+	}
+	cfg := &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(23))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: rename preserves document size and only changes labels of
+// selected nodes.
+func TestQuickRenamePreservesShape(t *testing.T) {
+	prop := func(tc randomCase) bool {
+		u := Update{Op: Rename, Path: tc.Update.Path, Label: "qren"}
+		q := &Query{Var: "a", Doc: "gen", Update: u}
+		c, err := q.Compile()
+		if err != nil {
+			return false
+		}
+		selected := len(xpath.Select(tc.Doc, u.Path))
+		got, err := c.Eval(tc.Doc, MethodTopDown)
+		if err != nil {
+			return false
+		}
+		return got.Size() == tc.Doc.Size() &&
+			tree.CountLabel(got, "qren") == selected
+	}
+	cfg := &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(24))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"xtq/internal/automaton"
+	"xtq/internal/tree"
+	"xtq/internal/xpath"
+)
+
+// QualChecker is checkp() of §3.3: it decides whether the qualifier of an
+// automaton state holds at a node. The topDown algorithm is parameterized
+// over it — direct recursive evaluation yields the GENTOP method, constant
+// -time lookups into bottomUp annotations yield the twoPass (TD-BU) method.
+type QualChecker interface {
+	Check(st *automaton.State, n *tree.Node) bool
+}
+
+// DirectChecker evaluates qualifiers by recursive descent (the "native
+// qualifier evaluation" strategy of the paper's GENTOP configuration).
+type DirectChecker struct{}
+
+// Check implements QualChecker.
+func (DirectChecker) Check(st *automaton.State, n *tree.Node) bool {
+	for _, q := range st.Quals {
+		if !xpath.EvalQual(n, q) {
+			return false
+		}
+	}
+	return true
+}
+
+// AnnotChecker answers qualifier checks from the sat-vector annotations
+// produced by the bottomUp pass, in constant time per check. If a node was
+// not annotated (which cannot happen when the annotation pass ran over the
+// same document and automaton — the bottomUp state sets are supersets of
+// topDown's) it falls back to direct evaluation and counts the event, so
+// tests can assert the invariant.
+type AnnotChecker struct {
+	Annot     map[*tree.Node]xpath.SatVec
+	Fallbacks int
+}
+
+// Check implements QualChecker.
+func (a *AnnotChecker) Check(st *automaton.State, n *tree.Node) bool {
+	if len(st.Quals) == 0 {
+		return true
+	}
+	if sat, ok := a.Annot[n]; ok {
+		return sat[st.QualID]
+	}
+	a.Fallbacks++
+	return DirectChecker{}.Check(st, n)
+}
+
+// ProcessNode applies the compiled update below (and at) node n, which the
+// caller entered from state set s — i.e. s is the parent-level set and n's
+// label has not been consumed yet. It returns the replacement list for n:
+// empty when n is deleted, the original pointer when the update cannot
+// touch n's subtree, or a rebuilt node. This is the recursive body of
+// algorithm topDown (Fig. 3), exported for the composition package, which
+// materializes returned subtrees exactly this way (the paper's embedded
+// topDown() user-defined function, §4).
+func ProcessNode(c *Compiled, n *tree.Node, s automaton.StateSet, check QualChecker) []*tree.Node {
+	m := c.NFA
+	next := m.Step(s, n.Label, func(id int) bool { return check.Check(&m.States[id], n) })
+	if next.Empty() {
+		// No state is alive below n: the subtree cannot be selected,
+		// return it unchanged (Fig. 3 lines 2-3).
+		return []*tree.Node{n}
+	}
+	return ProcessEntered(c, n, next, check)
+}
+
+// ProcessEntered is ProcessNode for a node whose label is already consumed:
+// entered is the state set after the transition on n.
+func ProcessEntered(c *Compiled, n *tree.Node, entered automaton.StateSet, check QualChecker) []*tree.Node {
+	u := &c.Query.Update
+	m := c.NFA
+	matched := m.Matches(entered)
+	if matched {
+		switch u.Op {
+		case Delete:
+			// Prune without loading the subtree.
+			return nil
+		case Replace:
+			return []*tree.Node{u.Elem.DeepCopy()}
+		}
+	}
+	changed := false
+	newChildren := make([]*tree.Node, 0, len(n.Children)+1)
+	for _, ch := range n.Children {
+		if ch.Kind != tree.Element {
+			newChildren = append(newChildren, ch)
+			continue
+		}
+		r := ProcessNode(c, ch, entered, check)
+		if len(r) != 1 || r[0] != ch {
+			changed = true
+		}
+		newChildren = append(newChildren, r...)
+	}
+	if matched && u.Op == Insert {
+		newChildren = append(newChildren, u.Elem.DeepCopy())
+		changed = true
+	}
+	relabel := matched && u.Op == Rename
+	if !changed && !relabel {
+		return []*tree.Node{n}
+	}
+	out := &tree.Node{Kind: tree.Element, Label: n.Label, Attrs: n.Attrs, Children: newChildren}
+	if relabel {
+		out.Label = u.Label
+	}
+	return []*tree.Node{out}
+}
+
+// EvalTopDown implements algorithm topDown (§3.3, Fig. 3) for all four
+// update kinds. It traverses only the part of the tree reachable with a
+// non-empty automaton state set; subtrees the update cannot touch are
+// returned by reference (structural sharing), so the result is a
+// copy-on-write view over the input. The input is never modified.
+func EvalTopDown(c *Compiled, doc *tree.Node, check QualChecker) (*tree.Node, error) {
+	s0 := c.NFA.InitialSet()
+	result := tree.NewDocument(nil)
+	changed := false
+	for _, ch := range doc.Children {
+		if ch.Kind != tree.Element {
+			result.Children = append(result.Children, ch)
+			continue
+		}
+		r := ProcessNode(c, ch, s0, check)
+		if len(r) != 1 || r[0] != ch {
+			changed = true
+		}
+		result.Children = append(result.Children, r...)
+	}
+	if !changed {
+		// Nothing matched anywhere: the query is the identity on doc.
+		return doc, nil
+	}
+	return result, nil
+}

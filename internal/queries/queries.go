@@ -1,0 +1,114 @@
+// Package queries defines the experimental workload of §7 (Fig. 11): the
+// ten embedded XPath queries U1-U10 over XMark data, the transform queries
+// built from them, and the four composition pairs of Fig. 15.
+package queries
+
+import (
+	"fmt"
+
+	"xtq/internal/core"
+	"xtq/internal/tree"
+	"xtq/internal/xpath"
+	"xtq/internal/xquery"
+)
+
+// U holds the embedded XPath queries of Fig. 11, indexed U[1] … U[10]
+// (U[0] is unused). Comments reproduce the paper's characterization.
+var U = [...]string{
+	"",
+	`/site/people/person`,                   // U1: broad, no qualifier
+	`/site/people/person[@id = "person10"]`, // U2: one simple qualifier
+	`/site/people/person[profile/age > 20]`, // U3: one simple qualifier
+	`/site/regions//item`,                   // U4: descendant axis
+	`/site//description`,                    // U5: descendant axis
+	`/site/closed_auctions/closed_auction/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword`, // U6: long path
+	`/site/open_auctions/open_auction[bidder/increase > 5]/annotation[happiness < 20]/description//text`,              // U7: complex qualifier
+	`/site/open_auctions/open_auction[initial > 10 and reserve > 50]/bidder`,                                          // U8: complex qualifier
+	`/site/regions//item[location = "United States"]`,                                                                 // U9: descendant + qualifier
+	`/site//open_auctions/open_auction[not(@id = "open_auction2")]/bidder[increase > 10]`,                             // U10: descendant + qualifier
+}
+
+// Names returns the identifiers U1 … U10.
+func Names() []string {
+	out := make([]string, 10)
+	for i := range out {
+		out[i] = fmt.Sprintf("U%d", i+1)
+	}
+	return out
+}
+
+// Path parses U<i> (1-based).
+func Path(i int) *xpath.Path {
+	return xpath.MustParse(U[i])
+}
+
+// insertElem is the constant element inserted by the benchmark transform
+// queries, mirroring the small annotation elements of the paper's setup.
+func insertElem() *tree.Node {
+	return tree.NewElement("newnode",
+		tree.NewElement("info", tree.NewText("inserted")),
+	)
+}
+
+// Transform returns the insert transform query built from U<i>; the
+// paper's Figures 12-14 report insert transform queries ("transform
+// queries of the other types consistently yield qualitatively similar
+// results", §7).
+func Transform(i int) *core.Query {
+	return &core.Query{
+		Var: "a",
+		Doc: "xmark",
+		Update: core.Update{
+			Op:   core.Insert,
+			Path: Path(i),
+			Elem: insertElem(),
+		},
+	}
+}
+
+// TransformOp returns a transform query from U<i> with an explicit update
+// kind.
+func TransformOp(i int, op core.Op) *core.Query {
+	u := core.Update{Op: op, Path: Path(i)}
+	switch op {
+	case core.Insert, core.Replace:
+		u.Elem = insertElem()
+	case core.Rename:
+		u.Label = "renamed"
+	}
+	return &core.Query{Var: "a", Doc: "xmark", Update: u}
+}
+
+// Compile compiles the insert transform query for U<i>.
+func Compile(i int) (*core.Compiled, error) {
+	return Transform(i).Compile()
+}
+
+// UserQuery returns U<i> as a user query "for $x in U<i> return $x",
+// the form the composition experiment poses on the (virtual) view.
+func UserQuery(i int) *xquery.UserQuery {
+	return &xquery.UserQuery{
+		Var:    "x",
+		Path:   Path(i),
+		Return: &xquery.Hole{},
+	}
+}
+
+// Pair is one composition workload of Fig. 15: a transform query and a
+// user query.
+type Pair struct {
+	Name      string
+	Transform *core.Query
+	User      *xquery.UserQuery
+}
+
+// Pairs returns the four pairs of Fig. 15: (U1, U2) and (U9, U1) with
+// insert transform queries, (U9, U4) and (U8, U10) with deletes.
+func Pairs() []Pair {
+	return []Pair{
+		{Name: "(U1,U2)", Transform: TransformOp(1, core.Insert), User: UserQuery(2)},
+		{Name: "(U9,U1)", Transform: TransformOp(9, core.Insert), User: UserQuery(1)},
+		{Name: "(U9,U4)", Transform: TransformOp(9, core.Delete), User: UserQuery(4)},
+		{Name: "(U8,U10)", Transform: TransformOp(8, core.Delete), User: UserQuery(10)},
+	}
+}

@@ -1,0 +1,101 @@
+package queries
+
+import (
+	"testing"
+
+	"xtq/internal/compose"
+	"xtq/internal/core"
+	"xtq/internal/tree"
+	"xtq/internal/xmark"
+)
+
+func TestAllQueriesCompile(t *testing.T) {
+	for i := 1; i <= 10; i++ {
+		c, err := Compile(i)
+		if err != nil {
+			t.Errorf("U%d: %v", i, err)
+			continue
+		}
+		if c.NFA.Size() == 0 {
+			t.Errorf("U%d: empty NFA", i)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	if len(names) != 10 || names[0] != "U1" || names[9] != "U10" {
+		t.Errorf("Names() = %v", names)
+	}
+}
+
+func TestTransformOps(t *testing.T) {
+	for _, op := range []core.Op{core.Insert, core.Delete, core.Replace, core.Rename} {
+		q := TransformOp(4, op)
+		if err := q.Validate(); err != nil {
+			t.Errorf("%s: %v", op, err)
+		}
+	}
+}
+
+func TestPairsRunnable(t *testing.T) {
+	doc, err := xmark.Generate(xmark.Config{Factor: 0.002, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range Pairs() {
+		ct, err := p.Transform.Compile()
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		comp, err := compose.New(ct, p.User)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		got, err := comp.Eval(doc)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		naive, err := compose.NewNaive(ct, p.User)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := naive.Eval(doc)
+		if err != nil {
+			t.Fatalf("%s naive: %v", p.Name, err)
+		}
+		if !tree.Equal(got, want) {
+			t.Errorf("%s: compose and naive composition disagree", p.Name)
+		}
+	}
+}
+
+// TestAllMethodsOnWorkload runs every evaluation method over every
+// workload query on a small document and cross-checks the results — the
+// correctness backbone of the Fig. 12/13 benchmarks.
+func TestAllMethodsOnWorkload(t *testing.T) {
+	doc, err := xmark.Generate(xmark.Config{Factor: 0.002, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		c, err := Compile(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ref *tree.Node
+		for _, m := range core.Methods() {
+			got, err := c.Eval(doc, m)
+			if err != nil {
+				t.Fatalf("U%d %s: %v", i, m, err)
+			}
+			if ref == nil {
+				ref = got
+				continue
+			}
+			if !tree.Equal(ref, got) {
+				t.Errorf("U%d: method %s disagrees", i, m)
+			}
+		}
+	}
+}

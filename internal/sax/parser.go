@@ -1,0 +1,649 @@
+package sax
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"xtq/internal/tree"
+)
+
+// Options configures a Parser.
+type Options struct {
+	// PreserveWhitespace keeps text events that consist solely of XML
+	// whitespace. By default such events are dropped, which is the usual
+	// behaviour for data-oriented documents and makes parsing an
+	// indented serialization yield the same tree as the compact one.
+	PreserveWhitespace bool
+	// MaxDepth aborts parsing when element nesting exceeds the limit;
+	// zero means no limit.
+	MaxDepth int
+}
+
+// ParseError reports a well-formedness violation with its input position.
+type ParseError struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("xml:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Parser is a streaming XML parser pushing events into a Handler.
+type Parser struct {
+	r    *bufio.Reader
+	h    Handler
+	opts Options
+
+	line, col int
+	stack     []string // open element labels
+	text      []byte   // pending character data
+	attrs     []tree.Attr
+	peeked    int               // -1 when empty, otherwise the buffered byte
+	nameBuf   []byte            // scratch for readName
+	names     map[string]string // interned element/attribute names
+}
+
+// NewParser returns a parser reading from r and reporting events to h with
+// default options.
+func NewParser(r io.Reader, h Handler) *Parser {
+	return NewParserOptions(r, h, Options{})
+}
+
+// NewParserOptions returns a parser with explicit options.
+func NewParserOptions(r io.Reader, h Handler, opts Options) *Parser {
+	return &Parser{
+		r: bufio.NewReaderSize(r, 64<<10), h: h, opts: opts,
+		line: 1, col: 0, peeked: -1,
+		names: make(map[string]string),
+	}
+}
+
+func (p *Parser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.line, Col: p.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *Parser) readByte() (byte, error) {
+	if p.peeked >= 0 {
+		b := byte(p.peeked)
+		p.peeked = -1
+		return b, nil
+	}
+	b, err := p.r.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	if b == '\n' {
+		p.line++
+		p.col = 0
+	} else {
+		p.col++
+	}
+	return b, nil
+}
+
+func (p *Parser) unread(b byte) { p.peeked = int(b) }
+
+func (p *Parser) mustByte() (byte, error) {
+	b, err := p.readByte()
+	if err == io.EOF {
+		return 0, p.errf("unexpected end of input")
+	}
+	return b, err
+}
+
+func isSpace(b byte) bool { return b == ' ' || b == '\t' || b == '\n' || b == '\r' }
+
+func isNameStart(b byte) bool {
+	return b == '_' || b == ':' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || b >= 0x80
+}
+
+func isNameChar(b byte) bool {
+	return isNameStart(b) || b == '-' || b == '.' || (b >= '0' && b <= '9')
+}
+
+// Parse consumes the input and drives the handler. It validates
+// well-formedness (matching tags, single root element) and returns the
+// first error encountered.
+func (p *Parser) Parse() error {
+	if err := p.h.StartDocument(); err != nil {
+		return err
+	}
+	sawRoot := false
+	for {
+		b, err := p.readByte()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if b != '<' {
+			if len(p.stack) == 0 {
+				if !isSpace(b) {
+					return p.errf("character data outside the root element")
+				}
+				continue
+			}
+			p.unread(b)
+			if err := p.readText(); err != nil {
+				return err
+			}
+			continue
+		}
+		b, err = p.mustByte()
+		if err != nil {
+			return err
+		}
+		switch {
+		case b == '?':
+			if err := p.skipPI(); err != nil {
+				return err
+			}
+		case b == '!':
+			if err := p.readBang(); err != nil {
+				return err
+			}
+		case b == '/':
+			if err := p.flushText(); err != nil {
+				return err
+			}
+			if err := p.readEndTag(); err != nil {
+				return err
+			}
+		case isNameStart(b):
+			if len(p.stack) == 0 {
+				if sawRoot {
+					return p.errf("multiple root elements")
+				}
+				sawRoot = true
+			}
+			if err := p.flushText(); err != nil {
+				return err
+			}
+			p.unread(b)
+			if err := p.readStartTag(); err != nil {
+				return err
+			}
+		default:
+			return p.errf("unexpected character %q after '<'", b)
+		}
+	}
+	if len(p.stack) > 0 {
+		return p.errf("unexpected end of input: <%s> not closed", p.stack[len(p.stack)-1])
+	}
+	if !sawRoot {
+		return p.errf("document has no root element")
+	}
+	return p.h.EndDocument()
+}
+
+// readName scans an XML name, interning the result so repeated element and
+// attribute names share one string allocation — names dominate
+// markup-heavy documents.
+func (p *Parser) readName() (string, error) {
+	b, err := p.mustByte()
+	if err != nil {
+		return "", err
+	}
+	if !isNameStart(b) {
+		return "", p.errf("invalid name start character %q", b)
+	}
+	p.nameBuf = append(p.nameBuf[:0], b)
+	for {
+		b, err := p.readByte()
+		if err == io.EOF {
+			return p.intern(), nil
+		}
+		if err != nil {
+			return "", err
+		}
+		if !isNameChar(b) {
+			p.unread(b)
+			return p.intern(), nil
+		}
+		p.nameBuf = append(p.nameBuf, b)
+	}
+}
+
+func (p *Parser) intern() string {
+	if s, ok := p.names[string(p.nameBuf)]; ok {
+		return s
+	}
+	s := string(p.nameBuf)
+	p.names[s] = s
+	return s
+}
+
+func (p *Parser) skipSpace() (byte, error) {
+	for {
+		b, err := p.mustByte()
+		if err != nil {
+			return 0, err
+		}
+		if !isSpace(b) {
+			return b, nil
+		}
+	}
+}
+
+func (p *Parser) readStartTag() error {
+	name, err := p.readName()
+	if err != nil {
+		return err
+	}
+	if p.opts.MaxDepth > 0 && len(p.stack)+1 > p.opts.MaxDepth {
+		return p.errf("element nesting exceeds %d", p.opts.MaxDepth)
+	}
+	p.attrs = p.attrs[:0]
+	for {
+		b, err := p.skipSpace()
+		if err != nil {
+			return err
+		}
+		switch {
+		case b == '>':
+			p.stack = append(p.stack, name)
+			return p.h.StartElement(name, p.attrs)
+		case b == '/':
+			b, err = p.mustByte()
+			if err != nil {
+				return err
+			}
+			if b != '>' {
+				return p.errf("expected '>' after '/' in tag <%s>", name)
+			}
+			if err := p.h.StartElement(name, p.attrs); err != nil {
+				return err
+			}
+			return p.h.EndElement(name)
+		case isNameStart(b):
+			p.unread(b)
+			if err := p.readAttr(name); err != nil {
+				return err
+			}
+		default:
+			return p.errf("unexpected character %q in tag <%s>", b, name)
+		}
+	}
+}
+
+func (p *Parser) readAttr(elem string) error {
+	name, err := p.readName()
+	if err != nil {
+		return err
+	}
+	b, err := p.skipSpace()
+	if err != nil {
+		return err
+	}
+	if b != '=' {
+		return p.errf("expected '=' after attribute %q of <%s>", name, elem)
+	}
+	b, err = p.skipSpace()
+	if err != nil {
+		return err
+	}
+	if b != '"' && b != '\'' {
+		return p.errf("attribute %q of <%s> must be quoted", name, elem)
+	}
+	quote := b
+	var sb strings.Builder
+	for {
+		b, err := p.mustByte()
+		if err != nil {
+			return err
+		}
+		switch b {
+		case quote:
+			p.attrs = append(p.attrs, tree.Attr{Name: name, Value: sb.String()})
+			return nil
+		case '<':
+			return p.errf("'<' in attribute value of %q", name)
+		case '&':
+			s, err := p.readEntity()
+			if err != nil {
+				return err
+			}
+			sb.WriteString(s)
+		default:
+			sb.WriteByte(b)
+		}
+	}
+}
+
+func (p *Parser) readEndTag() error {
+	name, err := p.readName()
+	if err != nil {
+		return err
+	}
+	b, err := p.skipSpace()
+	if err != nil {
+		return err
+	}
+	if b != '>' {
+		return p.errf("expected '>' in end tag </%s>", name)
+	}
+	if len(p.stack) == 0 {
+		return p.errf("end tag </%s> without matching start tag", name)
+	}
+	open := p.stack[len(p.stack)-1]
+	if open != name {
+		return p.errf("end tag </%s> does not match <%s>", name, open)
+	}
+	p.stack = p.stack[:len(p.stack)-1]
+	return p.h.EndElement(name)
+}
+
+// readText accumulates character data up to (but excluding) the next '<'.
+// The data stays buffered so that CDATA sections, comments and processing
+// instructions do not split a logical text run; flushText emits the event.
+// Character data makes up the bulk of typical documents, so readText
+// consumes it in buffer-sized chunks via ReadSlice instead of byte by
+// byte; entity references are decoded in place within each chunk.
+func (p *Parser) readText() error {
+	for {
+		if p.peeked >= 0 {
+			b, _ := p.readByte()
+			if b == '<' {
+				p.unread(b)
+				return nil
+			}
+			if b == '&' {
+				s, err := p.readEntity()
+				if err != nil {
+					return err
+				}
+				p.text = append(p.text, s...)
+			} else {
+				p.text = append(p.text, b)
+			}
+			continue
+		}
+		chunk, err := p.r.ReadSlice('<')
+		data := chunk
+		sawLT := false
+		if n := len(chunk); n > 0 && chunk[n-1] == '<' {
+			data, sawLT = chunk[:n-1], true
+		}
+		p.advancePos(data)
+		if cerr := p.appendTextChunk(data, sawLT); cerr != nil {
+			return cerr
+		}
+		if sawLT {
+			p.col++ // the consumed '<'
+			p.unread('<')
+			return nil
+		}
+		switch err {
+		case nil:
+			// '<' handled above; unreachable otherwise.
+		case bufio.ErrBufferFull:
+			// Long text run: keep reading.
+		case io.EOF:
+			return p.errf("unexpected end of input inside <%s>", p.stack[len(p.stack)-1])
+		default:
+			return err
+		}
+	}
+}
+
+// appendTextChunk copies data into the text buffer, decoding entity
+// references in place.
+func (p *Parser) appendTextChunk(data []byte, sawLT bool) error {
+	for len(data) > 0 {
+		amp := bytesIndexByte(data, '&')
+		if amp < 0 {
+			p.text = append(p.text, data...)
+			return nil
+		}
+		p.text = append(p.text, data[:amp]...)
+		data = data[amp+1:]
+		semi := bytesIndexByte(data, ';')
+		if semi < 0 {
+			if sawLT {
+				return p.errf("unterminated entity reference")
+			}
+			// The reference spans the chunk boundary: finish it
+			// byte-wise from the reader.
+			s, err := p.finishEntity(string(data))
+			if err != nil {
+				return err
+			}
+			p.text = append(p.text, s...)
+			return nil
+		}
+		s, err := p.decodeEntity(string(data[:semi]))
+		if err != nil {
+			return err
+		}
+		p.text = append(p.text, s...)
+		data = data[semi+1:]
+	}
+	return nil
+}
+
+func bytesIndexByte(b []byte, c byte) int {
+	for i, x := range b {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// advancePos updates line/column tracking for a consumed chunk.
+func (p *Parser) advancePos(chunk []byte) {
+	for _, b := range chunk {
+		if b == '\n' {
+			p.line++
+			p.col = 0
+		} else {
+			p.col++
+		}
+	}
+}
+
+// finishEntity completes an entity whose prefix was split off by a chunk
+// boundary, reading up to the terminating ';'.
+func (p *Parser) finishEntity(prefix string) (string, error) {
+	var sb strings.Builder
+	sb.WriteString(prefix)
+	for {
+		b, err := p.mustByte()
+		if err != nil {
+			return "", err
+		}
+		if b == ';' {
+			return p.decodeEntity(sb.String())
+		}
+		if sb.Len() > 10 {
+			return "", p.errf("entity reference too long: &%s...", sb.String())
+		}
+		sb.WriteByte(b)
+	}
+}
+
+func (p *Parser) flushText() error {
+	if len(p.text) == 0 {
+		return nil
+	}
+	data := string(p.text)
+	p.text = p.text[:0]
+	if !p.opts.PreserveWhitespace && strings.TrimFunc(data, func(r rune) bool {
+		return r == ' ' || r == '\t' || r == '\n' || r == '\r'
+	}) == "" {
+		return nil
+	}
+	return p.h.Text(data)
+}
+
+func (p *Parser) readEntity() (string, error) {
+	var sb strings.Builder
+	for {
+		b, err := p.mustByte()
+		if err != nil {
+			return "", err
+		}
+		if b == ';' {
+			break
+		}
+		if sb.Len() > 10 {
+			return "", p.errf("entity reference too long: &%s...", sb.String())
+		}
+		sb.WriteByte(b)
+	}
+	return p.decodeEntity(sb.String())
+}
+
+// decodeEntity resolves the text of a reference (without '&' and ';').
+func (p *Parser) decodeEntity(ent string) (string, error) {
+	switch ent {
+	case "amp":
+		return "&", nil
+	case "lt":
+		return "<", nil
+	case "gt":
+		return ">", nil
+	case "quot":
+		return `"`, nil
+	case "apos":
+		return "'", nil
+	}
+	if strings.HasPrefix(ent, "#") {
+		num := ent[1:]
+		base := 10
+		if strings.HasPrefix(num, "x") || strings.HasPrefix(num, "X") {
+			num, base = num[1:], 16
+		}
+		code, err := strconv.ParseInt(num, base, 32)
+		if err != nil || code < 0 {
+			return "", p.errf("invalid character reference &%s;", ent)
+		}
+		return string(rune(code)), nil
+	}
+	return "", p.errf("unknown entity &%s;", ent)
+}
+
+// readBang handles constructs introduced by "<!": comments, CDATA sections
+// and a DOCTYPE declaration (which is skipped).
+func (p *Parser) readBang() error {
+	b, err := p.mustByte()
+	if err != nil {
+		return err
+	}
+	switch b {
+	case '-':
+		if b, err = p.mustByte(); err != nil {
+			return err
+		}
+		if b != '-' {
+			return p.errf("malformed comment")
+		}
+		return p.skipComment()
+	case '[':
+		for _, want := range []byte("CDATA[") {
+			b, err := p.mustByte()
+			if err != nil {
+				return err
+			}
+			if b != want {
+				return p.errf("malformed CDATA section")
+			}
+		}
+		if len(p.stack) == 0 {
+			return p.errf("CDATA section outside the root element")
+		}
+		return p.readCDATA()
+	case 'D':
+		if len(p.stack) > 0 {
+			return p.errf("DOCTYPE inside the root element")
+		}
+		return p.skipDoctype()
+	default:
+		return p.errf("unexpected markup <!%c", b)
+	}
+}
+
+func (p *Parser) skipComment() error {
+	dashes := 0
+	for {
+		b, err := p.mustByte()
+		if err != nil {
+			return err
+		}
+		switch {
+		case b == '-':
+			dashes++
+		case b == '>' && dashes >= 2:
+			return nil
+		default:
+			dashes = 0
+		}
+	}
+}
+
+func (p *Parser) readCDATA() error {
+	brackets := 0
+	for {
+		b, err := p.mustByte()
+		if err != nil {
+			return err
+		}
+		switch {
+		case b == ']':
+			brackets++
+		case b == '>' && brackets >= 2:
+			for ; brackets > 2; brackets-- {
+				p.text = append(p.text, ']')
+			}
+			return nil
+		default:
+			for ; brackets > 0; brackets-- {
+				p.text = append(p.text, ']')
+			}
+			p.text = append(p.text, b)
+		}
+	}
+}
+
+func (p *Parser) skipPI() error {
+	question := false
+	for {
+		b, err := p.mustByte()
+		if err != nil {
+			return err
+		}
+		if question && b == '>' {
+			return nil
+		}
+		question = b == '?'
+	}
+}
+
+// skipDoctype consumes a DOCTYPE declaration, including an optional
+// internal subset in brackets.
+func (p *Parser) skipDoctype() error {
+	depth := 0
+	for {
+		b, err := p.mustByte()
+		if err != nil {
+			return err
+		}
+		switch b {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case '>':
+			if depth <= 0 {
+				return nil
+			}
+		}
+	}
+}

@@ -1,0 +1,333 @@
+package sax
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xtq/internal/tree"
+)
+
+func mustParse(t *testing.T, s string) *tree.Node {
+	t.Helper()
+	doc, err := ParseString(s)
+	if err != nil {
+		t.Fatalf("ParseString(%q): %v", s, err)
+	}
+	return doc
+}
+
+func TestParseSimple(t *testing.T) {
+	doc := mustParse(t, `<db><part><pname>keyboard</pname></part></db>`)
+	root := doc.Root()
+	if root.Label != "db" {
+		t.Fatalf("root = %q", root.Label)
+	}
+	pname := root.Children[0].Children[0]
+	if pname.Label != "pname" || pname.Value() != "keyboard" {
+		t.Fatalf("pname = %s", pname)
+	}
+}
+
+func TestParseAttributes(t *testing.T) {
+	doc := mustParse(t, `<person id="person10" class='vip'><name>Ada</name></person>`)
+	p := doc.Root()
+	if v, ok := p.Attr("id"); !ok || v != "person10" {
+		t.Errorf("id attr = %q, %v", v, ok)
+	}
+	if v, ok := p.Attr("class"); !ok || v != "vip" {
+		t.Errorf("class attr = %q, %v", v, ok)
+	}
+}
+
+func TestParseSelfClosing(t *testing.T) {
+	doc := mustParse(t, `<a><b/><c x="1"/></a>`)
+	root := doc.Root()
+	if len(root.Children) != 2 {
+		t.Fatalf("children = %d", len(root.Children))
+	}
+	if root.Children[0].Label != "b" || len(root.Children[0].Children) != 0 {
+		t.Errorf("b = %s", root.Children[0])
+	}
+	if v, _ := root.Children[1].Attr("x"); v != "1" {
+		t.Errorf("c/@x = %q", v)
+	}
+}
+
+func TestParseEntities(t *testing.T) {
+	doc := mustParse(t, `<a m="&quot;q&apos;">&lt;x&gt; &amp; &#65;&#x42;</a>`)
+	root := doc.Root()
+	if got := root.Value(); got != "<x> & AB" {
+		t.Errorf("text = %q", got)
+	}
+	if v, _ := root.Attr("m"); v != `"q'` {
+		t.Errorf("attr = %q", v)
+	}
+}
+
+func TestParseCDATA(t *testing.T) {
+	doc := mustParse(t, `<a>pre<![CDATA[<raw> & ]]>post</a>`)
+	root := doc.Root()
+	if len(root.Children) != 1 {
+		t.Fatalf("CDATA should coalesce with neighbouring text, got %d children", len(root.Children))
+	}
+	if got := root.Value(); got != "pre<raw> & post" {
+		t.Errorf("text = %q", got)
+	}
+}
+
+func TestParseCDATAWithBrackets(t *testing.T) {
+	doc := mustParse(t, `<a><![CDATA[x]]y]]]></a>`)
+	if got := doc.Root().Value(); got != "x]]y]" {
+		t.Errorf("text = %q", got)
+	}
+}
+
+func TestParseCommentsAndPI(t *testing.T) {
+	doc := mustParse(t, `<?xml version="1.0"?><!-- top --><a>x<!-- mid -->y<?pi data?>z</a><!-- tail -->`)
+	root := doc.Root()
+	if got := root.Value(); got != "xyz" {
+		t.Errorf("comments/PIs should be transparent, text = %q", got)
+	}
+	if len(root.Children) != 1 {
+		t.Errorf("text split by comment: %d children", len(root.Children))
+	}
+}
+
+func TestParseDoctype(t *testing.T) {
+	doc := mustParse(t, `<!DOCTYPE db [ <!ELEMENT db (#PCDATA)> ]><db>x</db>`)
+	if doc.Root().Label != "db" {
+		t.Errorf("root = %q", doc.Root().Label)
+	}
+}
+
+func TestParseWhitespaceModes(t *testing.T) {
+	in := "<a>\n  <b>1</b>\n</a>"
+	doc := mustParse(t, in)
+	if len(doc.Root().Children) != 1 {
+		t.Errorf("whitespace not skipped: %d children", len(doc.Root().Children))
+	}
+	var b TreeBuilder
+	p := NewParserOptions(strings.NewReader(in), &b, Options{PreserveWhitespace: true})
+	if err := p.Parse(); err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(b.Document().Root().Children) != 3 {
+		t.Errorf("whitespace preserved: want 3 children, got %d", len(b.Document().Root().Children))
+	}
+}
+
+func TestParseMaxDepth(t *testing.T) {
+	var b TreeBuilder
+	p := NewParserOptions(strings.NewReader("<a><b><c/></b></a>"), &b, Options{MaxDepth: 2})
+	if err := p.Parse(); err == nil {
+		t.Fatalf("MaxDepth=2 should reject depth-3 document")
+	}
+	p = NewParserOptions(strings.NewReader("<a><b><c/></b></a>"), &TreeBuilder{}, Options{MaxDepth: 3})
+	if err := p.Parse(); err != nil {
+		t.Fatalf("MaxDepth=3 should accept depth-3 document: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"only comment", "<!-- x -->"},
+		{"unclosed root", "<a>"},
+		{"unclosed nested", "<a><b></a>"},
+		{"mismatched", "<a></b>"},
+		{"stray end", "</a>"},
+		{"two roots", "<a/><b/>"},
+		{"text outside root", "<a/>junk"},
+		{"bad tag char", "<a><1/></a>"},
+		{"bad after lt", "<a>< b/></a>"},
+		{"unquoted attr", `<a x=1/>`},
+		{"missing eq", `<a x "1"/>`},
+		{"lt in attr", `<a x="<"/>`},
+		{"unknown entity", "<a>&nope;</a>"},
+		{"bad charref", "<a>&#xzz;</a>"},
+		{"endless entity", "<a>&aaaaaaaaaaaaaaaaaa;</a>"},
+		{"malformed comment", "<a><!-x--></a>"},
+		{"malformed cdata", "<a><![CDAT[x]]></a>"},
+		{"cdata outside root", "<![CDATA[x]]><a/>"},
+		{"doctype inside root", "<a><!DOCTYPE x></a>"},
+		{"truncated tag", "<a"},
+		{"truncated attr", `<a x="1`},
+		{"truncated comment", "<a><!-- x"},
+		{"truncated pi", "<?pi"},
+		{"truncated text", "<a>x"},
+		{"bang garbage", "<a><!Zoo></a>"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseString(tc.in); err == nil {
+			t.Errorf("%s: Parse accepted %q", tc.name, tc.in)
+		}
+	}
+}
+
+func TestParseErrorPosition(t *testing.T) {
+	_, err := ParseString("<a>\n<b></c>\n</a>")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T, want *ParseError", err)
+	}
+	if pe.Line != 2 {
+		t.Errorf("error line = %d, want 2; err = %v", pe.Line, pe)
+	}
+	if !strings.Contains(pe.Error(), "xml:2:") {
+		t.Errorf("Error() = %q", pe.Error())
+	}
+}
+
+func TestRoundTripSample(t *testing.T) {
+	in := `<db><part kind="x"><pname>keyboard &amp; mouse</pname><supplier><sname>HP</sname><price>15</price></supplier></part></db>`
+	doc := mustParse(t, in)
+	out := doc.String()
+	doc2 := mustParse(t, out)
+	if !tree.Equal(doc, doc2) {
+		t.Fatalf("round trip changed tree:\n in: %s\nout: %s", in, out)
+	}
+}
+
+// Property: serialize(parse(serialize(T))) is a fixpoint and parsing the
+// serialization of any generated tree yields an Equal tree.
+func TestRoundTripGenerated(t *testing.T) {
+	opts := tree.DefaultGenOptions()
+	for seed := int64(0); seed < 200; seed++ {
+		doc := tree.Generate(rand.New(rand.NewSource(seed)), opts)
+		s := doc.String()
+		parsed, err := ParseString(s)
+		if err != nil {
+			t.Fatalf("seed %d: parse of serialization failed: %v\n%s", seed, err, s)
+		}
+		if !treeEqualModuloWS(doc, parsed) {
+			t.Fatalf("seed %d: round trip mismatch\nwant %s\ngot  %s", seed, s, parsed)
+		}
+	}
+}
+
+// treeEqualModuloWS compares trees ignoring whitespace-only text nodes,
+// which the default parser options drop.
+func treeEqualModuloWS(a, b *tree.Node) bool {
+	return tree.Equal(stripWS(a), stripWS(b))
+}
+
+// stripWS drops whitespace-only text nodes and merges adjacent text nodes,
+// normalizing the two ways a tree can differ from its parse-of-serialization
+// (the parser drops whitespace runs and coalesces neighbouring text).
+func stripWS(n *tree.Node) *tree.Node {
+	c := &tree.Node{Kind: n.Kind, Label: n.Label, Data: n.Data, Attrs: n.Attrs}
+	for _, ch := range n.Children {
+		if ch.Kind == tree.Text && strings.TrimSpace(ch.Data) == "" {
+			continue
+		}
+		s := stripWS(ch)
+		if last := len(c.Children) - 1; s.Kind == tree.Text && last >= 0 && c.Children[last].Kind == tree.Text {
+			c.Children[last] = tree.NewText(c.Children[last].Data + s.Data)
+			continue
+		}
+		c.Children = append(c.Children, s)
+	}
+	return c
+}
+
+func TestRoundTripIndented(t *testing.T) {
+	doc := mustParse(t, `<db><part><pname>kb</pname><n>1</n></part></db>`)
+	var b strings.Builder
+	if err := doc.WriteIndented(&b); err != nil {
+		t.Fatal(err)
+	}
+	parsed := mustParse(t, b.String())
+	if !tree.Equal(doc, parsed) {
+		t.Fatalf("indented round trip mismatch:\n%s\nvs\n%s", doc, parsed)
+	}
+}
+
+func TestEmitRecorder(t *testing.T) {
+	doc := mustParse(t, `<a x="1"><b>t</b><c/></a>`)
+	var r Recorder
+	if err := Emit(doc, &r); err != nil {
+		t.Fatal(err)
+	}
+	kinds := make([]string, len(r.Events))
+	for i, e := range r.Events {
+		kinds[i] = e.Kind
+	}
+	want := []string{"startDocument", "startElement", "startElement", "text",
+		"endElement", "startElement", "endElement", "endElement", "endDocument"}
+	if len(kinds) != len(want) {
+		t.Fatalf("events = %v", r.Events)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("event %d = %s, want %s (%v)", i, kinds[i], want[i], r.Events)
+		}
+	}
+	if r.Events[1].Attrs[0] != (tree.Attr{Name: "x", Value: "1"}) {
+		t.Errorf("attrs not recorded: %v", r.Events[1])
+	}
+}
+
+func TestWriterRoundTrip(t *testing.T) {
+	in := `<db><part kind="&quot;x&quot;"><pname>a &lt; b</pname><empty/></part></db>`
+	doc := mustParse(t, in)
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	if err := Emit(doc, w); err != nil {
+		t.Fatal(err)
+	}
+	doc2 := mustParse(t, sb.String())
+	if !tree.Equal(doc, doc2) {
+		t.Fatalf("writer round trip mismatch:\n%s\nvs\n%s", in, sb.String())
+	}
+}
+
+func TestWriterEventsEqualTreeSerialization(t *testing.T) {
+	opts := tree.DefaultGenOptions()
+	for seed := int64(0); seed < 100; seed++ {
+		doc := tree.Generate(rand.New(rand.NewSource(seed)), opts)
+		var sb strings.Builder
+		w := NewWriter(&sb)
+		if err := Emit(doc, w); err != nil {
+			t.Fatal(err)
+		}
+		if sb.String() != doc.String() {
+			t.Fatalf("seed %d: event serialization differs from tree serialization\n%s\nvs\n%s",
+				seed, sb.String(), doc.String())
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	events := []Event{
+		{Kind: "startElement", Name: "a"},
+		{Kind: "endElement", Name: "a"},
+		{Kind: "text", Data: "x"},
+		{Kind: "startDocument"},
+	}
+	for _, e := range events {
+		if e.String() == "" {
+			t.Errorf("empty String() for %v", e.Kind)
+		}
+	}
+}
+
+func TestParseDeepDocument(t *testing.T) {
+	depth := 10000
+	var b strings.Builder
+	for i := 0; i < depth; i++ {
+		b.WriteString("<d>")
+	}
+	for i := 0; i < depth; i++ {
+		b.WriteString("</d>")
+	}
+	doc, err := ParseString(b.String())
+	if err != nil {
+		t.Fatalf("deep parse: %v", err)
+	}
+	if got := doc.Depth(); got != depth+1 {
+		t.Errorf("Depth = %d, want %d", got, depth+1)
+	}
+}

@@ -1,0 +1,65 @@
+package sax
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"xtq/internal/tree"
+)
+
+type randomDoc struct{ Doc *tree.Node }
+
+// Generate implements quick.Generator.
+func (randomDoc) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(randomDoc{Doc: tree.Generate(r, tree.DefaultGenOptions())})
+}
+
+// Property: parsing the serialization of any tree yields an equal tree
+// (modulo whitespace-only nodes and text coalescing, both normalized by
+// stripWS), and serialization is a fixpoint under re-parsing.
+func TestQuickRoundTrip(t *testing.T) {
+	prop := func(d randomDoc) bool {
+		s := d.Doc.String()
+		parsed, err := ParseString(s)
+		if err != nil {
+			return false
+		}
+		if !treeEqualModuloWS(d.Doc, parsed) {
+			return false
+		}
+		return parsed.String() == stripWS(d.Doc).String()
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: replaying a tree as events through a Writer produces the same
+// bytes as the tree serializer — the two output paths never diverge.
+func TestQuickWriterMatchesSerializer(t *testing.T) {
+	prop := func(d randomDoc) bool {
+		var sb stringsBuilder
+		w := NewWriter(&sb)
+		if err := Emit(d.Doc, w); err != nil {
+			return false
+		}
+		return sb.String() == d.Doc.String()
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(12))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// stringsBuilder avoids importing strings for one use in this file.
+type stringsBuilder struct{ b []byte }
+
+func (s *stringsBuilder) Write(p []byte) (int, error) {
+	s.b = append(s.b, p...)
+	return len(p), nil
+}
+
+func (s *stringsBuilder) String() string { return string(s.b) }

@@ -1,0 +1,164 @@
+package sax
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"xtq/internal/tree"
+)
+
+// Writer is a Handler that serializes the event stream back to XML. It is
+// the output side of the twoPassSAX evaluator: the second pass rewrites the
+// input event stream and pushes the result into a Writer (or any other
+// Handler, e.g. a TreeBuilder or a downstream query operator).
+type Writer struct {
+	w    *bufio.Writer
+	open bool // a start tag is open and may still become self-closing
+}
+
+// NewWriter returns a Writer serializing to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 64<<10)}
+}
+
+// Flush writes buffered output to the underlying writer.
+func (s *Writer) Flush() error { return s.w.Flush() }
+
+func (s *Writer) closeOpenTag() {
+	if s.open {
+		s.w.WriteByte('>')
+		s.open = false
+	}
+}
+
+// StartDocument implements Handler.
+func (s *Writer) StartDocument() error { return nil }
+
+// StartElement implements Handler.
+func (s *Writer) StartElement(name string, attrs []tree.Attr) error {
+	s.closeOpenTag()
+	s.w.WriteByte('<')
+	s.w.WriteString(name)
+	for _, a := range attrs {
+		s.w.WriteByte(' ')
+		s.w.WriteString(a.Name)
+		s.w.WriteString(`="`)
+		escapeAttrTo(s.w, a.Value)
+		s.w.WriteByte('"')
+	}
+	s.open = true
+	return nil
+}
+
+// Text implements Handler.
+func (s *Writer) Text(data string) error {
+	s.closeOpenTag()
+	escapeTextTo(s.w, data)
+	return nil
+}
+
+// EndElement implements Handler.
+func (s *Writer) EndElement(name string) error {
+	if s.open {
+		s.w.WriteString("/>")
+		s.open = false
+		return nil
+	}
+	s.w.WriteString("</")
+	s.w.WriteString(name)
+	s.w.WriteByte('>')
+	return nil
+}
+
+// EndDocument implements Handler.
+func (s *Writer) EndDocument() error { return s.w.Flush() }
+
+func escapeTextTo(w *bufio.Writer, s string) {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			w.WriteString("&amp;")
+		case '<':
+			w.WriteString("&lt;")
+		case '>':
+			w.WriteString("&gt;")
+		default:
+			w.WriteByte(s[i])
+		}
+	}
+}
+
+func escapeAttrTo(w *bufio.Writer, s string) {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			w.WriteString("&amp;")
+		case '<':
+			w.WriteString("&lt;")
+		case '"':
+			w.WriteString("&quot;")
+		default:
+			w.WriteByte(s[i])
+		}
+	}
+}
+
+// Event is one recorded SAX event, used by tests and diagnostics.
+type Event struct {
+	Kind  string // "startDocument", "startElement", "text", "endElement", "endDocument"
+	Name  string
+	Attrs []tree.Attr
+	Data  string
+}
+
+// String renders the event compactly.
+func (e Event) String() string {
+	switch e.Kind {
+	case "startElement":
+		return fmt.Sprintf("<%s %v>", e.Name, e.Attrs)
+	case "endElement":
+		return fmt.Sprintf("</%s>", e.Name)
+	case "text":
+		return fmt.Sprintf("text(%q)", e.Data)
+	default:
+		return e.Kind
+	}
+}
+
+// Recorder is a Handler that records all events, for tests.
+type Recorder struct {
+	Events []Event
+}
+
+// StartDocument implements Handler.
+func (r *Recorder) StartDocument() error {
+	r.Events = append(r.Events, Event{Kind: "startDocument"})
+	return nil
+}
+
+// StartElement implements Handler.
+func (r *Recorder) StartElement(name string, attrs []tree.Attr) error {
+	cp := make([]tree.Attr, len(attrs))
+	copy(cp, attrs)
+	r.Events = append(r.Events, Event{Kind: "startElement", Name: name, Attrs: cp})
+	return nil
+}
+
+// Text implements Handler.
+func (r *Recorder) Text(data string) error {
+	r.Events = append(r.Events, Event{Kind: "text", Data: data})
+	return nil
+}
+
+// EndElement implements Handler.
+func (r *Recorder) EndElement(name string) error {
+	r.Events = append(r.Events, Event{Kind: "endElement", Name: name})
+	return nil
+}
+
+// EndDocument implements Handler.
+func (r *Recorder) EndDocument() error {
+	r.Events = append(r.Events, Event{Kind: "endDocument"})
+	return nil
+}

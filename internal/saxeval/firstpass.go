@@ -1,0 +1,254 @@
+// Package saxeval implements algorithm twoPassSAX (§6 of Fan, Cong &
+// Bohannon, SIGMOD 2007): evaluating a transform query over an XML document
+// with two passes of SAX parsing, using memory proportional to the document
+// depth rather than its size.
+//
+// The first pass integrates algorithm bottomUp with the parser: it keeps a
+// stack with one entry per open element (automaton state set, pending
+// qualifier list, sat/csat/dsat vectors, buffered text and attributes) and
+// appends the truth value of every top-level qualifier it evaluates to the
+// list L_d, keyed by a cursor that counts qualifier occurrences in document
+// order. The second pass integrates topDown: it re-parses the document,
+// replays the same cursor discipline to look up qualifier truths in L_d,
+// transitions the selecting NFA, and rewrites the event stream according to
+// the embedded update before pushing it into an output Handler.
+//
+// The cursor discipline requires both passes to agree on which qualifiers
+// are "evaluated" at which node. The first pass transitions the NFA without
+// qualifier checking, so the second pass maintains the unchecked state set
+// as well (alongside the checked one used for matching); both passes then
+// derive identical qualifier sequences from identical unchecked sets.
+//
+// Because the unchecked transition depends only on the parent's
+// configuration and the element label, both passes intern configurations
+// (state set, qualifier needs) and memoize transitions in a small DFA-like
+// cache, so steady-state processing does one map lookup per element.
+package saxeval
+
+import (
+	"xtq/internal/automaton"
+	"xtq/internal/core"
+	"xtq/internal/sax"
+	"xtq/internal/tree"
+	"xtq/internal/xpath"
+)
+
+// QualLog is the list L_d of §6: the truth value of every top-level
+// qualifier occurrence, in document order. The paper writes it to secondary
+// storage; at one byte per evaluated qualifier occurrence it is kept in
+// memory here (the experiments' largest runs produce a few MB).
+type QualLog struct {
+	Values []bool
+}
+
+// Stats reports resource numbers of a pass, used by the experiments to
+// substantiate the O(depth) memory claim.
+type Stats struct {
+	MaxStackDepth  int
+	QualsEvaluated int
+	ElementsSeen   int
+	ElementsPruned int // elements skipped by the first pass's pruning
+}
+
+// config is an interned node configuration of the unchecked automaton: the
+// state set in force for children plus the qualifier work at the node. Both
+// passes derive identical configs from identical (parent config, label)
+// pairs, which keeps the L_d cursor in sync.
+type config struct {
+	id         int
+	next       automaton.StateSet
+	qualIDs    []int // top-level qualifiers evaluated at this node
+	evalIDs    []int // closure to run through QualDP here
+	childNeeds []int // qualifier ids children must provide
+	pruned     bool  // first pass may skip the subtree entirely
+}
+
+type transKey struct {
+	parent int
+	label  string
+}
+
+// configCache interns configurations and memoizes transitions.
+type configCache struct {
+	nfa     *automaton.NFA
+	lq      *xpath.LQ
+	root    *config
+	trans   map[transKey]*config
+	configs []*config
+}
+
+func newConfigCache(nfa *automaton.NFA) *configCache {
+	c := &configCache{nfa: nfa, lq: nfa.LQ, trans: make(map[transKey]*config)}
+	c.root = &config{id: 0, next: nfa.InitialSet()}
+	c.configs = []*config{c.root}
+	return c
+}
+
+// step returns the configuration for an element labelled label whose
+// parent has configuration p.
+func (c *configCache) step(p *config, label string) *config {
+	key := transKey{parent: p.id, label: label}
+	if cfg, ok := c.trans[key]; ok {
+		return cfg
+	}
+	next := c.nfa.Step(p.next, label, nil)
+	qualIDs := c.nfa.EnteredQuals(p.next, label)
+	roots := append(append([]int(nil), qualIDs...), p.childNeeds...)
+	cfg := &config{id: len(c.configs), next: next, qualIDs: qualIDs}
+	if next.Empty() && len(roots) == 0 {
+		cfg.pruned = true
+	} else {
+		cfg.evalIDs = c.lq.Closure(roots)
+		cfg.childNeeds = c.lq.ChildNeeds(cfg.evalIDs)
+	}
+	c.configs = append(c.configs, cfg)
+	c.trans[key] = cfg
+	return cfg
+}
+
+// buEntry is one stack entry of the first pass (§6, "SAX-based bottomUp").
+// Entries are pooled: the entry popped at depth d is reused by the next
+// element opened at depth d.
+type buEntry struct {
+	cfg        *config
+	csat, dsat xpath.SatVec
+	ldPos      int // position in L_d of the first of cfg.qualIDs
+	attrs      []tree.Attr
+	text       []byte
+	node       tree.Node // scratch node for QualDP's local tests
+}
+
+// firstPass is the sax.Handler running bottomUp over the event stream.
+type firstPass struct {
+	cache *configCache
+	lq    *xpath.LQ
+	stack []*buEntry
+	depth int
+	ld    *QualLog
+	sat   xpath.SatVec // scratch vector reused at every endElement
+	stats Stats
+	skip  int // >0 while inside a pruned subtree
+}
+
+// runFirstPass runs the bottomUp pass over one parse of the document and
+// returns the qualifier-truth list L_d.
+func runFirstPass(c *core.Compiled, parse func(sax.Handler) error) (*QualLog, Stats, error) {
+	fp := &firstPass{cache: newConfigCache(c.NFA), lq: c.NFA.LQ, ld: &QualLog{}}
+	fp.sat = fp.lq.NewSatVec()
+	if err := parse(fp); err != nil {
+		return nil, fp.stats, err
+	}
+	return fp.ld, fp.stats, nil
+}
+
+// push returns a reset entry for the next stack level.
+func (f *firstPass) push() *buEntry {
+	if f.depth < len(f.stack) {
+		e := f.stack[f.depth]
+		f.depth++
+		for i := range e.csat {
+			e.csat[i] = false
+			e.dsat[i] = false
+		}
+		e.attrs = e.attrs[:0]
+		e.text = e.text[:0]
+		return e
+	}
+	e := &buEntry{csat: f.lq.NewSatVec(), dsat: f.lq.NewSatVec()}
+	f.stack = append(f.stack, e)
+	f.depth++
+	return e
+}
+
+// StartDocument implements sax.Handler.
+func (f *firstPass) StartDocument() error {
+	f.depth = 0
+	e := f.push()
+	e.cfg = f.cache.root
+	return nil
+}
+
+// StartElement implements sax.Handler.
+func (f *firstPass) StartElement(name string, attrs []tree.Attr) error {
+	f.stats.ElementsSeen++
+	if f.skip > 0 {
+		f.skip++
+		f.stats.ElementsPruned++
+		return nil
+	}
+	parent := f.stack[f.depth-1]
+	cfg := f.cache.step(parent.cfg, name)
+	if cfg.pruned {
+		// Pruning (Fig. 9 line 6): nothing below this element can
+		// matter; skip its events entirely.
+		f.skip = 1
+		f.stats.ElementsPruned++
+		return nil
+	}
+	e := f.push()
+	e.cfg = cfg
+	e.ldPos = len(f.ld.Values)
+	e.attrs = append(e.attrs, attrs...)
+	// Reserve L_d slots now (cursor order = document order of start
+	// tags); values are filled in at endElement once csat/dsat are known.
+	for range cfg.qualIDs {
+		f.ld.Values = append(f.ld.Values, false)
+	}
+	f.stats.QualsEvaluated += len(cfg.qualIDs)
+	e.node = tree.Node{Kind: tree.Element, Label: name, Attrs: e.attrs}
+	if f.depth > f.stats.MaxStackDepth {
+		f.stats.MaxStackDepth = f.depth
+	}
+	return nil
+}
+
+// Text implements sax.Handler.
+func (f *firstPass) Text(data string) error {
+	if f.skip > 0 || f.depth < 2 {
+		return nil
+	}
+	top := f.stack[f.depth-1]
+	top.text = append(top.text, data...)
+	return nil
+}
+
+// EndElement implements sax.Handler.
+func (f *firstPass) EndElement(string) error {
+	if f.skip > 0 {
+		f.skip--
+		return nil
+	}
+	top := f.stack[f.depth-1]
+	f.depth--
+	parent := f.stack[f.depth-1]
+
+	// Evaluate the pending qualifiers with QualDP; all descendant
+	// information is in csat/dsat by now.
+	node := &top.node
+	node.Attrs = top.attrs
+	node.Children = node.Children[:0]
+	if len(top.text) > 0 {
+		node.Children = append(node.Children, tree.NewText(string(top.text)))
+	}
+	f.lq.QualDP(node, top.cfg.evalIDs, top.csat, top.dsat, f.sat)
+	for i, qid := range top.cfg.qualIDs {
+		f.ld.Values[top.ldPos+i] = f.sat[qid]
+	}
+	// Propagate to the parent: csat aggregates child sat, dsat child
+	// sat-or-descendant.
+	for _, id := range top.cfg.evalIDs {
+		if f.sat[id] {
+			parent.csat[id] = true
+			parent.dsat[id] = true
+		} else if top.dsat[id] {
+			parent.dsat[id] = true
+		}
+	}
+	return nil
+}
+
+// EndDocument implements sax.Handler.
+func (f *firstPass) EndDocument() error {
+	f.depth = 0
+	return nil
+}

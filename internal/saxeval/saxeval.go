@@ -1,0 +1,76 @@
+package saxeval
+
+import (
+	"bytes"
+	"io"
+	"os"
+
+	"xtq/internal/core"
+	"xtq/internal/sax"
+)
+
+// Source provides independent sequential reads of one XML document. The
+// two-pass algorithm parses the document twice, so plain io.Readers are
+// not sufficient.
+type Source interface {
+	Open() (io.ReadCloser, error)
+}
+
+// FileSource reads the document from a file path; this is the intended
+// production configuration for documents too large for a DOM.
+type FileSource string
+
+// Open implements Source.
+func (p FileSource) Open() (io.ReadCloser, error) { return os.Open(string(p)) }
+
+// BytesSource serves the document from memory; convenient for tests and
+// for moderately sized inputs.
+type BytesSource []byte
+
+// Open implements Source.
+func (b BytesSource) Open() (io.ReadCloser, error) {
+	return io.NopCloser(bytes.NewReader(b)), nil
+}
+
+// Result carries the per-pass resource statistics of a transform run.
+type Result struct {
+	First  Stats
+	Second Stats
+	// QualOccurrences is the length of the qualifier-truth list L_d.
+	QualOccurrences int
+}
+
+func parseWith(src Source, h sax.Handler) error {
+	r, err := src.Open()
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	return sax.NewParser(r, h).Parse()
+}
+
+// Transform evaluates the compiled transform query over src with two SAX
+// passes, streaming the result into out. Memory use is bounded by the
+// document depth (stack entries) plus the qualifier-truth list.
+func Transform(c *core.Compiled, src Source, out sax.Handler) (Result, error) {
+	var res Result
+	ld, st1, err := runFirstPass(c, func(h sax.Handler) error { return parseWith(src, h) })
+	if err != nil {
+		return res, err
+	}
+	res.First = st1
+	res.QualOccurrences = len(ld.Values)
+	st2, err := runSecondPass(c, ld, out, func(h sax.Handler) error { return parseWith(src, h) })
+	res.Second = st2
+	return res, err
+}
+
+// TransformXML runs Transform and serializes the result to w as XML.
+func TransformXML(c *core.Compiled, src Source, w io.Writer) (Result, error) {
+	sw := sax.NewWriter(w)
+	res, err := Transform(c, src, sw)
+	if err != nil {
+		return res, err
+	}
+	return res, sw.Flush()
+}

@@ -1,0 +1,280 @@
+package saxeval
+
+import (
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+
+	"xtq/internal/core"
+	"xtq/internal/sax"
+	"xtq/internal/tree"
+	"xtq/internal/xpath"
+)
+
+const fig1 = `<db>
+<part><pname>keyboard</pname>
+  <supplier><sname>HP</sname><price>15</price><country>US</country></supplier>
+  <supplier><sname>Logi</sname><price>12</price><country>A</country></supplier>
+  <subPart><part><pname>key</pname>
+    <supplier><sname>Acme</sname><price>20</price><country>CN</country></supplier>
+  </part></subPart>
+</part>
+<part><pname>mouse</pname>
+  <supplier><sname>Dell</sname><price>9</price><country>A</country></supplier>
+</part>
+</db>`
+
+func compile(t *testing.T, src string) *core.Compiled {
+	t.Helper()
+	c, err := core.MustParseQuery(src).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// runBoth evaluates the query with twoPassSAX and with the in-memory
+// twoPass method and checks that results agree.
+func runBoth(t *testing.T, c *core.Compiled, docXML string) (*tree.Node, Result) {
+	t.Helper()
+	var sb strings.Builder
+	res, err := TransformXML(c, BytesSource(docXML), &sb)
+	if err != nil {
+		t.Fatalf("twoPassSAX: %v", err)
+	}
+	got, err := sax.ParseString(sb.String())
+	if err != nil {
+		t.Fatalf("parse of streamed output: %v\n%s", err, sb.String())
+	}
+	doc, err := sax.ParseString(docXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.Eval(doc, core.MethodTwoPass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Equal(got, want) {
+		t.Fatalf("twoPassSAX disagrees with twoPass:\n got %s\nwant %s", got, want)
+	}
+	return got, res
+}
+
+func TestDeleteStreaming(t *testing.T) {
+	c := compile(t, `transform copy $a := doc("f") modify do delete $a//price return $a`)
+	got, res := runBoth(t, c, fig1)
+	if tree.CountLabel(got, "price") != 0 {
+		t.Errorf("prices remain: %s", got)
+	}
+	if res.First.MaxStackDepth == 0 || res.Second.MaxStackDepth == 0 {
+		t.Errorf("stats not recorded: %+v", res)
+	}
+}
+
+func TestInsertStreaming(t *testing.T) {
+	c := compile(t, `transform copy $a := doc("f") modify do insert <supplier><sname>HP</sname></supplier> into $a//part[pname = "keyboard"]//part[not(supplier/sname = "HP") and not(supplier/price < 15)] return $a`)
+	got, res := runBoth(t, c, fig1)
+	if got := tree.CountLabel(got, "supplier"); got != 5 {
+		t.Errorf("suppliers = %d, want 5", got)
+	}
+	if res.QualOccurrences == 0 {
+		t.Errorf("no qualifiers logged in L_d")
+	}
+}
+
+func TestReplaceStreaming(t *testing.T) {
+	c := compile(t, `transform copy $a := doc("f") modify do replace $a//supplier[country = "A"] with <redacted/> return $a`)
+	got, _ := runBoth(t, c, fig1)
+	if tree.CountLabel(got, "redacted") != 2 {
+		t.Errorf("redacted = %d, want 2", tree.CountLabel(got, "redacted"))
+	}
+}
+
+func TestRenameStreaming(t *testing.T) {
+	c := compile(t, `transform copy $a := doc("f") modify do rename $a//subPart as componentOf return $a`)
+	got, _ := runBoth(t, c, fig1)
+	if tree.CountLabel(got, "componentOf") != 1 || tree.CountLabel(got, "subPart") != 0 {
+		t.Errorf("rename failed: %s", got)
+	}
+}
+
+func TestNestedDeleteStreaming(t *testing.T) {
+	c := compile(t, `transform copy $a := doc("f") modify do delete $a//part return $a`)
+	got, _ := runBoth(t, c, fig1)
+	if tree.CountLabel(got, "part") != 0 {
+		t.Errorf("parts remain")
+	}
+}
+
+func TestAttributesPreserved(t *testing.T) {
+	docXML := `<site><people><person id="person0"><name>Ada</name></person><person id="person10"><name>Bob</name></person></people></site>`
+	c := compile(t, `transform copy $a := doc("f") modify do delete $a/site/people/person[@id = "person10"] return $a`)
+	got, _ := runBoth(t, c, docXML)
+	persons := xpath.Select(got, xpath.MustParse("site/people/person"))
+	if len(persons) != 1 {
+		t.Fatalf("persons = %d, want 1", len(persons))
+	}
+	if v, _ := persons[0].Attr("id"); v != "person0" {
+		t.Errorf("wrong person deleted")
+	}
+}
+
+func TestFirstPassPruning(t *testing.T) {
+	c := compile(t, `transform copy $a := doc("f") modify do delete $a/db/part[pname = "keyboard"]/supplier return $a`)
+	ld, st, err := runFirstPass(c, func(h sax.Handler) error {
+		return sax.NewParser(strings.NewReader(fig1), h).Parse()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ElementsPruned == 0 {
+		t.Errorf("no pruning on a selective path; stats %+v", st)
+	}
+	if len(ld.Values) == 0 {
+		t.Errorf("no qualifiers evaluated")
+	}
+}
+
+func TestStackDepthBounded(t *testing.T) {
+	// A long flat document: stack depth stays at the tree depth even
+	// though the document grows.
+	var b strings.Builder
+	b.WriteString("<db>")
+	for i := 0; i < 5000; i++ {
+		b.WriteString("<part><pname>p</pname><supplier><price>3</price></supplier></part>")
+	}
+	b.WriteString("</db>")
+	c := compile(t, `transform copy $a := doc("f") modify do delete $a//supplier[price < 5] return $a`)
+	var out strings.Builder
+	res, err := TransformXML(c, BytesSource(b.String()), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Depth: sentinel + db + part + supplier (+price on first pass) = 5.
+	if res.First.MaxStackDepth > 6 || res.Second.MaxStackDepth > 6 {
+		t.Errorf("stack depth grew with document size: %+v", res)
+	}
+	got, err := sax.ParseString(out.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.CountLabel(got, "supplier") != 0 {
+		t.Errorf("suppliers remain")
+	}
+	if tree.CountLabel(got, "part") != 5000 {
+		t.Errorf("parts = %d", tree.CountLabel(got, "part"))
+	}
+}
+
+func TestFileSource(t *testing.T) {
+	path := t.TempDir() + "/doc.xml"
+	if err := writeFile(path, fig1); err != nil {
+		t.Fatal(err)
+	}
+	c := compile(t, `transform copy $a := doc("f") modify do delete $a//price return $a`)
+	var sb strings.Builder
+	if _, err := TransformXML(c, FileSource(path), &sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sax.ParseString(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.CountLabel(got, "price") != 0 {
+		t.Errorf("prices remain")
+	}
+	if _, err := TransformXML(c, FileSource(path+".missing"), &sb); err == nil {
+		t.Errorf("missing file accepted")
+	}
+}
+
+func TestMalformedInput(t *testing.T) {
+	c := compile(t, `transform copy $a := doc("f") modify do delete $a//x return $a`)
+	var sb strings.Builder
+	if _, err := TransformXML(c, BytesSource("<a><b></a>"), &sb); err == nil {
+		t.Errorf("malformed document accepted")
+	}
+}
+
+// Property: twoPassSAX agrees with the in-memory methods on random
+// documents × random updates.
+func TestStreamingAgreesRandom(t *testing.T) {
+	genOpts := tree.DefaultGenOptions()
+	cfg := xpath.DefaultGenConfig()
+	elem := tree.NewElement("new", tree.NewText("v"))
+	checked := 0
+	for seed := int64(0); seed < 250; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		d := tree.Generate(rng, genOpts)
+		p := xpath.RandomPath(rng, cfg)
+		u := core.Update{Path: p}
+		switch rng.Intn(4) {
+		case 0:
+			u.Op = core.Insert
+			u.Elem = elem
+		case 1:
+			u.Op = core.Delete
+		case 2:
+			u.Op = core.Replace
+			u.Elem = elem
+		case 3:
+			u.Op = core.Rename
+			u.Label = "renamed"
+		}
+		q := &core.Query{Var: "a", Doc: "gen", Update: u}
+		c, err := q.Compile()
+		if err != nil {
+			continue
+		}
+		checked++
+		var sb strings.Builder
+		if _, err := TransformXML(c, BytesSource(d.String()), &sb); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		got, err := sax.ParseString(sb.String())
+		if err != nil {
+			// Deleting/replacing the root element of a root-only
+			// match can empty the document, which is unparseable.
+			want, werr := c.Eval(d, core.MethodTwoPass)
+			if werr == nil && want.Root() == nil && strings.TrimSpace(sb.String()) == "" {
+				continue
+			}
+			t.Fatalf("seed %d: output unparseable: %v\n%q", seed, err, sb.String())
+		}
+		want, err := c.Eval(d, core.MethodTwoPass)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !treeEqualNormalized(got, want) {
+			t.Fatalf("seed %d: mismatch for %s on %s\n got %s\nwant %s",
+				seed, u.String("$a"), d, got, want)
+		}
+	}
+	if checked < 200 {
+		t.Fatalf("only %d/250 cases compiled", checked)
+	}
+}
+
+// treeEqualNormalized compares modulo text-node coalescing (serializing
+// and re-parsing merges adjacent text nodes).
+func treeEqualNormalized(a, b *tree.Node) bool {
+	return normalize(a).String() == normalize(b).String()
+}
+
+func normalize(n *tree.Node) *tree.Node {
+	c := &tree.Node{Kind: n.Kind, Label: n.Label, Data: n.Data, Attrs: n.Attrs}
+	for _, ch := range n.Children {
+		s := normalize(ch)
+		if last := len(c.Children) - 1; s.Kind == tree.Text && last >= 0 && c.Children[last].Kind == tree.Text {
+			c.Children[last] = tree.NewText(c.Children[last].Data + s.Data)
+			continue
+		}
+		c.Children = append(c.Children, s)
+	}
+	return c
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -1,0 +1,178 @@
+package saxeval
+
+import (
+	"fmt"
+
+	"xtq/internal/automaton"
+	"xtq/internal/core"
+	"xtq/internal/sax"
+	"xtq/internal/tree"
+)
+
+// tdEntry is one stack entry of the second pass (§6, "SAX-based topDown");
+// entries are pooled by depth like the first pass's.
+type tdEntry struct {
+	cfg      *config            // replays the first pass's cursor discipline
+	checked  automaton.StateSet // the selecting NFA's real state set
+	truth    []bool             // L_d values for cfg.qualIDs at this node
+	matched  bool               // final state entered at this element
+	outLabel string             // label emitted (differs under rename)
+	emitted  bool               // start tag was written to the output
+}
+
+// secondPass rewrites the event stream according to the update while
+// reading qualifier truths from L_d.
+type secondPass struct {
+	nfa      *automaton.NFA
+	cache    *configCache
+	update   *core.Update
+	ld       *QualLog
+	cursor   int
+	out      sax.Handler
+	stack    []*tdEntry
+	depth    int
+	suppress int // >0 while inside a deleted or replaced subtree
+	stats    Stats
+}
+
+func runSecondPass(c *core.Compiled, ld *QualLog, out sax.Handler, parse func(sax.Handler) error) (Stats, error) {
+	sp := &secondPass{
+		nfa:    c.NFA,
+		cache:  newConfigCache(c.NFA),
+		update: &c.Query.Update,
+		ld:     ld,
+		out:    out,
+	}
+	if err := parse(sp); err != nil {
+		return sp.stats, err
+	}
+	if sp.cursor != len(ld.Values) {
+		return sp.stats, fmt.Errorf("saxeval: cursor desync: consumed %d of %d qualifier values",
+			sp.cursor, len(ld.Values))
+	}
+	return sp.stats, nil
+}
+
+func (s *secondPass) push() *tdEntry {
+	if s.depth < len(s.stack) {
+		e := s.stack[s.depth]
+		s.depth++
+		e.truth = e.truth[:0]
+		e.matched = false
+		e.emitted = false
+		return e
+	}
+	e := &tdEntry{}
+	s.stack = append(s.stack, e)
+	s.depth++
+	return e
+}
+
+// StartDocument implements sax.Handler.
+func (s *secondPass) StartDocument() error {
+	s.depth = 0
+	e := s.push()
+	e.cfg = s.cache.root
+	e.checked = s.nfa.InitialSet()
+	return s.out.StartDocument()
+}
+
+// StartElement implements sax.Handler.
+func (s *secondPass) StartElement(name string, attrs []tree.Attr) error {
+	s.stats.ElementsSeen++
+	parent := s.stack[s.depth-1]
+
+	// Replay the first pass's qualifier-id assignment: the same
+	// unchecked transition yields the same qualifier sequence, so the
+	// cursor indexes the truth values computed for exactly this node.
+	cfg := s.cache.step(parent.cfg, name)
+	e := s.push()
+	e.cfg = cfg
+	e.outLabel = name
+	for range cfg.qualIDs {
+		if s.cursor >= len(s.ld.Values) {
+			return fmt.Errorf("saxeval: L_d exhausted at element <%s>", name)
+		}
+		e.truth = append(e.truth, s.ld.Values[s.cursor])
+		s.cursor++
+	}
+	s.stats.QualsEvaluated += len(cfg.qualIDs)
+
+	// The checked transition takes qualifier truth from L_d — this is
+	// checkp() in constant time.
+	if e.checked == nil {
+		e.checked = s.nfa.NewSet()
+	}
+	s.nfa.StepInto(parent.checked, name, func(stateID int) bool {
+		st := &s.nfa.States[stateID]
+		if len(st.Quals) == 0 {
+			return true
+		}
+		for i, qid := range cfg.qualIDs {
+			if qid == st.QualID {
+				return e.truth[i]
+			}
+		}
+		// Unreachable when both passes share the cache; fail safe.
+		return false
+	}, e.checked)
+	e.matched = s.nfa.Matches(e.checked)
+	if s.depth > s.stats.MaxStackDepth {
+		s.stats.MaxStackDepth = s.depth
+	}
+
+	if s.suppress > 0 {
+		s.suppress++
+		return nil
+	}
+	if e.matched {
+		switch s.update.Op {
+		case core.Delete:
+			// The deleted subtree produces no output; state
+			// tracking continues for cursor sync.
+			s.suppress = 1
+			return nil
+		case core.Replace:
+			s.suppress = 1
+			return sax.Emit(s.update.Elem, s.out)
+		case core.Rename:
+			e.outLabel = s.update.Label
+		}
+	}
+	e.emitted = true
+	return s.out.StartElement(e.outLabel, attrs)
+}
+
+// Text implements sax.Handler.
+func (s *secondPass) Text(data string) error {
+	if s.suppress > 0 {
+		return nil
+	}
+	return s.out.Text(data)
+}
+
+// EndElement implements sax.Handler.
+func (s *secondPass) EndElement(string) error {
+	e := s.stack[s.depth-1]
+	s.depth--
+	if s.suppress > 0 {
+		s.suppress--
+		return nil
+	}
+	if e.matched && s.update.Op == core.Insert {
+		// The inserted element becomes the last child.
+		if err := sax.Emit(s.update.Elem, s.out); err != nil {
+			return err
+		}
+	}
+	if !e.emitted {
+		return nil
+	}
+	return s.out.EndElement(e.outLabel)
+}
+
+// EndDocument implements sax.Handler.
+func (s *secondPass) EndDocument() error {
+	s.depth = 0
+	return s.out.EndDocument()
+}

@@ -1,0 +1,78 @@
+package tree
+
+// DeepCopy returns a structurally identical copy of the subtree rooted at n
+// sharing no nodes with the original. It is the "copy" half of the
+// copy-and-update baseline: a snapshot whose mutation cannot be observed
+// through the source tree.
+func (n *Node) DeepCopy() *Node {
+	if n == nil {
+		return nil
+	}
+	c := &Node{Kind: n.Kind, Label: n.Label, Data: n.Data}
+	if len(n.Attrs) > 0 {
+		c.Attrs = make([]Attr, len(n.Attrs))
+		copy(c.Attrs, n.Attrs)
+	}
+	if len(n.Children) > 0 {
+		c.Children = make([]*Node, len(n.Children))
+		for i, ch := range n.Children {
+			c.Children[i] = ch.DeepCopy()
+		}
+	}
+	return c
+}
+
+// Equal reports whether the subtrees rooted at a and b are structurally
+// identical: same kind, label, text data, attribute list (order-sensitive,
+// as attribute order is preserved by the parser) and child list.
+func Equal(a, b *Node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Kind != b.Kind || a.Label != b.Label || a.Data != b.Data {
+		return false
+	}
+	if len(a.Attrs) != len(b.Attrs) || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Attrs {
+		if a.Attrs[i] != b.Attrs[i] {
+			return false
+		}
+	}
+	for i := range a.Children {
+		if !Equal(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// SharedNodes returns the number of nodes (pointers) that the subtree
+// rooted at result shares with the subtree rooted at source. It is a
+// diagnostic for the structural-sharing property of the topDown evaluator:
+// subtrees not touched by the embedded update are returned by reference,
+// not copied.
+func SharedNodes(source, result *Node) int {
+	seen := make(map[*Node]struct{})
+	var index func(*Node)
+	index = func(n *Node) {
+		seen[n] = struct{}{}
+		for _, c := range n.Children {
+			index(c)
+		}
+	}
+	index(source)
+	shared := 0
+	var count func(*Node)
+	count = func(n *Node) {
+		if _, ok := seen[n]; ok {
+			shared++
+		}
+		for _, c := range n.Children {
+			count(c)
+		}
+	}
+	count(result)
+	return shared
+}

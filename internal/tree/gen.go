@@ -1,0 +1,58 @@
+package tree
+
+import "math/rand"
+
+// GenOptions controls Generate, the random-document generator used by
+// property-based tests across the repository.
+type GenOptions struct {
+	MaxDepth    int      // maximum element nesting below the root
+	MaxChildren int      // maximum children per element
+	Labels      []string // element vocabulary
+	Attrs       []string // attribute vocabulary
+	Values      []string // text/attribute value vocabulary
+	TextProb    float64  // probability that a child slot is a text node
+}
+
+// DefaultGenOptions returns the generator configuration used by the test
+// suites: a small vocabulary so that random XPath queries have non-trivial
+// selectivity.
+func DefaultGenOptions() GenOptions {
+	return GenOptions{
+		MaxDepth:    5,
+		MaxChildren: 4,
+		Labels:      []string{"a", "b", "c", "d", "part", "supplier", "price"},
+		Attrs:       []string{"id", "kind"},
+		Values:      []string{"1", "2", "15", "HP", "keyboard", "x"},
+		TextProb:    0.3,
+	}
+}
+
+// Generate returns a random document node driven by rng. The same seed
+// yields the same document.
+func Generate(rng *rand.Rand, opts GenOptions) *Node {
+	root := genElement(rng, opts, opts.MaxDepth)
+	return NewDocument(root)
+}
+
+func genElement(rng *rand.Rand, opts GenOptions, depth int) *Node {
+	e := NewElement(opts.Labels[rng.Intn(len(opts.Labels))])
+	if len(opts.Attrs) > 0 && rng.Intn(3) == 0 {
+		name := opts.Attrs[rng.Intn(len(opts.Attrs))]
+		e.Attrs = append(e.Attrs, Attr{Name: name, Value: opts.Values[rng.Intn(len(opts.Values))]})
+	}
+	if depth == 0 {
+		if rng.Intn(2) == 0 {
+			e.Children = append(e.Children, NewText(opts.Values[rng.Intn(len(opts.Values))]))
+		}
+		return e
+	}
+	n := rng.Intn(opts.MaxChildren + 1)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < opts.TextProb {
+			e.Children = append(e.Children, NewText(opts.Values[rng.Intn(len(opts.Values))]))
+		} else {
+			e.Children = append(e.Children, genElement(rng, opts, depth-1))
+		}
+	}
+	return e
+}

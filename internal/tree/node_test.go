@@ -1,0 +1,299 @@
+package tree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// sample builds the parts/suppliers document of Fig. 1 of the paper.
+func sample() *Node {
+	supplier := func(name, price, country string) *Node {
+		return NewElement("supplier",
+			NewElement("sname", NewText(name)),
+			NewElement("price", NewText(price)),
+			NewElement("country", NewText(country)),
+		)
+	}
+	part := NewElement("part",
+		NewElement("pname", NewText("keyboard")),
+		supplier("HP", "15", "US"),
+		NewElement("subPart",
+			NewElement("part",
+				NewElement("pname", NewText("key")),
+				supplier("Acme", "2", "CN"),
+			),
+		),
+	)
+	return NewDocument(NewElement("db", part,
+		NewElement("part", NewElement("pname", NewText("mouse")), supplier("Dell", "9", "A")),
+	))
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{Document: "document", Element: "element", Text: "text", Kind(9): "invalid"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestRoot(t *testing.T) {
+	doc := sample()
+	root := doc.Root()
+	if root == nil || root.Label != "db" {
+		t.Fatalf("Root() = %v, want db element", root)
+	}
+	if root.Root() != root {
+		t.Errorf("element Root() should return itself")
+	}
+	if NewText("x").Root() != nil {
+		t.Errorf("text Root() should be nil")
+	}
+	if NewDocument(nil).Root() != nil {
+		t.Errorf("empty document Root() should be nil")
+	}
+}
+
+func TestAttr(t *testing.T) {
+	e := NewElement("person").WithAttrs(Attr{Name: "id", Value: "person10"})
+	if v, ok := e.Attr("id"); !ok || v != "person10" {
+		t.Errorf("Attr(id) = %q, %v", v, ok)
+	}
+	if _, ok := e.Attr("missing"); ok {
+		t.Errorf("Attr(missing) should not be found")
+	}
+}
+
+func TestValue(t *testing.T) {
+	e := NewElement("sname", NewText("H"), NewElement("b", NewText("nested")), NewText("P"))
+	if got := e.Value(); got != "HP" {
+		t.Errorf("Value() = %q, want HP (direct text children only)", got)
+	}
+	if got := NewText("abc").Value(); got != "abc" {
+		t.Errorf("text Value() = %q", got)
+	}
+}
+
+func TestSizeDepthCounts(t *testing.T) {
+	doc := sample()
+	// db + 2 parts + 2 pname + 3 supplier*(1+3 leaves + 3 text)... compute by hand:
+	// Count elements instead: db, part, pname, supplier, sname, price, country,
+	// subPart, part, pname, supplier, sname, price, country,
+	// part, pname, supplier, sname, price, country = 20
+	if got := doc.CountElements(); got != 20 {
+		t.Errorf("CountElements() = %d, want 20", got)
+	}
+	if got := CountLabel(doc, "part"); got != 3 {
+		t.Errorf("CountLabel(part) = %d, want 3", got)
+	}
+	if got := CountLabel(doc, "price"); got != 3 {
+		t.Errorf("CountLabel(price) = %d, want 3", got)
+	}
+	if doc.Size() <= doc.CountElements() {
+		t.Errorf("Size() = %d should exceed element count (text nodes)", doc.Size())
+	}
+	// depth: doc -> db -> part -> subPart -> part -> supplier -> sname -> text = 8
+	if got := doc.Depth(); got != 8 {
+		t.Errorf("Depth() = %d, want 8", got)
+	}
+}
+
+func TestElementsAndFirstChild(t *testing.T) {
+	e := NewElement("p", NewText("t"), NewElement("a"), NewElement("b"))
+	if got := len(e.Elements()); got != 2 {
+		t.Errorf("Elements() returned %d, want 2", got)
+	}
+	if fc := e.FirstChild(); fc == nil || fc.Kind != Text {
+		t.Errorf("FirstChild() = %v, want the text node", fc)
+	}
+	if NewElement("empty").FirstChild() != nil {
+		t.Errorf("FirstChild() of empty element should be nil")
+	}
+}
+
+func TestDeepCopyEqual(t *testing.T) {
+	doc := sample()
+	cp := doc.DeepCopy()
+	if !Equal(doc, cp) {
+		t.Fatalf("DeepCopy not Equal to original")
+	}
+	// Mutating the copy must not affect the original.
+	cp.Root().Children[0].Label = "mutated"
+	if Equal(doc, cp) {
+		t.Fatalf("mutation of copy visible through Equal")
+	}
+	if doc.Root().Children[0].Label != "part" {
+		t.Fatalf("mutation of copy leaked into original")
+	}
+	if (*Node)(nil).DeepCopy() != nil {
+		t.Errorf("DeepCopy(nil) should be nil")
+	}
+}
+
+func TestEqualEdgeCases(t *testing.T) {
+	a := NewElement("a", NewText("x"))
+	tests := []struct {
+		name string
+		b    *Node
+		want bool
+	}{
+		{"same", NewElement("a", NewText("x")), true},
+		{"label", NewElement("b", NewText("x")), false},
+		{"text", NewElement("a", NewText("y")), false},
+		{"children", NewElement("a"), false},
+		{"extra attr", NewElement("a", NewText("x")).WithAttrs(Attr{"id", "1"}), false},
+		{"nil", nil, false},
+	}
+	for _, tc := range tests {
+		if got := Equal(a, tc.b); got != tc.want {
+			t.Errorf("%s: Equal = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	if !Equal(nil, nil) {
+		t.Errorf("Equal(nil, nil) should be true")
+	}
+	x := NewElement("a").WithAttrs(Attr{"id", "1"})
+	y := NewElement("a").WithAttrs(Attr{"id", "2"})
+	if Equal(x, y) {
+		t.Errorf("differing attribute values should not be Equal")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate(sample()); err != nil {
+		t.Fatalf("sample document invalid: %v", err)
+	}
+	bad := []*Node{
+		NewDocument(NewElement("a")).Append(NewElement("b")), // two roots
+		{Kind: Document, Children: []*Node{NewText("t")}},    // text under document
+		NewElement(""), // empty label
+		{Kind: Text, Children: []*Node{NewText("x")}},               // text with children
+		{Kind: Text, Attrs: []Attr{{"a", "b"}}},                     // text with attrs
+		NewElement("a").WithAttrs(Attr{"", "v"}),                    // empty attr name
+		NewElement("a").WithAttrs(Attr{"id", "1"}, Attr{"id", "2"}), // dup attr
+		NewElement("a", NewDocument(nil)),                           // nested document
+		{Kind: Kind(7)},                                             // bogus kind
+	}
+	for i, n := range bad {
+		if err := Validate(n); err == nil {
+			t.Errorf("case %d: Validate accepted invalid tree %s", i, n)
+		}
+	}
+}
+
+func TestSharedNodes(t *testing.T) {
+	doc := sample()
+	if got, want := SharedNodes(doc, doc), doc.Size(); got != want {
+		t.Errorf("SharedNodes(doc,doc) = %d, want %d", got, want)
+	}
+	cp := doc.DeepCopy()
+	if got := SharedNodes(doc, cp); got != 0 {
+		t.Errorf("SharedNodes(doc, deep copy) = %d, want 0", got)
+	}
+	// A rebuilt root sharing one original subtree.
+	part := doc.Root().Children[0]
+	mixed := NewDocument(NewElement("db2", part))
+	if got, want := SharedNodes(doc, mixed), part.Size(); got != want {
+		t.Errorf("SharedNodes = %d, want %d", got, want)
+	}
+}
+
+func TestWalkPruning(t *testing.T) {
+	doc := sample()
+	visited := 0
+	Walk(doc, func(n *Node, depth int) bool {
+		visited++
+		return n.Label != "supplier" // prune below suppliers
+	})
+	full := 0
+	Walk(doc, func(*Node, int) bool { full++; return true })
+	if visited >= full {
+		t.Errorf("pruned walk visited %d, full walk %d", visited, full)
+	}
+	if full != doc.Size() {
+		t.Errorf("full walk visited %d nodes, Size() = %d", full, doc.Size())
+	}
+}
+
+func TestDescendants(t *testing.T) {
+	doc := sample()
+	all := Descendants(doc)
+	if len(all) != doc.CountElements() {
+		t.Errorf("Descendants(doc) = %d elements, want %d", len(all), doc.CountElements())
+	}
+	leaf := NewElement("leaf")
+	if got := Descendants(leaf); len(got) != 0 {
+		t.Errorf("Descendants(leaf) = %d, want 0", len(got))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	opts := DefaultGenOptions()
+	a := Generate(rand.New(rand.NewSource(42)), opts)
+	b := Generate(rand.New(rand.NewSource(42)), opts)
+	if !Equal(a, b) {
+		t.Fatalf("Generate not deterministic for equal seeds")
+	}
+	c := Generate(rand.New(rand.NewSource(43)), opts)
+	if Equal(a, c) {
+		t.Fatalf("Generate returned identical trees for different seeds")
+	}
+	for seed := int64(0); seed < 50; seed++ {
+		doc := Generate(rand.New(rand.NewSource(seed)), opts)
+		if err := Validate(doc); err != nil {
+			t.Fatalf("seed %d: generated invalid tree: %v", seed, err)
+		}
+	}
+}
+
+func TestGenerateCopyEqualProperty(t *testing.T) {
+	opts := DefaultGenOptions()
+	for seed := int64(0); seed < 100; seed++ {
+		doc := Generate(rand.New(rand.NewSource(seed)), opts)
+		cp := doc.DeepCopy()
+		if !Equal(doc, cp) {
+			t.Fatalf("seed %d: deep copy differs from original", seed)
+		}
+		if cp.Size() != doc.Size() || cp.Depth() != doc.Depth() {
+			t.Fatalf("seed %d: copy stats differ", seed)
+		}
+		if SharedNodes(doc, cp) != 0 {
+			t.Fatalf("seed %d: deep copy shares nodes", seed)
+		}
+	}
+}
+
+func TestStringEscaping(t *testing.T) {
+	e := NewElement("a", NewText("1 < 2 & 3 > 2")).WithAttrs(Attr{"q", `say "hi" & <bye>`})
+	s := e.String()
+	if strings.Contains(s, "1 < 2") {
+		t.Errorf("unescaped text in %q", s)
+	}
+	for _, want := range []string{"&lt;", "&amp;", "&gt;", "&quot;"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("serialization %q missing %s", s, want)
+		}
+	}
+}
+
+func TestWriteEmptyElement(t *testing.T) {
+	if got := NewElement("br").String(); got != "<br/>" {
+		t.Errorf("empty element = %q, want <br/>", got)
+	}
+}
+
+func TestWriteIndented(t *testing.T) {
+	var b strings.Builder
+	if err := sample().WriteIndented(&b); err != nil {
+		t.Fatalf("WriteIndented: %v", err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "<sname>HP</sname>") {
+		t.Errorf("indented output should inline text-only elements:\n%s", out)
+	}
+	if !strings.Contains(out, "\n  <part>") && !strings.Contains(out, "\n  <part ") {
+		t.Errorf("expected indented <part> in:\n%s", out)
+	}
+}

@@ -1,0 +1,65 @@
+package tree
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomDoc adapts the document generator to testing/quick.
+type randomDoc struct{ Doc *Node }
+
+// Generate implements quick.Generator.
+func (randomDoc) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(randomDoc{Doc: Generate(r, DefaultGenOptions())})
+}
+
+func quickCfg(seed int64, max int) *quick.Config {
+	return &quick.Config{MaxCount: max, Rand: rand.New(rand.NewSource(seed))}
+}
+
+// Property: DeepCopy produces an Equal tree that shares no nodes and
+// preserves the structural statistics.
+func TestQuickDeepCopy(t *testing.T) {
+	prop := func(d randomDoc) bool {
+		cp := d.Doc.DeepCopy()
+		return Equal(d.Doc, cp) &&
+			SharedNodes(d.Doc, cp) == 0 &&
+			cp.Size() == d.Doc.Size() &&
+			cp.Depth() == d.Doc.Depth() &&
+			cp.CountElements() == d.Doc.CountElements()
+	}
+	if err := quick.Check(prop, quickCfg(1, 100)); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Equal is reflexive and symmetric on random documents.
+func TestQuickEqualReflexiveSymmetric(t *testing.T) {
+	prop := func(a, b randomDoc) bool {
+		if !Equal(a.Doc, a.Doc) || !Equal(b.Doc, b.Doc) {
+			return false
+		}
+		return Equal(a.Doc, b.Doc) == Equal(b.Doc, a.Doc)
+	}
+	if err := quick.Check(prop, quickCfg(2, 100)); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every generated document satisfies the model invariants, and
+// Size is consistent with a full Walk.
+func TestQuickValidateAndWalk(t *testing.T) {
+	prop := func(d randomDoc) bool {
+		if Validate(d.Doc) != nil {
+			return false
+		}
+		visited := 0
+		Walk(d.Doc, func(*Node, int) bool { visited++; return true })
+		return visited == d.Doc.Size()
+	}
+	if err := quick.Check(prop, quickCfg(3, 100)); err != nil {
+		t.Error(err)
+	}
+}

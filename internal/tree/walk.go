@@ -1,0 +1,116 @@
+package tree
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Walk visits every node of the subtree rooted at n in document order,
+// calling fn with the node and its depth (n has depth 0). If fn returns
+// false the node's subtree is skipped — the pruning used by the NFA-guided
+// evaluators.
+func Walk(n *Node, fn func(n *Node, depth int) bool) {
+	walk(n, 0, fn)
+}
+
+func walk(n *Node, depth int, fn func(*Node, int) bool) {
+	if !fn(n, depth) {
+		return
+	}
+	for _, c := range n.Children {
+		walk(c, depth+1, fn)
+	}
+}
+
+// Descendants returns all element descendants of n (excluding n itself) in
+// document order.
+func Descendants(n *Node) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		Walk(c, func(m *Node, _ int) bool {
+			if m.Kind == Element {
+				out = append(out, m)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// Validate checks the structural invariants of the model and returns an
+// error describing the first violation:
+//
+//   - a document node has at most one element child and no text children,
+//   - element nodes have non-empty labels,
+//   - text nodes are leaves without attributes,
+//   - attribute names are non-empty and unique within an element.
+func Validate(n *Node) error {
+	return validate(n, true)
+}
+
+func validate(n *Node, top bool) error {
+	switch n.Kind {
+	case Document:
+		if !top {
+			return errors.New("tree: document node below the top level")
+		}
+		elems := 0
+		for _, c := range n.Children {
+			if c.Kind == Text {
+				return errors.New("tree: document node with text child")
+			}
+			if c.Kind == Element {
+				elems++
+			}
+			if err := validate(c, false); err != nil {
+				return err
+			}
+		}
+		if elems > 1 {
+			return fmt.Errorf("tree: document node with %d root elements", elems)
+		}
+		return nil
+	case Element:
+		if n.Label == "" {
+			return errors.New("tree: element with empty label")
+		}
+		seen := make(map[string]struct{}, len(n.Attrs))
+		for _, a := range n.Attrs {
+			if a.Name == "" {
+				return fmt.Errorf("tree: element <%s> with empty attribute name", n.Label)
+			}
+			if _, dup := seen[a.Name]; dup {
+				return fmt.Errorf("tree: element <%s> with duplicate attribute %q", n.Label, a.Name)
+			}
+			seen[a.Name] = struct{}{}
+		}
+		for _, c := range n.Children {
+			if err := validate(c, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Text:
+		if len(n.Children) > 0 {
+			return errors.New("tree: text node with children")
+		}
+		if len(n.Attrs) > 0 {
+			return errors.New("tree: text node with attributes")
+		}
+		return nil
+	default:
+		return fmt.Errorf("tree: invalid node kind %d", n.Kind)
+	}
+}
+
+// CountLabel returns the number of elements labelled label in the subtree.
+func CountLabel(n *Node, label string) int {
+	total := 0
+	Walk(n, func(m *Node, _ int) bool {
+		if m.Kind == Element && m.Label == label {
+			total++
+		}
+		return true
+	})
+	return total
+}

@@ -1,0 +1,159 @@
+package tree
+
+import (
+	"bufio"
+	"io"
+	"strings"
+)
+
+// escapeText writes s with the XML character-data escapes applied.
+func escapeText(w *bufio.Writer, s string) {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			w.WriteString("&amp;")
+		case '<':
+			w.WriteString("&lt;")
+		case '>':
+			w.WriteString("&gt;")
+		default:
+			w.WriteByte(s[i])
+		}
+	}
+}
+
+// escapeAttr writes s escaped for use inside a double-quoted attribute.
+func escapeAttr(w *bufio.Writer, s string) {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			w.WriteString("&amp;")
+		case '<':
+			w.WriteString("&lt;")
+		case '"':
+			w.WriteString("&quot;")
+		default:
+			w.WriteByte(s[i])
+		}
+	}
+}
+
+// WriteXML serializes the subtree rooted at n to w as XML. Text is escaped;
+// no whitespace is introduced, so parsing the output yields a tree Equal to
+// n (see sax.Parse).
+func (n *Node) WriteXML(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	writeNode(bw, n)
+	return bw.Flush()
+}
+
+func writeNode(w *bufio.Writer, n *Node) {
+	switch n.Kind {
+	case Document:
+		for _, c := range n.Children {
+			writeNode(w, c)
+		}
+	case Text:
+		escapeText(w, n.Data)
+	case Element:
+		w.WriteByte('<')
+		w.WriteString(n.Label)
+		for _, a := range n.Attrs {
+			w.WriteByte(' ')
+			w.WriteString(a.Name)
+			w.WriteString(`="`)
+			escapeAttr(w, a.Value)
+			w.WriteByte('"')
+		}
+		if len(n.Children) == 0 {
+			w.WriteString("/>")
+			return
+		}
+		w.WriteByte('>')
+		for _, c := range n.Children {
+			writeNode(w, c)
+		}
+		w.WriteString("</")
+		w.WriteString(n.Label)
+		w.WriteByte('>')
+	}
+}
+
+// WriteIndented serializes the subtree rooted at n with two-space
+// indentation, for human inspection. Text children are emitted inline with
+// their parent when the element has only text children; mixed content is
+// emitted unindented to avoid changing its value.
+func (n *Node) WriteIndented(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	writeIndent(bw, n, 0)
+	bw.WriteByte('\n')
+	return bw.Flush()
+}
+
+func onlyTextChildren(n *Node) bool {
+	for _, c := range n.Children {
+		if c.Kind != Text {
+			return false
+		}
+	}
+	return true
+}
+
+func writeIndent(w *bufio.Writer, n *Node, depth int) {
+	pad := strings.Repeat("  ", depth)
+	switch n.Kind {
+	case Document:
+		for i, c := range n.Children {
+			if i > 0 {
+				w.WriteByte('\n')
+			}
+			writeIndent(w, c, depth)
+		}
+	case Text:
+		w.WriteString(pad)
+		escapeText(w, n.Data)
+	case Element:
+		w.WriteString(pad)
+		w.WriteByte('<')
+		w.WriteString(n.Label)
+		for _, a := range n.Attrs {
+			w.WriteByte(' ')
+			w.WriteString(a.Name)
+			w.WriteString(`="`)
+			escapeAttr(w, a.Value)
+			w.WriteByte('"')
+		}
+		switch {
+		case len(n.Children) == 0:
+			w.WriteString("/>")
+		case onlyTextChildren(n):
+			w.WriteByte('>')
+			for _, c := range n.Children {
+				escapeText(w, c.Data)
+			}
+			w.WriteString("</")
+			w.WriteString(n.Label)
+			w.WriteByte('>')
+		default:
+			w.WriteByte('>')
+			for _, c := range n.Children {
+				w.WriteByte('\n')
+				writeIndent(w, c, depth+1)
+			}
+			w.WriteByte('\n')
+			w.WriteString(pad)
+			w.WriteString("</")
+			w.WriteString(n.Label)
+			w.WriteByte('>')
+		}
+	}
+}
+
+// String returns the compact XML serialization of n.
+func (n *Node) String() string {
+	var b strings.Builder
+	bw := bufio.NewWriter(&b)
+	writeNode(bw, n)
+	bw.Flush()
+	return b.String()
+}

@@ -1,0 +1,366 @@
+// Package xmark generates synthetic auction documents with the XMark
+// vocabulary (Schmidt et al., VLDB 2002) that the paper's experiments run
+// on. The generator covers exactly the element structure probed by the ten
+// workload queries of Fig. 11 — people/person/@id/profile/age,
+// regions/<continent>/item/location, open_auctions with initial, reserve,
+// bidder/increase and annotation/happiness/description, closed_auctions
+// with the nested parlist/listitem structure — and scales linearly in a
+// "factor" calibrated like XMark's (factor 0.02 ≈ a couple of MB).
+//
+// Documents are produced as SAX events, so the same generator builds
+// in-memory trees (via sax.TreeBuilder) and streams arbitrarily large
+// files (via sax.Writer) without materializing them; the latter feeds the
+// Fig. 14 experiment. Generation is deterministic in (Factor, Seed).
+package xmark
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"xtq/internal/sax"
+	"xtq/internal/tree"
+)
+
+// Config parameterizes the generator.
+type Config struct {
+	// Factor scales entity counts like XMark's scaling factor; 0.02
+	// yields roughly 2 MB.
+	Factor float64
+	// Seed makes the document reproducible; documents with equal
+	// (Factor, Seed) are identical.
+	Seed int64
+}
+
+// Counts returns the entity counts for the configured factor, using
+// XMark's proportions (25500 persons, 21750 items, 12000 open and 9750
+// closed auctions at factor 1).
+func (c Config) Counts() (people, items, open, closed int) {
+	f := c.Factor
+	atLeast := func(n int) int {
+		if n < 1 {
+			return 1
+		}
+		return n
+	}
+	return atLeast(int(25500 * f)), atLeast(int(21750 * f)),
+		atLeast(int(12000 * f)), atLeast(int(9750 * f))
+}
+
+var continents = []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+
+var words = []string{
+	"gold", "silver", "vintage", "rare", "mint", "signed", "original",
+	"antique", "classic", "limited", "edition", "boxed", "sealed",
+	"pristine", "restored", "handmade", "imported", "certified",
+	"collector", "estate", "auction", "lot", "bundle", "set", "piece",
+	"quality", "condition", "shipping", "included", "offer",
+}
+
+var locations = []string{
+	"United States", "Germany", "Japan", "France", "United Kingdom",
+	"Canada", "Italy", "Spain", "Australia", "China",
+}
+
+var firstNames = []string{"Ada", "Bob", "Cyd", "Dee", "Eli", "Fay", "Gus", "Hal", "Ivy", "Joy"}
+var lastNames = []string{"Ames", "Beck", "Cole", "Dorn", "Ekman", "Frey", "Gage", "Hart", "Ibsen", "Jung"}
+
+// gen drives a Handler with the document's events.
+type gen struct {
+	h   sax.Handler
+	rng *rand.Rand
+	err error
+}
+
+func (g *gen) start(name string, attrs ...tree.Attr) {
+	if g.err == nil {
+		g.err = g.h.StartElement(name, attrs)
+	}
+}
+
+func (g *gen) end(name string) {
+	if g.err == nil {
+		g.err = g.h.EndElement(name)
+	}
+}
+
+func (g *gen) text(s string) {
+	if g.err == nil {
+		g.err = g.h.Text(s)
+	}
+}
+
+func (g *gen) leaf(name, value string) {
+	g.start(name)
+	g.text(value)
+	g.end(name)
+}
+
+// Emit streams the document for cfg into h.
+func Emit(cfg Config, h sax.Handler) error {
+	g := &gen{h: h, rng: rand.New(rand.NewSource(cfg.Seed ^ 0x9e3779b9))}
+	people, items, open, closed := cfg.Counts()
+	if g.err = h.StartDocument(); g.err != nil {
+		return g.err
+	}
+	g.start("site")
+	g.regions(items)
+	g.people(people)
+	g.openAuctions(open, people)
+	g.closedAuctions(closed, people)
+	g.end("site")
+	if g.err != nil {
+		return g.err
+	}
+	return h.EndDocument()
+}
+
+// Generate builds the document for cfg as an in-memory tree.
+func Generate(cfg Config) (*tree.Node, error) {
+	var b sax.TreeBuilder
+	if err := Emit(cfg, &b); err != nil {
+		return nil, err
+	}
+	return b.Document(), nil
+}
+
+// Write streams the document for cfg to w as XML and reports the number of
+// bytes written.
+func Write(cfg Config, w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	sw := sax.NewWriter(cw)
+	if err := Emit(cfg, sw); err != nil {
+		return cw.n, err
+	}
+	return cw.n, sw.Flush()
+}
+
+// WriteFile streams the document for cfg into the named file.
+func WriteFile(cfg Config, path string) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	n, werr := Write(cfg, f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return n, werr
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (g *gen) sentence(n int) string {
+	buf := make([]byte, 0, n*8)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			buf = append(buf, ' ')
+		}
+		buf = append(buf, words[g.rng.Intn(len(words))]...)
+	}
+	return string(buf)
+}
+
+// description emits a description element: either flowing text or a
+// (possibly nested) parlist. U5 and U7 probe descriptions; U6 needs the
+// doubly nested parlist/listitem chain under closed auctions.
+func (g *gen) description(forceDeep bool) {
+	g.start("description")
+	if forceDeep || g.rng.Float64() < 0.35 {
+		g.parlist(2, forceDeep)
+	} else {
+		g.textElem(false)
+	}
+	g.end("description")
+}
+
+// parlist emits parlist/listitem content; depth > 1 allows a nested
+// parlist inside a listitem, giving the U6 chain
+// parlist/listitem/parlist/listitem/text/emph/keyword.
+func (g *gen) parlist(depth int, forceDeep bool) {
+	g.start("parlist")
+	items := 1 + g.rng.Intn(3)
+	for i := 0; i < items; i++ {
+		g.start("listitem")
+		nest := depth > 1 && (forceDeep && i == 0 || g.rng.Float64() < 0.3)
+		if nest {
+			g.parlist(depth-1, forceDeep && i == 0)
+		} else {
+			g.textElem(forceDeep && i == 0)
+		}
+		g.end("listitem")
+	}
+	g.end("parlist")
+}
+
+// textElem emits a text element with words and occasional emph/keyword
+// children; force guarantees both, completing the U6 chain when reached
+// through a forced-deep parlist.
+func (g *gen) textElem(force bool) {
+	g.start("text")
+	g.text(g.sentence(8 + g.rng.Intn(25)))
+	if force || g.rng.Float64() < 0.6 {
+		g.start("emph")
+		g.text(words[g.rng.Intn(len(words))])
+		if force || g.rng.Float64() < 0.7 {
+			g.leaf("keyword", words[g.rng.Intn(len(words))])
+		}
+		g.end("emph")
+	}
+	if g.rng.Float64() < 0.3 {
+		g.leaf("keyword", g.sentence(2))
+	}
+	g.end("text")
+}
+
+func (g *gen) regions(items int) {
+	g.start("regions")
+	perContinent := items / len(continents)
+	id := 0
+	for _, cont := range continents {
+		g.start(cont)
+		n := perContinent
+		if cont == continents[len(continents)-1] {
+			n = items - perContinent*(len(continents)-1)
+		}
+		for i := 0; i < n; i++ {
+			g.item(id)
+			id++
+		}
+		g.end(cont)
+	}
+	g.end("regions")
+}
+
+func (g *gen) item(id int) {
+	g.start("item", tree.Attr{Name: "id", Value: fmt.Sprintf("item%d", id)})
+	g.leaf("location", locations[g.rng.Intn(len(locations))])
+	g.leaf("quantity", fmt.Sprintf("%d", 1+g.rng.Intn(10)))
+	g.leaf("name", g.sentence(2+g.rng.Intn(3)))
+	g.leaf("payment", "Creditcard")
+	g.description(false)
+	g.start("shipping")
+	g.text("Will ship internationally")
+	g.end("shipping")
+	g.start("mailbox")
+	for m := g.rng.Intn(3); m > 0; m-- {
+		g.start("mail")
+		g.leaf("from", g.personName())
+		g.leaf("to", g.personName())
+		g.leaf("date", g.date())
+		g.textElem(false)
+		g.end("mail")
+	}
+	g.end("mailbox")
+	g.end("item")
+}
+
+func (g *gen) personName() string {
+	return firstNames[g.rng.Intn(len(firstNames))] + " " + lastNames[g.rng.Intn(len(lastNames))]
+}
+
+func (g *gen) date() string {
+	return fmt.Sprintf("%02d/%02d/%d", 1+g.rng.Intn(12), 1+g.rng.Intn(28), 1998+g.rng.Intn(5))
+}
+
+func (g *gen) people(n int) {
+	g.start("people")
+	for i := 0; i < n; i++ {
+		g.start("person", tree.Attr{Name: "id", Value: fmt.Sprintf("person%d", i)})
+		g.leaf("name", g.personName())
+		g.leaf("emailaddress", fmt.Sprintf("mailto:user%d@example.com", i))
+		if g.rng.Float64() < 0.6 {
+			g.leaf("phone", fmt.Sprintf("+1 (%d) %d", 100+g.rng.Intn(900), 1000000+g.rng.Intn(9000000)))
+		}
+		g.start("profile", tree.Attr{Name: "income", Value: fmt.Sprintf("%d", 20000+g.rng.Intn(80000))})
+		for k := g.rng.Intn(3); k > 0; k-- {
+			g.start("interest", tree.Attr{Name: "category", Value: fmt.Sprintf("category%d", g.rng.Intn(50))})
+			g.end("interest")
+		}
+		if g.rng.Float64() < 0.7 {
+			// Ages 18-70: roughly 95% exceed the U3 bound of 20.
+			g.leaf("age", fmt.Sprintf("%d", 18+g.rng.Intn(53)))
+		}
+		g.leaf("business", "Yes")
+		g.end("profile")
+		g.end("person")
+	}
+	g.end("people")
+}
+
+func (g *gen) openAuctions(n, people int) {
+	g.start("open_auctions")
+	for i := 0; i < n; i++ {
+		g.start("open_auction", tree.Attr{Name: "id", Value: fmt.Sprintf("open_auction%d", i)})
+		g.leaf("initial", fmt.Sprintf("%.2f", 1+g.rng.Float64()*99))
+		if g.rng.Float64() < 0.5 {
+			g.leaf("reserve", fmt.Sprintf("%.2f", 10+g.rng.Float64()*190))
+		}
+		bidders := g.rng.Intn(5)
+		for b := 0; b < bidders; b++ {
+			g.start("bidder")
+			g.leaf("date", g.date())
+			g.leaf("time", fmt.Sprintf("%02d:%02d:%02d", g.rng.Intn(24), g.rng.Intn(60), g.rng.Intn(60)))
+			g.start("personref", tree.Attr{Name: "person", Value: fmt.Sprintf("person%d", g.rng.Intn(people))})
+			g.end("personref")
+			g.leaf("increase", fmt.Sprintf("%.2f", 1.5*float64(1+g.rng.Intn(16))))
+			g.end("bidder")
+		}
+		g.leaf("current", fmt.Sprintf("%.2f", 1+g.rng.Float64()*299))
+		g.start("itemref", tree.Attr{Name: "item", Value: fmt.Sprintf("item%d", g.rng.Intn(1+n))})
+		g.end("itemref")
+		g.start("seller", tree.Attr{Name: "person", Value: fmt.Sprintf("person%d", g.rng.Intn(people))})
+		g.end("seller")
+		g.annotation()
+		g.leaf("quantity", fmt.Sprintf("%d", 1+g.rng.Intn(5)))
+		g.leaf("type", "Regular")
+		g.end("open_auction")
+	}
+	g.end("open_auctions")
+}
+
+// annotation carries the happiness rating (XMark: 1-10) and a description,
+// probed by U7's annotation[happiness < 20]/description//text.
+func (g *gen) annotation() {
+	g.start("annotation")
+	g.leaf("author", g.personName())
+	g.description(false)
+	g.leaf("happiness", fmt.Sprintf("%d", 1+g.rng.Intn(10)))
+	g.end("annotation")
+}
+
+func (g *gen) closedAuctions(n, people int) {
+	g.start("closed_auctions")
+	for i := 0; i < n; i++ {
+		g.start("closed_auction")
+		g.start("seller", tree.Attr{Name: "person", Value: fmt.Sprintf("person%d", g.rng.Intn(people))})
+		g.end("seller")
+		g.start("buyer", tree.Attr{Name: "person", Value: fmt.Sprintf("person%d", g.rng.Intn(people))})
+		g.end("buyer")
+		g.start("itemref", tree.Attr{Name: "item", Value: fmt.Sprintf("item%d", g.rng.Intn(1+n))})
+		g.end("itemref")
+		g.leaf("price", fmt.Sprintf("%.2f", 1+g.rng.Float64()*499))
+		g.leaf("date", g.date())
+		g.leaf("quantity", fmt.Sprintf("%d", 1+g.rng.Intn(5)))
+		g.leaf("type", "Regular")
+		g.start("annotation")
+		g.leaf("author", g.personName())
+		// Every fourth closed auction gets the guaranteed deep chain
+		// that U6 selects; the rest draw randomly.
+		g.description(i%4 == 0)
+		g.leaf("happiness", fmt.Sprintf("%d", 1+g.rng.Intn(10)))
+		g.end("annotation")
+		g.end("closed_auction")
+	}
+	g.end("closed_auctions")
+}

@@ -1,0 +1,177 @@
+package xmark
+
+import (
+	"strings"
+	"testing"
+
+	"xtq/internal/sax"
+	"xtq/internal/tree"
+	"xtq/internal/xpath"
+)
+
+func gen001(t *testing.T) *tree.Node {
+	t.Helper()
+	doc, err := Generate(Config{Factor: 0.004, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestGenerateValid(t *testing.T) {
+	doc := gen001(t)
+	if err := tree.Validate(doc); err != nil {
+		t.Fatalf("generated document invalid: %v", err)
+	}
+	if doc.Root().Label != "site" {
+		t.Fatalf("root = %q", doc.Root().Label)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := Generate(Config{Factor: 0.002, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{Factor: 0.002, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Equal(a, b) {
+		t.Fatalf("same config produced different documents")
+	}
+	c, err := Generate(Config{Factor: 0.002, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Equal(a, c) {
+		t.Fatalf("different seeds produced identical documents")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	cfg := Config{Factor: 0.01, Seed: 1}
+	people, items, open, closed := cfg.Counts()
+	if people != 255 || items != 217 || open != 120 || closed != 97 {
+		t.Errorf("counts = %d %d %d %d", people, items, open, closed)
+	}
+	doc, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.CountLabel(doc, "person"); got != people {
+		t.Errorf("persons = %d, want %d", got, people)
+	}
+	if got := tree.CountLabel(doc, "item"); got != items {
+		t.Errorf("items = %d, want %d", got, items)
+	}
+	if got := tree.CountLabel(doc, "open_auction"); got != open {
+		t.Errorf("open auctions = %d, want %d", got, open)
+	}
+	if got := tree.CountLabel(doc, "closed_auction"); got != closed {
+		t.Errorf("closed auctions = %d, want %d", got, closed)
+	}
+	tiny, _, _, _ := Config{Factor: 0}.Counts()
+	if tiny != 1 {
+		t.Errorf("zero factor should still produce one entity, got %d", tiny)
+	}
+}
+
+// TestWorkloadSelectivities checks that every query of Fig. 11 selects a
+// plausible, non-degenerate node set on generated data.
+func TestWorkloadSelectivities(t *testing.T) {
+	doc := gen001(t)
+	queries := map[string]struct {
+		expr    string
+		minHits int
+	}{
+		"U1":  {`/site/people/person`, 10},
+		"U2":  {`/site/people/person[@id = "person10"]`, 1},
+		"U3":  {`/site/people/person[profile/age > 20]`, 5},
+		"U4":  {`/site/regions//item`, 10},
+		"U5":  {`/site//description`, 10},
+		"U6":  {`/site/closed_auctions/closed_auction/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword`, 1},
+		"U7":  {`/site/open_auctions/open_auction[bidder/increase > 5]/annotation[happiness < 20]/description//text`, 2},
+		"U8":  {`/site/open_auctions/open_auction[initial > 10 and reserve > 50]/bidder`, 2},
+		"U9":  {`/site/regions//item[location = "United States"]`, 1},
+		"U10": {`/site//open_auctions/open_auction[not(@id = "open_auction2")]/bidder[increase > 10]`, 2},
+	}
+	for name, q := range queries {
+		got := len(xpath.Select(doc, xpath.MustParse(q.expr)))
+		if got < q.minHits {
+			t.Errorf("%s selects %d nodes, want ≥ %d", name, got, q.minHits)
+		}
+	}
+	// U2 must select exactly one person.
+	if got := len(xpath.Select(doc, xpath.MustParse(`/site/people/person[@id = "person10"]`))); got != 1 {
+		t.Errorf("U2 selects %d nodes, want exactly 1", got)
+	}
+}
+
+func TestStreamMatchesTree(t *testing.T) {
+	cfg := Config{Factor: 0.002, Seed: 3}
+	doc, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	n, err := Write(cfg, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(sb.Len()) {
+		t.Errorf("reported %d bytes, wrote %d", n, sb.Len())
+	}
+	parsed, err := sax.ParseString(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Equal(doc, parsed) {
+		t.Fatalf("streamed document differs from generated tree")
+	}
+}
+
+func TestScalesLinearly(t *testing.T) {
+	size := func(f float64) int64 {
+		var sb strings.Builder
+		n, err := Write(Config{Factor: f, Seed: 1}, &sb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	s1 := size(0.002)
+	s4 := size(0.008)
+	ratio := float64(s4) / float64(s1)
+	if ratio < 3.0 || ratio > 5.0 {
+		t.Errorf("4x factor gave %.1fx bytes (s1=%d, s4=%d)", ratio, s1, s4)
+	}
+}
+
+func TestFactorSizeCalibration(t *testing.T) {
+	// Factor 0.02 should be on the order of megabytes (the paper's
+	// 2.22 MB); allow a wide band since the vocabulary is a subset.
+	var sb strings.Builder
+	n, err := Write(Config{Factor: 0.02, Seed: 1}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 500_000 || n > 10_000_000 {
+		t.Errorf("factor 0.02 = %d bytes; want within [0.5 MB, 10 MB]", n)
+	}
+	t.Logf("factor 0.02 = %.2f MB", float64(n)/1e6)
+}
+
+func TestWriteFile(t *testing.T) {
+	path := t.TempDir() + "/x.xml"
+	n, err := WriteFile(Config{Factor: 0.001, Seed: 1}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("empty file")
+	}
+	if _, err := WriteFile(Config{Factor: 0.001, Seed: 1}, t.TempDir()+"/no/such/dir/x.xml"); err == nil {
+		t.Errorf("bad path accepted")
+	}
+}

@@ -1,0 +1,278 @@
+// Package xpath implements the XPath fragment X of Fan, Cong and Bohannon
+// (SIGMOD 2007, §2):
+//
+//	p ::= ε | l | * | p/p | p//p | p[q]
+//	q ::= p | p op 's' | label() = l | q and q | q or q | not(q)
+//
+// extended — as required by the paper's XMark workload (Fig. 11) — with
+// attribute tests (@id = "person10") and the comparison operators
+// =, !=, <, <=, >, >= over strings and numbers.
+//
+// The package provides a lexer and parser for the fragment, a direct
+// recursive evaluator over tree documents (used by the Naive method and by
+// topDown's checkp), the qualifier normal form of §5 and the QualDP
+// dynamic-programming recurrence that the bottomUp and twoPassSAX
+// algorithms build on.
+package xpath
+
+import "strings"
+
+// Axis identifies the axis of a step. The fragment has downward modality
+// only.
+type Axis uint8
+
+const (
+	// Child is the default axis: l, * and ε[q]-steps move to children.
+	Child Axis = iota
+	// DescendantOrSelf is the '//' separator, i.e.
+	// /descendant-or-self::node()/.
+	DescendantOrSelf
+	// Self is the ε (".") step.
+	Self
+	// Attribute is an @name step; permitted only as the final step of a
+	// qualifier path.
+	Attribute
+)
+
+// String returns a compact axis name.
+func (a Axis) String() string {
+	switch a {
+	case Child:
+		return "child"
+	case DescendantOrSelf:
+		return "descendant-or-self"
+	case Self:
+		return "self"
+	case Attribute:
+		return "attribute"
+	default:
+		return "invalid"
+	}
+}
+
+// Step is one step of a path: an axis, a node test, and zero or more
+// qualifiers.
+type Step struct {
+	Axis     Axis
+	Label    string // label test, or attribute name for Attribute axis
+	Wildcard bool   // '*' test (Child axis only)
+	Quals    []Qual // the [q] qualifiers attached to this step
+}
+
+// Path is a parsed X expression: a sequence of steps evaluated left to
+// right from a context node.
+type Path struct {
+	Steps []Step
+}
+
+// CmpOp is a comparison operator in a qualifier.
+type CmpOp uint8
+
+// Comparison operators. OpNone marks a pure existence test.
+const (
+	OpNone CmpOp = iota
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String returns the surface syntax of the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+// Qual is a qualifier expression.
+type Qual interface {
+	qual()
+	// String renders the qualifier in surface syntax.
+	String() string
+}
+
+// PathQual is an existence test: true iff the path selects at least one
+// node (or the final attribute is present).
+type PathQual struct {
+	Path *Path
+}
+
+// CmpQual tests whether some node selected by Path has a value satisfying
+// "value Op Lit". Comparison is numeric when both sides parse as numbers,
+// lexicographic otherwise.
+type CmpQual struct {
+	Path *Path
+	Op   CmpOp
+	Lit  string
+}
+
+// LabelQual is the label() = l test on the context node.
+type LabelQual struct {
+	Label string
+}
+
+// AndQual is conjunction.
+type AndQual struct {
+	L, R Qual
+}
+
+// OrQual is disjunction.
+type OrQual struct {
+	L, R Qual
+}
+
+// NotQual is negation.
+type NotQual struct {
+	X Qual
+}
+
+// TrueQual is the trivial qualifier [true] that the automaton construction
+// attaches to unqualified steps.
+type TrueQual struct{}
+
+func (*PathQual) qual()  {}
+func (*CmpQual) qual()   {}
+func (*LabelQual) qual() {}
+func (*AndQual) qual()   {}
+func (*OrQual) qual()    {}
+func (*NotQual) qual()   {}
+func (*TrueQual) qual()  {}
+
+// String implements Qual.
+func (q *PathQual) String() string { return q.Path.String() }
+
+// String implements Qual.
+func (q *CmpQual) String() string {
+	return q.Path.String() + " " + q.Op.String() + " " + quoteLit(q.Lit)
+}
+
+// String implements Qual.
+func (q *LabelQual) String() string { return "label() = " + quoteLit(q.Label) }
+
+// String implements Qual.
+func (q *AndQual) String() string { return "(" + q.L.String() + " and " + q.R.String() + ")" }
+
+// String implements Qual.
+func (q *OrQual) String() string { return "(" + q.L.String() + " or " + q.R.String() + ")" }
+
+// String implements Qual.
+func (q *NotQual) String() string { return "not(" + q.X.String() + ")" }
+
+// String implements Qual.
+func (q *TrueQual) String() string { return "true" }
+
+func quoteLit(s string) string {
+	if isNumber(s) {
+		return s
+	}
+	return `"` + s + `"`
+}
+
+func isNumber(s string) bool {
+	if s == "" {
+		return false
+	}
+	dot := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '-' && i == 0 && len(s) > 1 {
+			continue
+		}
+		if c == '.' && !dot {
+			dot = true
+			continue
+		}
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the path in surface syntax.
+func (p *Path) String() string {
+	if p == nil || len(p.Steps) == 0 {
+		return "."
+	}
+	var b strings.Builder
+	for i, s := range p.Steps {
+		switch s.Axis {
+		case DescendantOrSelf:
+			if i == 0 {
+				b.WriteString("//")
+			} else {
+				b.WriteString("//")
+			}
+			// '//' is a separator; its own test is implicit.
+			writeQuals(&b, s.Quals)
+			continue
+		case Child:
+			if i > 0 && p.Steps[i-1].Axis != DescendantOrSelf {
+				b.WriteByte('/')
+			} else if i > 0 {
+				// previous '//' already wrote the separator
+			}
+			if s.Wildcard {
+				b.WriteByte('*')
+			} else {
+				b.WriteString(s.Label)
+			}
+		case Self:
+			if i > 0 && p.Steps[i-1].Axis != DescendantOrSelf {
+				b.WriteByte('/')
+			}
+			b.WriteByte('.')
+		case Attribute:
+			if i > 0 && p.Steps[i-1].Axis != DescendantOrSelf {
+				b.WriteByte('/')
+			}
+			b.WriteByte('@')
+			b.WriteString(s.Label)
+		}
+		writeQuals(&b, s.Quals)
+	}
+	return b.String()
+}
+
+func writeQuals(b *strings.Builder, quals []Qual) {
+	for _, q := range quals {
+		b.WriteByte('[')
+		b.WriteString(q.String())
+		b.WriteByte(']')
+	}
+}
+
+// HasAttributeStep reports whether any step of the selecting path (not
+// inside qualifiers) is an attribute step. Transform queries cannot target
+// attributes, so callers reject such paths.
+func (p *Path) HasAttributeStep() bool {
+	for _, s := range p.Steps {
+		if s.Axis == Attribute {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the path (qualifiers are immutable and
+// shared).
+func (p *Path) Clone() *Path {
+	steps := make([]Step, len(p.Steps))
+	copy(steps, p.Steps)
+	return &Path{Steps: steps}
+}

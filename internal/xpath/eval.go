@@ -1,0 +1,181 @@
+package xpath
+
+import (
+	"strconv"
+	"strings"
+
+	"xtq/internal/tree"
+)
+
+// Select evaluates the path p at context node ctx and returns the selected
+// element nodes in document order, without duplicates (the '//' axis can
+// reach a node along several routes). This is the reference semantics
+// v[[p]] of §2; the Naive method and all correctness tests are defined
+// against it.
+//
+// Attribute steps are not valid in selecting paths and yield an empty
+// result; use EvalQual for qualifier paths that end in attribute tests.
+func Select(ctx *tree.Node, p *Path) []*tree.Node {
+	frontier := []*tree.Node{ctx}
+	for _, s := range p.Steps {
+		if len(frontier) == 0 {
+			return nil
+		}
+		frontier = applyStep(frontier, s)
+	}
+	return frontier
+}
+
+// applyStep maps a frontier (in document order, duplicate-free) through one
+// step, preserving order and uniqueness.
+func applyStep(frontier []*tree.Node, s Step) []*tree.Node {
+	var out []*tree.Node
+	seen := make(map[*tree.Node]struct{})
+	add := func(n *tree.Node) {
+		if _, dup := seen[n]; dup {
+			return
+		}
+		seen[n] = struct{}{}
+		out = append(out, n)
+	}
+	for _, n := range frontier {
+		switch s.Axis {
+		case Child:
+			for _, c := range n.Children {
+				if c.Kind != tree.Element {
+					continue
+				}
+				if !s.Wildcard && c.Label != s.Label {
+					continue
+				}
+				if qualsHold(c, s.Quals) {
+					add(c)
+				}
+			}
+		case DescendantOrSelf:
+			// Qualifiers never appear on '//' itself (the parser
+			// attaches them to named steps), but handle them anyway.
+			var visit func(m *tree.Node)
+			visit = func(m *tree.Node) {
+				if m.Kind == tree.Element || m.Kind == tree.Document {
+					if qualsHold(m, s.Quals) {
+						add(m)
+					}
+				}
+				for _, c := range m.Children {
+					if c.Kind == tree.Element {
+						visit(c)
+					}
+				}
+			}
+			visit(n)
+		case Self:
+			if qualsHold(n, s.Quals) {
+				add(n)
+			}
+		case Attribute:
+			// Attributes are not nodes in this model; selection paths
+			// must not contain attribute steps.
+		}
+	}
+	return out
+}
+
+func qualsHold(n *tree.Node, quals []Qual) bool {
+	for _, q := range quals {
+		if !EvalQual(n, q) {
+			return false
+		}
+	}
+	return true
+}
+
+// EvalQual evaluates qualifier q at context node n. It implements checkp()
+// of §3.3 by direct recursive evaluation — the strategy the paper calls
+// "native qualifier evaluation" (as done by Qizx) and uses in GENTOP.
+func EvalQual(n *tree.Node, q Qual) bool {
+	switch q := q.(type) {
+	case *TrueQual:
+		return true
+	case *LabelQual:
+		return n.Kind == tree.Element && n.Label == q.Label
+	case *AndQual:
+		return EvalQual(n, q.L) && EvalQual(n, q.R)
+	case *OrQual:
+		return EvalQual(n, q.L) || EvalQual(n, q.R)
+	case *NotQual:
+		return !EvalQual(n, q.X)
+	case *PathQual:
+		return evalPathTest(n, q.Path, OpNone, "")
+	case *CmpQual:
+		return evalPathTest(n, q.Path, q.Op, q.Lit)
+	default:
+		return false
+	}
+}
+
+// evalPathTest evaluates a qualifier path at n. With op == OpNone it is an
+// existence test; otherwise it tests whether some selected value satisfies
+// "value op lit". A trailing attribute step tests attribute presence or
+// value; an empty path tests the context node itself.
+func evalPathTest(n *tree.Node, p *Path, op CmpOp, lit string) bool {
+	steps := p.Steps
+	var attr string
+	if k := len(steps); k > 0 && steps[k-1].Axis == Attribute {
+		attr = steps[k-1].Label
+		steps = steps[:k-1]
+	}
+	nodes := Select(n, &Path{Steps: steps})
+	for _, m := range nodes {
+		if attr != "" {
+			v, ok := m.Attr(attr)
+			if !ok {
+				continue
+			}
+			if op == OpNone || Compare(v, op, lit) {
+				return true
+			}
+			continue
+		}
+		if op == OpNone || Compare(m.Value(), op, lit) {
+			return true
+		}
+	}
+	return false
+}
+
+// Compare applies "value op lit". When both sides parse as floating-point
+// numbers the comparison is numeric, otherwise it is lexicographic — the
+// convention needed by the XMark qualifiers (increase > 5, age > 20) while
+// keeping string equality tests (country = 'A') exact.
+func Compare(value string, op CmpOp, lit string) bool {
+	lv, errV := strconv.ParseFloat(strings.TrimSpace(value), 64)
+	ll, errL := strconv.ParseFloat(strings.TrimSpace(lit), 64)
+	var cmp int
+	if errV == nil && errL == nil {
+		switch {
+		case lv < ll:
+			cmp = -1
+		case lv > ll:
+			cmp = 1
+		}
+	} else {
+		cmp = strings.Compare(value, lit)
+	}
+	switch op {
+	case OpEq:
+		return cmp == 0
+	case OpNe:
+		return cmp != 0
+	case OpLt:
+		return cmp < 0
+	case OpLe:
+		return cmp <= 0
+	case OpGt:
+		return cmp > 0
+	case OpGe:
+		return cmp >= 0
+	default:
+		return false
+	}
+}

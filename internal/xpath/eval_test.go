@@ -1,0 +1,415 @@
+package xpath
+
+import (
+	"math/rand"
+	"testing"
+
+	"xtq/internal/sax"
+	"xtq/internal/tree"
+)
+
+// fig1 is the document of Fig. 1 of the paper.
+const fig1 = `<db>
+<part><pname>keyboard</pname>
+  <supplier><sname>HP</sname><price>15</price><country>US</country></supplier>
+  <supplier><sname>Logi</sname><price>12</price><country>A</country></supplier>
+  <subPart><part><pname>key</pname>
+    <supplier><sname>Acme</sname><price>2</price><country>CN</country></supplier>
+  </part></subPart>
+</part>
+<part><pname>mouse</pname>
+  <supplier><sname>Dell</sname><price>9</price><country>A</country></supplier>
+</part>
+</db>`
+
+func parseDoc(t *testing.T, s string) *tree.Node {
+	t.Helper()
+	doc, err := sax.ParseString(s)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return doc
+}
+
+func sel(t *testing.T, doc *tree.Node, expr string) []*tree.Node {
+	t.Helper()
+	return Select(doc, MustParse(expr))
+}
+
+func labels(nodes []*tree.Node) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Label
+	}
+	return out
+}
+
+func TestSelectChildPaths(t *testing.T) {
+	doc := parseDoc(t, fig1)
+	if got := sel(t, doc, "db/part"); len(got) != 2 {
+		t.Errorf("db/part: %d nodes, want 2", len(got))
+	}
+	if got := sel(t, doc, "db/part/pname"); len(got) != 2 {
+		t.Errorf("db/part/pname: %d, want 2", len(got))
+	}
+	if got := sel(t, doc, "db/nosuch"); len(got) != 0 {
+		t.Errorf("db/nosuch: %d, want 0", len(got))
+	}
+	if got := sel(t, doc, "part"); len(got) != 0 {
+		t.Errorf("part at document: %d, want 0 (db is the root)", len(got))
+	}
+}
+
+func TestSelectDescendant(t *testing.T) {
+	doc := parseDoc(t, fig1)
+	if got := sel(t, doc, "//part"); len(got) != 3 {
+		t.Errorf("//part: %d, want 3", len(got))
+	}
+	if got := sel(t, doc, "//price"); len(got) != 4 {
+		t.Errorf("//price: %d, want 4", len(got))
+	}
+	if got := sel(t, doc, "//part//part"); len(got) != 1 {
+		t.Errorf("//part//part: %d, want 1", len(got))
+	}
+	if got := sel(t, doc, "db//supplier/price"); len(got) != 4 {
+		t.Errorf("db//supplier/price: %d, want 4", len(got))
+	}
+	// '//' must not produce duplicates.
+	if got := sel(t, doc, "//db//price"); len(got) != 4 {
+		t.Errorf("//db//price: %d, want 4", len(got))
+	}
+}
+
+func TestSelectWildcardAndSelf(t *testing.T) {
+	doc := parseDoc(t, fig1)
+	if got := sel(t, doc, "db/part/*"); len(got) != 4+2 {
+		t.Errorf("db/part/*: %d, want 6", len(got))
+	}
+	if got := sel(t, doc, "db/."); len(got) != 1 || got[0].Label != "db" {
+		t.Errorf("db/. = %v", labels(got))
+	}
+	if got := sel(t, doc, "."); len(got) != 1 || got[0].Kind != tree.Document {
+		t.Errorf(". should select the context node")
+	}
+}
+
+func TestSelectQualifiers(t *testing.T) {
+	doc := parseDoc(t, fig1)
+	cases := []struct {
+		expr string
+		want int
+	}{
+		{`db/part[pname = "keyboard"]`, 1},
+		{`db/part[pname = "nothing"]`, 0},
+		{`//part[pname]`, 3},
+		{`//supplier[price < 10]`, 2},
+		{`//supplier[price <= 9]`, 2},
+		{`//supplier[price > 10]`, 2},
+		{`//supplier[price >= 12]`, 2},
+		{`//supplier[price != 15]`, 3},
+		{`//supplier[country = "A"]`, 2},
+		{`//supplier[country = "A" and price < 10]`, 1},
+		{`//supplier[country = "A" or price = 2]`, 3},
+		{`//supplier[not(country = "A")]`, 2},
+		{`//part[supplier/sname = "HP"]`, 1},
+		{`//part[not(supplier/sname = "HP") and not(supplier/price < 15)]`, 0},
+		{`//part[not(supplier/sname = "HP")]`, 2},
+		{`//part[subPart/part]`, 1},
+		{`//part[.//supplier]`, 3},
+		{`//part[label() = "part"]`, 3},
+		{`//part[label() = "supplier"]`, 0},
+		{`//*[label() = "supplier"]`, 4},
+		{`//part[. = ""]`, 3}, // parts have no direct text
+		{`//pname[. = "keyboard"]`, 1},
+	}
+	for _, tc := range cases {
+		if got := sel(t, doc, tc.expr); len(got) != tc.want {
+			t.Errorf("%s: %d nodes (%v), want %d", tc.expr, len(got), labels(got), tc.want)
+		}
+	}
+}
+
+func TestSelectAttributes(t *testing.T) {
+	doc := parseDoc(t, `<site><people>
+		<person id="person0"><name>Ada</name></person>
+		<person id="person10"><name>Bob</name></person>
+		<person><name>Anon</name></person>
+	</people></site>`)
+	cases := []struct {
+		expr string
+		want int
+	}{
+		{`site/people/person[@id = "person10"]`, 1},
+		{`site/people/person[@id]`, 2},
+		{`site/people/person[not(@id)]`, 1},
+		{`site/people/person[@id != "person10"]`, 1},
+		{`site/people/person[@nope]`, 0},
+	}
+	for _, tc := range cases {
+		if got := sel(t, doc, tc.expr); len(got) != tc.want {
+			t.Errorf("%s: %d, want %d", tc.expr, len(got), tc.want)
+		}
+	}
+	// Attribute steps in selection paths select nothing.
+	if got := sel(t, doc, "site/people/person/@id"); len(got) != 0 {
+		t.Errorf("selection path with attribute step returned %d nodes", len(got))
+	}
+}
+
+func TestSelectDocumentOrder(t *testing.T) {
+	doc := parseDoc(t, fig1)
+	got := sel(t, doc, "//sname")
+	want := []string{"HP", "Logi", "Acme", "Dell"}
+	if len(got) != len(want) {
+		t.Fatalf("got %d snames", len(got))
+	}
+	for i, n := range got {
+		if n.Value() != want[i] {
+			t.Errorf("sname[%d] = %q, want %q (document order)", i, n.Value(), want[i])
+		}
+	}
+}
+
+func TestExample31(t *testing.T) {
+	// p1 = //part[q1]//part[q2] from Example 3.1: parts below a keyboard
+	// part such that no supplier is HP and no supplier has price < 15.
+	doc := parseDoc(t, fig1)
+	p1 := `//part[pname = "keyboard"]//part[not(supplier/sname = "HP") and not(supplier/price < 15)]`
+	got := sel(t, doc, p1)
+	// The inner "key" part has supplier Acme at price 2 → price<15 → excluded.
+	if len(got) != 0 {
+		t.Errorf("p1 selected %v, want none", labels(got))
+	}
+	// Relax the price bound: now the inner part qualifies.
+	p2 := `//part[pname = "keyboard"]//part[not(supplier/sname = "HP") and not(supplier/price < 2)]`
+	got = sel(t, doc, p2)
+	if len(got) != 1 || got[0].Children[0].Value() != "key" {
+		t.Errorf("p2 selected %v, want the inner part", labels(got))
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		v    string
+		op   CmpOp
+		lit  string
+		want bool
+	}{
+		{"15", OpEq, "15", true},
+		{"15", OpEq, "15.0", true}, // numeric comparison
+		{"15", OpNe, "15.0", false},
+		{"9", OpLt, "10", true},
+		{"9", OpLt, "10 ", true},
+		{"abc", OpEq, "abc", true},
+		{"abc", OpLt, "abd", true},
+		{"10", OpGt, "9", true}, // numeric: 10 > 9
+		{"10", OpGe, "10", true},
+		{"10", OpLe, "10", true},
+		{"x10", OpGt, "x9", false}, // string: "x10" < "x9"
+		{"", OpEq, "", true},
+		{"1.5", OpGt, "1.25", true},
+		{"-3", OpLt, "0", true},
+		{"United States", OpEq, "United States", true},
+		{"5", OpNone, "5", false}, // OpNone never holds
+	}
+	for _, tc := range cases {
+		if got := Compare(tc.v, tc.op, tc.lit); got != tc.want {
+			t.Errorf("Compare(%q %s %q) = %v, want %v", tc.v, tc.op, tc.lit, got, tc.want)
+		}
+	}
+}
+
+func TestEvalQualUnknownType(t *testing.T) {
+	if EvalQual(tree.NewElement("a"), nil) {
+		t.Errorf("nil qualifier should evaluate to false")
+	}
+}
+
+func TestSelectEmptyFrontierShortCircuit(t *testing.T) {
+	doc := parseDoc(t, fig1)
+	if got := sel(t, doc, "nosuch/part/pname"); got != nil {
+		t.Errorf("got %v, want nil", labels(got))
+	}
+}
+
+// --- QualDP / normal form tests ---
+
+func TestNormalizeExample51(t *testing.T) {
+	// Example 5.1: the qualifier list for p1 of Example 3.1 contains the
+	// nine sub-expressions q1..q9 (modulo interning of shared structure).
+	p := MustParse(`//part[pname = "keyboard"]//part[not(supplier/sname = "HP") and not(supplier/price < 15)]`)
+	lq := NewLQ()
+	var ids []int
+	for _, s := range p.Steps {
+		id, err := lq.AddQuals(s.Quals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if lq.Len() < 9 {
+		t.Errorf("LQ has %d expressions, want at least the 9 of Example 5.1", lq.Len())
+	}
+	// Sub-expressions precede containing expressions.
+	for _, e := range lq.Exprs {
+		if e.A >= e.ID || e.B >= e.ID {
+			t.Errorf("expression %d references later sub-expression (%d, %d)", e.ID, e.A, e.B)
+		}
+	}
+	// Closure of the final step's qualifier includes itself and is sorted.
+	cl := lq.Closure([]int{ids[len(ids)-1]})
+	for i := 1; i < len(cl); i++ {
+		if cl[i-1] >= cl[i] {
+			t.Errorf("closure not sorted: %v", cl)
+		}
+	}
+}
+
+func TestNormalizeInterning(t *testing.T) {
+	lq := NewLQ()
+	q := MustParse(`a[b = "x"]`).Steps[0].Quals[0]
+	id1, err := lq.AddQual(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := lq.Len()
+	id2, err := lq.AddQual(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != id2 || lq.Len() != n {
+		t.Errorf("re-adding identical qualifier changed LQ: %d → %d ids, %d exprs", id1, id2, lq.Len())
+	}
+}
+
+func TestNormalizeAttrMidPathRejected(t *testing.T) {
+	lq := NewLQ()
+	q := &PathQual{Path: &Path{Steps: []Step{
+		{Axis: Attribute, Label: "id"},
+		{Axis: Child, Label: "b"},
+	}}}
+	if _, err := lq.AddQual(q); err == nil {
+		t.Errorf("attribute step in non-final position should be rejected")
+	}
+}
+
+func TestLQStringCoverage(t *testing.T) {
+	lq := NewLQ()
+	quals := []string{
+		`a[b = "x"]`, `a[.//c > 3]`, `a[not(b) and (c or d)]`,
+		`a[@id]`, `a[@id = "z"]`, `a[label() = "l"]`, `a[. = "v"]`,
+	}
+	for _, s := range quals {
+		q := MustParse(s).Steps[0].Quals[0]
+		id, err := lq.AddQual(q)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if lq.String(id) == "" || lq.String(id) == "?" {
+			t.Errorf("%s: bad rendering %q", s, lq.String(id))
+		}
+	}
+}
+
+// Property: for random documents and random qualifiers, the QualDP
+// bottom-up evaluation agrees with direct recursive evaluation at every
+// element node. This validates the dynamic program of Fig. 7 against the
+// reference semantics.
+func TestQualDPMatchesDirectEval(t *testing.T) {
+	genOpts := tree.DefaultGenOptions()
+	cfg := DefaultGenConfig()
+	for seed := int64(0); seed < 150; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		doc := tree.Generate(rng, genOpts)
+		q := RandomQual(rng, cfg)
+		lq := NewLQ()
+		id, err := lq.AddQual(q)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		checkQualDPNode(t, seed, doc.Root(), q, lq, id)
+	}
+}
+
+func checkQualDPNode(t *testing.T, seed int64, n *tree.Node, q Qual, lq *LQ, id int) {
+	t.Helper()
+	sat := lq.EvalAll(n)
+	want := EvalQual(n, q)
+	if sat[id] != want {
+		t.Fatalf("seed %d: QualDP=%v direct=%v at %s for qualifier %s",
+			seed, sat[id], want, n.Label, q.String())
+	}
+	for _, c := range n.Children {
+		if c.Kind == tree.Element {
+			checkQualDPNode(t, seed, c, q, lq, id)
+		}
+	}
+}
+
+// Property: step qualifiers of random full paths agree between QualDP and
+// direct evaluation (exercises qualifier lists with shared sub-expressions
+// across steps).
+func TestQualDPMatchesDirectEvalPerStep(t *testing.T) {
+	genOpts := tree.DefaultGenOptions()
+	cfg := DefaultGenConfig()
+	for seed := int64(1000); seed < 1100; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		doc := tree.Generate(rng, genOpts)
+		p := RandomPath(rng, cfg)
+		lq := NewLQ()
+		type stepQual struct {
+			id    int
+			quals []Qual
+		}
+		var sqs []stepQual
+		for _, s := range p.Steps {
+			if len(s.Quals) == 0 {
+				continue
+			}
+			id, err := lq.AddQuals(s.Quals)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			sqs = append(sqs, stepQual{id: id, quals: s.Quals})
+		}
+		if len(sqs) == 0 {
+			continue
+		}
+		var walk func(n *tree.Node)
+		walk = func(n *tree.Node) {
+			sat := lq.EvalAll(n)
+			for _, sq := range sqs {
+				want := true
+				for _, q := range sq.quals {
+					if !EvalQual(n, q) {
+						want = false
+						break
+					}
+				}
+				if sat[sq.id] != want {
+					t.Fatalf("seed %d: mismatch at %s: QualDP=%v direct=%v", seed, n.Label, sat[sq.id], want)
+				}
+			}
+			for _, c := range n.Children {
+				if c.Kind == tree.Element {
+					walk(c)
+				}
+			}
+		}
+		walk(doc.Root())
+	}
+}
+
+func TestClosureSubset(t *testing.T) {
+	lq := NewLQ()
+	idA, _ := lq.AddQual(MustParse(`x[a/b = "1"]`).Steps[0].Quals[0])
+	idB, _ := lq.AddQual(MustParse(`x[c]`).Steps[0].Quals[0])
+	clA := lq.Closure([]int{idA})
+	clAll := lq.Closure([]int{idA, idB})
+	if len(clA) >= len(clAll) {
+		t.Errorf("closure of one root (%d) should be smaller than of both (%d)", len(clA), len(clAll))
+	}
+	if got := lq.Closure(nil); len(got) != 0 {
+		t.Errorf("closure of no roots = %v", got)
+	}
+}

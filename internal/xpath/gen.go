@@ -1,0 +1,94 @@
+package xpath
+
+import "math/rand"
+
+// GenConfig drives the random query generator used by property tests (both
+// here and in the evaluator packages).
+type GenConfig struct {
+	Labels   []string
+	Attrs    []string
+	Values   []string
+	MaxSteps int
+	MaxQual  int // maximum qualifier nesting depth
+}
+
+// DefaultGenConfig matches tree.DefaultGenOptions so random queries have
+// non-trivial selectivity on random documents.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		Labels:   []string{"a", "b", "c", "d", "part", "supplier", "price"},
+		Attrs:    []string{"id", "kind"},
+		Values:   []string{"1", "2", "15", "HP", "keyboard", "x"},
+		MaxSteps: 4,
+		MaxQual:  2,
+	}
+}
+
+// RandomPath returns a random selection path (no attribute steps outside
+// qualifiers).
+func RandomPath(rng *rand.Rand, cfg GenConfig) *Path {
+	return randomPath(rng, cfg, 1+rng.Intn(cfg.MaxSteps), cfg.MaxQual, false)
+}
+
+// RandomQual returns a random qualifier of bounded depth.
+func RandomQual(rng *rand.Rand, cfg GenConfig) Qual {
+	return randomQual(rng, cfg, cfg.MaxQual)
+}
+
+func randomPath(rng *rand.Rand, cfg GenConfig, steps, qualDepth int, allowAttr bool) *Path {
+	p := &Path{}
+	for i := 0; i < steps; i++ {
+		if rng.Float64() < 0.25 {
+			p.Steps = append(p.Steps, Step{Axis: DescendantOrSelf})
+		}
+		last := i == steps-1
+		if allowAttr && last && rng.Float64() < 0.3 {
+			p.Steps = append(p.Steps, Step{Axis: Attribute, Label: cfg.Attrs[rng.Intn(len(cfg.Attrs))]})
+			return p
+		}
+		var s Step
+		if rng.Float64() < 0.15 {
+			s = Step{Axis: Child, Wildcard: true}
+		} else {
+			s = Step{Axis: Child, Label: cfg.Labels[rng.Intn(len(cfg.Labels))]}
+		}
+		if qualDepth > 0 && rng.Float64() < 0.35 {
+			s.Quals = append(s.Quals, randomQual(rng, cfg, qualDepth-1))
+		}
+		p.Steps = append(p.Steps, s)
+	}
+	return p
+}
+
+func randomQual(rng *rand.Rand, cfg GenConfig, depth int) Qual {
+	if depth <= 0 {
+		return randomAtomQual(rng, cfg)
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return &AndQual{L: randomQual(rng, cfg, depth-1), R: randomQual(rng, cfg, depth-1)}
+	case 1:
+		return &OrQual{L: randomQual(rng, cfg, depth-1), R: randomQual(rng, cfg, depth-1)}
+	case 2:
+		return &NotQual{X: randomQual(rng, cfg, depth-1)}
+	default:
+		return randomAtomQual(rng, cfg)
+	}
+}
+
+func randomAtomQual(rng *rand.Rand, cfg GenConfig) Qual {
+	path := randomPath(rng, cfg, 1+rng.Intn(2), 0, true)
+	switch rng.Intn(4) {
+	case 0:
+		return &PathQual{Path: path}
+	case 1:
+		return &LabelQual{Label: cfg.Labels[rng.Intn(len(cfg.Labels))]}
+	default:
+		ops := []CmpOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+		return &CmpQual{
+			Path: path,
+			Op:   ops[rng.Intn(len(ops))],
+			Lit:  cfg.Values[rng.Intn(len(cfg.Values))],
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package xpath
+
+import "fmt"
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString // quoted literal
+	tokNumber
+	tokSlash       // /
+	tokDoubleSlash // //
+	tokStar        // *
+	tokDot         // .
+	tokAt          // @
+	tokLBracket    // [
+	tokRBracket    // ]
+	tokLParen      // (
+	tokRParen      // )
+	tokEq          // =
+	tokNe          // !=
+	tokLt          // <
+	tokLe          // <=
+	tokGt          // >
+	tokGe          // >=
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of expression"
+	case tokIdent:
+		return "name"
+	case tokString:
+		return "string literal"
+	case tokNumber:
+		return "number"
+	case tokSlash:
+		return "'/'"
+	case tokDoubleSlash:
+		return "'//'"
+	case tokStar:
+		return "'*'"
+	case tokDot:
+		return "'.'"
+	case tokAt:
+		return "'@'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokEq:
+		return "'='"
+	case tokNe:
+		return "'!='"
+	case tokLt:
+		return "'<'"
+	case tokLe:
+		return "'<='"
+	case tokGt:
+		return "'>'"
+	case tokGe:
+		return "'>='"
+	default:
+		return "?"
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// SyntaxError reports a parse failure with its byte offset in the
+// expression.
+type SyntaxError struct {
+	Expr string
+	Pos  int
+	Msg  string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("xpath: %s at offset %d in %q", e.Msg, e.Pos, e.Expr)
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
+}
+
+// isIdentChar accepts name characters; '.' is excluded (unlike XML names)
+// because it lexes as the self step.
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || c == '-' || (c >= '0' && c <= '9')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (l *lexer) errf(pos int, format string, args ...any) *SyntaxError {
+	return &SyntaxError{Expr: l.src, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && (l.src[l.pos] == ' ' || l.src[l.pos] == '\t' || l.src[l.pos] == '\n' || l.src[l.pos] == '\r') {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '/':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '/' {
+			l.pos++
+			return token{kind: tokDoubleSlash, text: "//", pos: start}, nil
+		}
+		return token{kind: tokSlash, text: "/", pos: start}, nil
+	case c == '*':
+		l.pos++
+		return token{kind: tokStar, text: "*", pos: start}, nil
+	case c == '.':
+		l.pos++
+		return token{kind: tokDot, text: ".", pos: start}, nil
+	case c == '@':
+		l.pos++
+		return token{kind: tokAt, text: "@", pos: start}, nil
+	case c == '[':
+		l.pos++
+		return token{kind: tokLBracket, text: "[", pos: start}, nil
+	case c == ']':
+		l.pos++
+		return token{kind: tokRBracket, text: "]", pos: start}, nil
+	case c == '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case c == ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case c == '=':
+		l.pos++
+		return token{kind: tokEq, text: "=", pos: start}, nil
+	case c == '!':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokNe, text: "!=", pos: start}, nil
+		}
+		return token{}, l.errf(start, "unexpected '!'")
+	case c == '<':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokLe, text: "<=", pos: start}, nil
+		}
+		return token{kind: tokLt, text: "<", pos: start}, nil
+	case c == '>':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokGe, text: ">=", pos: start}, nil
+		}
+		return token{kind: tokGt, text: ">", pos: start}, nil
+	case c == '"' || c == '\'':
+		quote := c
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] != quote {
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, l.errf(start, "unterminated string literal")
+		}
+		text := l.src[start+1 : l.pos]
+		l.pos++
+		return token{kind: tokString, text: text, pos: start}, nil
+	case isDigit(c) || (c == '-' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+		l.pos++
+		dot := false
+		for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || (l.src[l.pos] == '.' && !dot)) {
+			if l.src[l.pos] == '.' {
+				// Only treat as a decimal point when followed by a digit;
+				// otherwise it is a path '.' step.
+				if l.pos+1 >= len(l.src) || !isDigit(l.src[l.pos+1]) {
+					break
+				}
+				dot = true
+			}
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+	case isIdentStart(c):
+		l.pos++
+		for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}, nil
+	default:
+		return token{}, l.errf(start, "unexpected character %q", c)
+	}
+}

@@ -1,0 +1,272 @@
+package xpath
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file implements the qualifier normal form of §5: every path inside a
+// qualifier is rewritten so that each step is η/p' with η one of *, // or
+// ε[q], using the rules
+//
+//	(1) l        →  */ε[label() = l]
+//	(2) p[q]     →  p/ε[q]
+//	(3) p[q1]…[qn] → p[q1 and … and qn]
+//	(4) p op 's' →  p[ε op 's']
+//
+// Normalized expressions are interned into a topologically sorted list LQ
+// (sub-expressions strictly before the expressions containing them), which
+// is exactly the structure algorithm QualDP (Fig. 7) recurses over.
+
+// NKind enumerates the normal-form expression constructors, matching the
+// cases of Fig. 7.
+type NKind uint8
+
+const (
+	// KTrue is ε, the trivially true qualifier (case 1).
+	KTrue NKind = iota
+	// KSelfCond is ε[q']/p (case 2): A holds here and B holds here.
+	KSelfCond
+	// KChild is */p (case 3): some element child satisfies B.
+	KChild
+	// KDesc is //p (case 4): B holds here or at some element descendant.
+	KDesc
+	// KCmp is ε op 's' (case 5, generalized to all comparison operators).
+	KCmp
+	// KLabel is label() = l (case 6).
+	KLabel
+	// KAnd is q1 ∧ q2 (case 7).
+	KAnd
+	// KOr is q1 ∨ q2 (case 8).
+	KOr
+	// KNot is ¬q1 (case 9).
+	KNot
+	// KAttr tests the context node's attribute: existence when Op is
+	// OpNone, comparison otherwise. This extends Fig. 7 for the @id
+	// tests of the XMark workload; like cases 5-6 it is local to the
+	// node, so the recurrence stays O(1) per expression.
+	KAttr
+)
+
+// NQual is one interned normal-form expression. A and B index
+// sub-expressions in the owning LQ (-1 when unused).
+type NQual struct {
+	ID    int
+	Kind  NKind
+	A, B  int
+	Label string // label for KLabel, attribute name for KAttr
+	Op    CmpOp
+	Lit   string
+}
+
+// LQ is the topologically sorted list of (sub-)qualifiers of §5: for every
+// expression, its sub-expressions appear earlier in the list. All
+// qualifiers of one query share a single LQ so that common sub-expressions
+// are evaluated once per node.
+type LQ struct {
+	Exprs []NQual
+	byKey map[string]int
+}
+
+// NewLQ returns an empty qualifier list.
+func NewLQ() *LQ {
+	return &LQ{byKey: make(map[string]int)}
+}
+
+// Len returns the number of interned expressions.
+func (lq *LQ) Len() int { return len(lq.Exprs) }
+
+func (lq *LQ) intern(kind NKind, a, b int, label string, op CmpOp, lit string) int {
+	key := fmt.Sprintf("%d|%d|%d|%s|%d|%s", kind, a, b, label, op, lit)
+	if id, ok := lq.byKey[key]; ok {
+		return id
+	}
+	id := len(lq.Exprs)
+	lq.Exprs = append(lq.Exprs, NQual{ID: id, Kind: kind, A: a, B: b, Label: label, Op: op, Lit: lit})
+	lq.byKey[key] = id
+	return id
+}
+
+// True returns the id of the trivially true expression ε.
+func (lq *LQ) True() int { return lq.intern(KTrue, -1, -1, "", OpNone, "") }
+
+// AddQual normalizes qualifier q and interns it, returning its id.
+func (lq *LQ) AddQual(q Qual) (int, error) {
+	switch q := q.(type) {
+	case *TrueQual:
+		return lq.True(), nil
+	case *LabelQual:
+		return lq.intern(KLabel, -1, -1, q.Label, OpNone, ""), nil
+	case *AndQual:
+		l, err := lq.AddQual(q.L)
+		if err != nil {
+			return 0, err
+		}
+		r, err := lq.AddQual(q.R)
+		if err != nil {
+			return 0, err
+		}
+		return lq.intern(KAnd, l, r, "", OpNone, ""), nil
+	case *OrQual:
+		l, err := lq.AddQual(q.L)
+		if err != nil {
+			return 0, err
+		}
+		r, err := lq.AddQual(q.R)
+		if err != nil {
+			return 0, err
+		}
+		return lq.intern(KOr, l, r, "", OpNone, ""), nil
+	case *NotQual:
+		x, err := lq.AddQual(q.X)
+		if err != nil {
+			return 0, err
+		}
+		return lq.intern(KNot, x, -1, "", OpNone, ""), nil
+	case *PathQual:
+		return lq.addPath(q.Path, OpNone, "")
+	case *CmpQual:
+		return lq.addPath(q.Path, q.Op, q.Lit)
+	default:
+		return 0, fmt.Errorf("xpath: unknown qualifier type %T", q)
+	}
+}
+
+// AddQuals interns the conjunction of quals (rule 3); an empty list is ε.
+func (lq *LQ) AddQuals(quals []Qual) (int, error) {
+	if len(quals) == 0 {
+		return lq.True(), nil
+	}
+	id, err := lq.AddQual(quals[0])
+	if err != nil {
+		return 0, err
+	}
+	for _, q := range quals[1:] {
+		next, err := lq.AddQual(q)
+		if err != nil {
+			return 0, err
+		}
+		id = lq.intern(KAnd, id, next, "", OpNone, "")
+	}
+	return id, nil
+}
+
+// addPath normalizes a qualifier path with an optional trailing comparison
+// (rule 4). The path is folded right to left onto the "tail" expression.
+func (lq *LQ) addPath(p *Path, op CmpOp, lit string) (int, error) {
+	steps := p.Steps
+	var tail int
+	// A trailing attribute step becomes the local KAttr tail.
+	if k := len(steps); k > 0 && steps[k-1].Axis == Attribute {
+		tail = lq.intern(KAttr, -1, -1, steps[k-1].Label, op, lit)
+		steps = steps[:k-1]
+	} else if op == OpNone {
+		tail = lq.True()
+	} else {
+		tail = lq.intern(KCmp, -1, -1, "", op, lit)
+	}
+	rest := tail
+	for i := len(steps) - 1; i >= 0; i-- {
+		s := steps[i]
+		if s.Axis == Attribute {
+			return 0, errors.New("xpath: attribute step not in final position of qualifier path")
+		}
+		cond, err := lq.AddQuals(s.Quals)
+		if err != nil {
+			return 0, err
+		}
+		switch s.Axis {
+		case Self:
+			if cond != lq.True() {
+				rest = lq.intern(KSelfCond, cond, rest, "", OpNone, "")
+			}
+		case DescendantOrSelf:
+			if cond != lq.True() {
+				rest = lq.intern(KSelfCond, cond, rest, "", OpNone, "")
+			}
+			rest = lq.intern(KDesc, -1, rest, "", OpNone, "")
+		case Child:
+			self := rest
+			if !s.Wildcard {
+				// Rule (1): l → */ε[label() = l].
+				labelTest := lq.intern(KLabel, -1, -1, s.Label, OpNone, "")
+				cond = lq.conj(labelTest, cond)
+			}
+			if cond != lq.True() {
+				self = lq.intern(KSelfCond, cond, self, "", OpNone, "")
+			}
+			rest = lq.intern(KChild, -1, self, "", OpNone, "")
+		}
+	}
+	return rest, nil
+}
+
+func (lq *LQ) conj(a, b int) int {
+	t := lq.True()
+	if a == t {
+		return b
+	}
+	if b == t {
+		return a
+	}
+	return lq.intern(KAnd, a, b, "", OpNone, "")
+}
+
+// Closure returns the ids of all expressions reachable from roots
+// (including the roots), sorted ascending — i.e. in evaluation order. This
+// is LQ(S) of §5: the sub-qualifier list that must be evaluated at a node
+// whose automaton states carry the root qualifiers.
+func (lq *LQ) Closure(roots []int) []int {
+	need := make([]bool, len(lq.Exprs))
+	var mark func(int)
+	mark = func(id int) {
+		if id < 0 || need[id] {
+			return
+		}
+		need[id] = true
+		mark(lq.Exprs[id].A)
+		mark(lq.Exprs[id].B)
+	}
+	for _, r := range roots {
+		mark(r)
+	}
+	out := make([]int, 0, len(roots))
+	for id, ok := range need {
+		if ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// String renders expression id for diagnostics.
+func (lq *LQ) String(id int) string {
+	e := lq.Exprs[id]
+	switch e.Kind {
+	case KTrue:
+		return "true"
+	case KSelfCond:
+		return fmt.Sprintf(".[%s]/%s", lq.String(e.A), lq.String(e.B))
+	case KChild:
+		return fmt.Sprintf("*/%s", lq.String(e.B))
+	case KDesc:
+		return fmt.Sprintf("//%s", lq.String(e.B))
+	case KCmp:
+		return fmt.Sprintf(". %s %s", e.Op, quoteLit(e.Lit))
+	case KLabel:
+		return fmt.Sprintf("label() = %s", e.Label)
+	case KAnd:
+		return fmt.Sprintf("(%s and %s)", lq.String(e.A), lq.String(e.B))
+	case KOr:
+		return fmt.Sprintf("(%s or %s)", lq.String(e.A), lq.String(e.B))
+	case KNot:
+		return fmt.Sprintf("not(%s)", lq.String(e.A))
+	case KAttr:
+		if e.Op == OpNone {
+			return "@" + e.Label
+		}
+		return fmt.Sprintf("@%s %s %s", e.Label, e.Op, quoteLit(e.Lit))
+	default:
+		return "?"
+	}
+}

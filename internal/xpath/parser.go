@@ -1,0 +1,302 @@
+package xpath
+
+// Parser for the X fragment. Grammar (op ∈ {=, !=, <, <=, >, >=}):
+//
+//	path    := ('/' | '//')? step (('/' | '//') step)*
+//	step    := (name | '*' | '.' | '@'name) ('[' qual ']')*
+//	qual    := orExpr
+//	orExpr  := andExpr ('or' andExpr)*
+//	andExpr := unary ('and' unary)*
+//	unary   := 'not' '(' qual ')' | '(' qual ')' | atom
+//	atom    := 'label' '(' ')' '=' literal | path (op literal)?
+//	literal := string | number
+//
+// A leading '/' anchors at the context node (which is the document node for
+// paths embedded in transform queries) and is otherwise a no-op; a leading
+// '//' contributes a descendant-or-self step.
+
+import "fmt"
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+// Parse parses an X expression.
+func Parse(src string) (*Path, error) {
+	p := &parser{lex: &lexer{src: src}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	path, err := p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errf("unexpected %s after path", p.tok.kind)
+	}
+	return path, nil
+}
+
+// MustParse parses src and panics on error; for tests and static queries.
+func MustParse(src string) *Path {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &SyntaxError{Expr: p.lex.src, Pos: p.tok.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) advance() error {
+	tok, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = tok
+	return nil
+}
+
+func (p *parser) parsePath() (*Path, error) {
+	path := &Path{}
+	switch p.tok.kind {
+	case tokSlash:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	case tokDoubleSlash:
+		path.Steps = append(path.Steps, Step{Axis: DescendantOrSelf})
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.parseStep(path); err != nil {
+		return nil, err
+	}
+	for {
+		switch p.tok.kind {
+		case tokSlash:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		case tokDoubleSlash:
+			path.Steps = append(path.Steps, Step{Axis: DescendantOrSelf})
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		default:
+			return path, nil
+		}
+		if err := p.parseStep(path); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) parseStep(path *Path) error {
+	var step Step
+	switch p.tok.kind {
+	case tokIdent:
+		step = Step{Axis: Child, Label: p.tok.text}
+	case tokStar:
+		step = Step{Axis: Child, Wildcard: true}
+	case tokDot:
+		step = Step{Axis: Self}
+	case tokAt:
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if p.tok.kind != tokIdent {
+			return p.errf("expected attribute name after '@', got %s", p.tok.kind)
+		}
+		step = Step{Axis: Attribute, Label: p.tok.text}
+	default:
+		return p.errf("expected a step, got %s", p.tok.kind)
+	}
+	if err := p.advance(); err != nil {
+		return err
+	}
+	for p.tok.kind == tokLBracket {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		q, err := p.parseQual()
+		if err != nil {
+			return err
+		}
+		if p.tok.kind != tokRBracket {
+			return p.errf("expected ']', got %s", p.tok.kind)
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+		step.Quals = append(step.Quals, q)
+	}
+	if step.Axis == Attribute && len(step.Quals) > 0 {
+		return p.errf("attribute steps cannot carry qualifiers")
+	}
+	path.Steps = append(path.Steps, step)
+	return nil
+}
+
+func (p *parser) parseQual() (Qual, error) {
+	return p.parseOr()
+}
+
+func (p *parser) parseOr() (Qual, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokIdent && p.tok.text == "or" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &OrQual{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Qual, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokIdent && p.tok.text == "and" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &AndQual{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Qual, error) {
+	switch {
+	case p.tok.kind == tokIdent && p.tok.text == "not":
+		// 'not' is a function call; "not" followed by anything other
+		// than '(' is a name step.
+		save := *p.lex
+		savedTok := p.tok
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokLParen {
+			*p.lex = save
+			p.tok = savedTok
+			return p.parseAtom()
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseQual()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, p.errf("expected ')' to close not(...), got %s", p.tok.kind)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &NotQual{X: inner}, nil
+	case p.tok.kind == tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseQual()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, p.errf("expected ')', got %s", p.tok.kind)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	default:
+		return p.parseAtom()
+	}
+}
+
+func (p *parser) parseAtom() (Qual, error) {
+	if p.tok.kind == tokIdent && p.tok.text == "label" {
+		save := *p.lex
+		savedTok := p.tok
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tokLParen {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.kind != tokRParen {
+				return nil, p.errf("expected ')' in label(), got %s", p.tok.kind)
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.kind != tokEq {
+				return nil, p.errf("expected '=' after label(), got %s", p.tok.kind)
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.kind != tokString && p.tok.kind != tokIdent {
+				return nil, p.errf("expected a label after label() =, got %s", p.tok.kind)
+			}
+			label := p.tok.text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return &LabelQual{Label: label}, nil
+		}
+		// "label" used as an element name; rewind.
+		*p.lex = save
+		p.tok = savedTok
+	}
+	path, err := p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	var op CmpOp
+	switch p.tok.kind {
+	case tokEq:
+		op = OpEq
+	case tokNe:
+		op = OpNe
+	case tokLt:
+		op = OpLt
+	case tokLe:
+		op = OpLe
+	case tokGt:
+		op = OpGt
+	case tokGe:
+		op = OpGe
+	default:
+		return &PathQual{Path: path}, nil
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokString && p.tok.kind != tokNumber {
+		return nil, p.errf("expected a literal after %s, got %s", op, p.tok.kind)
+	}
+	lit := p.tok.text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return &CmpQual{Path: path, Op: op, Lit: lit}, nil
+}

@@ -1,0 +1,273 @@
+package xpath
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseBasicPaths(t *testing.T) {
+	cases := []struct {
+		in        string
+		wantSteps int
+		rendered  string // expected String(), "" means same as in
+	}{
+		{"a", 1, ""},
+		{"a/b", 2, ""},
+		{"a/b/c", 3, ""},
+		{"*", 1, ""},
+		{"a/*/c", 3, ""},
+		{".", 1, ""},
+		{"a//b", 3, ""},
+		{"//a", 2, ""},
+		{"//a//b", 4, ""},
+		{"/a/b", 2, "a/b"},
+		{"site/people/person", 3, ""},
+		{"a/./b", 3, "a/./b"},
+		{"open_auctions/open_auction", 2, ""},
+	}
+	for _, tc := range cases {
+		p, err := Parse(tc.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.in, err)
+			continue
+		}
+		if len(p.Steps) != tc.wantSteps {
+			t.Errorf("Parse(%q): %d steps, want %d", tc.in, len(p.Steps), tc.wantSteps)
+		}
+		want := tc.rendered
+		if want == "" {
+			want = tc.in
+		}
+		if got := p.String(); got != want {
+			t.Errorf("Parse(%q).String() = %q, want %q", tc.in, got, want)
+		}
+	}
+}
+
+func TestParseQualifiers(t *testing.T) {
+	cases := []string{
+		`a[b]`,
+		`a[b = "x"]`,
+		`a[b != "x"]`,
+		`a[b < 15]`,
+		`a[b <= 15]`,
+		`a[b > 5]`,
+		`a[b >= 5]`,
+		`a[@id = "person10"]`,
+		`a[@id]`,
+		`a[label() = "part"]`,
+		`a[b and c]`,
+		`a[b or c]`,
+		`a[not(b)]`,
+		`a[not(b = "A")]`,
+		`a[(b and c) or not(d)]`,
+		`a[b/c = "x"]`,
+		`a[b//c]`,
+		`a[.//c]`,
+		`a[. = "x"]`,
+		`a[b][c]`,
+		`a[profile/age > 20]`,
+		`a[not(@id = "open_auction2")]`,
+		`a[initial > 10 and reserve > 50]`,
+	}
+	for _, in := range cases {
+		p, err := Parse(in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", in, err)
+			continue
+		}
+		// Re-parse the rendering: must yield the same rendering (fixpoint).
+		again, err := Parse(p.String())
+		if err != nil {
+			t.Errorf("reparse of %q → %q: %v", in, p.String(), err)
+			continue
+		}
+		if again.String() != p.String() {
+			t.Errorf("render not a fixpoint: %q → %q → %q", in, p.String(), again.String())
+		}
+	}
+}
+
+func TestParsePaperQueries(t *testing.T) {
+	// The ten embedded XPath queries of Fig. 11 (site/ prefix relative to
+	// the document node).
+	queries := []string{
+		`/site/people/person`,
+		`/site/people/person[@id = "person10"]`,
+		`/site/people/person[profile/age > 20]`,
+		`/site/regions//item`,
+		`/site//description`,
+		`/site/closed_auctions/closed_auction/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword`,
+		`/site/open_auctions/open_auction[bidder/increase > 5]/annotation[happiness < 20]/description//text`,
+		`/site/open_auctions/open_auction[initial > 10 and reserve > 50]/bidder`,
+		`/site/regions//item[location = "United States"]`,
+		`/site//open_auctions/open_auction[not(@id = "open_auction2")]/bidder[increase > 10]`,
+	}
+	for i, qs := range queries {
+		p, err := Parse(qs)
+		if err != nil {
+			t.Errorf("U%d %q: %v", i+1, qs, err)
+			continue
+		}
+		if p.HasAttributeStep() {
+			t.Errorf("U%d: selection path claims attribute step", i+1)
+		}
+	}
+}
+
+func TestParsePaperExamples(t *testing.T) {
+	// Queries from the running example (Example 3.1 etc.).
+	for _, qs := range []string{
+		`//part[pname = "keyboard"]//part[not(supplier/sname = "HP") and not(supplier/price < 15)]`,
+		`//supplier[country = "c1" or country = "c2"]/price`,
+		`//price`,
+		`a/b[q]`,
+		`supplier//part`,
+	} {
+		if _, err := Parse(qs); err != nil {
+			t.Errorf("Parse(%q): %v", qs, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"/",
+		"a/",
+		"a//",
+		"a[",
+		"a[]",
+		"a[b",
+		"a[b]]",
+		"a]",
+		"a[b =]",
+		"a[b = ]",
+		"a[= 'x']",
+		"a['x']",
+		"a[b !]",
+		"a[not(b]",
+		"a[(b]",
+		"a[label( = 'x']",
+		"a[label() 'x']",
+		"a[label() = ]",
+		"a[b or]",
+		"a[b and]",
+		`a["unterminated]`,
+		"a[b = 'unterminated]",
+		"a@b",
+		"@",
+		"a/@",
+		"#a",
+		"a[b ! c]",
+		"a b",
+		"a[@id[x]]",
+	}
+	for _, in := range cases {
+		if p, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) accepted as %q", in, p.String())
+		}
+	}
+}
+
+func TestSyntaxErrorMessage(t *testing.T) {
+	_, err := Parse("a[b &&]")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if !strings.Contains(se.Error(), "offset") {
+		t.Errorf("Error() = %q", se.Error())
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("a[")
+}
+
+func TestParseNotAsElementName(t *testing.T) {
+	// "not" and "label" followed by something other than '(' are names.
+	p, err := Parse("a[not]")
+	if err != nil {
+		t.Fatalf("Parse(a[not]): %v", err)
+	}
+	pq, ok := p.Steps[0].Quals[0].(*PathQual)
+	if !ok || pq.Path.Steps[0].Label != "not" {
+		t.Errorf("qualifier = %#v, want path 'not'", p.Steps[0].Quals[0])
+	}
+	p, err = Parse("a[label = 'x']")
+	if err != nil {
+		t.Fatalf("Parse(a[label = 'x']): %v", err)
+	}
+	if _, ok := p.Steps[0].Quals[0].(*CmpQual); !ok {
+		t.Errorf("qualifier = %#v, want comparison on element 'label'", p.Steps[0].Quals[0])
+	}
+}
+
+func TestParseNumbers(t *testing.T) {
+	p := MustParse("a[b > 2.5]")
+	cq := p.Steps[0].Quals[0].(*CmpQual)
+	if cq.Lit != "2.5" {
+		t.Errorf("Lit = %q, want 2.5", cq.Lit)
+	}
+	p = MustParse("a[b = -3]")
+	cq = p.Steps[0].Quals[0].(*CmpQual)
+	if cq.Lit != "-3" {
+		t.Errorf("Lit = %q, want -3", cq.Lit)
+	}
+}
+
+func TestAxisString(t *testing.T) {
+	for a, want := range map[Axis]string{
+		Child: "child", DescendantOrSelf: "descendant-or-self",
+		Self: "self", Attribute: "attribute", Axis(9): "invalid",
+	} {
+		if got := a.String(); got != want {
+			t.Errorf("Axis(%d) = %q, want %q", a, got, want)
+		}
+	}
+}
+
+func TestCmpOpString(t *testing.T) {
+	ops := map[CmpOp]string{OpEq: "=", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=", OpNone: "?"}
+	for op, want := range ops {
+		if got := op.String(); got != want {
+			t.Errorf("op %d = %q, want %q", op, got, want)
+		}
+	}
+}
+
+func TestPathClone(t *testing.T) {
+	p := MustParse("a/b[c]")
+	c := p.Clone()
+	c.Steps[0].Label = "z"
+	if p.Steps[0].Label != "a" {
+		t.Errorf("Clone shares step storage")
+	}
+}
+
+// Property: rendering any random path parses back to an identical rendering.
+func TestRandomPathRenderParseFixpoint(t *testing.T) {
+	cfg := DefaultGenConfig()
+	for seed := int64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := RandomPath(rng, cfg)
+		s := p.String()
+		parsed, err := Parse(s)
+		if err != nil {
+			t.Fatalf("seed %d: Parse(%q): %v", seed, s, err)
+		}
+		if got := parsed.String(); got != s {
+			t.Fatalf("seed %d: fixpoint violation %q → %q", seed, s, got)
+		}
+	}
+}

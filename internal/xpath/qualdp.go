@@ -1,0 +1,125 @@
+package xpath
+
+import "xtq/internal/tree"
+
+// This file implements algorithm QualDP (Fig. 7 of the paper): given the
+// truth values of every qualifier in LQ at a node's children (csat) and at
+// its proper descendants (dsat), compute the truth values at the node with
+// a constant amount of work per qualifier.
+
+// SatVec holds one truth value per LQ expression, indexed by expression id.
+type SatVec []bool
+
+// NewSatVec returns an all-false vector sized for lq; it doubles as the
+// csat⊥/dsat⊥ vector of leaf nodes.
+func (lq *LQ) NewSatVec() SatVec { return make(SatVec, len(lq.Exprs)) }
+
+// QualDP computes sat values at node n for the expressions listed in ids
+// (which must be closed under sub-expressions and sorted ascending, as
+// produced by Closure), writing into sat. csat[q] must hold iff some
+// element child of n satisfies q; dsat[q] iff some proper element
+// descendant of n satisfies q. Entries of sat outside ids are left
+// untouched.
+func (lq *LQ) QualDP(n *tree.Node, ids []int, csat, dsat, sat SatVec) {
+	for _, id := range ids {
+		e := &lq.Exprs[id]
+		switch e.Kind {
+		case KTrue:
+			sat[id] = true
+		case KSelfCond:
+			sat[id] = sat[e.A] && sat[e.B]
+		case KChild:
+			sat[id] = csat[e.B]
+		case KDesc:
+			sat[id] = sat[e.B] || dsat[e.B]
+		case KCmp:
+			sat[id] = Compare(n.Value(), e.Op, e.Lit)
+		case KLabel:
+			sat[id] = n.Kind == tree.Element && n.Label == e.Label
+		case KAnd:
+			sat[id] = sat[e.A] && sat[e.B]
+		case KOr:
+			sat[id] = sat[e.A] || sat[e.B]
+		case KNot:
+			sat[id] = !sat[e.A]
+		case KAttr:
+			v, ok := n.Attr(e.Label)
+			if !ok {
+				sat[id] = false
+			} else if e.Op == OpNone {
+				sat[id] = true
+			} else {
+				sat[id] = Compare(v, e.Op, e.Lit)
+			}
+		}
+	}
+}
+
+// ChildNeeds returns the expression ids whose truth is required at the
+// children of a node that evaluates evalIDs (a closure as produced by
+// Closure): a */p expression needs p at each child, and a //p expression
+// needs itself at each child (sat(//p) at a child is exactly "p holds at
+// the child or below it", which is what dsat aggregation consumes).
+//
+// This propagation is the filtering-NFA descent of §5 expressed on
+// normal-form ids: the returned set, closed and united with the qualifiers
+// of the automaton states entered at a child, is the list LQ(S') the paper
+// evaluates at that child.
+func (lq *LQ) ChildNeeds(evalIDs []int) []int {
+	var out []int
+	seen := make(map[int]struct{})
+	add := func(id int) {
+		if _, dup := seen[id]; dup {
+			return
+		}
+		seen[id] = struct{}{}
+		out = append(out, id)
+	}
+	for _, id := range evalIDs {
+		e := &lq.Exprs[id]
+		switch e.Kind {
+		case KChild:
+			add(e.B)
+		case KDesc:
+			add(id)
+		}
+	}
+	return out
+}
+
+// EvalAll computes the full sat vector at node n by recursing over the
+// subtree — a reference implementation used in tests to validate the
+// incremental propagation performed by the bottomUp and twoPassSAX
+// algorithms. It evaluates every expression of lq at every node, returning
+// sat for n.
+func (lq *LQ) EvalAll(n *tree.Node) SatVec {
+	sat, _ := lq.evalAll(n)
+	return sat
+}
+
+// evalAll returns (sat at n, "sat at n or some descendant of n").
+func (lq *LQ) evalAll(n *tree.Node) (sat, selfOrDesc SatVec) {
+	csat := lq.NewSatVec()
+	dsat := lq.NewSatVec()
+	for _, c := range n.Children {
+		if c.Kind != tree.Element {
+			continue
+		}
+		cSat, cSelfOrDesc := lq.evalAll(c)
+		for i := range csat {
+			csat[i] = csat[i] || cSat[i]
+			dsat[i] = dsat[i] || cSelfOrDesc[i]
+		}
+	}
+	sat = lq.NewSatVec()
+	all := make([]int, len(lq.Exprs))
+	for i := range all {
+		all[i] = i
+	}
+	lq.QualDP(n, all, csat, dsat, sat)
+	selfOrDesc = lq.NewSatVec()
+	for i := range selfOrDesc {
+		selfOrDesc[i] = sat[i] || dsat[i]
+	}
+	return sat, selfOrDesc
+}

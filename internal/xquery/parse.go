@@ -1,0 +1,430 @@
+package xquery
+
+import (
+	"strings"
+
+	"xtq/internal/xpath"
+)
+
+// Parse parses a user query in the restricted form of §4, e.g.
+//
+//	for $x in /site/people/person[@id = "person10"] return $x
+//	for $x in /site/regions//item
+//	  where $x/location = "United States" and $x/quantity > 2
+//	  return <hit>{$x/name}{$x/location}</hit>
+//
+// The return clause is either "$x" (optionally with a path) or an element
+// template whose holes are written {$x/path} or {"constant"}.
+func Parse(src string) (*UserQuery, error) {
+	p := &uparser{s: src}
+	p.skipSpace()
+	if !p.word("for") {
+		return nil, fmtErr("expected 'for' at %q", p.rest())
+	}
+	v, ok := p.variable()
+	if !ok {
+		return nil, fmtErr("expected a variable after 'for' at %q", p.rest())
+	}
+	if !p.word("in") {
+		return nil, fmtErr("expected 'in' at %q", p.rest())
+	}
+	pathSrc := p.until([]string{"where", "return"})
+	path, err := xpath.Parse(strings.TrimSpace(pathSrc))
+	if err != nil {
+		return nil, err
+	}
+	q := &UserQuery{Var: v, Path: path}
+	if p.word("where") {
+		for {
+			c, err := p.cond(v)
+			if err != nil {
+				return nil, err
+			}
+			q.Conds = append(q.Conds, *c)
+			if !p.word("and") {
+				break
+			}
+		}
+	}
+	if !p.word("return") {
+		return nil, fmtErr("expected 'return' at %q", p.rest())
+	}
+	item, err := p.item(v)
+	if err != nil {
+		return nil, err
+	}
+	q.Return = item
+	p.skipSpace()
+	if p.i < len(p.s) {
+		return nil, fmtErr("trailing input %q", p.rest())
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse parses src and panics on error.
+func MustParse(src string) *UserQuery {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type uparser struct {
+	s string
+	i int
+}
+
+func (p *uparser) rest() string {
+	r := p.s[p.i:]
+	if len(r) > 40 {
+		r = r[:40] + "..."
+	}
+	return r
+}
+
+func (p *uparser) skipSpace() {
+	for p.i < len(p.s) {
+		switch p.s[p.i] {
+		case ' ', '\t', '\n', '\r':
+			p.i++
+		default:
+			return
+		}
+	}
+}
+
+// word consumes the keyword w if it appears next (followed by a
+// non-name character).
+func (p *uparser) word(w string) bool {
+	p.skipSpace()
+	if !strings.HasPrefix(p.s[p.i:], w) {
+		return false
+	}
+	j := p.i + len(w)
+	if j < len(p.s) {
+		c := p.s[j]
+		if c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' {
+			return false
+		}
+	}
+	p.i = j
+	return true
+}
+
+func (p *uparser) variable() (string, bool) {
+	p.skipSpace()
+	if p.i >= len(p.s) || p.s[p.i] != '$' {
+		return "", false
+	}
+	j := p.i + 1
+	for j < len(p.s) {
+		c := p.s[j]
+		if c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' {
+			j++
+			continue
+		}
+		break
+	}
+	if j == p.i+1 {
+		return "", false
+	}
+	v := p.s[p.i+1 : j]
+	p.i = j
+	return v, true
+}
+
+// until returns the raw text up to (not including) the first of the
+// keywords at a whitespace boundary outside quotes, or the rest of the
+// input.
+func (p *uparser) until(keywords []string) string {
+	start := p.i
+	inQuote := byte(0)
+	for p.i < len(p.s) {
+		c := p.s[p.i]
+		if inQuote != 0 {
+			if c == inQuote {
+				inQuote = 0
+			}
+			p.i++
+			continue
+		}
+		if c == '"' || c == '\'' {
+			inQuote = c
+			p.i++
+			continue
+		}
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			save := p.i
+			p.skipSpace()
+			for _, kw := range keywords {
+				if strings.HasPrefix(p.s[p.i:], kw) {
+					j := p.i + len(kw)
+					if j >= len(p.s) || isBoundary(p.s[j]) {
+						text := p.s[start:save]
+						return text
+					}
+				}
+			}
+			continue
+		}
+		p.i++
+	}
+	return p.s[start:]
+}
+
+func isBoundary(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '$' || c == '<' || c == '('
+}
+
+// scanOperandPath consumes an $x-relative path operand: it stops, at
+// qualifier-bracket depth zero and outside string literals, before a
+// comparison operator, a '}' hole terminator, or a keyword (and / return /
+// where) following whitespace.
+func (p *uparser) scanOperandPath() string {
+	start := p.i
+	depth := 0
+	inQuote := byte(0)
+	for p.i < len(p.s) {
+		c := p.s[p.i]
+		if inQuote != 0 {
+			if c == inQuote {
+				inQuote = 0
+			}
+			p.i++
+			continue
+		}
+		switch c {
+		case '"', '\'':
+			inQuote = c
+			p.i++
+		case '[':
+			depth++
+			p.i++
+		case ']':
+			depth--
+			p.i++
+		case '=', '!', '<', '>', '}':
+			if depth == 0 {
+				return p.s[start:p.i]
+			}
+			p.i++
+		case ' ', '\t', '\n', '\r':
+			if depth > 0 {
+				p.i++
+				continue
+			}
+			save := p.i
+			p.skipSpace()
+			for _, kw := range []string{"and", "return", "where"} {
+				if strings.HasPrefix(p.s[p.i:], kw) {
+					j := p.i + len(kw)
+					if j >= len(p.s) || isBoundary(p.s[j]) {
+						return p.s[start:save]
+					}
+				}
+			}
+		default:
+			p.i++
+		}
+	}
+	return p.s[start:]
+}
+
+func (p *uparser) cond(v string) (*Cond, error) {
+	l, err := p.operand(v)
+	if err != nil {
+		return nil, err
+	}
+	op, err := p.cmpOp()
+	if err != nil {
+		return nil, err
+	}
+	r, err := p.operand(v)
+	if err != nil {
+		return nil, err
+	}
+	return &Cond{L: *l, Op: op, R: *r}, nil
+}
+
+func (p *uparser) cmpOp() (xpath.CmpOp, error) {
+	p.skipSpace()
+	two := ""
+	if p.i+1 < len(p.s) {
+		two = p.s[p.i : p.i+2]
+	}
+	switch two {
+	case "!=":
+		p.i += 2
+		return xpath.OpNe, nil
+	case "<=":
+		p.i += 2
+		return xpath.OpLe, nil
+	case ">=":
+		p.i += 2
+		return xpath.OpGe, nil
+	}
+	if p.i < len(p.s) {
+		switch p.s[p.i] {
+		case '=':
+			p.i++
+			return xpath.OpEq, nil
+		case '<':
+			p.i++
+			return xpath.OpLt, nil
+		case '>':
+			p.i++
+			return xpath.OpGt, nil
+		}
+	}
+	return xpath.OpNone, fmtErr("expected a comparison operator at %q", p.rest())
+}
+
+// operand parses $x, $x/path, a quoted string or a number.
+func (p *uparser) operand(v string) (*Operand, error) {
+	p.skipSpace()
+	if p.i < len(p.s) && p.s[p.i] == '$' {
+		name, ok := p.variable()
+		if !ok || name != v {
+			return nil, fmtErr("operand variable must be $%s at %q", v, p.rest())
+		}
+		if p.i < len(p.s) && p.s[p.i] == '/' {
+			pathSrc := strings.TrimSpace(p.scanOperandPath())
+			path, err := xpath.Parse(pathSrc)
+			if err != nil {
+				return nil, err
+			}
+			return &Operand{Path: path}, nil
+		}
+		return &Operand{}, nil
+	}
+	if p.i < len(p.s) && (p.s[p.i] == '"' || p.s[p.i] == '\'') {
+		quote := p.s[p.i]
+		end := strings.IndexByte(p.s[p.i+1:], quote)
+		if end < 0 {
+			return nil, fmtErr("unterminated string at %q", p.rest())
+		}
+		val := p.s[p.i+1 : p.i+1+end]
+		p.i += end + 2
+		return &Operand{IsConst: true, Const: val}, nil
+	}
+	// Number literal.
+	j := p.i
+	if j < len(p.s) && p.s[j] == '-' {
+		j++
+	}
+	for j < len(p.s) && (p.s[j] >= '0' && p.s[j] <= '9' || p.s[j] == '.') {
+		j++
+	}
+	if j > p.i && p.s[j-1] != '-' {
+		val := p.s[p.i:j]
+		p.i = j
+		return &Operand{IsConst: true, Const: val}, nil
+	}
+	return nil, fmtErr("expected an operand at %q", p.rest())
+}
+
+// item parses the return clause: "$x[/path]" or an element template.
+func (p *uparser) item(v string) (Item, error) {
+	p.skipSpace()
+	if p.i < len(p.s) && p.s[p.i] == '$' {
+		op, err := p.operand(v)
+		if err != nil {
+			return nil, err
+		}
+		return &Hole{Operand: *op}, nil
+	}
+	if p.i < len(p.s) && p.s[p.i] == '<' {
+		return p.template(v)
+	}
+	return nil, fmtErr("expected '$%s' or an element template at %q", v, p.rest())
+}
+
+// template parses <label>...</label> with nested templates, text and
+// {operand} holes.
+func (p *uparser) template(v string) (Item, error) {
+	// p.s[p.i] == '<'
+	p.i++
+	name, ok := p.name()
+	if !ok {
+		return nil, fmtErr("expected an element name at %q", p.rest())
+	}
+	p.skipSpace()
+	if strings.HasPrefix(p.s[p.i:], "/>") {
+		p.i += 2
+		return &ElemTemplate{Label: name}, nil
+	}
+	if p.i >= len(p.s) || p.s[p.i] != '>' {
+		return nil, fmtErr("expected '>' in template <%s> at %q", name, p.rest())
+	}
+	p.i++
+	t := &ElemTemplate{Label: name}
+	for {
+		if p.i >= len(p.s) {
+			return nil, fmtErr("unterminated template <%s>", name)
+		}
+		switch {
+		case strings.HasPrefix(p.s[p.i:], "</"):
+			p.i += 2
+			end, ok := p.name()
+			if !ok || end != name {
+				return nil, fmtErr("mismatched end tag </%s> for <%s>", end, name)
+			}
+			p.skipSpace()
+			if p.i >= len(p.s) || p.s[p.i] != '>' {
+				return nil, fmtErr("expected '>' in end tag </%s>", name)
+			}
+			p.i++
+			return t, nil
+		case p.s[p.i] == '<':
+			child, err := p.template(v)
+			if err != nil {
+				return nil, err
+			}
+			t.Items = append(t.Items, child)
+		case p.s[p.i] == '{':
+			p.i++
+			op, err := p.operand(v)
+			if err != nil {
+				return nil, err
+			}
+			p.skipSpace()
+			if p.i >= len(p.s) || p.s[p.i] != '}' {
+				return nil, fmtErr("expected '}' at %q", p.rest())
+			}
+			p.i++
+			t.Items = append(t.Items, &Hole{Operand: *op})
+		default:
+			j := strings.IndexAny(p.s[p.i:], "<{")
+			if j < 0 {
+				return nil, fmtErr("unterminated template <%s>", name)
+			}
+			text := p.s[p.i : p.i+j]
+			p.i += j
+			if strings.TrimSpace(text) != "" {
+				t.Items = append(t.Items, &TextItem{Data: text})
+			}
+		}
+	}
+}
+
+func (p *uparser) name() (string, bool) {
+	j := p.i
+	for j < len(p.s) {
+		c := p.s[j]
+		if c == '_' || c == '-' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' {
+			j++
+			continue
+		}
+		break
+	}
+	if j == p.i {
+		return "", false
+	}
+	n := p.s[p.i:j]
+	p.i = j
+	return n, true
+}

@@ -1,0 +1,284 @@
+// Package xquery implements the restricted XQuery user-query form of §4 of
+// Fan, Cong & Bohannon (SIGMOD 2007):
+//
+//	for $x in ρ
+//	where ρ'1 op ρ''1 and … and ρ'k op ρ''k
+//	return exp(̺1, …, ̺m)
+//
+// where ρ is an X path evaluated from the document node, the ρ'/ρ”/̺
+// operands are either constants or $x-relative X paths, and exp is an XML
+// element template with holes. This is the class of user queries the
+// paper's composition algorithm accepts; the compose package rewrites
+// values of this type against a transform query.
+package xquery
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"xtq/internal/tree"
+	"xtq/internal/xpath"
+)
+
+// Operand is a constant or an $x-relative path.
+type Operand struct {
+	IsConst bool
+	Const   string
+	Path    *xpath.Path // nil means "$x" itself (the self path)
+}
+
+// String renders the operand with the given variable name.
+func (o Operand) String(v string) string {
+	if o.IsConst {
+		return quote(o.Const)
+	}
+	if o.Path == nil || len(o.Path.Steps) == 0 {
+		return "$" + v
+	}
+	ps := o.Path.String()
+	if strings.HasPrefix(ps, "/") {
+		return "$" + v + ps
+	}
+	return "$" + v + "/" + ps
+}
+
+// Values returns the comparison values of the operand at context node n:
+// the constant itself, or the values of the nodes selected by the path
+// (with attribute-final paths yielding attribute values).
+func (o Operand) Values(n *tree.Node) []string {
+	if o.IsConst {
+		return []string{o.Const}
+	}
+	if o.Path == nil || len(o.Path.Steps) == 0 {
+		return []string{n.Value()}
+	}
+	steps := o.Path.Steps
+	var attr string
+	if k := len(steps); steps[k-1].Axis == xpath.Attribute {
+		attr = steps[k-1].Label
+		steps = steps[:k-1]
+	}
+	nodes := xpath.Select(n, &xpath.Path{Steps: steps})
+	var out []string
+	for _, m := range nodes {
+		if attr != "" {
+			if v, ok := m.Attr(attr); ok {
+				out = append(out, v)
+			}
+			continue
+		}
+		out = append(out, m.Value())
+	}
+	return out
+}
+
+// Cond is one where-clause comparison ρ' op ρ”.
+type Cond struct {
+	L  Operand
+	Op xpath.CmpOp
+	R  Operand
+}
+
+// Holds evaluates the condition at context node n with the existential
+// semantics of XPath general comparisons.
+func (c Cond) Holds(n *tree.Node) bool {
+	for _, l := range c.L.Values(n) {
+		for _, r := range c.R.Values(n) {
+			if xpath.Compare(l, c.Op, r) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// String renders the condition.
+func (c Cond) String(v string) string {
+	return c.L.String(v) + " " + c.Op.String() + " " + c.R.String(v)
+}
+
+// Item is a node of the return template: an element constructor, literal
+// text, or a hole whose operand is spliced in.
+type Item interface {
+	item()
+	render(v string, b *strings.Builder)
+}
+
+// ElemTemplate constructs an element with the given label and child items.
+type ElemTemplate struct {
+	Label string
+	Items []Item
+}
+
+// TextItem is literal character data.
+type TextItem struct {
+	Data string
+}
+
+// Hole splices the nodes (or constant) selected by Operand.
+type Hole struct {
+	Operand Operand
+}
+
+func (*ElemTemplate) item() {}
+func (*TextItem) item()     {}
+func (*Hole) item()         {}
+
+func (e *ElemTemplate) render(v string, b *strings.Builder) {
+	b.WriteByte('<')
+	b.WriteString(e.Label)
+	b.WriteByte('>')
+	for _, it := range e.Items {
+		it.render(v, b)
+	}
+	b.WriteString("</")
+	b.WriteString(e.Label)
+	b.WriteByte('>')
+}
+
+func (t *TextItem) render(_ string, b *strings.Builder) { b.WriteString(t.Data) }
+
+func (h *Hole) render(v string, b *strings.Builder) {
+	b.WriteByte('{')
+	b.WriteString(h.Operand.String(v))
+	b.WriteByte('}')
+}
+
+// UserQuery is the restricted for/where/return query of §4.
+type UserQuery struct {
+	Var   string
+	Path  *xpath.Path
+	Conds []Cond
+	// Return is the constructed output: an element template or a bare
+	// hole (e.g. "return $x").
+	Return Item
+}
+
+// Validate checks the query's well-formedness.
+func (q *UserQuery) Validate() error {
+	if q.Var == "" {
+		return errors.New("xquery: user query without variable")
+	}
+	if q.Path == nil || len(q.Path.Steps) == 0 {
+		return errors.New("xquery: user query without a for path")
+	}
+	if q.Path.HasAttributeStep() {
+		return errors.New("xquery: for path must select elements")
+	}
+	if q.Return == nil {
+		return errors.New("xquery: user query without a return clause")
+	}
+	for _, c := range q.Conds {
+		if c.Op == xpath.OpNone {
+			return errors.New("xquery: condition without operator")
+		}
+	}
+	return nil
+}
+
+// String renders the query in XQuery surface syntax.
+func (q *UserQuery) String() string {
+	var b strings.Builder
+	b.WriteString("for $")
+	b.WriteString(q.Var)
+	b.WriteString(" in ")
+	ps := q.Path.String()
+	if !strings.HasPrefix(ps, "/") {
+		b.WriteByte('/')
+	}
+	b.WriteString(ps)
+	if len(q.Conds) > 0 {
+		b.WriteString(" where ")
+		for i, c := range q.Conds {
+			if i > 0 {
+				b.WriteString(" and ")
+			}
+			b.WriteString(c.String(q.Var))
+		}
+	}
+	b.WriteString(" return ")
+	switch r := q.Return.(type) {
+	case *Hole:
+		b.WriteString(r.Operand.String(q.Var))
+	default:
+		q.Return.render(q.Var, &b)
+	}
+	return b.String()
+}
+
+// Eval evaluates the user query over doc and returns a document with a
+// <result> root wrapping the constructed items, following the enclosing
+// element of the paper's Examples 4.1/4.2.
+func (q *UserQuery) Eval(doc *tree.Node) (*tree.Node, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	result := tree.NewElement("result")
+	for _, n := range xpath.Select(doc, q.Path) {
+		if !q.condsHold(n) {
+			continue
+		}
+		result.Children = append(result.Children, q.instantiate(n)...)
+	}
+	return tree.NewDocument(result), nil
+}
+
+func (q *UserQuery) condsHold(n *tree.Node) bool {
+	for _, c := range q.Conds {
+		if !c.Holds(n) {
+			return false
+		}
+	}
+	return true
+}
+
+// instantiate builds the return value for one binding of $x. Selected
+// nodes are shared with the input tree (trees are immutable values).
+func (q *UserQuery) instantiate(x *tree.Node) []*tree.Node {
+	return instantiateItem(q.Return, x)
+}
+
+func instantiateItem(it Item, x *tree.Node) []*tree.Node {
+	switch it := it.(type) {
+	case *TextItem:
+		return []*tree.Node{tree.NewText(it.Data)}
+	case *Hole:
+		return holeNodes(it.Operand, x)
+	case *ElemTemplate:
+		e := tree.NewElement(it.Label)
+		for _, c := range it.Items {
+			e.Children = append(e.Children, instantiateItem(c, x)...)
+		}
+		return []*tree.Node{e}
+	default:
+		return nil
+	}
+}
+
+func holeNodes(o Operand, x *tree.Node) []*tree.Node {
+	if o.IsConst {
+		return []*tree.Node{tree.NewText(o.Const)}
+	}
+	if o.Path == nil || len(o.Path.Steps) == 0 {
+		return []*tree.Node{x}
+	}
+	steps := o.Path.Steps
+	if steps[len(steps)-1].Axis == xpath.Attribute {
+		// Attribute holes yield the attribute values as text.
+		var out []*tree.Node
+		for _, v := range o.Values(x) {
+			out = append(out, tree.NewText(v))
+		}
+		return out
+	}
+	return xpath.Select(x, o.Path)
+}
+
+func quote(s string) string {
+	return `"` + s + `"`
+}
+
+func fmtErr(format string, args ...any) error {
+	return fmt.Errorf("xquery: "+format, args...)
+}

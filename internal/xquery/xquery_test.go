@@ -1,0 +1,297 @@
+package xquery
+
+import (
+	"strings"
+	"testing"
+
+	"xtq/internal/sax"
+	"xtq/internal/tree"
+	"xtq/internal/xpath"
+)
+
+const site = `<site>
+<people>
+  <person id="person0"><name>Ada</name><profile><age>33</age></profile></person>
+  <person id="person10"><name>Bob</name><profile><age>19</age></profile></person>
+</people>
+<regions>
+  <africa><item id="item0"><location>United States</location><quantity>5</quantity><name>chair</name></item></africa>
+  <asia><item id="item1"><location>Japan</location><quantity>1</quantity><name>desk</name></item></asia>
+</regions>
+</site>`
+
+func parseDoc(t *testing.T, s string) *tree.Node {
+	t.Helper()
+	d, err := sax.ParseString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestParseAndEvalSimple(t *testing.T) {
+	q := MustParse(`for $x in /site/people/person return $x`)
+	doc := parseDoc(t, site)
+	res, err := q.Eval(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := res.Root()
+	if root.Label != "result" || len(root.Children) != 2 {
+		t.Fatalf("result = %s", res)
+	}
+	if root.Children[0].Label != "person" {
+		t.Errorf("first item = %s", root.Children[0])
+	}
+}
+
+func TestParseWhere(t *testing.T) {
+	q := MustParse(`for $x in /site/people/person where $x/profile/age > 20 return $x/name`)
+	doc := parseDoc(t, site)
+	res, err := q.Eval(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := res.Root()
+	if len(root.Children) != 1 || root.Children[0].Value() != "Ada" {
+		t.Fatalf("result = %s", res)
+	}
+}
+
+func TestParseWhereConjunction(t *testing.T) {
+	q := MustParse(`for $x in /site/regions//item where $x/location = "United States" and $x/quantity > 2 return <hit>{$x/name}</hit>`)
+	doc := parseDoc(t, site)
+	res, err := q.Eval(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := res.Root()
+	if len(root.Children) != 1 {
+		t.Fatalf("result = %s", res)
+	}
+	hit := root.Children[0]
+	if hit.Label != "hit" || tree.CountLabel(hit, "name") != 1 {
+		t.Errorf("hit = %s", hit)
+	}
+}
+
+func TestParseAttributeCond(t *testing.T) {
+	q := MustParse(`for $x in /site/people/person where $x/@id = "person10" return $x/name`)
+	doc := parseDoc(t, site)
+	res, err := q.Eval(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Root().Children[0].Value(); got != "Bob" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestQualifierInForPath(t *testing.T) {
+	q := MustParse(`for $x in /site/people/person[@id = "person10"] return $x`)
+	doc := parseDoc(t, site)
+	res, err := q.Eval(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Root().Children) != 1 {
+		t.Fatalf("result = %s", res)
+	}
+}
+
+func TestTemplateNestedAndText(t *testing.T) {
+	q := MustParse(`for $x in /site/people/person return <p><label>who: </label><inner>{$x/name}</inner><flag/></p>`)
+	doc := parseDoc(t, site)
+	res, err := q.Eval(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Root().Children[0]
+	if first.Label != "p" || len(first.Children) != 3 {
+		t.Fatalf("instance = %s", first)
+	}
+	if first.Children[0].Value() != "who: " {
+		t.Errorf("text = %q", first.Children[0].Value())
+	}
+	if first.Children[2].Label != "flag" {
+		t.Errorf("flag missing")
+	}
+}
+
+func TestConstHole(t *testing.T) {
+	q := MustParse(`for $x in /site/people/person return <p>{"marker"}</p>`)
+	doc := parseDoc(t, site)
+	res, err := q.Eval(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Root().Children[0].Value(); got != "marker" {
+		t.Errorf("const hole = %q", got)
+	}
+}
+
+func TestAttributeHole(t *testing.T) {
+	q := MustParse(`for $x in /site/people/person return <id>{$x/@id}</id>`)
+	doc := parseDoc(t, site)
+	res, err := q.Eval(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Root().Children[0].Value(); got != "person0" {
+		t.Errorf("attr hole = %q", got)
+	}
+}
+
+func TestSelfOperand(t *testing.T) {
+	q := MustParse(`for $x in /site/people/person/name where $x = "Ada" return $x`)
+	doc := parseDoc(t, site)
+	res, err := q.Eval(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Root().Children) != 1 {
+		t.Fatalf("result = %s", res)
+	}
+}
+
+func TestNumericConstOperand(t *testing.T) {
+	q := MustParse(`for $x in /site/regions//item where $x/quantity >= 5 return $x`)
+	doc := parseDoc(t, site)
+	res, err := q.Eval(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Root().Children) != 1 {
+		t.Fatalf("result = %s", res)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	queries := []string{
+		`for $x in /site/people/person return $x`,
+		`for $x in /site/people/person[@id = "person10"] return $x`,
+		`for $x in /site/regions//item where $x/location = "United States" return <hit>{$x/name}</hit>`,
+		`for $x in /site/people/person where $x/profile/age > 20 and $x/@id != "x" return $x/name`,
+	}
+	for _, src := range queries {
+		q, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		again, err := Parse(q.String())
+		if err != nil {
+			t.Errorf("reparse of %q: %v", q.String(), err)
+			continue
+		}
+		if again.String() != q.String() {
+			t.Errorf("render not fixpoint:\n%q\n%q", q.String(), again.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`for`,
+		`for x in /a return $x`,
+		`for $x /a return $x`,
+		`for $x in return $x`,
+		`for $x in /a[ return $x`,
+		`for $x in /a where return $x`,
+		`for $x in /a where $x/b return $x`,
+		`for $x in /a where $x/b = return $x`,
+		`for $x in /a where $y/b = "1" return $x`,
+		`for $x in /a where $x/b = 'unterminated return $x`,
+		`for $x in /a`,
+		`for $x in /a return`,
+		`for $x in /a return <t>{$x}`,
+		`for $x in /a return <t></u>`,
+		`for $x in /a return <t>{$x</t>`,
+		`for $x in /a return < t/>`,
+		`for $x in /a return $x junk`,
+		`for $x in /a return 42`,
+		`for $x in /a/@id return $x`,
+	}
+	for _, src := range cases {
+		if q, err := Parse(src); err == nil {
+			t.Errorf("Parse accepted %q as %q", src, q.String())
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustParse("broken")
+}
+
+func TestEvalSharesNodes(t *testing.T) {
+	// Returned nodes are shared with the source document (immutability
+	// convention); the composition tests rely on this.
+	doc := parseDoc(t, site)
+	q := MustParse(`for $x in /site/people/person return $x`)
+	res, err := q.Eval(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	persons := xpath.Select(doc, xpath.MustParse("site/people/person"))
+	if res.Root().Children[0] != persons[0] {
+		t.Errorf("returned node is not shared")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := MustParse(`for $x in /site return $x`)
+	bad := []*UserQuery{
+		{Var: "", Path: good.Path, Return: good.Return},
+		{Var: "x", Return: good.Return},
+		{Var: "x", Path: good.Path},
+		{Var: "x", Path: good.Path, Return: good.Return,
+			Conds: []Cond{{L: Operand{IsConst: true, Const: "1"}, Op: xpath.OpNone, R: Operand{IsConst: true, Const: "1"}}}},
+	}
+	for i, q := range bad {
+		if err := q.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestOperandString(t *testing.T) {
+	cases := []struct {
+		o    Operand
+		want string
+	}{
+		{Operand{IsConst: true, Const: "abc"}, `"abc"`},
+		{Operand{}, "$x"},
+		{Operand{Path: xpath.MustParse("a/b")}, "$x/a/b"},
+		{Operand{Path: xpath.MustParse("//a")}, "$x//a"},
+	}
+	for _, tc := range cases {
+		if got := tc.o.String("x"); got != tc.want {
+			t.Errorf("String = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestWhitespaceInsignificant(t *testing.T) {
+	q1 := MustParse("for $x in /site/people/person\n  where $x/profile/age > 20\n  return $x")
+	q2 := MustParse(`for $x in /site/people/person where $x/profile/age > 20 return $x`)
+	if q1.String() != q2.String() {
+		t.Errorf("%q vs %q", q1.String(), q2.String())
+	}
+}
+
+func TestTemplateKeepsSignificantText(t *testing.T) {
+	q := MustParse(`for $x in /site return <t>  </t>`)
+	et := q.Return.(*ElemTemplate)
+	if len(et.Items) != 0 {
+		t.Errorf("whitespace-only template text should be dropped, got %d items", len(et.Items))
+	}
+	if !strings.Contains(q.String(), "<t>") {
+		t.Errorf("String = %q", q.String())
+	}
+}

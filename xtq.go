@@ -1,0 +1,173 @@
+// Package xtq is a Go implementation of transform queries — "Querying XML
+// with Update Syntax" (Fan, Cong & Bohannon, SIGMOD 2007).
+//
+// A transform query uses XML update syntax to define a side-effect-free
+// query: it returns the tree that an update *would* produce, without
+// touching the source document:
+//
+//	q, _ := xtq.ParseQuery(`transform copy $a := doc("parts") modify
+//	                        do delete $a//price return $a`)
+//	doc, _ := xtq.ParseString(`<db><part><price>9</price></part></db>`)
+//	view, _ := xtq.Transform(doc, q, xtq.MethodTopDown)
+//
+// The package exposes the paper's machinery:
+//
+//   - four in-memory evaluation methods (Naive rewriting, the NFA-guided
+//     topDown, the twoPass bottomUp+topDown combination, and a
+//     copy-and-update baseline) behind one Method switch;
+//   - a streaming twoPassSAX evaluator (TransformStream) that handles
+//     documents far larger than memory in O(depth) space;
+//   - composition of user queries with transform queries (Compose), the
+//     basis for querying hypothetical states, virtual updated views and
+//     security views without materializing them;
+//   - the XMark-like workload generator and the experiment harness that
+//     regenerate the paper's Figures 11-15 (see cmd/xbench).
+//
+// All types are aliases of the implementation packages under internal/,
+// so values flow freely between this facade and the benchmarks.
+package xtq
+
+import (
+	"io"
+	"os"
+
+	"xtq/internal/compose"
+	"xtq/internal/core"
+	"xtq/internal/sax"
+	"xtq/internal/saxeval"
+	"xtq/internal/tree"
+	"xtq/internal/xmark"
+	"xtq/internal/xpath"
+	"xtq/internal/xquery"
+)
+
+// Node is one node of an XML document tree.
+type Node = tree.Node
+
+// Attr is an element attribute.
+type Attr = tree.Attr
+
+// Query is a parsed transform query.
+type Query = core.Query
+
+// Compiled is a transform query with its selecting NFA built.
+type Compiled = core.Compiled
+
+// Method selects an evaluation algorithm.
+type Method = core.Method
+
+// Evaluation methods, named as in the paper's experiments.
+const (
+	// MethodNaive is the rewriting-based method of §3.1 ("NAIVE").
+	MethodNaive = core.MethodNaive
+	// MethodTopDown is the automaton-guided method of §3.3 ("GENTOP").
+	MethodTopDown = core.MethodTopDown
+	// MethodTwoPass is bottomUp + topDown of §5 ("TD-BU").
+	MethodTwoPass = core.MethodTwoPass
+	// MethodCopyUpdate is the snapshot baseline ("GalaXUpdate").
+	MethodCopyUpdate = core.MethodCopyUpdate
+)
+
+// Methods lists the in-memory evaluation methods.
+func Methods() []Method { return core.Methods() }
+
+// UserQuery is a for/where/return query in the restricted form of §4.
+type UserQuery = xquery.UserQuery
+
+// Composed is the single-pass composition of a user query with a
+// transform query (the Compose Method of §4).
+type Composed = compose.Composed
+
+// NaiveComposition evaluates the transform and user queries sequentially.
+type NaiveComposition = compose.NaiveComposition
+
+// Path is a parsed expression of the XPath fragment X.
+type Path = xpath.Path
+
+// Parse reads an XML document from r.
+func Parse(r io.Reader) (*Node, error) { return sax.Parse(r) }
+
+// ParseString parses an XML document from a string.
+func ParseString(s string) (*Node, error) { return sax.ParseString(s) }
+
+// ParseFile parses the XML document in the named file.
+func ParseFile(path string) (*Node, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return sax.Parse(f)
+}
+
+// ParseQuery parses a transform query in the W3C draft surface syntax,
+// e.g. `transform copy $a := doc("f") modify do delete $a//price return $a`.
+func ParseQuery(src string) (*Query, error) { return core.ParseQuery(src) }
+
+// ParsePath parses an expression of the XPath fragment X.
+func ParsePath(src string) (*Path, error) { return xpath.Parse(src) }
+
+// ParseUserQuery parses a user query, e.g.
+// `for $x in /site/people/person where $x/profile/age > 20 return $x/name`.
+func ParseUserQuery(src string) (*UserQuery, error) { return xquery.Parse(src) }
+
+// Transform evaluates q over doc with the chosen method and returns the
+// transformed document. The input document is never modified; depending on
+// the method the result may share unmodified subtrees with it.
+func Transform(doc *Node, q *Query, m Method) (*Node, error) {
+	return q.Eval(doc, m)
+}
+
+// StreamSource provides repeatable reads for TransformStream.
+type StreamSource = saxeval.Source
+
+// FileSource streams a document from a file path.
+type FileSource = saxeval.FileSource
+
+// BytesSource streams a document from memory.
+type BytesSource = saxeval.BytesSource
+
+// StreamResult reports per-pass statistics of a streaming evaluation.
+type StreamResult = saxeval.Result
+
+// TransformStream evaluates q over src with the twoPassSAX algorithm
+// (§6), writing the resulting document to w as XML. Memory use is bounded
+// by the document depth, independent of its size.
+func TransformStream(q *Query, src StreamSource, w io.Writer) (StreamResult, error) {
+	c, err := q.Compile()
+	if err != nil {
+		return StreamResult{}, err
+	}
+	return saxeval.TransformXML(c, src, w)
+}
+
+// Compose builds the single-pass composition Qc with Qc(T) = Q(Qt(T)).
+func Compose(qt *Query, q *UserQuery) (*Composed, error) {
+	c, err := qt.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return compose.New(c, q)
+}
+
+// NaiveCompose builds the sequential composition of §4's Naive
+// Composition Method.
+func NaiveCompose(qt *Query, q *UserQuery) (*NaiveComposition, error) {
+	c, err := qt.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return compose.NewNaive(c, q)
+}
+
+// XMarkConfig parameterizes the workload generator.
+type XMarkConfig = xmark.Config
+
+// GenerateXMark builds an XMark-like document in memory.
+func GenerateXMark(cfg XMarkConfig) (*Node, error) { return xmark.Generate(cfg) }
+
+// WriteXMarkFile streams an XMark-like document to a file and reports its
+// size in bytes; use it to produce inputs for TransformStream.
+func WriteXMarkFile(cfg XMarkConfig, path string) (int64, error) {
+	return xmark.WriteFile(cfg, path)
+}

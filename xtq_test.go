@@ -1,0 +1,161 @@
+package xtq
+
+import (
+	"strings"
+	"testing"
+)
+
+const partsDoc = `<db>
+<part><pname>keyboard</pname>
+  <supplier><sname>HP</sname><price>15</price><country>US</country></supplier>
+  <supplier><sname>Logi</sname><price>12</price><country>A</country></supplier>
+</part>
+<part><pname>mouse</pname>
+  <supplier><sname>Dell</sname><price>9</price><country>A</country></supplier>
+</part>
+</db>`
+
+func countLabel(n *Node, label string) int {
+	count := 0
+	if n.Label == label {
+		count++
+	}
+	for _, c := range n.Children {
+		count += countLabel(c, label)
+	}
+	return count
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	doc, err := ParseString(partsDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseQuery(`transform copy $a := doc("parts") modify do delete $a//price return $a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range Methods() {
+		view, err := Transform(doc, q, m)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if countLabel(view, "price") != 0 {
+			t.Errorf("%s: prices remain", m)
+		}
+	}
+	if countLabel(doc, "price") != 3 {
+		t.Errorf("source modified")
+	}
+}
+
+func TestTransformStreamFlow(t *testing.T) {
+	q, err := ParseQuery(`transform copy $a := doc("parts") modify do delete $a//price return $a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	res, err := TransformStream(q, BytesSource(partsDoc), &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.First.MaxStackDepth == 0 {
+		t.Errorf("no stats: %+v", res)
+	}
+	out, err := ParseString(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countLabel(out, "price") != 0 {
+		t.Errorf("prices remain in stream output")
+	}
+	bad := &Query{}
+	if _, err := TransformStream(bad, BytesSource(partsDoc), &sb); err == nil {
+		t.Errorf("invalid query accepted")
+	}
+}
+
+func TestComposeFlow(t *testing.T) {
+	doc, err := ParseString(partsDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qt, err := ParseQuery(`transform copy $a := doc("parts") modify do delete $a//supplier[country = "A"] return $a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uq, err := ParseUserQuery(`for $x in /db/part/supplier return $x/sname`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := Compose(qt, uq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := comp.Eval(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := NaiveCompose(qt, uq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := naive.Eval(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatalf("compose %s != naive %s", got, want)
+	}
+	if countLabel(got, "sname") != 1 {
+		t.Errorf("expected only the HP supplier, got %s", got)
+	}
+	if comp.XQueryText() == "" || naive.XQueryText() == "" {
+		t.Errorf("empty rendered composition")
+	}
+	if _, err := Compose(&Query{}, uq); err == nil {
+		t.Errorf("invalid transform accepted")
+	}
+	if _, err := NaiveCompose(&Query{}, uq); err == nil {
+		t.Errorf("invalid transform accepted by NaiveCompose")
+	}
+}
+
+func TestParseFileAndXMark(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/x.xml"
+	n, err := WriteXMarkFile(XMarkConfig{Factor: 0.001, Seed: 1}, path)
+	if err != nil || n == 0 {
+		t.Fatalf("WriteXMarkFile: %d, %v", n, err)
+	}
+	doc, err := ParseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Root().Label != "site" {
+		t.Errorf("root = %q", doc.Root().Label)
+	}
+	mem, err := GenerateXMark(XMarkConfig{Factor: 0.001, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem.Root().Label != "site" {
+		t.Errorf("in-memory root = %q", mem.Root().Label)
+	}
+	if _, err := ParseFile(path + ".missing"); err == nil {
+		t.Errorf("missing file accepted")
+	}
+}
+
+func TestParsePath(t *testing.T) {
+	p, err := ParsePath(`/site/people/person[@id = "person10"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() == "" {
+		t.Errorf("empty path rendering")
+	}
+	if _, err := ParsePath("a["); err == nil {
+		t.Errorf("bad path accepted")
+	}
+}
