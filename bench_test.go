@@ -7,6 +7,7 @@ package xtq
 // full-scale sweeps.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -225,7 +226,7 @@ func BenchmarkAblationNoPrune(b *testing.B) {
 		doc := benchDoc(b, 0.02)
 		b.ResetTimer()
 		for n := 0; n < b.N; n++ {
-			if _, err := core.EvalTopDown(c, doc, core.DirectChecker{}); err != nil {
+			if _, err := core.EvalTopDown(context.Background(), c, doc, core.DirectChecker{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -234,7 +235,7 @@ func BenchmarkAblationNoPrune(b *testing.B) {
 		doc := benchDoc(b, 0.02)
 		b.ResetTimer()
 		for n := 0; n < b.N; n++ {
-			if _, err := core.EvalTopDownNoPrune(c, doc, core.DirectChecker{}); err != nil {
+			if _, err := core.EvalTopDownNoPrune(context.Background(), c, doc, core.DirectChecker{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -272,3 +273,131 @@ func (discard) StartElement(string, []tree.Attr) error { return nil }
 func (discard) Text(string) error                      { return nil }
 func (discard) EndElement(string) error                { return nil }
 func (discard) EndDocument() error                     { return nil }
+
+// BenchmarkPreparedReuse measures the steady state of the Engine API: one
+// Prepare, then evaluation per document. Compare against
+// BenchmarkParsePerCall to see what the compiled-query reuse amortizes
+// away (query parsing plus selecting-NFA construction per call).
+func BenchmarkPreparedReuse(b *testing.B) {
+	const query = `transform copy $a := doc("site") modify
+		do delete $a/site/regions//item[location = "United States"] return $a`
+	eng := NewEngine(WithMethod(MethodTopDown))
+	p, err := eng.Prepare(query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc := benchDoc(b, 0.01)
+	ctx := context.Background()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := p.Eval(ctx, doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPreparedCacheHit includes the engine's Prepare in the loop:
+// the LRU lookup replaces parse+compile, the configuration of a service
+// receiving query text with every request.
+func BenchmarkPreparedCacheHit(b *testing.B) {
+	const query = `transform copy $a := doc("site") modify
+		do delete $a/site/regions//item[location = "United States"] return $a`
+	eng := NewEngine(WithMethod(MethodTopDown))
+	doc := benchDoc(b, 0.01)
+	ctx := context.Background()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		p, err := eng.Prepare(query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Eval(ctx, doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParsePerCall is the pre-Engine behaviour: parse and compile
+// the query text on every evaluation.
+func BenchmarkParsePerCall(b *testing.B) {
+	const query = `transform copy $a := doc("site") modify
+		do delete $a/site/regions//item[location = "United States"] return $a`
+	doc := benchDoc(b, 0.01)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		q, err := ParseQuery(query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := q.Compile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Eval(doc, MethodTopDown); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileOnly isolates what Prepare amortizes: query parsing
+// plus automaton construction, no evaluation.
+func BenchmarkCompileOnly(b *testing.B) {
+	const query = `transform copy $a := doc("site") modify
+		do delete $a/site/regions//item[location = "United States"] return $a`
+	for n := 0; n < b.N; n++ {
+		q, err := ParseQuery(query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := q.Compile(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Small-document variants: with microsecond evaluations the per-call
+// parse+compile dominates, which is exactly the regime of a service
+// answering many small requests — the case the Engine cache exists for.
+func BenchmarkPreparedReuseSmallDoc(b *testing.B) {
+	const query = `transform copy $a := doc("d") modify do delete $a//price return $a`
+	docXML := `<db><part><pname>kb</pname><price>9</price></part><part><pname>m</pname><price>5</price></part></db>`
+	doc, err := ParseString(docXML)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := NewEngine()
+	p, err := eng.Prepare(query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := p.Eval(ctx, doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParsePerCallSmallDoc(b *testing.B) {
+	const query = `transform copy $a := doc("d") modify do delete $a//price return $a`
+	docXML := `<db><part><pname>kb</pname><price>9</price></part><part><pname>m</pname><price>5</price></part></db>`
+	doc, err := ParseString(docXML)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		q, err := ParseQuery(query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := q.Compile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Eval(doc, MethodTopDown); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

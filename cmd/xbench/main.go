@@ -12,9 +12,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -62,8 +64,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "xbench:", err)
 		os.Exit(2)
 	}
+	// Ctrl-C cancels the evaluation context: the in-flight measurement
+	// aborts at node/SAX-event granularity and the sweep stops.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	r := harness.New(harness.Options{
 		Out:          os.Stdout,
+		Context:      ctx,
 		Factors:      fs,
 		Fig14Factors: f14,
 		Repeats:      *repeats,
@@ -73,7 +80,7 @@ func main() {
 
 	ran := false
 	section := func(enabled bool, fn func()) {
-		if enabled || *all {
+		if (enabled || *all) && ctx.Err() == nil {
 			fn()
 			fmt.Println()
 			ran = true
@@ -88,5 +95,9 @@ func main() {
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "xbench: interrupted")
+		os.Exit(130)
 	}
 }

@@ -8,13 +8,18 @@
 // Methods: naive, topdown (default), twopass, copyupdate — in-memory
 // evaluation per the paper's §3/§5 algorithms — and sax, the streaming
 // twoPassSAX evaluator of §6 that never materializes the document.
+//
+// Interrupting the process (Ctrl-C) cancels the evaluation context, so
+// even a multi-gigabyte streaming run stops promptly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -22,13 +27,32 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "xtq:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+// methodSAX selects the streaming evaluator; it lives beside the
+// in-memory methods in the -method flag only.
+const methodSAX = "sax"
+
+// validateMethod rejects an unknown -method before any input document is
+// read, naming the valid choices.
+func validateMethod(s string) error {
+	if s == methodSAX {
+		return nil
+	}
+	if _, err := xtq.ParseMethod(s); err != nil {
+		return fmt.Errorf("invalid -method %q (valid: %s, %s)",
+			s, strings.Join(xtq.MethodNames(), ", "), methodSAX)
+	}
+	return nil
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("xtq", flag.ContinueOnError)
 	in := fs.String("in", "", "input XML document (required)")
 	querySrc := fs.String("query", "", "transform query text, or @file to read it from a file (required)")
@@ -43,6 +67,11 @@ func run(args []string, stdout io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("-in and -query are required")
 	}
+	// Fail on a bad method before the query is compiled or the input
+	// document is touched.
+	if err := validateMethod(*method); err != nil {
+		return err
+	}
 	text := *querySrc
 	if strings.HasPrefix(text, "@") {
 		b, err := os.ReadFile(text[1:])
@@ -51,7 +80,12 @@ func run(args []string, stdout io.Writer) error {
 		}
 		text = string(b)
 	}
-	q, err := xtq.ParseQuery(text)
+
+	eng := xtq.NewEngine()
+	if *method != methodSAX {
+		eng = xtq.NewEngine(xtq.WithMethod(xtq.Method(*method)))
+	}
+	p, err := eng.Prepare(text)
 	if err != nil {
 		return err
 	}
@@ -73,8 +107,8 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}()
 
-	if *method == "sax" {
-		res, err := xtq.TransformStream(q, xtq.FileSource(*in), w)
+	if *method == methodSAX {
+		res, err := p.EvalStream(ctx, xtq.FileSource(*in), xtq.ToWriter(w))
 		if err != nil {
 			return err
 		}
@@ -85,11 +119,7 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 
-	doc, err := xtq.ParseFile(*in)
-	if err != nil {
-		return err
-	}
-	result, err := xtq.Transform(doc, q, xtq.Method(*method))
+	result, err := p.Eval(ctx, xtq.FileSource(*in))
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -24,7 +25,7 @@ func TestRunMethods(t *testing.T) {
 	query := `transform copy $a := doc("d") modify do delete $a//price return $a`
 	for _, method := range []string{"naive", "topdown", "twopass", "copyupdate", "sax"} {
 		var sb strings.Builder
-		err := run([]string{"-in", in, "-query", query, "-method", method}, &sb)
+		err := run(context.Background(), []string{"-in", in, "-query", query, "-method", method}, &sb)
 		if err != nil {
 			t.Fatalf("%s: %v", method, err)
 		}
@@ -43,7 +44,7 @@ func TestRunQueryFromFile(t *testing.T) {
 	qf := write(t, dir, "q.tq", `transform copy $a := doc("d") modify do rename $a//pname as name return $a`)
 	out := filepath.Join(dir, "out.xml")
 	var sb strings.Builder
-	if err := run([]string{"-in", in, "-query", "@" + qf, "-out", out}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-in", in, "-query", "@" + qf, "-out", out}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(out)
@@ -59,7 +60,7 @@ func TestRunIndent(t *testing.T) {
 	dir := t.TempDir()
 	in := write(t, dir, "doc.xml", doc)
 	var sb strings.Builder
-	err := run([]string{"-in", in, "-indent",
+	err := run(context.Background(), []string{"-in", in, "-indent",
 		"-query", `transform copy $a := doc("d") modify do delete $a//price return $a`}, &sb)
 	if err != nil {
 		t.Fatal(err)
@@ -86,8 +87,30 @@ func TestRunErrors(t *testing.T) {
 	}
 	for _, args := range cases {
 		var sb strings.Builder
-		if err := run(args, &sb); err == nil {
+		if err := run(context.Background(), args, &sb); err == nil {
 			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}
+
+// TestMethodValidatedBeforeInput asserts that a bad -method is rejected
+// up front: the input path does not exist, so reaching the parser would
+// produce a file error instead of the method error.
+func TestMethodValidatedBeforeInput(t *testing.T) {
+	var sb strings.Builder
+	err := run(context.Background(), []string{
+		"-in", t.TempDir() + "/never-created.xml",
+		"-query", `transform copy $a := doc("d") modify do delete $a//price return $a`,
+		"-method", "bogus"}, &sb)
+	if err == nil {
+		t.Fatal("bogus method accepted")
+	}
+	if !strings.Contains(err.Error(), "invalid -method") {
+		t.Errorf("error does not blame the method: %v", err)
+	}
+	for _, m := range []string{"naive", "topdown", "twopass", "copyupdate", "sax"} {
+		if !strings.Contains(err.Error(), m) {
+			t.Errorf("error does not list valid method %q: %v", m, err)
 		}
 	}
 }

@@ -1,0 +1,199 @@
+package xtq
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"xtq/internal/core"
+	"xtq/internal/sax"
+)
+
+// DefaultQueryCacheSize is the compiled-query cache capacity of an Engine
+// built without WithQueryCacheSize.
+const DefaultQueryCacheSize = 128
+
+// Engine is the long-lived entry point of the package, in the mould of
+// database/sql.DB: construct one per process (or per configuration),
+// hand out Prepared statements, and share both freely across goroutines.
+//
+//	eng := xtq.NewEngine(xtq.WithMethod(xtq.MethodTwoPass))
+//	p, err := eng.Prepare(`transform copy $a := doc("d") modify
+//	                       do delete $a//price return $a`)
+//	view, err := p.Eval(ctx, doc)
+//
+// The engine owns an LRU cache of compiled queries keyed by query source,
+// so repeated Prepare calls with the same text — the steady state of a
+// service evaluating a fixed query set over many documents — skip both
+// parsing and automaton construction.
+type Engine struct {
+	method   Method
+	cacheCap int
+	maxDepth int
+
+	mu     sync.Mutex
+	lru    *list.List // front = most recently used; values are *cacheEntry
+	byKey  map[string]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+type cacheEntry struct {
+	key      string
+	compiled *core.Compiled
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithMethod selects the in-memory evaluation method Prepared.Eval uses;
+// the default is MethodTopDown, the paper's best-performing general
+// method ("GENTOP").
+func WithMethod(m Method) Option { return func(e *Engine) { e.method = m } }
+
+// WithQueryCacheSize sets the capacity of the compiled-query cache; zero
+// disables caching, negative values leave the default in place.
+func WithQueryCacheSize(n int) Option {
+	return func(e *Engine) {
+		if n >= 0 {
+			e.cacheCap = n
+		}
+	}
+}
+
+// WithMaxDepth bounds element nesting when the engine parses input
+// documents (Prepared.Eval over file/bytes/reader sources); zero, the
+// default, means no limit. Streaming evaluation is not affected: its
+// memory use is O(depth) by construction.
+func WithMaxDepth(d int) Option { return func(e *Engine) { e.maxDepth = d } }
+
+// NewEngine builds an Engine from functional options.
+func NewEngine(opts ...Option) *Engine {
+	e := &Engine{
+		method:   MethodTopDown,
+		cacheCap: DefaultQueryCacheSize,
+		lru:      list.New(),
+		byKey:    make(map[string]*list.Element),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Method returns the evaluation method Prepared.Eval uses.
+func (e *Engine) Method() Method { return e.method }
+
+// Prepare parses and compiles a transform query, or retrieves the
+// compiled form from the engine's cache. The returned Prepared is
+// immutable and safe for concurrent use.
+func (e *Engine) Prepare(src string) (*Prepared, error) {
+	if err := e.validateMethod(); err != nil {
+		return nil, err
+	}
+	return e.prepare(src, func() (*core.Compiled, error) {
+		q, err := core.ParseQuery(src)
+		if err != nil {
+			return nil, err
+		}
+		return q.Compile()
+	})
+}
+
+// PrepareQuery compiles an already-parsed query, caching by its canonical
+// rendering. The cached compiled form is re-parsed from that rendering
+// rather than aliasing q, so the caller remains free to mutate q between
+// calls (the contract of the pre-Engine API this backs): a later
+// mutation changes the rendering and simply keys a different entry.
+func (e *Engine) PrepareQuery(q *Query) (*Prepared, error) {
+	if err := e.validateMethod(); err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		// Validate before rendering: String is only meaningful on
+		// well-formed queries.
+		return nil, err
+	}
+	key := q.String()
+	own, err := core.ParseQuery(key)
+	if err != nil {
+		// The rendering does not round-trip (e.g. a doc() argument
+		// containing both quote characters, which surface syntax cannot
+		// express). Compile the live query directly and skip the shared
+		// cache so its entries never alias caller-mutable state.
+		c, cerr := q.Compile()
+		if cerr != nil {
+			return nil, classify(cerr, KindCompile)
+		}
+		return &Prepared{eng: e, src: key, compiled: c}, nil
+	}
+	return e.prepare(key, own.Compile)
+}
+
+func (e *Engine) validateMethod() error {
+	_, err := core.ParseMethod(string(e.method))
+	return err
+}
+
+func (e *Engine) prepare(key string, compile func() (*core.Compiled, error)) (*Prepared, error) {
+	if e.cacheCap > 0 {
+		e.mu.Lock()
+		if el, ok := e.byKey[key]; ok {
+			e.lru.MoveToFront(el)
+			e.hits++
+			c := el.Value.(*cacheEntry).compiled
+			e.mu.Unlock()
+			return &Prepared{eng: e, src: key, compiled: c}, nil
+		}
+		e.misses++
+		e.mu.Unlock()
+	}
+	c, err := compile()
+	if err != nil {
+		return nil, classify(err, KindCompile)
+	}
+	if e.cacheCap > 0 {
+		e.mu.Lock()
+		if _, ok := e.byKey[key]; !ok {
+			e.byKey[key] = e.lru.PushFront(&cacheEntry{key: key, compiled: c})
+			for e.lru.Len() > e.cacheCap {
+				oldest := e.lru.Back()
+				e.lru.Remove(oldest)
+				delete(e.byKey, oldest.Value.(*cacheEntry).key)
+			}
+		}
+		e.mu.Unlock()
+	}
+	return &Prepared{eng: e, src: key, compiled: c}, nil
+}
+
+// CacheStats reports compiled-query cache effectiveness: hits and misses
+// since the engine was built, and the current number of cached queries.
+func (e *Engine) CacheStats() (hits, misses uint64, size int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.hits, e.misses, e.lru.Len()
+}
+
+// parse reads one document from src applying the engine's parse options.
+// Cancelling ctx aborts the parse at SAX-event granularity, so a large
+// input stops loading promptly.
+func (e *Engine) parse(ctx context.Context, src Source) (*Node, error) {
+	if n, ok := src.(*Node); ok {
+		return n, nil
+	}
+	r, err := src.Open()
+	if err != nil {
+		return nil, classify(err, KindIO)
+	}
+	defer r.Close()
+	var tb sax.TreeBuilder
+	p := sax.NewParserOptions(r, sax.WithCancel(ctx, &tb), sax.Options{MaxDepth: e.maxDepth})
+	if err := p.Parse(); err != nil {
+		// Well-formedness violations arrive as *sax.ParseError and
+		// classify as KindParse, cancellations as KindEval; anything
+		// else is the reader failing mid-document — an I/O failure.
+		return nil, classify(err, KindIO)
+	}
+	return tb.Document(), nil
+}

@@ -1,0 +1,71 @@
+package xtq
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"xtq/internal/sax"
+	"xtq/internal/xerr"
+	"xtq/internal/xpath"
+)
+
+// Error is the typed error returned by every entry point of this package.
+// Classify failures with errors.As instead of matching message text:
+//
+//	view, err := prepared.Eval(ctx, doc)
+//	var xe *xtq.Error
+//	if errors.As(err, &xe) {
+//		switch xe.Kind {
+//		case xtq.KindParse:   // bad query or malformed XML (xe.Pos says where)
+//		case xtq.KindCompile: // query outside the supported fragment
+//		case xtq.KindEval:    // evaluation failed or was cancelled
+//		case xtq.KindIO:      // source/sink failure
+//		}
+//	}
+//
+// Cancellation keeps its identity through the wrapping:
+// errors.Is(err, context.Canceled) holds for an evaluation aborted by a
+// cancelled context.
+type Error = xerr.Error
+
+// ErrorKind classifies an Error by pipeline stage.
+type ErrorKind = xerr.Kind
+
+// Error kinds.
+const (
+	// KindParse marks syntax errors in query text or input XML.
+	KindParse = xerr.Parse
+	// KindCompile marks semantically invalid queries.
+	KindCompile = xerr.Compile
+	// KindEval marks evaluation failures, including cancellation.
+	KindEval = xerr.Eval
+	// KindIO marks source and sink failures.
+	KindIO = xerr.IO
+)
+
+// classify maps an arbitrary error onto the taxonomy, attaching position
+// information the typed inner errors carry. Errors that already hold an
+// *Error pass through so a precise inner kind is never overwritten;
+// fallback is the kind most plausible for the call site.
+func classify(err error, fallback ErrorKind) error {
+	if err == nil {
+		return nil
+	}
+	var xe *Error
+	if errors.As(err, &xe) {
+		return err
+	}
+	var pe *sax.ParseError
+	if errors.As(err, &pe) {
+		return &Error{Kind: KindParse, Pos: fmt.Sprintf("%d:%d", pe.Line, pe.Col), Msg: pe.Msg, Err: err}
+	}
+	var se *xpath.SyntaxError
+	if errors.As(err, &se) {
+		return &Error{Kind: KindParse, Pos: fmt.Sprintf("offset %d", se.Pos), Msg: se.Error(), Err: err}
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return &Error{Kind: KindEval, Err: err}
+	}
+	return &Error{Kind: fallback, Err: err}
+}

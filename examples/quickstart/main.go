@@ -1,9 +1,12 @@
 // Quickstart: evaluate a transform query — a query written in update
 // syntax that returns the updated tree without touching the source
-// (Example 1.1 of the paper).
+// (Example 1.1 of the paper) — through the Engine/Prepared API: the
+// engine compiles the query once, the prepared statement is then
+// evaluated over any number of documents.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -22,20 +25,25 @@ const doc = `<db>
 </db>`
 
 func main() {
+	ctx := context.Background()
+	eng := xtq.NewEngine(xtq.WithMethod(xtq.MethodTopDown))
+
+	// "Find all the information in the document except price."
+	p, err := eng.Prepare(
+		`transform copy $a := doc("parts") modify do delete $a//price return $a`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("query:", p)
+
 	source, err := xtq.ParseString(doc)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// "Find all the information in the document except price."
-	q, err := xtq.ParseQuery(
-		`transform copy $a := doc("parts") modify do delete $a//price return $a`)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("query:", q)
-
-	view, err := xtq.Transform(source, q, xtq.MethodTopDown)
+	// A *Node is a Source; p.Eval(ctx, xtq.FromString(doc)) would parse
+	// and evaluate in one step.
+	view, err := p.Eval(ctx, source)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,11 +1,12 @@
 // Security views (Example 1.1, second application): a per-group virtual
 // view that hides price information from suppliers of certain countries.
-// The view is defined with update syntax, kept virtual (never
-// materialized), and a user query is composed with it so the composition
-// runs directly on the source document.
+// The view is defined with update syntax, prepared once on an Engine,
+// kept virtual (never materialized), and user queries are composed with
+// it so each composition runs directly on the source document.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,14 +24,17 @@ const doc = `<db>
 </db>`
 
 func main() {
+	ctx := context.Background()
 	source, err := xtq.ParseString(doc)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// The access-control policy: users in this group must not see
-	// prices of suppliers based in countries C1 and C2.
-	view, err := xtq.ParseQuery(`transform copy $a := doc("parts") modify
+	// prices of suppliers based in countries C1 and C2. Preparing it on
+	// the engine compiles the view definition once for all user queries.
+	eng := xtq.NewEngine()
+	view, err := eng.Prepare(`transform copy $a := doc("parts") modify
 		do delete $a//supplier[country = "C1" or country = "C2"]/price return $a`)
 	if err != nil {
 		log.Fatal(err)
@@ -48,11 +52,11 @@ func main() {
 	fmt.Println(" ", user)
 
 	// Compose the two: one pass over the source, no materialized view.
-	comp, err := xtq.Compose(view, user)
+	comp, err := view.Compose(user)
 	if err != nil {
 		log.Fatal(err)
 	}
-	result, err := comp.Eval(source)
+	result, err := comp.EvalContext(ctx, source)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,15 +1,20 @@
-// Streaming evaluation (twoPassSAX, §6): evaluate a transform query over a
-// document streamed from disk in two SAX passes, with memory bounded by
-// the document depth — the configuration that handles the paper's
-// 224 MB-1.1 GB files.
+// Streaming evaluation (twoPassSAX, §6): evaluate a prepared transform
+// query over a document streamed from disk in two SAX passes, with
+// memory bounded by the document depth — the configuration that handles
+// the paper's 224 MB-1.1 GB files. The evaluation takes a context:
+// cancelling it aborts the stream at SAX-event granularity, which this
+// example demonstrates with a deliberately tight timeout.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
 	"runtime"
+	"time"
 
 	"xtq"
 )
@@ -30,7 +35,8 @@ func main() {
 	}
 	fmt.Printf("generated %s: %.1f MB\n", path, float64(n)/1e6)
 
-	q, err := xtq.ParseQuery(`transform copy $a := doc("auctions") modify
+	eng := xtq.NewEngine()
+	p, err := eng.Prepare(`transform copy $a := doc("auctions") modify
 		do delete $a/site/open_auctions/open_auction[bidder/increase > 5]/annotation[happiness < 20]/description//text
 		return $a`)
 	if err != nil {
@@ -47,7 +53,7 @@ func main() {
 	runtime.GC()
 	runtime.ReadMemStats(&before)
 
-	res, err := xtq.TransformStream(q, xtq.FileSource(path), out)
+	res, err := p.EvalStream(context.Background(), xtq.FileSource(path), xtq.ToWriter(out))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,6 +69,19 @@ func main() {
 		res.Second.ElementsSeen, res.Second.MaxStackDepth)
 	fmt.Printf("heap growth during run: %.1f MB (independent of file size)\n",
 		float64(after.HeapAlloc-min(after.HeapAlloc, before.HeapAlloc))/1e6)
+
+	// Cancellation: a context that expires almost immediately stops the
+	// stream mid-document with a typed, classified error.
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Microsecond)
+	defer cancel()
+	_, err = p.EvalStream(ctx, xtq.FileSource(path), xtq.Discard())
+	var xe *xtq.Error
+	if errors.As(err, &xe) {
+		fmt.Printf("cancelled run: kind=%v, deadline exceeded=%v\n",
+			xe.Kind, errors.Is(err, context.DeadlineExceeded))
+	} else {
+		fmt.Printf("cancelled run finished before the deadline (err=%v)\n", err)
+	}
 }
 
 func min(a, b uint64) uint64 {

@@ -1,11 +1,12 @@
 // Updating virtual views (Example 1.1, third application): pose an update
 // against a view that is never materialized, then answer user queries as
 // if the update had happened, by composing the user query with a transform
-// query. The Compose Method is compared against the Naive (sequential)
-// composition on generated XMark data.
+// query prepared on an Engine. The Compose Method is compared against the
+// Naive (sequential) composition on generated XMark data.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -14,6 +15,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// Generate a small auction site document (see cmd/xmarkgen for the
 	// file-based generator).
 	doc, err := xtq.GenerateXMark(xtq.XMarkConfig{Factor: 0.01, Seed: 7})
@@ -24,7 +27,8 @@ func main() {
 
 	// The "update" on the virtual view: withdraw all items located in
 	// the United States.
-	qt, err := xtq.ParseQuery(`transform copy $a := doc("site") modify
+	eng := xtq.NewEngine()
+	qt, err := eng.Prepare(`transform copy $a := doc("site") modify
 		do delete $a/site/regions//item[location = "United States"] return $a`)
 	if err != nil {
 		log.Fatal(err)
@@ -38,23 +42,23 @@ func main() {
 		log.Fatal(err)
 	}
 
-	naive, err := xtq.NaiveCompose(qt, user)
+	naive, err := qt.NaiveCompose(user)
 	if err != nil {
 		log.Fatal(err)
 	}
 	start := time.Now()
-	nres, err := naive.Eval(doc)
+	nres, err := naive.EvalContext(ctx, doc)
 	if err != nil {
 		log.Fatal(err)
 	}
 	naiveTime := time.Since(start)
 
-	comp, err := xtq.Compose(qt, user)
+	comp, err := qt.Compose(user)
 	if err != nil {
 		log.Fatal(err)
 	}
 	start = time.Now()
-	cres, err := comp.Eval(doc)
+	cres, err := comp.EvalContext(ctx, doc)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module xtq
+
+go 1.22

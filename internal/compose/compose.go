@@ -30,22 +30,30 @@
 package compose
 
 import (
-	"errors"
+	"context"
 	"fmt"
 
 	"xtq/internal/automaton"
 	"xtq/internal/core"
 	"xtq/internal/tree"
+	"xtq/internal/xerr"
 	"xtq/internal/xpath"
 	"xtq/internal/xquery"
 )
 
 // Composed is a composition Qc of a transform query and a user query.
+// Eval records per-run statistics on the receiver, so one Composed must
+// not be evaluated from concurrent goroutines; build one per goroutine
+// (construction is cheap — the compiled transform is shared).
 type Composed struct {
 	Transform *core.Compiled
 	User      *xquery.UserQuery
 	// Stats of the last Eval call.
 	LastStats Stats
+
+	// can is the in-flight evaluation's cancellation poll; nil outside
+	// EvalContext and for non-cancellable contexts.
+	can *core.Canceler
 }
 
 // Stats counts work done by one evaluation, to substantiate the "accesses
@@ -58,10 +66,10 @@ type Stats struct {
 // New builds the composition of qt and q.
 func New(qt *core.Compiled, q *xquery.UserQuery) (*Composed, error) {
 	if qt == nil || q == nil {
-		return nil, errors.New("compose: nil input")
+		return nil, xerr.New(xerr.Compile, "", "compose: nil input")
 	}
 	if err := q.Validate(); err != nil {
-		return nil, err
+		return nil, xerr.Wrap(xerr.Compile, err)
 	}
 	return &Composed{Transform: qt, User: q}, nil
 }
@@ -82,7 +90,21 @@ func (c ctx) dead() bool { return c.plain || c.states == nil || c.states.Empty()
 // Eval evaluates the composition over doc, returning a document with the
 // <result> root of the paper's examples.
 func (c *Composed) Eval(doc *tree.Node) (*tree.Node, error) {
+	return c.EvalContext(context.Background(), doc)
+}
+
+// EvalContext is Eval honouring cctx: cancellation aborts the navigation
+// of the virtual document at node granularity.
+func (c *Composed) EvalContext(cctx context.Context, doc *tree.Node) (*tree.Node, error) {
+	// Navigation polls cancellation every few hundred nodes, which a
+	// small document may never reach; check up front so an
+	// already-cancelled context fails deterministically.
+	if cctx != nil && cctx.Err() != nil {
+		return nil, xerr.Wrap(xerr.Eval, cctx.Err())
+	}
 	c.LastStats = Stats{}
+	c.can = core.NewCanceler(cctx)
+	defer func() { c.can = nil }()
 	root := ctx{n: doc, states: c.Transform.NFA.InitialSet()}
 	result := tree.NewElement("result")
 	for _, x := range c.selectPath(root, c.User.Path) {
@@ -90,6 +112,9 @@ func (c *Composed) Eval(doc *tree.Node) (*tree.Node, error) {
 			continue
 		}
 		result.Children = append(result.Children, c.instantiate(c.User.Return, x)...)
+	}
+	if err := c.can.Err(); err != nil {
+		return nil, err
 	}
 	return tree.NewDocument(result), nil
 }
@@ -196,6 +221,9 @@ func (c *Composed) applyStep(frontier []ctx, s xpath.Step) []ctx {
 // become the constant element, renamed children change label, and an
 // insert-matched node grows the constant element as its last child.
 func (c *Composed) eachChild(f ctx, fn func(ctx)) {
+	if c.can.Stopped() {
+		return
+	}
 	u := &c.Transform.Query.Update
 	m := c.Transform.NFA
 	dead := f.dead()
@@ -403,7 +431,7 @@ func (c *Composed) materialize(x ctx) []*tree.Node {
 		return []*tree.Node{x.n}
 	}
 	c.LastStats.Materialized += x.n.Size()
-	return core.ProcessEntered(c.Transform, x.n, x.states, core.DirectChecker{})
+	return core.ProcessEntered(c.Transform, x.n, x.states, core.DirectChecker{}, c.can)
 }
 
 // String identifies the composition.

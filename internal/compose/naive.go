@@ -1,10 +1,12 @@
 package compose
 
 import (
+	"context"
 	"fmt"
 
 	"xtq/internal/core"
 	"xtq/internal/tree"
+	"xtq/internal/xerr"
 	"xtq/internal/xquery"
 )
 
@@ -26,19 +28,28 @@ type NaiveComposition struct {
 // NewNaive builds a naive composition.
 func NewNaive(qt *core.Compiled, q *xquery.UserQuery) (*NaiveComposition, error) {
 	if qt == nil || q == nil {
-		return nil, fmt.Errorf("compose: nil input")
+		return nil, xerr.New(xerr.Compile, "", "compose: nil input")
 	}
 	if err := q.Validate(); err != nil {
-		return nil, err
+		return nil, xerr.Wrap(xerr.Compile, err)
 	}
 	return &NaiveComposition{Transform: qt, User: q, Method: core.MethodTopDown}, nil
 }
 
 // Eval materializes Qt(doc) and evaluates the user query over it.
 func (n *NaiveComposition) Eval(doc *tree.Node) (*tree.Node, error) {
-	mid, err := n.Transform.Eval(doc, n.Method)
+	return n.EvalContext(context.Background(), doc)
+}
+
+// EvalContext is Eval honouring ctx. The transform step aborts at node
+// granularity; the user-query step is checked between the two phases.
+func (n *NaiveComposition) EvalContext(ctx context.Context, doc *tree.Node) (*tree.Node, error) {
+	mid, err := n.Transform.EvalContext(ctx, doc, n.Method)
 	if err != nil {
 		return nil, err
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return nil, xerr.Wrap(xerr.Eval, ctx.Err())
 	}
 	return n.User.Eval(mid)
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"xtq/internal/automaton"
 	"xtq/internal/tree"
 )
@@ -11,9 +13,13 @@ import (
 // as an ablation — benchmarked against EvalTopDown it isolates how much of
 // the topDown method's advantage over whole-tree approaches comes from
 // subtree pruning.
-func EvalTopDownNoPrune(c *Compiled, doc *tree.Node, check QualChecker) (*tree.Node, error) {
+func EvalTopDownNoPrune(ctx context.Context, c *Compiled, doc *tree.Node, check QualChecker) (*tree.Node, error) {
+	can := NewCanceler(ctx)
 	var process func(n *tree.Node, s automaton.StateSet) []*tree.Node
 	process = func(n *tree.Node, s automaton.StateSet) []*tree.Node {
+		if can.Stopped() {
+			return nil
+		}
 		m := c.NFA
 		next := m.Step(s, n.Label, func(id int) bool { return check.Check(&m.States[id], n) })
 		u := &c.Query.Update
@@ -62,6 +68,9 @@ func EvalTopDownNoPrune(c *Compiled, doc *tree.Node, check QualChecker) (*tree.N
 			continue
 		}
 		result.Children = append(result.Children, process(ch, s0)...)
+	}
+	if err := can.Err(); err != nil {
+		return nil, err
 	}
 	return result, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -20,11 +21,11 @@ func TestNoPruneAgrees(t *testing.T) {
 		if err != nil {
 			continue
 		}
-		want, err := EvalTopDown(c, d, DirectChecker{})
+		want, err := EvalTopDown(context.Background(), c, d, DirectChecker{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := EvalTopDownNoPrune(c, d, DirectChecker{})
+		got, err := EvalTopDownNoPrune(context.Background(), c, d, DirectChecker{})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"xtq/internal/automaton"
 	"xtq/internal/tree"
 	"xtq/internal/xpath"
@@ -36,7 +38,8 @@ type Annotations struct {
 // are supersets of the checked sets used by topDown) and prunes subtrees
 // that can contribute neither to node selection nor to any pending
 // qualifier (S' empty and no inherited needs).
-func EvalBottomUp(c *Compiled, doc *tree.Node) *Annotations {
+func EvalBottomUp(ctx context.Context, c *Compiled, doc *tree.Node) (*Annotations, error) {
+	can := NewCanceler(ctx)
 	ann := &Annotations{Sat: make(map[*tree.Node]xpath.SatVec)}
 	lq := c.NFA.LQ
 	m := c.NFA
@@ -46,6 +49,9 @@ func EvalBottomUp(c *Compiled, doc *tree.Node) *Annotations {
 	// vectors, or (nil, nil) when nothing was evaluated below n.
 	var visit func(n *tree.Node, s automaton.StateSet, inherited []int) (sat, selfOrDesc xpath.SatVec)
 	visit = func(n *tree.Node, s automaton.StateSet, inherited []int) (xpath.SatVec, xpath.SatVec) {
+		if can.Stopped() {
+			return nil, nil
+		}
 		ann.NodesVisited++
 		next := m.Step(s, n.Label, nil)
 		roots := m.EnteredQuals(s, n.Label)
@@ -95,7 +101,10 @@ func EvalBottomUp(c *Compiled, doc *tree.Node) *Annotations {
 			visit(ch, s0, nil)
 		}
 	}
-	return ann
+	if err := can.Err(); err != nil {
+		return nil, err
+	}
+	return ann, nil
 }
 
 // EvalTwoPass is the twoPass implementation of transform queries (§5,
@@ -103,8 +112,11 @@ func EvalBottomUp(c *Compiled, doc *tree.Node) *Annotations {
 // truth values, then topDown with constant-time qualifier checks. Two
 // passes over (the relevant part of) the tree, linear data complexity
 // regardless of qualifier complexity.
-func EvalTwoPass(c *Compiled, doc *tree.Node) (*tree.Node, error) {
-	ann := EvalBottomUp(c, doc)
+func EvalTwoPass(ctx context.Context, c *Compiled, doc *tree.Node) (*tree.Node, error) {
+	ann, err := EvalBottomUp(ctx, c, doc)
+	if err != nil {
+		return nil, err
+	}
 	checker := &AnnotChecker{Annot: ann.Sat}
-	return EvalTopDown(c, doc, checker)
+	return EvalTopDown(ctx, c, doc, checker)
 }

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"context"
+
+	"xtq/internal/xerr"
+)
+
+// pollInterval is how many Stopped calls pass between looks at the
+// context's done channel. Tree evaluation visits millions of nodes per
+// second, so polling every visit would dominate the hot loop; every 1024
+// visits keeps cancellation latency in the microseconds while costing one
+// predictable branch per node.
+const pollInterval = 1024
+
+// Canceler adapts a context.Context to the node-granular abort checks of
+// the tree evaluators. A nil *Canceler is valid and never stops, so the
+// evaluators pay a single nil check when no cancellable context is in
+// play (context.Background and friends).
+type Canceler struct {
+	done <-chan struct{}
+	ctx  context.Context
+	n    uint32
+	err  error
+}
+
+// NewCanceler returns a Canceler for ctx, or nil when ctx can never be
+// cancelled.
+func NewCanceler(ctx context.Context) *Canceler {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return &Canceler{done: ctx.Done(), ctx: ctx}
+}
+
+// Stopped reports whether evaluation must abort. Once it returns true it
+// keeps returning true, so deep recursions unwind quickly after a
+// cancellation is observed.
+func (c *Canceler) Stopped() bool {
+	if c == nil {
+		return false
+	}
+	if c.err != nil {
+		return true
+	}
+	c.n++
+	if c.n%pollInterval != 0 {
+		return false
+	}
+	select {
+	case <-c.done:
+		c.err = xerr.Wrap(xerr.Eval, c.ctx.Err())
+		return true
+	default:
+		return false
+	}
+}
+
+// Err returns the evaluation error recorded by Stopped: nil while the
+// context is live, an Eval-kind *xerr.Error wrapping the context's error
+// after cancellation was observed.
+func (c *Canceler) Err() error {
+	if c == nil {
+		return nil
+	}
+	return c.err
+}

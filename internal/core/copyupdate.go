@@ -1,6 +1,11 @@
 package core
 
-import "xtq/internal/tree"
+import (
+	"context"
+
+	"xtq/internal/tree"
+	"xtq/internal/xerr"
+)
 
 // EvalCopyUpdate is the copy-and-update baseline: snapshot the document,
 // then destructively apply the embedded update to the copy. This is the
@@ -9,8 +14,14 @@ import "xtq/internal/tree"
 // snapshot of XML files"); it always costs Θ(|T|) time and space, which is
 // why it loses to the automaton methods whenever the update touches a
 // small part of the document.
-func EvalCopyUpdate(c *Compiled, doc *tree.Node) (*tree.Node, error) {
+func EvalCopyUpdate(ctx context.Context, c *Compiled, doc *tree.Node) (*tree.Node, error) {
+	// The snapshot and the in-place application are both monolithic
+	// library calls, so cancellation is honoured between the two phases
+	// rather than at node granularity.
 	snapshot := doc.DeepCopy()
+	if ctx != nil && ctx.Err() != nil {
+		return nil, xerr.Wrap(xerr.Eval, ctx.Err())
+	}
 	if err := c.Query.Update.Apply(snapshot); err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -9,6 +10,15 @@ import (
 	"xtq/internal/tree"
 	"xtq/internal/xpath"
 )
+
+func mustBottomUp(t *testing.T, c *Compiled, d *tree.Node) *Annotations {
+	t.Helper()
+	ann, err := EvalBottomUp(context.Background(), c, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ann
+}
 
 const fig1 = `<db>
 <part><pname>keyboard</pname>
@@ -219,13 +229,13 @@ func TestBottomUpPruning(t *testing.T) {
 	// supplier//part reaches no state from the root (Example 5.3): the
 	// pass must stop after the root's children.
 	c := compile(t, `transform copy $a := doc("foo") modify do delete $a/supplier//part return $a`)
-	ann := EvalBottomUp(c, d)
+	ann := mustBottomUp(t, c, d)
 	if ann.NodesVisited > 1 {
 		t.Errorf("bottomUp visited %d nodes, want 1 (just the root, then prune)", ann.NodesVisited)
 	}
 	// A selective path prunes the mouse part's subtree below depth 2.
 	c2 := compile(t, `transform copy $a := doc("foo") modify do delete $a/db/part[pname = "keyboard"]/supplier[country = "US"] return $a`)
-	ann2 := EvalBottomUp(c2, d)
+	ann2 := mustBottomUp(t, c2, d)
 	total := d.CountElements()
 	if ann2.NodesVisited >= total {
 		t.Errorf("bottomUp visited all %d elements; pruning ineffective", ann2.NodesVisited)
@@ -235,16 +245,16 @@ func TestBottomUpPruning(t *testing.T) {
 func TestTwoPassNoFallbacks(t *testing.T) {
 	d := doc(t)
 	c := compile(t, `transform copy $a := doc("foo") modify do delete $a//part[not(supplier/sname = "HP") and not(supplier/price < 15)] return $a`)
-	ann := EvalBottomUp(c, d)
+	ann := mustBottomUp(t, c, d)
 	checker := &AnnotChecker{Annot: ann.Sat}
-	got, err := EvalTopDown(c, d, checker)
+	got, err := EvalTopDown(context.Background(), c, d, checker)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if checker.Fallbacks != 0 {
 		t.Errorf("annotation checker fell back to direct evaluation %d times", checker.Fallbacks)
 	}
-	want, err := EvalTopDown(c, d, DirectChecker{})
+	want, err := EvalTopDown(context.Background(), c, d, DirectChecker{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,9 +335,9 @@ func TestTwoPassNoFallbacksRandom(t *testing.T) {
 		if err != nil {
 			continue
 		}
-		ann := EvalBottomUp(c, d)
+		ann := mustBottomUp(t, c, d)
 		checker := &AnnotChecker{Annot: ann.Sat}
-		if _, err := EvalTopDown(c, d, checker); err != nil {
+		if _, err := EvalTopDown(context.Background(), c, d, checker); err != nil {
 			t.Fatal(err)
 		}
 		if checker.Fallbacks != 0 {

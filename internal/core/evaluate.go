@@ -1,9 +1,11 @@
 package core
 
 import (
-	"fmt"
+	"context"
+	"strings"
 
 	"xtq/internal/tree"
+	"xtq/internal/xerr"
 )
 
 // Method selects a transform-query evaluation algorithm. The names follow
@@ -31,22 +33,63 @@ func Methods() []Method {
 	return []Method{MethodCopyUpdate, MethodNaive, MethodTwoPass, MethodTopDown}
 }
 
-// Eval evaluates the compiled transform query on doc with the given
-// method. The input tree is never modified; depending on the method the
-// result may share unmodified subtrees with doc (see EvalTopDown).
-func (c *Compiled) Eval(doc *tree.Node, m Method) (*tree.Node, error) {
+// MethodNames returns the method names as strings, for flag help and
+// error messages.
+func MethodNames() []string {
+	ms := Methods()
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = string(m)
+	}
+	return out
+}
+
+// ParseMethod validates a method name, returning an Eval-kind *xerr.Error
+// naming the valid methods when it is unknown. Use it to reject a bad
+// method before any input document is read.
+func ParseMethod(s string) (Method, error) {
+	for _, m := range Methods() {
+		if string(m) == s {
+			return m, nil
+		}
+	}
+	return "", unknownMethodErr(Method(s))
+}
+
+func unknownMethodErr(m Method) error {
+	return xerr.New(xerr.Eval, "", "core: unknown method %q (valid: %s)",
+		string(m), strings.Join(MethodNames(), ", "))
+}
+
+// EvalContext evaluates the compiled transform query on doc with the given
+// method, aborting at node granularity when ctx is cancelled. The input
+// tree is never modified; depending on the method the result may share
+// unmodified subtrees with doc (see EvalTopDown). A Compiled is immutable,
+// so EvalContext is safe to call from concurrent goroutines.
+func (c *Compiled) EvalContext(ctx context.Context, doc *tree.Node, m Method) (*tree.Node, error) {
+	// The evaluators poll cancellation every pollInterval nodes, which a
+	// small document may never reach; checking up front makes an
+	// already-cancelled context fail deterministically.
+	if ctx != nil && ctx.Err() != nil {
+		return nil, xerr.Wrap(xerr.Eval, ctx.Err())
+	}
 	switch m {
 	case MethodNaive:
-		return EvalNaive(c, doc)
+		return EvalNaive(ctx, c, doc)
 	case MethodTopDown:
-		return EvalTopDown(c, doc, DirectChecker{})
+		return EvalTopDown(ctx, c, doc, DirectChecker{})
 	case MethodTwoPass:
-		return EvalTwoPass(c, doc)
+		return EvalTwoPass(ctx, c, doc)
 	case MethodCopyUpdate:
-		return EvalCopyUpdate(c, doc)
+		return EvalCopyUpdate(ctx, c, doc)
 	default:
-		return nil, fmt.Errorf("core: unknown method %q", m)
+		return nil, unknownMethodErr(m)
 	}
+}
+
+// Eval is EvalContext without cancellation.
+func (c *Compiled) Eval(doc *tree.Node, m Method) (*tree.Node, error) {
+	return c.EvalContext(context.Background(), doc, m)
 }
 
 // Eval compiles and evaluates q on doc; a convenience for one-shot use.

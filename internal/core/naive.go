@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"xtq/internal/tree"
 	"xtq/internal/xpath"
 )
@@ -15,7 +17,8 @@ import (
 //
 // The input tree is not modified; element nodes are rebuilt (as the
 // rewritten query's element constructors do) while text leaves are shared.
-func EvalNaive(c *Compiled, doc *tree.Node) (*tree.Node, error) {
+func EvalNaive(ctx context.Context, c *Compiled, doc *tree.Node) (*tree.Node, error) {
+	can := NewCanceler(ctx)
 	u := &c.Query.Update
 	xp := xpath.Select(doc, u.Path)
 
@@ -32,6 +35,9 @@ func EvalNaive(c *Compiled, doc *tree.Node) (*tree.Node, error) {
 
 	var rebuild func(n *tree.Node) *tree.Node
 	rebuild = func(n *tree.Node) *tree.Node {
+		if can.Stopped() {
+			return nil
+		}
 		if n.Kind != tree.Element {
 			return n // "else $n": non-elements pass through
 		}
@@ -64,6 +70,9 @@ func EvalNaive(c *Compiled, doc *tree.Node) (*tree.Node, error) {
 		if r := rebuild(ch); r != nil {
 			result.Children = append(result.Children, r)
 		}
+	}
+	if err := can.Err(); err != nil {
+		return nil, err
 	}
 	return result, nil
 }

@@ -8,6 +8,7 @@ import (
 	"xtq/internal/automaton"
 	"xtq/internal/sax"
 	"xtq/internal/tree"
+	"xtq/internal/xerr"
 	"xtq/internal/xpath"
 )
 
@@ -23,22 +24,40 @@ type Query struct {
 // Validate checks the query.
 func (q *Query) Validate() error {
 	if q.Var == "" {
-		return errors.New("core: transform query without variable")
+		return xerr.New(xerr.Compile, "", "core: transform query without variable")
 	}
 	return q.Update.Validate()
 }
 
 // String renders the query in the W3C draft surface syntax used throughout
-// the paper.
+// the paper. The rendering round-trips through ParseQuery (the engine's
+// cache relies on it), so the doc() argument is quoted with whichever
+// quote character it does not contain rather than Go escaping.
 func (q *Query) String() string {
 	v := "$" + q.Var
-	return fmt.Sprintf("transform copy %s := doc(%q) modify do %s return %s",
-		v, q.Doc, q.Update.String(v), v)
+	return fmt.Sprintf("transform copy %s := doc(%s) modify do %s return %s",
+		v, quoteDocArg(q.Doc), q.Update.String(v), v)
+}
+
+// quoteDocArg renders a doc() argument in surface syntax. The parser
+// takes everything between the quotes literally (no escapes), so an
+// argument containing both quote characters is not expressible; fall
+// back to Go quoting for display — ParseQuery will reject it, which
+// callers that need round-tripping detect.
+func quoteDocArg(s string) string {
+	if !strings.Contains(s, `"`) {
+		return `"` + s + `"`
+	}
+	if !strings.Contains(s, "'") {
+		return "'" + s + "'"
+	}
+	return fmt.Sprintf("%q", s)
 }
 
 // Compiled is a transform query with its selecting NFA built; evaluation
 // methods operate on compiled queries so the O(|p|) automaton construction
-// (§3.4) happens once.
+// (§3.4) happens once. A Compiled is immutable after construction and safe
+// for concurrent use by multiple goroutines.
 type Compiled struct {
 	Query *Query
 	NFA   *automaton.NFA
@@ -51,7 +70,7 @@ func (q *Query) Compile() (*Compiled, error) {
 	}
 	nfa, err := automaton.New(q.Update.Path)
 	if err != nil {
-		return nil, err
+		return nil, xerr.Wrap(xerr.Compile, err)
 	}
 	return &Compiled{Query: q, NFA: nfa}, nil
 }
@@ -65,49 +84,52 @@ func (q *Query) Compile() (*Compiled, error) {
 //
 // The embedded update forms are: "insert ELEM into $v/p", "delete $v/p",
 // "replace $v/p with ELEM" and "rename $v/p as label", where ELEM is a
-// literal XML element and p an expression of the fragment X.
+// literal XML element and p an expression of the fragment X. Failures are
+// reported as *xerr.Error with kind Parse and a byte offset into the
+// (whitespace-trimmed) query text.
 func ParseQuery(src string) (*Query, error) {
-	s := strings.TrimSpace(src)
+	p := &qscan{src: strings.TrimSpace(src)}
+	s := p.src
 	var err error
-	if s, err = expectWord(s, "transform"); err != nil {
+	if s, err = p.expectWord(s, "transform"); err != nil {
 		return nil, err
 	}
-	if s, err = expectWord(s, "copy"); err != nil {
+	if s, err = p.expectWord(s, "copy"); err != nil {
 		return nil, err
 	}
-	varName, s, err := parseVar(s)
+	varName, s, err := p.parseVar(s)
 	if err != nil {
 		return nil, err
 	}
-	if s, err = expectToken(s, ":="); err != nil {
+	if s, err = p.expectToken(s, ":="); err != nil {
 		return nil, err
 	}
-	docArg, s, err := parseDocCall(s)
+	docArg, s, err := p.parseDocCall(s)
 	if err != nil {
 		return nil, err
 	}
-	if s, err = expectWord(s, "modify"); err != nil {
+	if s, err = p.expectWord(s, "modify"); err != nil {
 		return nil, err
 	}
-	if s, err = expectWord(s, "do"); err != nil {
+	if s, err = p.expectWord(s, "do"); err != nil {
 		return nil, err
 	}
-	u, s, err := parseUpdate(s, varName)
+	u, s, err := p.parseUpdate(s, varName)
 	if err != nil {
 		return nil, err
 	}
-	if s, err = expectWord(s, "return"); err != nil {
+	if s, err = p.expectWord(s, "return"); err != nil {
 		return nil, err
 	}
-	retVar, s, err := parseVar(s)
+	retVar, s, err := p.parseVar(s)
 	if err != nil {
 		return nil, err
 	}
 	if retVar != varName {
-		return nil, fmt.Errorf("core: return variable $%s does not match copied $%s", retVar, varName)
+		return nil, p.errAt(s, "core: return variable $%s does not match copied $%s", retVar, varName)
 	}
 	if strings.TrimSpace(s) != "" {
-		return nil, fmt.Errorf("core: trailing input after transform query: %q", strings.TrimSpace(s))
+		return nil, p.errAt(s, "core: trailing input after transform query: %q", strings.TrimSpace(s))
 	}
 	q := &Query{Var: varName, Doc: docArg, Update: *u}
 	if err := q.Validate(); err != nil {
@@ -125,14 +147,32 @@ func MustParseQuery(src string) *Query {
 	return q
 }
 
-func expectWord(s, word string) (string, error) {
+// qscan threads the full query text through the parse helpers so every
+// error can report its byte offset. The helpers receive and return
+// suffixes of src; the offset of a failure is src's length minus the
+// remaining suffix's.
+type qscan struct {
+	src string
+}
+
+// errAt builds a Parse error positioned at the start of the remaining
+// input rest, which must be a suffix of p.src.
+func (p *qscan) errAt(rest, format string, args ...any) *xerr.Error {
+	off := len(p.src) - len(rest)
+	if off < 0 {
+		off = 0
+	}
+	return xerr.New(xerr.Parse, fmt.Sprintf("offset %d", off), format, args...)
+}
+
+func (p *qscan) expectWord(s, word string) (string, error) {
 	s = strings.TrimSpace(s)
 	if !strings.HasPrefix(s, word) {
-		return "", fmt.Errorf("core: expected %q at %q", word, truncate(s))
+		return "", p.errAt(s, "core: expected %q at %q", word, truncate(s))
 	}
 	rest := s[len(word):]
 	if rest != "" && !isWordBreak(rest[0]) {
-		return "", fmt.Errorf("core: expected %q at %q", word, truncate(s))
+		return "", p.errAt(s, "core: expected %q at %q", word, truncate(s))
 	}
 	return rest, nil
 }
@@ -141,94 +181,94 @@ func isWordBreak(c byte) bool {
 	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '$' || c == '<' || c == '(' || c == ':'
 }
 
-func expectToken(s, tok string) (string, error) {
+func (p *qscan) expectToken(s, tok string) (string, error) {
 	s = strings.TrimSpace(s)
 	if !strings.HasPrefix(s, tok) {
-		return "", fmt.Errorf("core: expected %q at %q", tok, truncate(s))
+		return "", p.errAt(s, "core: expected %q at %q", tok, truncate(s))
 	}
 	return s[len(tok):], nil
 }
 
-func parseVar(s string) (string, string, error) {
+func (p *qscan) parseVar(s string) (string, string, error) {
 	s = strings.TrimSpace(s)
 	if !strings.HasPrefix(s, "$") {
-		return "", "", fmt.Errorf("core: expected a variable at %q", truncate(s))
+		return "", "", p.errAt(s, "core: expected a variable at %q", truncate(s))
 	}
 	i := 1
 	for i < len(s) && (s[i] == '_' || s[i] >= 'a' && s[i] <= 'z' || s[i] >= 'A' && s[i] <= 'Z' || s[i] >= '0' && s[i] <= '9') {
 		i++
 	}
 	if i == 1 {
-		return "", "", fmt.Errorf("core: empty variable name at %q", truncate(s))
+		return "", "", p.errAt(s, "core: empty variable name at %q", truncate(s))
 	}
 	return s[1:i], s[i:], nil
 }
 
-func parseDocCall(s string) (string, string, error) {
+func (p *qscan) parseDocCall(s string) (string, string, error) {
 	s = strings.TrimSpace(s)
 	if !strings.HasPrefix(s, "doc(") {
-		return "", "", fmt.Errorf("core: expected doc(...) at %q", truncate(s))
+		return "", "", p.errAt(s, "core: expected doc(...) at %q", truncate(s))
 	}
 	s = s[len("doc("):]
 	s = strings.TrimSpace(s)
 	if s == "" || (s[0] != '"' && s[0] != '\'') {
-		return "", "", errors.New("core: doc() argument must be a quoted string")
+		return "", "", p.errAt(s, "core: doc() argument must be a quoted string")
 	}
 	quote := s[0]
 	end := strings.IndexByte(s[1:], quote)
 	if end < 0 {
-		return "", "", errors.New("core: unterminated doc() argument")
+		return "", "", p.errAt(s, "core: unterminated doc() argument")
 	}
 	arg := s[1 : 1+end]
 	s = strings.TrimSpace(s[2+end:])
 	if !strings.HasPrefix(s, ")") {
-		return "", "", errors.New("core: expected ')' after doc() argument")
+		return "", "", p.errAt(s, "core: expected ')' after doc() argument")
 	}
 	return arg, s[1:], nil
 }
 
-func parseUpdate(s, varName string) (*Update, string, error) {
+func (p *qscan) parseUpdate(s, varName string) (*Update, string, error) {
 	s = strings.TrimSpace(s)
 	switch {
 	case strings.HasPrefix(s, "insert"):
 		s = s[len("insert"):]
-		elem, rest, err := parseElem(s)
+		elem, rest, err := p.parseElem(s)
 		if err != nil {
 			return nil, "", err
 		}
-		if rest, err = expectWord(rest, "into"); err != nil {
+		if rest, err = p.expectWord(rest, "into"); err != nil {
 			return nil, "", err
 		}
-		p, rest, err := parseVarPath(rest, varName)
+		path, rest, err := p.parseVarPath(rest, varName)
 		if err != nil {
 			return nil, "", err
 		}
-		return &Update{Op: Insert, Path: p, Elem: elem}, rest, nil
+		return &Update{Op: Insert, Path: path, Elem: elem}, rest, nil
 	case strings.HasPrefix(s, "delete"):
-		p, rest, err := parseVarPath(s[len("delete"):], varName)
+		path, rest, err := p.parseVarPath(s[len("delete"):], varName)
 		if err != nil {
 			return nil, "", err
 		}
-		return &Update{Op: Delete, Path: p}, rest, nil
+		return &Update{Op: Delete, Path: path}, rest, nil
 	case strings.HasPrefix(s, "replace"):
-		p, rest, err := parseVarPath(s[len("replace"):], varName)
+		path, rest, err := p.parseVarPath(s[len("replace"):], varName)
 		if err != nil {
 			return nil, "", err
 		}
-		if rest, err = expectWord(rest, "with"); err != nil {
+		if rest, err = p.expectWord(rest, "with"); err != nil {
 			return nil, "", err
 		}
-		elem, rest, err := parseElem(rest)
+		elem, rest, err := p.parseElem(rest)
 		if err != nil {
 			return nil, "", err
 		}
-		return &Update{Op: Replace, Path: p, Elem: elem}, rest, nil
+		return &Update{Op: Replace, Path: path, Elem: elem}, rest, nil
 	case strings.HasPrefix(s, "rename"):
-		p, rest, err := parseVarPath(s[len("rename"):], varName)
+		path, rest, err := p.parseVarPath(s[len("rename"):], varName)
 		if err != nil {
 			return nil, "", err
 		}
-		if rest, err = expectWord(rest, "as"); err != nil {
+		if rest, err = p.expectWord(rest, "as"); err != nil {
 			return nil, "", err
 		}
 		rest = strings.TrimSpace(rest)
@@ -237,37 +277,57 @@ func parseUpdate(s, varName string) (*Update, string, error) {
 			i++
 		}
 		if i == 0 {
-			return nil, "", errors.New("core: rename requires a label")
+			return nil, "", p.errAt(rest, "core: rename requires a label")
 		}
-		return &Update{Op: Rename, Path: p, Label: rest[:i]}, rest[i:], nil
+		return &Update{Op: Rename, Path: path, Label: rest[:i]}, rest[i:], nil
 	default:
-		return nil, "", fmt.Errorf("core: expected an update (insert/delete/replace/rename) at %q", truncate(s))
+		return nil, "", p.errAt(s, "core: expected an update (insert/delete/replace/rename) at %q", truncate(s))
 	}
 }
 
 // parseVarPath parses "$v/path" or "$v//path".
-func parseVarPath(s, varName string) (*xpath.Path, string, error) {
-	v, rest, err := parseVar(s)
+func (p *qscan) parseVarPath(s, varName string) (*xpath.Path, string, error) {
+	v, rest, err := p.parseVar(s)
 	if err != nil {
 		return nil, "", err
 	}
 	if v != varName {
-		return nil, "", fmt.Errorf("core: update path uses $%s, query copies $%s", v, varName)
+		return nil, "", p.errAt(s, "core: update path uses $%s, query copies $%s", v, varName)
 	}
 	rest = strings.TrimLeft(rest, " \t\n\r")
 	if !strings.HasPrefix(rest, "/") {
-		return nil, "", fmt.Errorf("core: expected a path after $%s", varName)
+		return nil, "", p.errAt(rest, "core: expected a path after $%s", varName)
 	}
 	// The path extends to the next top-level keyword (return/into/with/as)
 	// or end of string; paths cannot contain those words outside string
 	// literals, so scan with quote awareness.
 	end := pathEnd(rest)
 	expr := strings.TrimSpace(rest[:end])
-	p, err := xpath.Parse(expr)
+	path, err := xpath.Parse(expr)
 	if err != nil {
-		return nil, "", err
+		return nil, "", p.wrapPathErr(rest, err)
 	}
-	return p, rest[end:], nil
+	return path, rest[end:], nil
+}
+
+// wrapPathErr re-positions an xpath syntax error relative to the whole
+// query: the path's offset within the query plus the error's offset within
+// the path.
+func (p *qscan) wrapPathErr(rest string, err error) error {
+	off := len(p.src) - len(rest)
+	if off < 0 {
+		off = 0
+	}
+	var se *xpath.SyntaxError
+	if errors.As(err, &se) {
+		return &xerr.Error{
+			Kind: xerr.Parse,
+			Pos:  fmt.Sprintf("offset %d", off+se.Pos),
+			Msg:  se.Error(),
+			Err:  err,
+		}
+	}
+	return &xerr.Error{Kind: xerr.Parse, Pos: fmt.Sprintf("offset %d", off), Err: err}
 }
 
 // pathEnd returns the index where the path expression ends: the first
@@ -303,22 +363,22 @@ func pathEnd(s string) int {
 
 // parseElem parses a literal XML element from the head of s and returns it
 // with the unconsumed remainder.
-func parseElem(s string) (*tree.Node, string, error) {
+func (p *qscan) parseElem(s string) (*tree.Node, string, error) {
 	s2 := strings.TrimLeft(s, " \t\n\r")
 	if !strings.HasPrefix(s2, "<") {
-		return nil, "", fmt.Errorf("core: expected a literal XML element at %q", truncate(s2))
+		return nil, "", p.errAt(s2, "core: expected a literal XML element at %q", truncate(s2))
 	}
 	end, err := elemEnd(s2)
 	if err != nil {
-		return nil, "", err
+		return nil, "", p.errAt(s2, "core: %v", err)
 	}
 	doc, err := sax.ParseString(s2[:end])
 	if err != nil {
-		return nil, "", fmt.Errorf("core: invalid constant element: %w", err)
+		return nil, "", p.errAt(s2, "core: invalid constant element: %v", err)
 	}
 	root := doc.Root()
 	if root == nil {
-		return nil, "", errors.New("core: constant element is empty")
+		return nil, "", p.errAt(s2, "core: constant element is empty")
 	}
 	return root, s2[end:], nil
 }
@@ -334,7 +394,7 @@ func elemEnd(s string) (int, error) {
 			if strings.HasPrefix(s[i:], "<!--") {
 				end := strings.Index(s[i:], "-->")
 				if end < 0 {
-					return 0, errors.New("core: unterminated comment in constant element")
+					return 0, errors.New("unterminated comment in constant element")
 				}
 				i += end + 3
 				continue
@@ -365,7 +425,7 @@ func elemEnd(s string) (int, error) {
 				j++
 			}
 			if j >= len(s) {
-				return 0, errors.New("core: unterminated tag in constant element")
+				return 0, errors.New("unterminated tag in constant element")
 			}
 			switch {
 			case closing:
@@ -380,13 +440,13 @@ func elemEnd(s string) (int, error) {
 				return i, nil
 			}
 			if depth < 0 {
-				return 0, errors.New("core: unbalanced end tag in constant element")
+				return 0, errors.New("unbalanced end tag in constant element")
 			}
 		default:
 			i++
 		}
 	}
-	return 0, errors.New("core: unterminated constant element")
+	return 0, errors.New("unterminated constant element")
 }
 
 func truncate(s string) string {

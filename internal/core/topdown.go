@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"xtq/internal/automaton"
 	"xtq/internal/tree"
 	"xtq/internal/xpath"
@@ -59,7 +61,14 @@ func (a *AnnotChecker) Check(st *automaton.State, n *tree.Node) bool {
 // algorithm topDown (Fig. 3), exported for the composition package, which
 // materializes returned subtrees exactly this way (the paper's embedded
 // topDown() user-defined function, §4).
-func ProcessNode(c *Compiled, n *tree.Node, s automaton.StateSet, check QualChecker) []*tree.Node {
+//
+// can may be nil; when it observes cancellation the traversal unwinds with
+// an arbitrary partial result, which the caller must discard after
+// consulting can.Err().
+func ProcessNode(c *Compiled, n *tree.Node, s automaton.StateSet, check QualChecker, can *Canceler) []*tree.Node {
+	if can.Stopped() {
+		return nil
+	}
 	m := c.NFA
 	next := m.Step(s, n.Label, func(id int) bool { return check.Check(&m.States[id], n) })
 	if next.Empty() {
@@ -67,12 +76,12 @@ func ProcessNode(c *Compiled, n *tree.Node, s automaton.StateSet, check QualChec
 		// return it unchanged (Fig. 3 lines 2-3).
 		return []*tree.Node{n}
 	}
-	return ProcessEntered(c, n, next, check)
+	return ProcessEntered(c, n, next, check, can)
 }
 
 // ProcessEntered is ProcessNode for a node whose label is already consumed:
 // entered is the state set after the transition on n.
-func ProcessEntered(c *Compiled, n *tree.Node, entered automaton.StateSet, check QualChecker) []*tree.Node {
+func ProcessEntered(c *Compiled, n *tree.Node, entered automaton.StateSet, check QualChecker, can *Canceler) []*tree.Node {
 	u := &c.Query.Update
 	m := c.NFA
 	matched := m.Matches(entered)
@@ -92,7 +101,7 @@ func ProcessEntered(c *Compiled, n *tree.Node, entered automaton.StateSet, check
 			newChildren = append(newChildren, ch)
 			continue
 		}
-		r := ProcessNode(c, ch, entered, check)
+		r := ProcessNode(c, ch, entered, check, can)
 		if len(r) != 1 || r[0] != ch {
 			changed = true
 		}
@@ -118,7 +127,9 @@ func ProcessEntered(c *Compiled, n *tree.Node, entered automaton.StateSet, check
 // non-empty automaton state set; subtrees the update cannot touch are
 // returned by reference (structural sharing), so the result is a
 // copy-on-write view over the input. The input is never modified.
-func EvalTopDown(c *Compiled, doc *tree.Node, check QualChecker) (*tree.Node, error) {
+// Cancelling ctx aborts the traversal at node granularity.
+func EvalTopDown(ctx context.Context, c *Compiled, doc *tree.Node, check QualChecker) (*tree.Node, error) {
+	can := NewCanceler(ctx)
 	s0 := c.NFA.InitialSet()
 	result := tree.NewDocument(nil)
 	changed := false
@@ -127,11 +138,14 @@ func EvalTopDown(c *Compiled, doc *tree.Node, check QualChecker) (*tree.Node, er
 			result.Children = append(result.Children, ch)
 			continue
 		}
-		r := ProcessNode(c, ch, s0, check)
+		r := ProcessNode(c, ch, s0, check, can)
 		if len(r) != 1 || r[0] != ch {
 			changed = true
 		}
 		result.Children = append(result.Children, r...)
+	}
+	if err := can.Err(); err != nil {
+		return nil, err
 	}
 	if !changed {
 		// Nothing matched anywhere: the query is the identity on doc.

@@ -16,10 +16,10 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 
 	"xtq/internal/tree"
+	"xtq/internal/xerr"
 	"xtq/internal/xpath"
 )
 
@@ -66,32 +66,33 @@ type Update struct {
 	Label string     // new label for Rename
 }
 
-// Validate checks that the update is well formed.
+// Validate checks that the update is well formed. Failures are *xerr.Error
+// with kind Compile.
 func (u *Update) Validate() error {
 	if u.Path == nil || len(u.Path.Steps) == 0 {
-		return errors.New("core: update has no path")
+		return xerr.New(xerr.Compile, "", "core: update has no path")
 	}
 	if u.Path.HasAttributeStep() {
-		return errors.New("core: update path selects attributes")
+		return xerr.New(xerr.Compile, "", "core: update path selects attributes")
 	}
 	switch u.Op {
 	case Insert, Replace:
 		if u.Elem == nil || u.Elem.Kind != tree.Element {
-			return fmt.Errorf("core: %s requires a constant element", u.Op)
+			return xerr.New(xerr.Compile, "", "core: %s requires a constant element", u.Op)
 		}
 		if err := tree.Validate(u.Elem); err != nil {
-			return fmt.Errorf("core: %s element: %w", u.Op, err)
+			return &xerr.Error{Kind: xerr.Compile, Msg: fmt.Sprintf("core: %s element: %v", u.Op, err), Err: err}
 		}
 	case Delete:
 		if u.Elem != nil || u.Label != "" {
-			return errors.New("core: delete takes no element or label")
+			return xerr.New(xerr.Compile, "", "core: delete takes no element or label")
 		}
 	case Rename:
 		if u.Label == "" {
-			return errors.New("core: rename requires a label")
+			return xerr.New(xerr.Compile, "", "core: rename requires a label")
 		}
 	default:
-		return fmt.Errorf("core: invalid op %d", u.Op)
+		return xerr.New(xerr.Compile, "", "core: invalid op %d", u.Op)
 	}
 	return nil
 }

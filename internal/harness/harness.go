@@ -12,6 +12,8 @@ package harness
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -33,6 +35,11 @@ import (
 // Options configures a Runner.
 type Options struct {
 	Out io.Writer
+	// Context cancels a sweep: cancellation aborts the in-flight
+	// evaluation (at node or SAX-event granularity) and the runner
+	// returns before starting the next measurement. Defaults to
+	// context.Background().
+	Context context.Context
 	// Factors for the scalability experiments (Fig. 13 and Fig. 15);
 	// defaults to the paper's 0.02-0.34 sweep.
 	Factors []float64
@@ -67,6 +74,9 @@ func (o Options) withDefaults() Options {
 	if o.TempDir == "" {
 		o.TempDir = os.TempDir()
 	}
+	if o.Context == nil {
+		o.Context = context.Background()
+	}
 	return o
 }
 
@@ -75,6 +85,20 @@ type Runner struct {
 	opts  Options
 	docs  map[float64]*tree.Node
 	bytes map[float64][]byte
+}
+
+// stopped reports whether the sweep's context was cancelled; experiment
+// loops consult it between measurements.
+func (r *Runner) stopped() bool { return r.opts.Context.Err() != nil }
+
+// check panics on real evaluation errors but swallows cancellation: the
+// enclosing experiment loop sees stopped() and returns an incomplete
+// table instead of crashing on Ctrl-C.
+func (r *Runner) check(err error) {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return
+	}
+	panic(err)
 }
 
 // New returns a Runner with the given options.
@@ -196,14 +220,13 @@ func (r *Runner) Fig11() {
 // the tree — the end-to-end cost an XQuery engine pays per query, which is
 // what the paper's figures measure (its engines load the file per run,
 // while twoPassSAX streams it without ever building a DOM).
-func evalWithLoad(c *core.Compiled, xml []byte, m core.Method) {
+func (r *Runner) evalWithLoad(c *core.Compiled, xml []byte, m core.Method) {
 	doc, err := sax.Parse(bytes.NewReader(xml))
 	if err != nil {
 		panic(err)
 	}
-	if _, err := c.Eval(doc, m); err != nil {
-		panic(err)
-	}
+	_, err = c.EvalContext(r.opts.Context, doc, m)
+	r.check(err)
 }
 
 // Fig12 reproduces Figure 12: execution time of the five evaluation
@@ -223,14 +246,18 @@ func (r *Runner) Fig12() {
 		}
 		row := []string{fmt.Sprintf("U%d", i)}
 		for _, m := range methodLabels {
-			d := r.median(func() { evalWithLoad(c, xml, m.method) })
+			d := r.median(func() { r.evalWithLoad(c, xml, m.method) })
 			row = append(row, ms(d))
 		}
 		row = append(row, ms(r.median(func() {
-			if _, err := saxeval.Transform(c, saxeval.BytesSource(xml), discardHandler{}); err != nil {
-				panic(err)
-			}
+			_, err := saxeval.TransformContext(r.opts.Context, c, saxeval.BytesSource(xml), discardHandler{})
+			r.check(err)
 		})))
+		if r.stopped() {
+			// The in-flight row was measured against aborting
+			// evaluations; discard it rather than print bogus medians.
+			break
+		}
 		rows = append(rows, row)
 	}
 	table(r.opts.Out, header, rows)
@@ -251,18 +278,23 @@ func (r *Runner) Fig13() {
 			xml := r.XML(f)
 			row := []string{fmt.Sprintf("%.2f", f)}
 			for _, m := range methodLabels {
-				d := r.median(func() { evalWithLoad(c, xml, m.method) })
+				d := r.median(func() { r.evalWithLoad(c, xml, m.method) })
 				row = append(row, ms(d))
 			}
 			row = append(row, ms(r.median(func() {
-				if _, err := saxeval.Transform(c, saxeval.BytesSource(xml), discardHandler{}); err != nil {
-					panic(err)
-				}
+				_, err := saxeval.TransformContext(r.opts.Context, c, saxeval.BytesSource(xml), discardHandler{})
+				r.check(err)
 			})))
+			if r.stopped() {
+				break
+			}
 			rows = append(rows, row)
 		}
 		table(r.opts.Out, header, rows)
 		fmt.Fprintln(r.opts.Out)
+		if r.stopped() {
+			return
+		}
 	}
 }
 
@@ -289,9 +321,8 @@ func (r *Runner) Fig14() {
 			var d time.Duration
 			p := measurePeakHeap(func() {
 				d = r.median(func() {
-					if _, err := saxeval.Transform(c, saxeval.FileSource(path), discardHandler{}); err != nil {
-						panic(err)
-					}
+					_, err := saxeval.TransformContext(r.opts.Context, c, saxeval.FileSource(path), discardHandler{})
+					r.check(err)
 				})
 			})
 			if p > peak {
@@ -300,8 +331,11 @@ func (r *Runner) Fig14() {
 			row = append(row, ms(d))
 		}
 		row = append(row, fmt.Sprintf("%.1f", float64(peak)/1e6))
-		rows = append(rows, row)
 		os.Remove(path)
+		if r.stopped() {
+			break
+		}
+		rows = append(rows, row)
 	}
 	table(r.opts.Out, header, rows)
 }
@@ -328,19 +362,23 @@ func (r *Runner) Fig15() {
 		for _, f := range r.opts.Factors {
 			doc := r.Doc(f)
 			nd := r.median(func() {
-				if _, err := naive.Eval(doc); err != nil {
-					panic(err)
-				}
+				_, err := naive.EvalContext(r.opts.Context, doc)
+				r.check(err)
 			})
 			cd := r.median(func() {
-				if _, err := comp.Eval(doc); err != nil {
-					panic(err)
-				}
+				_, err := comp.EvalContext(r.opts.Context, doc)
+				r.check(err)
 			})
+			if r.stopped() {
+				break
+			}
 			rows = append(rows, []string{fmt.Sprintf("%.2f", f), ms(nd), ms(cd)})
 		}
 		table(r.opts.Out, header, rows)
 		fmt.Fprintln(r.opts.Out)
+		if r.stopped() {
+			return
+		}
 	}
 }
 
@@ -357,9 +395,12 @@ func (r *Runner) Claims() {
 	u2, _ := queries.Compile(2)
 	for _, f := range factors {
 		doc := r.Doc(f)
-		n1 := r.median(func() { u1.Eval(doc, core.MethodNaive) })
-		g1 := r.median(func() { u1.Eval(doc, core.MethodTopDown) })
-		n2 := r.median(func() { u2.Eval(doc, core.MethodNaive) })
+		n1 := r.median(func() { u1.EvalContext(r.opts.Context, doc, core.MethodNaive) })
+		g1 := r.median(func() { u1.EvalContext(r.opts.Context, doc, core.MethodTopDown) })
+		n2 := r.median(func() { u2.EvalContext(r.opts.Context, doc, core.MethodNaive) })
+		if r.stopped() {
+			break
+		}
 		rows = append(rows, []string{fmt.Sprintf("%.2f", f), ms(n1), ms(g1), ms(n2)})
 	}
 	table(out, header, rows)
@@ -373,19 +414,24 @@ func (r *Runner) Claims() {
 	rows = nil
 	u4, _ := queries.Compile(4)
 	for _, f := range []float64{0.05, 0.1, 0.2} {
+		if r.stopped() {
+			break
+		}
 		path := filepath.Join(r.opts.TempDir, fmt.Sprintf("xtq-claim2-%g.xml", f))
 		n, err := xmark.WriteFile(xmark.Config{Factor: f, Seed: r.opts.Seed}, path)
 		if err != nil {
 			panic(err)
 		}
 		peak := measurePeakHeap(func() {
-			if _, err := saxeval.Transform(u4, saxeval.FileSource(path), discardHandler{}); err != nil {
-				panic(err)
-			}
+			_, err := saxeval.TransformContext(r.opts.Context, u4, saxeval.FileSource(path), discardHandler{})
+			r.check(err)
 		})
+		os.Remove(path)
+		if r.stopped() {
+			break
+		}
 		rows = append(rows, []string{fmt.Sprintf("%g", f),
 			fmt.Sprintf("%.1f", float64(n)/1e6), fmt.Sprintf("%.1f", float64(peak)/1e6)})
-		os.Remove(path)
 	}
 	table(out, header, rows)
 }
@@ -401,19 +447,24 @@ func (discardHandler) EndElement(string) error                { return nil }
 func (discardHandler) EndDocument() error                     { return nil }
 
 // measurePeakHeap runs fn while sampling the heap, returning the peak
-// allocation growth over the pre-run baseline.
+// allocation growth over the pre-run baseline. The sampler hands its
+// peak back over a channel so the final read happens after the goroutine
+// is done writing (reading a shared variable right after close(done)
+// races with the sampler's last tick).
 func measurePeakHeap(fn func()) uint64 {
 	runtime.GC()
 	var base runtime.MemStats
 	runtime.ReadMemStats(&base)
 	done := make(chan struct{})
-	var peak uint64
+	sampled := make(chan uint64, 1)
 	go func() {
 		ticker := time.NewTicker(2 * time.Millisecond)
 		defer ticker.Stop()
+		var peak uint64
 		for {
 			select {
 			case <-done:
+				sampled <- peak
 				return
 			case <-ticker.C:
 				var m runtime.MemStats
@@ -425,9 +476,13 @@ func measurePeakHeap(fn func()) uint64 {
 		}
 	}()
 	fn()
-	close(done)
+	// Sample on this goroutine before stopping the ticker: fn's working
+	// set is still reachable here, so short runs that never hit a tick
+	// are measured too.
 	var end runtime.MemStats
 	runtime.ReadMemStats(&end)
+	close(done)
+	peak := <-sampled
 	if end.HeapAlloc > base.HeapAlloc && end.HeapAlloc-base.HeapAlloc > peak {
 		peak = end.HeapAlloc - base.HeapAlloc
 	}

@@ -140,14 +140,20 @@ func TestDocCaching(t *testing.T) {
 	}
 }
 
+// peakSink keeps the test allocation reachable until the measurement's
+// final sample; a buffer that dies inside fn can be collected before
+// measurePeakHeap reads the heap, making the test timing-dependent.
+var peakSink []byte
+
 func TestMeasurePeakHeap(t *testing.T) {
 	peak := measurePeakHeap(func() {
 		buf := make([]byte, 8<<20)
 		for i := range buf {
 			buf[i] = byte(i)
 		}
-		_ = buf
+		peakSink = buf
 	})
+	peakSink = nil
 	if peak < 4<<20 {
 		t.Errorf("peak = %d, expected to observe the 8 MB allocation", peak)
 	}

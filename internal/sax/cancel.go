@@ -1,0 +1,84 @@
+package sax
+
+import (
+	"context"
+
+	"xtq/internal/tree"
+)
+
+// cancelPollMask checks the context every 64 SAX events: frequent enough
+// that a multi-gigabyte stream aborts within microseconds of
+// cancellation, sparse enough that the select stays off the per-event
+// hot path.
+const cancelPollMask = 63
+
+// WithCancel wraps h so the event stream aborts once ctx is cancelled:
+// the wrapper returns ctx.Err() from the next event callback, which the
+// Parser propagates to its caller. When ctx can never be cancelled, h is
+// returned unwrapped and parsing pays nothing.
+func WithCancel(ctx context.Context, h Handler) Handler {
+	if ctx == nil || ctx.Done() == nil {
+		return h
+	}
+	return &cancelHandler{ctx: ctx, done: ctx.Done(), h: h}
+}
+
+type cancelHandler struct {
+	ctx  context.Context
+	done <-chan struct{}
+	h    Handler
+	n    uint32
+}
+
+func (c *cancelHandler) check() error {
+	c.n++
+	if c.n&cancelPollMask != 0 {
+		return nil
+	}
+	select {
+	case <-c.done:
+		return c.ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// StartDocument implements Handler.
+func (c *cancelHandler) StartDocument() error {
+	if err := c.check(); err != nil {
+		return err
+	}
+	return c.h.StartDocument()
+}
+
+// StartElement implements Handler.
+func (c *cancelHandler) StartElement(name string, attrs []tree.Attr) error {
+	if err := c.check(); err != nil {
+		return err
+	}
+	return c.h.StartElement(name, attrs)
+}
+
+// Text implements Handler.
+func (c *cancelHandler) Text(data string) error {
+	if err := c.check(); err != nil {
+		return err
+	}
+	return c.h.Text(data)
+}
+
+// EndElement implements Handler.
+func (c *cancelHandler) EndElement(name string) error {
+	if err := c.check(); err != nil {
+		return err
+	}
+	return c.h.EndElement(name)
+}
+
+// EndDocument implements Handler.
+func (c *cancelHandler) EndDocument() error {
+	if err := c.check(); err != nil {
+		return err
+	}
+	return c.h.EndDocument()
+}

@@ -1,12 +1,11 @@
 package saxeval
 
 import (
-	"fmt"
-
 	"xtq/internal/automaton"
 	"xtq/internal/core"
 	"xtq/internal/sax"
 	"xtq/internal/tree"
+	"xtq/internal/xerr"
 )
 
 // tdEntry is one stack entry of the second pass (§6, "SAX-based topDown");
@@ -47,7 +46,7 @@ func runSecondPass(c *core.Compiled, ld *QualLog, out sax.Handler, parse func(sa
 		return sp.stats, err
 	}
 	if sp.cursor != len(ld.Values) {
-		return sp.stats, fmt.Errorf("saxeval: cursor desync: consumed %d of %d qualifier values",
+		return sp.stats, xerr.New(xerr.Eval, "", "saxeval: cursor desync: consumed %d of %d qualifier values",
 			sp.cursor, len(ld.Values))
 	}
 	return sp.stats, nil
@@ -91,7 +90,7 @@ func (s *secondPass) StartElement(name string, attrs []tree.Attr) error {
 	e.outLabel = name
 	for range cfg.qualIDs {
 		if s.cursor >= len(s.ld.Values) {
-			return fmt.Errorf("saxeval: L_d exhausted at element <%s>", name)
+			return xerr.New(xerr.Eval, "", "saxeval: L_d exhausted at element <%s>", name)
 		}
 		e.truth = append(e.truth, s.ld.Values[s.cursor])
 		s.cursor++

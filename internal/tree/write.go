@@ -2,9 +2,23 @@ package tree
 
 import (
 	"bufio"
+	"bytes"
 	"io"
 	"strings"
 )
+
+// Open serializes the subtree rooted at n and returns it as a reader,
+// making *Node satisfy the facade's Source interface: an in-memory tree
+// can feed the streaming evaluator (which parses its source twice) just
+// like a file or byte slice. Each call serializes afresh, so the reads
+// are independent as Source requires.
+func (n *Node) Open() (io.ReadCloser, error) {
+	var buf bytes.Buffer
+	if err := n.WriteXML(&buf); err != nil {
+		return nil, err
+	}
+	return io.NopCloser(&buf), nil
+}
 
 // escapeText writes s with the XML character-data escapes applied.
 func escapeText(w *bufio.Writer, s string) {

@@ -1,0 +1,103 @@
+// Package xerr defines the typed error reported by every public entry
+// point of the module. The facade re-exports Error as xtq.Error, so
+// callers classify failures with errors.As instead of matching message
+// strings:
+//
+//	var xe *xtq.Error
+//	if errors.As(err, &xe) && xe.Kind == xtq.KindParse { ... }
+//
+// Internal packages construct *Error at the point of failure (keeping the
+// position information they alone have) and the facade guarantees the
+// invariant by wrapping any stray untyped error before it escapes.
+package xerr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind classifies a failure by the pipeline stage that produced it.
+type Kind uint8
+
+const (
+	// Parse covers syntax errors: malformed transform queries, user
+	// queries, path expressions and malformed input XML.
+	Parse Kind = iota + 1
+	// Compile covers semantically invalid queries: validation failures
+	// and selection paths outside the fragment the automaton accepts.
+	Compile
+	// Eval covers evaluation-time failures: unknown methods, cancelled
+	// contexts, cursor desyncs.
+	Eval
+	// IO covers failures opening, reading or writing sources and sinks.
+	IO
+)
+
+// String returns the kind's lower-case name.
+func (k Kind) String() string {
+	switch k {
+	case Parse:
+		return "parse"
+	case Compile:
+		return "compile"
+	case Eval:
+		return "eval"
+	case IO:
+		return "io"
+	default:
+		return "unknown"
+	}
+}
+
+// Error is a classified failure with an optional input position and an
+// optional wrapped cause. It is the concrete type behind xtq.Error.
+type Error struct {
+	Kind Kind
+	// Pos locates the failure in the offending input when known:
+	// "offset N" for query and path text, "LINE:COL" for XML documents.
+	Pos string
+	Msg string
+	// Err is the wrapped cause; errors.Is/As traverse it, so a cancelled
+	// evaluation satisfies errors.Is(err, context.Canceled).
+	Err error
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	s := e.Kind.String()
+	if e.Pos != "" {
+		s += ": " + e.Pos
+	}
+	if e.Msg != "" {
+		s += ": " + e.Msg
+	}
+	if e.Err != nil {
+		if e.Msg == "" {
+			return s + ": " + e.Err.Error()
+		}
+		return s
+	}
+	return s
+}
+
+// Unwrap returns the wrapped cause.
+func (e *Error) Unwrap() error { return e.Err }
+
+// New builds an Error with a formatted message.
+func New(k Kind, pos, format string, args ...any) *Error {
+	return &Error{Kind: k, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Wrap classifies err under kind k, preserving its text and chain. A nil
+// err and an err that already carries an *Error pass through unchanged,
+// so wrapping at the facade never hides a more precise inner kind.
+func Wrap(k Kind, err error) error {
+	if err == nil {
+		return nil
+	}
+	var xe *Error
+	if errors.As(err, &xe) {
+		return err
+	}
+	return &Error{Kind: k, Err: err}
+}

@@ -1,8 +1,9 @@
 package xpath
 
 import (
-	"errors"
 	"fmt"
+
+	"xtq/internal/xerr"
 )
 
 // This file implements the qualifier normal form of §5: every path inside a
@@ -128,7 +129,7 @@ func (lq *LQ) AddQual(q Qual) (int, error) {
 	case *CmpQual:
 		return lq.addPath(q.Path, q.Op, q.Lit)
 	default:
-		return 0, fmt.Errorf("xpath: unknown qualifier type %T", q)
+		return 0, xerr.New(xerr.Compile, "", "xpath: unknown qualifier type %T", q)
 	}
 }
 
@@ -169,7 +170,7 @@ func (lq *LQ) addPath(p *Path, op CmpOp, lit string) (int, error) {
 	for i := len(steps) - 1; i >= 0; i-- {
 		s := steps[i]
 		if s.Axis == Attribute {
-			return 0, errors.New("xpath: attribute step not in final position of qualifier path")
+			return 0, xerr.New(xerr.Compile, "", "xpath: attribute step not in final position of qualifier path")
 		}
 		cond, err := lq.AddQuals(s.Quals)
 		if err != nil {

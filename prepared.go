@@ -1,0 +1,93 @@
+package xtq
+
+import (
+	"context"
+
+	"xtq/internal/compose"
+	"xtq/internal/core"
+	"xtq/internal/saxeval"
+)
+
+// Prepared is a compiled transform query bound to its engine: the parse
+// and the O(|p|) selecting-NFA construction (§3.4) are done once, then
+// the handle is evaluated over any number of documents. A Prepared is
+// immutable and safe for concurrent use by multiple goroutines; each
+// evaluation carries its own state.
+type Prepared struct {
+	eng      *Engine
+	src      string
+	compiled *core.Compiled
+}
+
+// Query returns the parsed query behind the prepared statement. Treat it
+// as read-only: the compiled form (possibly shared through the engine
+// cache) reflects the query at Prepare time.
+func (p *Prepared) Query() *Query { return p.compiled.Query }
+
+// String renders the query in surface syntax.
+func (p *Prepared) String() string { return p.compiled.Query.String() }
+
+// Eval evaluates the query over src with the engine's in-memory method
+// and returns the transformed document. src is any Source — an
+// already-parsed *Node evaluates directly, other sources are parsed
+// first (honouring the engine's WithMaxDepth). The input is never
+// modified; depending on the method the result may share unmodified
+// subtrees with it. Cancelling ctx aborts evaluation at node granularity
+// with a KindEval error satisfying errors.Is(err, context.Canceled).
+func (p *Prepared) Eval(ctx context.Context, src Source) (*Node, error) {
+	return p.evalMethod(ctx, src, p.eng.method)
+}
+
+func (p *Prepared) evalMethod(ctx context.Context, src Source, m Method) (*Node, error) {
+	doc, err := p.eng.parse(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	out, err := p.compiled.EvalContext(ctx, doc, m)
+	if err != nil {
+		return nil, classify(err, KindEval)
+	}
+	return out, nil
+}
+
+// EvalStream evaluates the query over src with the streaming twoPassSAX
+// algorithm (§6), pushing the result into sink. Memory use is bounded by
+// the document depth, independent of its size; src is read twice (the
+// two passes), which is why Source demands repeatable reads. Cancelling
+// ctx aborts either pass at SAX-event granularity, so multi-gigabyte
+// documents stop streaming promptly.
+func (p *Prepared) EvalStream(ctx context.Context, src Source, sink Sink) (StreamResult, error) {
+	res, err := saxeval.TransformContext(ctx, p.compiled, src, sink.Handler())
+	if err != nil {
+		return res, classify(err, KindIO)
+	}
+	if err := sink.Flush(); err != nil {
+		return res, classify(err, KindIO)
+	}
+	return res, nil
+}
+
+// Compose builds the single-pass composition Qc with Qc(T) = Q(Qt(T))
+// (§4): user queries answered over the virtual output of the transform
+// query without materializing it — the machinery behind hypothetical
+// states, virtual updated views and security views. Each call returns a
+// fresh Composed (they record per-run statistics and must not be shared
+// between goroutines); the compiled transform inside is shared.
+func (p *Prepared) Compose(q *UserQuery) (*Composed, error) {
+	c, err := compose.New(p.compiled, q)
+	if err != nil {
+		return nil, classify(err, KindCompile)
+	}
+	return c, nil
+}
+
+// NaiveCompose builds the sequential composition of §4's Naive
+// Composition Method: materialize the transform result, then run the
+// user query. It exists as the baseline Compose is measured against.
+func (p *Prepared) NaiveCompose(q *UserQuery) (*NaiveComposition, error) {
+	c, err := compose.NewNaive(p.compiled, q)
+	if err != nil {
+		return nil, classify(err, KindCompile)
+	}
+	return c, nil
+}

@@ -1,0 +1,102 @@
+package xtq
+
+import (
+	"io"
+	"sync"
+
+	"xtq/internal/sax"
+	"xtq/internal/saxeval"
+)
+
+// Source supplies one input document to Prepared.Eval and
+// Prepared.EvalStream. The contract is repeatable reads: Open may be
+// called more than once and each call must yield the document from the
+// start (the streaming evaluator parses its input twice). Every input
+// shape shares this one interface:
+//
+//	doc                    // *Node is a Source: an already-parsed tree
+//	xtq.FileSource("x.xml")
+//	xtq.BytesSource(b)
+//	xtq.FromString(s)
+//	xtq.FromReader(r)      // buffers the reader on first use
+type Source = saxeval.Source
+
+// FileSource streams a document from a file path; the intended
+// configuration for documents too large for a DOM.
+type FileSource = saxeval.FileSource
+
+// BytesSource streams a document from memory.
+type BytesSource = saxeval.BytesSource
+
+// FromString sources a document from query-sized in-memory text.
+func FromString(s string) Source { return BytesSource(s) }
+
+// FromReader sources a document from an arbitrary reader. Source demands
+// repeatable reads and a reader has only one, so the content is read
+// fully into memory on first Open and served from there afterwards; use
+// a FileSource to stream large documents without buffering.
+func FromReader(r io.Reader) Source { return &readerSource{r: r} }
+
+type readerSource struct {
+	once sync.Once
+	r    io.Reader
+	data []byte
+	err  error
+}
+
+// Open implements Source.
+func (s *readerSource) Open() (io.ReadCloser, error) {
+	s.once.Do(func() {
+		s.data, s.err = io.ReadAll(s.r)
+		s.r = nil
+	})
+	if s.err != nil {
+		return nil, s.err
+	}
+	return BytesSource(s.data).Open()
+}
+
+// Handler receives the SAX event stream of a document: the five-event
+// model of the paper's §6 (startDocument, startElement, text, endElement,
+// endDocument). Implement it to consume EvalStream output structurally
+// instead of as serialized bytes.
+type Handler = sax.Handler
+
+// Sink receives the transformed document from Prepared.EvalStream.
+// Handler is invoked for every output event; Flush runs once after a
+// successful evaluation.
+type Sink interface {
+	Handler() Handler
+	Flush() error
+}
+
+// ToWriter returns a Sink serializing the output document to w as XML.
+func ToWriter(w io.Writer) Sink {
+	sw := sax.NewWriter(w)
+	return writerSink{sw}
+}
+
+type writerSink struct{ w *sax.Writer }
+
+func (s writerSink) Handler() Handler { return s.w }
+func (s writerSink) Flush() error     { return s.w.Flush() }
+
+// ToHandler returns a Sink forwarding output events to h verbatim.
+func ToHandler(h Handler) Sink { return handlerSink{h} }
+
+type handlerSink struct{ h Handler }
+
+func (s handlerSink) Handler() Handler { return s.h }
+func (handlerSink) Flush() error       { return nil }
+
+// Discard returns a Sink that drops the output; it evaluates the query
+// for its statistics alone (validation runs, benchmarks).
+func Discard() Sink { return handlerSink{discardHandler{}} }
+
+type discardHandler struct{}
+
+func (discardHandler) StartDocument() error              { return nil }
+func (discardHandler) StartElement(string, []Attr) error { return nil }
+func (discardHandler) Text(string) error                 { return nil }
+func (discardHandler) EndElement(string) error           { return nil }
+func (discardHandler) EndDocument() error                { return nil }

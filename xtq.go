@@ -3,33 +3,55 @@
 //
 // A transform query uses XML update syntax to define a side-effect-free
 // query: it returns the tree that an update *would* produce, without
-// touching the source document:
+// touching the source document.
 //
-//	q, _ := xtq.ParseQuery(`transform copy $a := doc("parts") modify
-//	                        do delete $a//price return $a`)
-//	doc, _ := xtq.ParseString(`<db><part><price>9</price></part></db>`)
-//	view, _ := xtq.Transform(doc, q, xtq.MethodTopDown)
+// # Engine and Prepared
 //
-// The package exposes the paper's machinery:
+// The entry points are Engine and Prepared, shaped like database/sql: a
+// long-lived engine compiles queries once (query text → selecting NFA →
+// qualifier list, §3.4) and hands out reusable, goroutine-safe prepared
+// statements, with an LRU cache absorbing repeated Prepare calls:
+//
+//	eng := xtq.NewEngine(xtq.WithMethod(xtq.MethodTopDown))
+//	p, err := eng.Prepare(`transform copy $a := doc("parts") modify
+//	                       do delete $a//price return $a`)
+//	doc, err := xtq.ParseString(`<db><part><price>9</price></part></db>`)
+//	view, err := p.Eval(ctx, doc)
+//
+// Inputs are unified behind Source (a *Node, FileSource, BytesSource,
+// FromString, FromReader all qualify) and streaming output behind Sink:
+//
+//	res, err := p.EvalStream(ctx, xtq.FileSource("big.xml"), xtq.ToWriter(out))
+//
+// Every method takes a context.Context; cancellation aborts in-memory
+// evaluation at node granularity and streaming evaluation at SAX-event
+// granularity. Failures are *Error values classified by kind
+// (parse/compile/eval/io) — see Error.
+//
+// # The paper's machinery
 //
 //   - four in-memory evaluation methods (Naive rewriting, the NFA-guided
 //     topDown, the twoPass bottomUp+topDown combination, and a
 //     copy-and-update baseline) behind one Method switch;
-//   - a streaming twoPassSAX evaluator (TransformStream) that handles
-//     documents far larger than memory in O(depth) space;
-//   - composition of user queries with transform queries (Compose), the
-//     basis for querying hypothetical states, virtual updated views and
-//     security views without materializing them;
+//   - a streaming twoPassSAX evaluator (Prepared.EvalStream, §6) that
+//     handles documents far larger than memory in O(depth) space;
+//   - composition of user queries with transform queries
+//     (Prepared.Compose, §4), the basis for querying hypothetical states,
+//     virtual updated views and security views without materializing them;
 //   - the XMark-like workload generator and the experiment harness that
 //     regenerate the paper's Figures 11-15 (see cmd/xbench).
+//
+// The package-level Transform, TransformStream and Compose functions
+// predate the Engine API; they are kept as deprecated wrappers over a
+// default engine so existing callers keep working.
 //
 // All types are aliases of the implementation packages under internal/,
 // so values flow freely between this facade and the benchmarks.
 package xtq
 
 import (
+	"context"
 	"io"
-	"os"
 
 	"xtq/internal/compose"
 	"xtq/internal/core"
@@ -71,6 +93,13 @@ const (
 // Methods lists the in-memory evaluation methods.
 func Methods() []Method { return core.Methods() }
 
+// MethodNames lists the method names as strings, for flag help text.
+func MethodNames() []string { return core.MethodNames() }
+
+// ParseMethod validates a method name before any input is touched,
+// returning a KindEval error naming the valid methods when it is unknown.
+func ParseMethod(s string) (Method, error) { return core.ParseMethod(s) }
+
 // UserQuery is a for/where/return query in the restricted form of §4.
 type UserQuery = xquery.UserQuery
 
@@ -84,48 +113,85 @@ type NaiveComposition = compose.NaiveComposition
 // Path is a parsed expression of the XPath fragment X.
 type Path = xpath.Path
 
-// Parse reads an XML document from r.
-func Parse(r io.Reader) (*Node, error) { return sax.Parse(r) }
+// Parse reads an XML document from r. Well-formedness violations
+// classify as KindParse (with their line:col position); reader failures
+// classify as KindIO.
+func Parse(r io.Reader) (*Node, error) {
+	n, err := sax.Parse(r)
+	if err != nil {
+		return nil, classify(err, KindIO)
+	}
+	return n, nil
+}
 
 // ParseString parses an XML document from a string.
-func ParseString(s string) (*Node, error) { return sax.ParseString(s) }
+func ParseString(s string) (*Node, error) {
+	n, err := sax.ParseString(s)
+	if err != nil {
+		// A string source cannot fail mid-read: every error here is a
+		// well-formedness violation.
+		return nil, classify(err, KindParse)
+	}
+	return n, nil
+}
 
 // ParseFile parses the XML document in the named file.
 func ParseFile(path string) (*Node, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return sax.Parse(f)
+	return defaultEngine.parse(context.Background(), FileSource(path))
 }
 
 // ParseQuery parses a transform query in the W3C draft surface syntax,
 // e.g. `transform copy $a := doc("f") modify do delete $a//price return $a`.
-func ParseQuery(src string) (*Query, error) { return core.ParseQuery(src) }
+func ParseQuery(src string) (*Query, error) {
+	q, err := core.ParseQuery(src)
+	if err != nil {
+		return nil, classify(err, KindParse)
+	}
+	return q, nil
+}
 
 // ParsePath parses an expression of the XPath fragment X.
-func ParsePath(src string) (*Path, error) { return xpath.Parse(src) }
+func ParsePath(src string) (*Path, error) {
+	p, err := xpath.Parse(src)
+	if err != nil {
+		return nil, classify(err, KindParse)
+	}
+	return p, nil
+}
 
 // ParseUserQuery parses a user query, e.g.
 // `for $x in /site/people/person where $x/profile/age > 20 return $x/name`.
-func ParseUserQuery(src string) (*UserQuery, error) { return xquery.Parse(src) }
+func ParseUserQuery(src string) (*UserQuery, error) {
+	q, err := xquery.Parse(src)
+	if err != nil {
+		return nil, classify(err, KindParse)
+	}
+	return q, nil
+}
+
+// defaultEngine backs the deprecated package-level functions, so legacy
+// callers share one compiled-query cache.
+var defaultEngine = NewEngine()
 
 // Transform evaluates q over doc with the chosen method and returns the
 // transformed document. The input document is never modified; depending on
 // the method the result may share unmodified subtrees with it.
+//
+// Deprecated: Transform re-renders and re-looks-up q on every call. Use
+// Engine.Prepare (or Engine.PrepareQuery) once and Prepared.Eval per
+// document for cancellation support and compile amortization.
 func Transform(doc *Node, q *Query, m Method) (*Node, error) {
-	return q.Eval(doc, m)
+	p, err := defaultEngine.PrepareQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return p.evalMethod(context.Background(), doc, m)
 }
 
 // StreamSource provides repeatable reads for TransformStream.
+//
+// Deprecated: use Source, its replacement name.
 type StreamSource = saxeval.Source
-
-// FileSource streams a document from a file path.
-type FileSource = saxeval.FileSource
-
-// BytesSource streams a document from memory.
-type BytesSource = saxeval.BytesSource
 
 // StreamResult reports per-pass statistics of a streaming evaluation.
 type StreamResult = saxeval.Result
@@ -133,31 +199,38 @@ type StreamResult = saxeval.Result
 // TransformStream evaluates q over src with the twoPassSAX algorithm
 // (§6), writing the resulting document to w as XML. Memory use is bounded
 // by the document depth, independent of its size.
-func TransformStream(q *Query, src StreamSource, w io.Writer) (StreamResult, error) {
-	c, err := q.Compile()
+//
+// Deprecated: use Engine.Prepare once and Prepared.EvalStream per
+// document, which adds context cancellation and sink flexibility.
+func TransformStream(q *Query, src Source, w io.Writer) (StreamResult, error) {
+	p, err := defaultEngine.PrepareQuery(q)
 	if err != nil {
 		return StreamResult{}, err
 	}
-	return saxeval.TransformXML(c, src, w)
+	return p.EvalStream(context.Background(), src, ToWriter(w))
 }
 
 // Compose builds the single-pass composition Qc with Qc(T) = Q(Qt(T)).
+//
+// Deprecated: use Engine.Prepare once and Prepared.Compose.
 func Compose(qt *Query, q *UserQuery) (*Composed, error) {
-	c, err := qt.Compile()
+	p, err := defaultEngine.PrepareQuery(qt)
 	if err != nil {
 		return nil, err
 	}
-	return compose.New(c, q)
+	return p.Compose(q)
 }
 
 // NaiveCompose builds the sequential composition of §4's Naive
 // Composition Method.
+//
+// Deprecated: use Engine.Prepare once and Prepared.NaiveCompose.
 func NaiveCompose(qt *Query, q *UserQuery) (*NaiveComposition, error) {
-	c, err := qt.Compile()
+	p, err := defaultEngine.PrepareQuery(qt)
 	if err != nil {
 		return nil, err
 	}
-	return compose.NewNaive(c, q)
+	return p.NaiveCompose(q)
 }
 
 // XMarkConfig parameterizes the workload generator.
@@ -167,7 +240,7 @@ type XMarkConfig = xmark.Config
 func GenerateXMark(cfg XMarkConfig) (*Node, error) { return xmark.Generate(cfg) }
 
 // WriteXMarkFile streams an XMark-like document to a file and reports its
-// size in bytes; use it to produce inputs for TransformStream.
+// size in bytes; use it to produce inputs for streaming evaluation.
 func WriteXMarkFile(cfg XMarkConfig, path string) (int64, error) {
 	return xmark.WriteFile(cfg, path)
 }
