@@ -15,6 +15,7 @@ import (
 
 	"xtq/internal/compose"
 	"xtq/internal/core"
+	"xtq/internal/harness"
 	"xtq/internal/queries"
 	"xtq/internal/saxeval"
 	"xtq/internal/tree"
@@ -160,20 +161,17 @@ func BenchmarkFig15(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		comp, err := compose.New(ct, p.User)
+		plan, err := compose.NewPlan([]*core.Compiled{ct}, p.User)
 		if err != nil {
 			b.Fatal(err)
 		}
-		naive, err := compose.NewNaive(ct, p.User)
-		if err != nil {
-			b.Fatal(err)
-		}
+		ctx := context.Background()
 		for _, factor := range []float64{0.02, 0.04} {
 			b.Run(fmt.Sprintf("%s/factor=%g/NaiveComposition", p.Name, factor), func(b *testing.B) {
 				doc := benchDoc(b, factor)
 				b.ResetTimer()
 				for n := 0; n < b.N; n++ {
-					if _, err := naive.Eval(doc); err != nil {
+					if _, err := plan.EvalSequential(ctx, doc, core.MethodTopDown); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -182,7 +180,40 @@ func BenchmarkFig15(b *testing.B) {
 				doc := benchDoc(b, factor)
 				b.ResetTimer()
 				for n := 0; n < b.N; n++ {
-					if _, err := comp.Eval(doc); err != nil {
+					if _, _, err := plan.Eval(ctx, doc); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkViewStacks measures the stacked-view workloads: single-pass
+// stacked evaluation (Plan.Eval, what PreparedView.Eval runs) versus
+// sequentially materializing every layer.
+func BenchmarkViewStacks(b *testing.B) {
+	for _, s := range queries.Stacks() {
+		plan, err := harness.StackPlan(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		for _, factor := range []float64{0.02, 0.04} {
+			b.Run(fmt.Sprintf("%s/factor=%g/Sequential", s.Name, factor), func(b *testing.B) {
+				doc := benchDoc(b, factor)
+				b.ResetTimer()
+				for n := 0; n < b.N; n++ {
+					if _, err := plan.EvalSequential(ctx, doc, core.MethodTopDown); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("%s/factor=%g/Stacked", s.Name, factor), func(b *testing.B) {
+				doc := benchDoc(b, factor)
+				b.ResetTimer()
+				for n := 0; n < b.N; n++ {
+					if _, _, err := plan.Eval(ctx, doc); err != nil {
 						b.Fatal(err)
 					}
 				}

@@ -45,6 +45,7 @@ func main() {
 	fig13 := flag.Bool("fig13", false, "scalability sweep (Fig. 13)")
 	fig14 := flag.Bool("fig14", false, "twoPassSAX on large files (Fig. 14)")
 	fig15 := flag.Bool("fig15", false, "composition methods (Fig. 15)")
+	views := flag.Bool("views", false, "stacked-view sweep: single-pass vs sequential, per-layer stats")
 	claims := flag.Bool("claims", false, "check the §7.1 textual claims")
 	all := flag.Bool("all", false, "run everything")
 	factors := flag.String("factors", "", "comma-separated factors for Fig. 13/15 (default 0.02..0.34)")
@@ -91,6 +92,7 @@ func main() {
 	section(*fig13, r.Fig13)
 	section(*fig14, r.Fig14)
 	section(*fig15, r.Fig15)
+	section(*views, r.Views)
 	section(*claims, r.Claims)
 	if !ran {
 		flag.Usage()

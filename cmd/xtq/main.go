@@ -4,10 +4,17 @@
 //
 //	xtq -in doc.xml -query 'transform copy $a := doc("d") modify do delete $a//price return $a'
 //	xtq -in big.xml -query @query.tq -method sax -out result.xml
+//	xtq -in doc.xml -query '...' -user 'for $x in /db/part return $x/pname'
 //
 // Methods: naive, topdown (default), twopass, copyupdate — in-memory
 // evaluation per the paper's §3/§5 algorithms — and sax, the streaming
 // twoPassSAX evaluator of §6 that never materializes the document.
+//
+// With -user, the user query is composed with the transform query (§4):
+// it is answered over the transform's virtual output in a single pass —
+// the view is never materialized — and the <result> document is printed.
+// Composition has its own evaluation algorithm, so -user cannot be
+// combined with an explicit -method.
 //
 // Interrupting the process (Ctrl-C) cancels the evaluation context, so
 // even a multi-gigabyte streaming run stops promptly.
@@ -57,6 +64,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	in := fs.String("in", "", "input XML document (required)")
 	querySrc := fs.String("query", "", "transform query text, or @file to read it from a file (required)")
 	method := fs.String("method", "topdown", "evaluation method: naive|topdown|twopass|copyupdate|sax")
+	user := fs.String("user", "", "user query composed over the transform's virtual view, e.g. 'for $x in /db/part return $x'")
 	out := fs.String("out", "", "output file (default: stdout)")
 	indent := fs.Bool("indent", false, "pretty-print the result (in-memory methods only)")
 	timing := fs.Bool("time", false, "report evaluation time on stderr")
@@ -67,10 +75,30 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("-in and -query are required")
 	}
-	// Fail on a bad method before the query is compiled or the input
-	// document is touched.
+	// Fail on a bad method or a bad user query before the transform is
+	// compiled or the input document is touched.
 	if err := validateMethod(*method); err != nil {
 		return err
+	}
+	var userQuery *xtq.UserQuery
+	if *user != "" {
+		// Composition always runs the single-pass Compose Method of §4;
+		// an explicit -method cannot take effect, so reject it rather
+		// than silently ignore it.
+		methodSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "method" {
+				methodSet = true
+			}
+		})
+		if methodSet {
+			return fmt.Errorf("-user answers the query with the single-pass composition; -method does not apply")
+		}
+		q, err := xtq.ParseUserQuery(*user)
+		if err != nil {
+			return fmt.Errorf("invalid -user query: %w", err)
+		}
+		userQuery = q
 	}
 	text := *querySrc
 	if strings.HasPrefix(text, "@") {
@@ -106,6 +134,29 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			fmt.Fprintf(os.Stderr, "evaluated in %v\n", time.Since(start))
 		}
 	}()
+
+	if userQuery != nil {
+		view, err := eng.View(text)
+		if err != nil {
+			return err
+		}
+		pv, err := view.PrepareQuery(userQuery)
+		if err != nil {
+			return err
+		}
+		result, stats, err := pv.Eval(ctx, xtq.FileSource(*in))
+		if err != nil {
+			return err
+		}
+		if *timing {
+			fmt.Fprintf(os.Stderr, "view: %d nodes visited, %d materialized\n",
+				stats.NodesVisited, stats.Materialized)
+		}
+		if *indent {
+			return result.WriteIndented(w)
+		}
+		return result.WriteXML(w)
+	}
 
 	if *method == methodSAX {
 		res, err := p.EvalStream(ctx, xtq.FileSource(*in), xtq.ToWriter(w))

@@ -93,6 +93,53 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+func TestRunUserQuery(t *testing.T) {
+	dir := t.TempDir()
+	in := write(t, dir, "doc.xml", doc)
+	var sb strings.Builder
+	err := run(context.Background(), []string{"-in", in,
+		"-query", `transform copy $a := doc("d") modify do delete $a//price return $a`,
+		"-user", `for $x in /db/part return $x/pname`}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "<result>") {
+		t.Errorf("missing <result> root: %s", out)
+	}
+	if !strings.Contains(out, "<pname>kb</pname>") || strings.Contains(out, "<price>") {
+		t.Errorf("composed result wrong: %s", out)
+	}
+}
+
+// TestUserQueryValidatedBeforeInput asserts that a bad -user query is
+// rejected up front, before the input document is touched (the input
+// path does not exist, so reaching the parser would produce a file error
+// instead).
+func TestUserQueryValidatedBeforeInput(t *testing.T) {
+	query := `transform copy $a := doc("d") modify do delete $a//price return $a`
+	var sb strings.Builder
+	err := run(context.Background(), []string{
+		"-in", t.TempDir() + "/never-created.xml",
+		"-query", query, "-user", "for broken"}, &sb)
+	if err == nil {
+		t.Fatal("broken -user accepted")
+	}
+	if !strings.Contains(err.Error(), "invalid -user") {
+		t.Errorf("error does not blame the user query: %v", err)
+	}
+	// Composition has its own algorithm: an explicit -method (streaming
+	// or in-memory) cannot take effect and is rejected, not ignored.
+	for _, m := range []string{"sax", "naive"} {
+		err = run(context.Background(), []string{
+			"-in", t.TempDir() + "/never-created.xml",
+			"-query", query, "-user", "for $x in /db/part return $x", "-method", m}, &sb)
+		if err == nil || !strings.Contains(err.Error(), "-method does not apply") {
+			t.Errorf("%s+user combination not rejected: %v", m, err)
+		}
+	}
+}
+
 // TestMethodValidatedBeforeInput asserts that a bad -method is rejected
 // up front: the input path does not exist, so reaching the parser would
 // produce a file error instead of the method error.

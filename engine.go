@@ -13,34 +13,98 @@ import (
 // built without WithQueryCacheSize.
 const DefaultQueryCacheSize = 128
 
+// DefaultViewCacheSize is the composition-plan cache capacity of an
+// Engine built without WithViewCacheSize. Plans are keyed by (view stack,
+// user query), so the steady state of a service answering a fixed set of
+// user queries over a fixed set of views never rebuilds a plan.
+const DefaultViewCacheSize = 64
+
 // Engine is the long-lived entry point of the package, in the mould of
 // database/sql.DB: construct one per process (or per configuration),
-// hand out Prepared statements, and share both freely across goroutines.
+// hand out Prepared statements and PreparedViews, and share all of them
+// freely across goroutines.
 //
 //	eng := xtq.NewEngine(xtq.WithMethod(xtq.MethodTwoPass))
 //	p, err := eng.Prepare(`transform copy $a := doc("d") modify
 //	                       do delete $a//price return $a`)
 //	view, err := p.Eval(ctx, doc)
 //
-// The engine owns an LRU cache of compiled queries keyed by query source,
-// so repeated Prepare calls with the same text — the steady state of a
-// service evaluating a fixed query set over many documents — skip both
-// parsing and automaton construction.
+// The engine owns two LRU caches: compiled queries keyed by query source
+// (absorbing repeated Prepare calls — the steady state of a service
+// evaluating a fixed query set over many documents skips both parsing
+// and automaton construction) and view composition plans keyed by
+// (view stack, user query) (absorbing repeated View(...).Prepare calls).
 type Engine struct {
 	method   Method
-	cacheCap int
 	maxDepth int
 
+	queryCap int
+	viewCap  int
+	queries  *lruCache // *core.Compiled values
+	plans    *lruCache // *compose.Plan values
+}
+
+// lruCache is a mutex-guarded LRU keyed by strings. The zero capacity
+// disables it: get always misses without counting, add is a no-op.
+type lruCache struct {
+	cap int
+
 	mu     sync.Mutex
-	lru    *list.List // front = most recently used; values are *cacheEntry
+	ll     *list.List // front = most recently used; values are *lruEntry
 	byKey  map[string]*list.Element
 	hits   uint64
 	misses uint64
 }
 
-type cacheEntry struct {
-	key      string
-	compiled *core.Compiled
+type lruEntry struct {
+	key   string
+	value any
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{cap: capacity, ll: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// get returns the cached value for key, marking it most recently used.
+func (c *lruCache) get(key string) (any, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*lruEntry).value, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// add inserts key → value unless the key raced in since the miss, then
+// evicts down to capacity.
+func (c *lruCache) add(key string, value any) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.byKey[key]; ok {
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&lruEntry{key: key, value: value})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// stats reports hits and misses since construction and the current size.
+func (c *lruCache) stats() (hits, misses uint64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
 }
 
 // Option configures an Engine.
@@ -56,7 +120,18 @@ func WithMethod(m Method) Option { return func(e *Engine) { e.method = m } }
 func WithQueryCacheSize(n int) Option {
 	return func(e *Engine) {
 		if n >= 0 {
-			e.cacheCap = n
+			e.queryCap = n
+		}
+	}
+}
+
+// WithViewCacheSize sets the capacity of the view composition-plan
+// cache; zero disables caching, negative values leave the default in
+// place.
+func WithViewCacheSize(n int) Option {
+	return func(e *Engine) {
+		if n >= 0 {
+			e.viewCap = n
 		}
 	}
 }
@@ -71,13 +146,14 @@ func WithMaxDepth(d int) Option { return func(e *Engine) { e.maxDepth = d } }
 func NewEngine(opts ...Option) *Engine {
 	e := &Engine{
 		method:   MethodTopDown,
-		cacheCap: DefaultQueryCacheSize,
-		lru:      list.New(),
-		byKey:    make(map[string]*list.Element),
+		queryCap: DefaultQueryCacheSize,
+		viewCap:  DefaultViewCacheSize,
 	}
 	for _, o := range opts {
 		o(e)
 	}
+	e.queries = newLRUCache(e.queryCap)
+	e.plans = newLRUCache(e.viewCap)
 	return e
 }
 
@@ -136,43 +212,28 @@ func (e *Engine) validateMethod() error {
 }
 
 func (e *Engine) prepare(key string, compile func() (*core.Compiled, error)) (*Prepared, error) {
-	if e.cacheCap > 0 {
-		e.mu.Lock()
-		if el, ok := e.byKey[key]; ok {
-			e.lru.MoveToFront(el)
-			e.hits++
-			c := el.Value.(*cacheEntry).compiled
-			e.mu.Unlock()
-			return &Prepared{eng: e, src: key, compiled: c}, nil
-		}
-		e.misses++
-		e.mu.Unlock()
+	if v, ok := e.queries.get(key); ok {
+		return &Prepared{eng: e, src: key, compiled: v.(*core.Compiled)}, nil
 	}
 	c, err := compile()
 	if err != nil {
 		return nil, classify(err, KindCompile)
 	}
-	if e.cacheCap > 0 {
-		e.mu.Lock()
-		if _, ok := e.byKey[key]; !ok {
-			e.byKey[key] = e.lru.PushFront(&cacheEntry{key: key, compiled: c})
-			for e.lru.Len() > e.cacheCap {
-				oldest := e.lru.Back()
-				e.lru.Remove(oldest)
-				delete(e.byKey, oldest.Value.(*cacheEntry).key)
-			}
-		}
-		e.mu.Unlock()
-	}
+	e.queries.add(key, c)
 	return &Prepared{eng: e, src: key, compiled: c}, nil
 }
 
 // CacheStats reports compiled-query cache effectiveness: hits and misses
 // since the engine was built, and the current number of cached queries.
 func (e *Engine) CacheStats() (hits, misses uint64, size int) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.hits, e.misses, e.lru.Len()
+	return e.queries.stats()
+}
+
+// ViewCacheStats reports composition-plan cache effectiveness: hits and
+// misses since the engine was built, and the current number of cached
+// plans.
+func (e *Engine) ViewCacheStats() (hits, misses uint64, size int) {
+	return e.plans.stats()
 }
 
 // parse reads one document from src applying the engine's parse options.

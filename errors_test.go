@@ -10,6 +10,48 @@ import (
 
 const validQuery = `transform copy $a := doc("d") modify do delete $a//price return $a`
 
+// TestEvalStreamPreservesKinds is the regression test for EvalStream's
+// error classification: its fallback kind is KindIO (sinks and readers),
+// but typed failures from inside the two passes must keep their own kind
+// — a malformed document stays KindParse (with its position), a
+// cancellation stays KindEval — instead of being blanket-classified.
+func TestEvalStreamPreservesKinds(t *testing.T) {
+	eng := NewEngine()
+	p := mustPrepare(t, eng, validQuery)
+
+	// Malformed document: the well-formedness violation detected inside
+	// the first pass surfaces as KindParse, not as the KindIO fallback.
+	_, err := p.EvalStream(context.Background(), FromString("<db>\n<part></db>"), Discard())
+	var xe *Error
+	if !errors.As(err, &xe) || xe.Kind != KindParse {
+		t.Errorf("malformed document through EvalStream: kind = %v, want parse (err %v)", kindOf(err), err)
+	} else if xe.Pos == "" {
+		t.Errorf("parse error lost its position: %v", err)
+	}
+
+	// Cancellation inside the transform: KindEval, identity preserved.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = p.EvalStream(cancelled, FromString("<db><part><price>9</price></part></db>"), Discard())
+	if !errors.As(err, &xe) || xe.Kind != KindEval || !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled EvalStream: kind = %v, want eval wrapping context.Canceled (err %v)", kindOf(err), err)
+	}
+
+	// A source that cannot be opened is a genuine I/O failure.
+	_, err = p.EvalStream(context.Background(), FileSource("/nonexistent/xtq-test.xml"), Discard())
+	if !errors.As(err, &xe) || xe.Kind != KindIO {
+		t.Errorf("unopenable source: kind = %v, want io (err %v)", kindOf(err), err)
+	}
+}
+
+func kindOf(err error) ErrorKind {
+	var xe *Error
+	if errors.As(err, &xe) {
+		return xe.Kind
+	}
+	return 0
+}
+
 // TestErrorTaxonomy drives every entry point into each failure mode and
 // asserts the error carries the right Kind (and position, where the
 // input has one) through errors.As.

@@ -1,9 +1,10 @@
 // Hypothetical queries ("Q when {U}"): answer "what would Q return if
 // update U had been applied?" without applying U. The transform query
-// carries U; composing it with Q evaluates both in a single pass over the
-// unchanged database (§1 and §4 of the paper). The transform query is
+// carries U; a View built from it answers user queries in a single pass
+// over the unchanged database (§1 and §4 of the paper). The view is
 // prepared once on an Engine, so asking many hypothetical questions
-// against the same update compiles nothing twice.
+// against the same update compiles nothing twice — and the composition
+// plans themselves are cached per (view, user query).
 package main
 
 import (
@@ -25,7 +26,7 @@ func main() {
 
 	// Hypothesis: qualifying open auctions get a "flagged" marker
 	// inserted.
-	qt, err := eng.Prepare(`transform copy $a := doc("site") modify
+	view, err := eng.View(`transform copy $a := doc("site") modify
 		do insert <flagged>review</flagged> into $a/site/open_auctions/open_auction[initial > 10 and reserve > 50]
 		return $a`)
 	if err != nil {
@@ -33,24 +34,21 @@ func main() {
 	}
 
 	// Question: which auctions would carry the marker?
-	q, err := xtq.ParseUserQuery(
+	q, err := view.Prepare(
 		`for $x in /site/open_auctions/open_auction where $x/flagged = "review" return <hit>{$x/@id}</hit>`)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	comp, err := qt.Compose(q)
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := comp.EvalContext(ctx, doc)
+	res, stats, err := q.Eval(ctx, doc)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Println("hypothetical update:", qt)
-	fmt.Println("question:           ", q)
-	fmt.Printf("auctions that would be flagged: %d\n", len(res.Root().Children))
+	fmt.Println("hypothetical update:", view.Layer(0))
+	fmt.Println("question:           ", q.UserQuery())
+	fmt.Printf("auctions that would be flagged: %d (%d nodes visited, %d materialized)\n",
+		len(res.Root().Children), stats.NodesVisited, stats.Materialized)
 	for i, hit := range res.Root().Children {
 		if i == 5 {
 			fmt.Println("  ...")

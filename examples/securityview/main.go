@@ -1,8 +1,9 @@
-// Security views (Example 1.1, second application): a per-group virtual
-// view that hides price information from suppliers of certain countries.
-// The view is defined with update syntax, prepared once on an Engine,
-// kept virtual (never materialized), and user queries are composed with
-// it so each composition runs directly on the source document.
+// Security views (Example 1.1, second application), stacked: a per-group
+// virtual view that hides price information from suppliers of certain
+// countries, with a second view layered on top that hides the country
+// names themselves. The stack is built once with Engine.View, kept
+// virtual (never materialized), and user queries prepared against it run
+// in a single pass over the source document.
 package main
 
 import (
@@ -25,44 +26,49 @@ const doc = `<db>
 
 func main() {
 	ctx := context.Background()
-	source, err := xtq.ParseString(doc)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// The access-control policy: users in this group must not see
-	// prices of suppliers based in countries C1 and C2. Preparing it on
-	// the engine compiles the view definition once for all user queries.
 	eng := xtq.NewEngine()
-	view, err := eng.Prepare(`transform copy $a := doc("parts") modify
-		do delete $a//supplier[country = "C1" or country = "C2"]/price return $a`)
+
+	// The access-control policy, as a stack of two view layers: users in
+	// this group must not see prices of suppliers based in countries C1
+	// and C2 (layer 1), nor where any supplier is based (layer 2, a
+	// security view defined over the output of layer 1). Each layer is
+	// an ordinary transform query; the engine compiles both once.
+	view, err := eng.View(
+		`transform copy $a := doc("parts") modify
+			do delete $a//supplier[country = "C1" or country = "C2"]/price return $a`,
+		`transform copy $a := doc("parts") modify
+			do delete $a//supplier/country return $a`,
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("security view definition:")
-	fmt.Println(" ", view)
+	fmt.Println("security view stack:")
+	for i := 0; i < view.Layers(); i++ {
+		fmt.Printf("  layer %d: %s\n", i, view.Layer(i))
+	}
 
-	// A user queries the view for all suppliers and their prices.
-	user, err := xtq.ParseUserQuery(
-		`for $x in /db/part/supplier return <entry>{$x/sname}{$x/price}</entry>`)
+	// A user queries the view for all suppliers with price and country.
+	// Prepare composes the user query with both layers into one plan
+	// (cached on the engine) that navigates the source document directly.
+	user, err := view.Prepare(
+		`for $x in /db/part/supplier return <entry>{$x/sname}{$x/price}{$x/country}</entry>`)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nuser query over the view:")
-	fmt.Println(" ", user)
+	fmt.Println(" ", user.UserQuery())
 
-	// Compose the two: one pass over the source, no materialized view.
-	comp, err := view.Compose(user)
+	result, stats, err := user.Eval(ctx, xtq.FromString(doc))
 	if err != nil {
 		log.Fatal(err)
 	}
-	result, err := comp.EvalContext(ctx, source)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("\ncomposed result (sensitive prices absent):")
+	fmt.Println("\ncomposed result (sensitive prices and all countries absent):")
 	fmt.Println(" ", result)
 
-	fmt.Println("\ncomposed query in XQuery form:")
-	fmt.Println(comp.XQueryText())
+	// Per-layer statistics show each layer touching only the region the
+	// user query navigates.
+	for i, ls := range stats.Layers {
+		fmt.Printf("layer %d: %d nodes consumed, %d materialized\n",
+			i, ls.NodesVisited, ls.Materialized)
+	}
 }

@@ -1,8 +1,9 @@
-// Updating virtual views (Example 1.1, third application): pose an update
+// Updating virtual views (Example 1.1, third application): pose updates
 // against a view that is never materialized, then answer user queries as
-// if the update had happened, by composing the user query with a transform
-// query prepared on an Engine. The Compose Method is compared against the
-// Naive (sequential) composition on generated XMark data.
+// if the updates had happened. Here two updates are stacked — withdraw
+// US items, then tag everything that survived — and the single-pass
+// stacked evaluation is compared against sequentially materializing each
+// layer, on generated XMark data.
 package main
 
 import (
@@ -25,50 +26,51 @@ func main() {
 	}
 	fmt.Printf("document: %d elements\n", doc.CountElements())
 
-	// The "update" on the virtual view: withdraw all items located in
-	// the United States.
+	// The stacked "updates" on the virtual view: withdraw all items
+	// located in the United States, then mark the surviving items as
+	// available — the second layer transforms the first layer's output,
+	// but neither view is ever built.
 	eng := xtq.NewEngine()
-	qt, err := eng.Prepare(`transform copy $a := doc("site") modify
-		do delete $a/site/regions//item[location = "United States"] return $a`)
+	view, err := eng.View(
+		`transform copy $a := doc("site") modify
+			do delete $a/site/regions//item[location = "United States"] return $a`,
+		`transform copy $a := doc("site") modify
+			do insert <available/> into $a/site/regions//item return $a`,
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// The user asks for item names as they would appear after the
-	// update.
-	user, err := xtq.ParseUserQuery(
-		`for $x in /site/regions//item return <item>{$x/name}{$x/location}</item>`)
+	// The user asks for item names as they would appear after both
+	// updates.
+	q, err := view.Prepare(
+		`for $x in /site/regions//item return <item>{$x/name}{$x/location}{$x/available}</item>`)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	naive, err := qt.NaiveCompose(user)
-	if err != nil {
-		log.Fatal(err)
-	}
 	start := time.Now()
-	nres, err := naive.EvalContext(ctx, doc)
+	nres, err := q.EvalSequential(ctx, doc)
 	if err != nil {
 		log.Fatal(err)
 	}
 	naiveTime := time.Since(start)
 
-	comp, err := qt.Compose(user)
-	if err != nil {
-		log.Fatal(err)
-	}
 	start = time.Now()
-	cres, err := comp.EvalContext(ctx, doc)
+	cres, stats, err := q.Eval(ctx, doc)
 	if err != nil {
 		log.Fatal(err)
 	}
 	composeTime := time.Since(start)
 
 	if nres.String() != cres.String() {
-		log.Fatal("compose and naive composition disagree")
+		log.Fatal("stacked eval and sequential materialization disagree")
 	}
 	fmt.Printf("surviving items: %d\n", len(cres.Root().Children))
-	fmt.Printf("naive composition: %v (materializes the whole view)\n", naiveTime)
-	fmt.Printf("compose method:    %v (single pass, %d nodes visited)\n",
-		composeTime, comp.LastStats.NodesVisited)
+	fmt.Printf("sequential:  %v (materializes every layer)\n", naiveTime)
+	fmt.Printf("single pass: %v (%d nodes visited, %d materialized)\n",
+		composeTime, stats.NodesVisited, stats.Materialized)
+	for i, ls := range stats.Layers {
+		fmt.Printf("  layer %d: %d consumed, %d materialized\n", i, ls.NodesVisited, ls.Materialized)
+	}
 }

@@ -1,26 +1,36 @@
 // Package compose implements §4 of Fan, Cong & Bohannon (SIGMOD 2007):
 // composing a user query Q with a transform query Qt into a single query
 // Qc with Qc(T) = Q(Qt(T)), evaluated in one pass over the input document
-// without materializing Qt(T).
+// without materializing Qt(T) — generalized here to *stacks* of transform
+// queries, so a security view defined over a virtual update over a
+// hypothetical state evaluates in the same single pass.
 //
 // The Compose Method treats the user query's path expressions as "words"
-// fed to the selecting NFA Mp of the transform query: while Q navigates T,
-// the evaluator carries the Mp state set alongside every context node and
-// applies the embedded update's effect exactly where Q looks —
+// fed to the selecting NFA Mp of each transform query: while Q navigates
+// T, the evaluator carries one Mp state set per layer alongside every
+// context node and applies each embedded update's effect exactly where Q
+// looks —
 //
-//   - a node whose transition enters Mp's final state under a delete is
-//     skipped (it does not exist in Qt(T); the "if empty($y[q]) … else ()"
-//     conditional of example Q1c);
+//   - a node whose transition enters a layer's final state under a delete
+//     is skipped (it does not exist in that layer's output; the
+//     "if empty($y[q]) … else ()" conditional of example Q1c);
 //   - under an insert, the constant element e appears as a virtual last
-//     child of matched nodes and is navigated like any other child;
+//     child of matched nodes and is navigated — and transformed by the
+//     layers above — like any other child;
 //   - under replace/rename the matched node is seen as the constant
-//     element / under its new label;
-//   - subtrees returned by the query are materialized on demand with the
-//     topDown procedure (the paper's embedded topDown() user function),
-//     sharing everything the update cannot touch;
-//   - as soon as the state set dies (the user query navigates where the
-//     update is "disjoint", §4), the evaluator drops into plain navigation
-//     with zero overhead.
+//     element / under its new label, and the relabeled node is what the
+//     next layer's automaton consumes;
+//   - subtrees returned by the query are materialized on demand by one
+//     walk that applies every remaining layer (the paper's embedded
+//     topDown() user function), sharing everything no update can touch;
+//   - as soon as every layer's state set dies (the user query navigates
+//     where all updates are "disjoint", §4), the evaluator drops into
+//     plain navigation with zero overhead.
+//
+// The entry point is Plan: an immutable composition plan whose Eval
+// creates all per-run state afresh, so one Plan serves any number of
+// goroutines. Composed and NaiveComposition predate the plan/run split
+// and remain as deprecated single-layer wrappers.
 //
 // The paper presents this rewriting as XQuery source text; XQueryText
 // renders that form for inspection, while Eval executes the identical
@@ -33,59 +43,38 @@ import (
 	"context"
 	"fmt"
 
-	"xtq/internal/automaton"
 	"xtq/internal/core"
 	"xtq/internal/tree"
-	"xtq/internal/xerr"
-	"xtq/internal/xpath"
 	"xtq/internal/xquery"
 )
 
-// Composed is a composition Qc of a transform query and a user query.
-// Eval records per-run statistics on the receiver, so one Composed must
-// not be evaluated from concurrent goroutines; build one per goroutine
-// (construction is cheap — the compiled transform is shared).
+// Composed is a single-layer composition Qc of a transform query and a
+// user query.
+//
+// Deprecated: use Plan (NewPlan), which separates the immutable plan from
+// per-run state, supports stacks of transform queries, and returns its
+// statistics by value instead of recording them on the receiver. Composed
+// remains a thin wrapper: Eval records LastStats on the receiver, so one
+// Composed must not be evaluated from concurrent goroutines.
 type Composed struct {
 	Transform *core.Compiled
 	User      *xquery.UserQuery
-	// Stats of the last Eval call.
+	// LastStats holds the totals of the last Eval call.
 	LastStats Stats
 
-	// can is the in-flight evaluation's cancellation poll; nil outside
-	// EvalContext and for non-cancellable contexts.
-	can *core.Canceler
-}
-
-// Stats counts work done by one evaluation, to substantiate the "accesses
-// only the relevant part of the document" claim.
-type Stats struct {
-	NodesVisited int // virtual nodes enumerated during navigation
-	Materialized int // nodes materialized by the embedded topDown
+	plan *Plan
 }
 
 // New builds the composition of qt and q.
+//
+// Deprecated: use NewPlan.
 func New(qt *core.Compiled, q *xquery.UserQuery) (*Composed, error) {
-	if qt == nil || q == nil {
-		return nil, xerr.New(xerr.Compile, "", "compose: nil input")
+	p, err := NewPlan([]*core.Compiled{qt}, q)
+	if err != nil {
+		return nil, err
 	}
-	if err := q.Validate(); err != nil {
-		return nil, xerr.Wrap(xerr.Compile, err)
-	}
-	return &Composed{Transform: qt, User: q}, nil
+	return &Composed{Transform: qt, User: q, plan: p}, nil
 }
-
-// ctx is a context node of the virtual document Qt(T): a real node of T
-// together with the Mp state set that reached it, or a node inside the
-// update's constant element (plain = true, no update applies below).
-type ctx struct {
-	n      *tree.Node
-	label  string             // effective label (differs under rename)
-	states automaton.StateSet // nil/empty ⇒ no update can apply below
-	plain  bool               // node belongs to the constant element e
-	site   *tree.Node         // for plain nodes: the real node e hangs off
-}
-
-func (c ctx) dead() bool { return c.plain || c.states == nil || c.states.Empty() }
 
 // Eval evaluates the composition over doc, returning a document with the
 // <result> root of the paper's examples.
@@ -96,342 +85,9 @@ func (c *Composed) Eval(doc *tree.Node) (*tree.Node, error) {
 // EvalContext is Eval honouring cctx: cancellation aborts the navigation
 // of the virtual document at node granularity.
 func (c *Composed) EvalContext(cctx context.Context, doc *tree.Node) (*tree.Node, error) {
-	// Navigation polls cancellation every few hundred nodes, which a
-	// small document may never reach; check up front so an
-	// already-cancelled context fails deterministically.
-	if cctx != nil && cctx.Err() != nil {
-		return nil, xerr.Wrap(xerr.Eval, cctx.Err())
-	}
-	c.LastStats = Stats{}
-	c.can = core.NewCanceler(cctx)
-	defer func() { c.can = nil }()
-	root := ctx{n: doc, states: c.Transform.NFA.InitialSet()}
-	result := tree.NewElement("result")
-	for _, x := range c.selectPath(root, c.User.Path) {
-		if !c.condsHold(x) {
-			continue
-		}
-		result.Children = append(result.Children, c.instantiate(c.User.Return, x)...)
-	}
-	if err := c.can.Err(); err != nil {
-		return nil, err
-	}
-	return tree.NewDocument(result), nil
-}
-
-// selectPath navigates a path through the virtual document. A '//' step
-// immediately followed by a named step is fused into a single walk, so the
-// frontier of all descendants is never materialized.
-func (c *Composed) selectPath(from ctx, p *xpath.Path) []ctx {
-	frontier := []ctx{from}
-	for i := 0; i < len(p.Steps); i++ {
-		if len(frontier) == 0 {
-			return nil
-		}
-		s := p.Steps[i]
-		if s.Axis == xpath.DescendantOrSelf && len(s.Quals) == 0 &&
-			i+1 < len(p.Steps) && p.Steps[i+1].Axis == xpath.Child {
-			frontier = c.applyDescChild(frontier, p.Steps[i+1])
-			i++
-			continue
-		}
-		frontier = c.applyStep(frontier, s)
-	}
-	return frontier
-}
-
-// applyDescChild evaluates the fused step '//l[q]': all matching children
-// of the frontier's self-or-descendant nodes, in one walk.
-func (c *Composed) applyDescChild(frontier []ctx, s xpath.Step) []ctx {
-	var out []ctx
-	seen := make(map[ctxKey]struct{})
-	var visit func(x ctx)
-	visit = func(x ctx) {
-		c.eachChild(x, func(ch ctx) {
-			if (s.Wildcard || ch.label == s.Label) && c.qualsHold(ch, s.Quals) {
-				k := ctxKey{n: ch.n, site: ch.site}
-				if _, dup := seen[k]; !dup {
-					seen[k] = struct{}{}
-					out = append(out, ch)
-				}
-			}
-			visit(ch)
-		})
-	}
-	for _, f := range frontier {
-		visit(f)
-	}
-	return out
-}
-
-type ctxKey struct {
-	n    *tree.Node
-	site *tree.Node
-}
-
-func (c *Composed) applyStep(frontier []ctx, s xpath.Step) []ctx {
-	var out []ctx
-	switch s.Axis {
-	case xpath.Child:
-		// A node has one parent, so distinct frontier entries yield
-		// distinct children: no deduplication needed.
-		for _, f := range frontier {
-			c.eachChild(f, func(ch ctx) {
-				if !s.Wildcard && ch.label != s.Label {
-					return
-				}
-				if c.qualsHold(ch, s.Quals) {
-					out = append(out, ch)
-				}
-			})
-		}
-	case xpath.DescendantOrSelf:
-		// The frontier may contain a node and its own descendant, so
-		// the expansion deduplicates by (node, insertion site).
-		seen := make(map[ctxKey]struct{})
-		var visit func(x ctx)
-		visit = func(x ctx) {
-			if c.qualsHold(x, s.Quals) {
-				k := ctxKey{n: x.n, site: x.site}
-				if _, dup := seen[k]; !dup {
-					seen[k] = struct{}{}
-					out = append(out, x)
-				}
-			}
-			c.eachChild(x, visit)
-		}
-		for _, f := range frontier {
-			visit(f)
-		}
-	case xpath.Self:
-		for _, f := range frontier {
-			if c.qualsHold(f, s.Quals) {
-				out = append(out, f)
-			}
-		}
-	case xpath.Attribute:
-		// Attribute steps are handled by the operand/qualifier
-		// evaluators, never on navigation paths.
-	}
-	return out
-}
-
-// eachChild enumerates the element children of a context node in the
-// virtual document Qt(T): deleted children disappear, replaced children
-// become the constant element, renamed children change label, and an
-// insert-matched node grows the constant element as its last child.
-func (c *Composed) eachChild(f ctx, fn func(ctx)) {
-	if c.can.Stopped() {
-		return
-	}
-	u := &c.Transform.Query.Update
-	m := c.Transform.NFA
-	dead := f.dead()
-	for _, ch := range f.n.Children {
-		if ch.Kind != tree.Element {
-			continue
-		}
-		c.LastStats.NodesVisited++
-		if dead {
-			// Disjoint region: plain navigation, no update below.
-			fn(ctx{n: ch, label: ch.Label, plain: f.plain, site: f.site})
-			continue
-		}
-		st := m.StepDirect(f.states, ch)
-		if m.Matches(st) {
-			switch u.Op {
-			case core.Delete:
-				continue
-			case core.Replace:
-				fn(ctx{n: u.Elem, label: u.Elem.Label, plain: true, site: ch})
-				continue
-			case core.Rename:
-				fn(ctx{n: ch, label: u.Label, states: st})
-				continue
-			}
-			// Insert: e appears when ch's own children are listed.
-		}
-		fn(ctx{n: ch, label: ch.Label, states: st})
-	}
-	// An insert-matched context grows e as its last child.
-	if !dead && u.Op == core.Insert && m.Matches(f.states) {
-		c.LastStats.NodesVisited++
-		fn(ctx{n: u.Elem, label: u.Elem.Label, plain: true, site: f.n})
-	}
-}
-
-// qualsHold evaluates the user query's step qualifiers against the virtual
-// document.
-func (c *Composed) qualsHold(x ctx, quals []xpath.Qual) bool {
-	for _, q := range quals {
-		if !c.evalQual(x, q) {
-			return false
-		}
-	}
-	return true
-}
-
-func (c *Composed) evalQual(x ctx, q xpath.Qual) bool {
-	if x.dead() {
-		// The update cannot reach below x (disjoint region or
-		// constant-element subtree), so plain evaluation is exact —
-		// and much cheaper than the update-aware machinery.
-		return xpath.EvalQual(x.n, q)
-	}
-	switch q := q.(type) {
-	case *xpath.TrueQual:
-		return true
-	case *xpath.LabelQual:
-		return x.n.Kind == tree.Element && x.label == q.Label
-	case *xpath.AndQual:
-		return c.evalQual(x, q.L) && c.evalQual(x, q.R)
-	case *xpath.OrQual:
-		return c.evalQual(x, q.L) || c.evalQual(x, q.R)
-	case *xpath.NotQual:
-		return !c.evalQual(x, q.X)
-	case *xpath.PathQual:
-		return c.pathTest(x, q.Path, xpath.OpNone, "")
-	case *xpath.CmpQual:
-		return c.pathTest(x, q.Path, q.Op, q.Lit)
-	default:
-		return false
-	}
-}
-
-// pathTest mirrors xpath's qualifier path evaluation over the virtual
-// document. Node values and attributes are unaffected by the update kinds
-// of §2 (they add, remove or relabel element nodes), so only navigation is
-// update-aware.
-func (c *Composed) pathTest(x ctx, p *xpath.Path, op xpath.CmpOp, lit string) bool {
-	steps := p.Steps
-	var attr string
-	if k := len(steps); k > 0 && steps[k-1].Axis == xpath.Attribute {
-		attr = steps[k-1].Label
-		steps = steps[:k-1]
-	}
-	for _, m := range c.selectPath(x, &xpath.Path{Steps: steps}) {
-		if attr != "" {
-			v, ok := m.n.Attr(attr)
-			if !ok {
-				continue
-			}
-			if op == xpath.OpNone || xpath.Compare(v, op, lit) {
-				return true
-			}
-			continue
-		}
-		if op == xpath.OpNone || xpath.Compare(m.n.Value(), op, lit) {
-			return true
-		}
-	}
-	return false
-}
-
-func (c *Composed) condsHold(x ctx) bool {
-	for _, cond := range c.User.Conds {
-		if !c.condHolds(x, cond) {
-			return false
-		}
-	}
-	return true
-}
-
-func (c *Composed) condHolds(x ctx, cond xquery.Cond) bool {
-	for _, l := range c.operandValues(x, cond.L) {
-		for _, r := range c.operandValues(x, cond.R) {
-			if xpath.Compare(l, cond.Op, r) {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-func (c *Composed) operandValues(x ctx, o xquery.Operand) []string {
-	if o.IsConst {
-		return []string{o.Const}
-	}
-	if o.Path == nil || len(o.Path.Steps) == 0 {
-		return []string{x.n.Value()}
-	}
-	if x.dead() {
-		return xquery.Operand{Path: o.Path}.Values(x.n)
-	}
-	steps := o.Path.Steps
-	var attr string
-	if k := len(steps); steps[k-1].Axis == xpath.Attribute {
-		attr = steps[k-1].Label
-		steps = steps[:k-1]
-	}
-	var out []string
-	for _, m := range c.selectPath(x, &xpath.Path{Steps: steps}) {
-		if attr != "" {
-			if v, ok := m.n.Attr(attr); ok {
-				out = append(out, v)
-			}
-			continue
-		}
-		out = append(out, m.n.Value())
-	}
-	return out
-}
-
-// instantiate builds the return template for one binding, materializing
-// hole subtrees with the embedded topDown (§4, "The value to be
-// returned").
-func (c *Composed) instantiate(it xquery.Item, x ctx) []*tree.Node {
-	switch it := it.(type) {
-	case *xquery.TextItem:
-		return []*tree.Node{tree.NewText(it.Data)}
-	case *xquery.Hole:
-		return c.holeNodes(it.Operand, x)
-	case *xquery.ElemTemplate:
-		e := tree.NewElement(it.Label)
-		for _, child := range it.Items {
-			e.Children = append(e.Children, c.instantiate(child, x)...)
-		}
-		return []*tree.Node{e}
-	default:
-		return nil
-	}
-}
-
-func (c *Composed) holeNodes(o xquery.Operand, x ctx) []*tree.Node {
-	if o.IsConst {
-		return []*tree.Node{tree.NewText(o.Const)}
-	}
-	targets := []ctx{x}
-	if o.Path != nil && len(o.Path.Steps) > 0 {
-		steps := o.Path.Steps
-		if steps[len(steps)-1].Axis == xpath.Attribute {
-			var out []*tree.Node
-			for _, v := range c.operandValues(x, o) {
-				out = append(out, tree.NewText(v))
-			}
-			return out
-		}
-		targets = c.selectPath(x, o.Path)
-	}
-	var out []*tree.Node
-	for _, t := range targets {
-		out = append(out, c.materialize(t)...)
-	}
-	return out
-}
-
-// materialize turns a virtual context node into real tree nodes as they
-// appear in Qt(T). Nodes the update cannot touch are shared with T.
-func (c *Composed) materialize(x ctx) []*tree.Node {
-	if x.plain {
-		// Constant-element subtree: fresh copy per occurrence, like an
-		// XQuery element constructor.
-		return []*tree.Node{x.n.DeepCopy()}
-	}
-	if x.dead() {
-		return []*tree.Node{x.n}
-	}
-	c.LastStats.Materialized += x.n.Size()
-	return core.ProcessEntered(c.Transform, x.n, x.states, core.DirectChecker{}, c.can)
+	out, vs, err := c.plan.Eval(cctx, doc)
+	c.LastStats = vs.Stats
+	return out, err
 }
 
 // String identifies the composition.

@@ -18,6 +18,9 @@ import (
 // The transform query is evaluated with the topDown method (GENTOP), the
 // best-performing on-top-of-engine method in §7.1, matching the
 // configuration the paper benchmarks Fig. 15 against.
+//
+// Deprecated: use Plan.EvalSequential, the same baseline generalized to
+// transform stacks.
 type NaiveComposition struct {
 	Transform *core.Compiled
 	User      *xquery.UserQuery

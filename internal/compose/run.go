@@ -1,0 +1,520 @@
+package compose
+
+import (
+	"xtq/internal/automaton"
+	"xtq/internal/core"
+	"xtq/internal/tree"
+	"xtq/internal/xpath"
+	"xtq/internal/xquery"
+)
+
+// stateSet abbreviates the automaton's bit set in the signatures below.
+type stateSet = automaton.StateSet
+
+// This file evaluates a Plan: it navigates the *stacked virtual document*
+// View_k = t_{k-1}(…t_0(T)…) without materializing any View_i. The
+// single-layer state discipline of §4 — carry the selecting-NFA state set
+// alongside every context node, apply the update's effect exactly where
+// the user query looks — is threaded through the stack: a virtual node
+// carries one state set per layer, and enumerating its children at level
+// L recursively enumerates them at level L-1 and applies transform L-1 to
+// the result. Renames feed the relabeled node to the next layer's
+// automaton, constant elements inserted by layer i are navigated (and
+// further transformed) by layers above i, and as soon as every layer's
+// state set dies the evaluator drops into plain navigation.
+
+// vnode is a context node of the stacked virtual document.
+//
+// Level discipline: a vnode is always produced "at" some level L — it
+// denotes a node of View_L. Its label is the effective label in View_L
+// (after any renames by layers below L) and states[i] is populated
+// exactly for the layers i ∈ [origin, L) that act below it at that level;
+// entries at or above L stay nil. deadAll (every entry nil or empty) is
+// therefore level-independent: it means no layer the vnode has been
+// exposed to can touch its subtree.
+type vnode struct {
+	n     *tree.Node
+	label string
+	// origin is the first view index where n exists: 0 for document
+	// nodes, i+1 for nodes of layer i's constant element.
+	origin int
+	// anchor identifies the attachment instance for constant-element
+	// nodes (constant elements share one *tree.Node across all the
+	// places they appear; the anchor tells the occurrences apart). It is
+	// 0 for document nodes. (n, origin, anchor) is the identity of the
+	// virtual node.
+	anchor int
+	// states[i] is the state set of layer i's NFA that reached this node
+	// in View_i; nil means layer i cannot touch the subtree. A nil slice
+	// means every layer is dead — the plain-navigation fast path.
+	states []stateSet
+}
+
+// vkey is the identity of a virtual node, used for deduplication on
+// descendant axes and for interning constant-element anchors.
+type vkey struct {
+	n      *tree.Node
+	origin int
+	anchor int
+}
+
+func (x vnode) key() vkey { return vkey{n: x.n, origin: x.origin, anchor: x.anchor} }
+
+// deadAll reports whether no transform layer can touch x's subtree; below
+// such a node the evaluator navigates the real tree directly (§4's
+// disjointness pruning, per layer).
+func (x vnode) deadAll() bool {
+	for _, s := range x.states {
+		if s != nil && !s.Empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// run is the per-evaluation state of a Plan: statistics, the cancellation
+// poll, and the anchor-interning table that gives constant-element
+// occurrences stable identities within the evaluation. A fresh run per
+// Eval call is what makes Plan (and the facade's PreparedView)
+// goroutine-safe — nothing of a run ever hangs off the Plan.
+type run struct {
+	plan    *Plan
+	can     *core.Canceler
+	stats   ViewStats
+	anchors map[vkey]int
+}
+
+// anchorOf interns the identity of x and returns a small positive id that
+// is stable for the duration of the run, so two enumerations that reach
+// the same virtual attachment point agree on the anchors of the constant
+// elements hanging off it.
+func (r *run) anchorOf(x vnode) int {
+	if r.anchors == nil {
+		r.anchors = make(map[vkey]int)
+	}
+	k := x.key()
+	if id, ok := r.anchors[k]; ok {
+		return id
+	}
+	id := len(r.anchors) + 1
+	r.anchors[k] = id
+	return id
+}
+
+// constant wraps a transform's constant element as a virtual node
+// attached at `at`, entering the stack at view index level.
+func (r *run) constant(elem *tree.Node, level int, at vnode) vnode {
+	return vnode{
+		n:      elem,
+		label:  elem.Label,
+		origin: level,
+		anchor: r.anchorOf(at),
+		states: make([]stateSet, len(r.plan.layers)),
+	}
+}
+
+// eachChildAt enumerates the children of x as they appear in View_level —
+// the document after the first `level` transform layers. Navigation
+// passes elemsOnly; materialization needs text and comment children too
+// (updates cannot touch them, so they are yielded unwrapped with no label
+// or states).
+func (r *run) eachChildAt(x vnode, level int, elemsOnly bool, fn func(vnode)) {
+	if r.can.Stopped() {
+		return
+	}
+	if level == x.origin || x.deadAll() {
+		r.baseChildren(x, elemsOnly, fn)
+		return
+	}
+	// The children in View_level are the children in View_{level-1} with
+	// transform layer level-1 applied to them.
+	li := level - 1
+	parent := x.states[li]
+	if parent == nil || parent.Empty() {
+		// Layer li is disjoint below x: View_level and View_li agree
+		// here. Lower layers may still be live, so recurse rather than
+		// fall into the base loop.
+		r.eachChildAt(x, li, elemsOnly, fn)
+		return
+	}
+	t := r.plan.layers[li]
+	u := &t.Query.Update
+	m := t.NFA
+	r.eachChildAt(x, li, elemsOnly, func(ch vnode) {
+		if ch.n.Kind != tree.Element {
+			fn(ch)
+			return
+		}
+		r.stats.Layers[li].NodesVisited++
+		st := m.Step(parent, ch.label, func(id int) bool {
+			for _, q := range m.States[id].Quals {
+				if !r.evalQualAt(ch, q, li) {
+					return false
+				}
+			}
+			return true
+		})
+		if m.Matches(st) {
+			switch u.Op {
+			case core.Delete:
+				// ch does not exist in View_level.
+				return
+			case core.Replace:
+				fn(r.constant(u.Elem, level, ch))
+				return
+			case core.Rename:
+				ch.label = u.Label
+				ch.states[li] = st
+				fn(ch)
+				return
+			}
+			// Insert: the constant element appears when ch's own
+			// children are enumerated (it becomes ch's last child).
+		}
+		ch.states[li] = st
+		fn(ch)
+	})
+	// An insert-matched x grows the constant element as its last child in
+	// View_level; layers above li navigate and transform it like any
+	// other child.
+	if u.Op == core.Insert && m.Matches(parent) {
+		r.stats.NodesVisited++
+		fn(r.constant(u.Elem, level, x))
+	}
+}
+
+// baseChildren enumerates the underlying children of x: the real document
+// children for origin-0 nodes, the constant-element subtree otherwise.
+// Children of a node every layer is dead below inherit the nil states
+// slice, so whole disjoint regions never allocate per-layer state.
+func (r *run) baseChildren(x vnode, elemsOnly bool, fn func(vnode)) {
+	dead := x.deadAll()
+	for _, ch := range x.n.Children {
+		if ch.Kind != tree.Element {
+			if !elemsOnly {
+				fn(vnode{n: ch, origin: x.origin, anchor: x.anchor})
+			}
+			continue
+		}
+		r.stats.NodesVisited++
+		c := vnode{n: ch, label: ch.Label, origin: x.origin, anchor: x.anchor}
+		if !dead {
+			c.states = make([]stateSet, len(r.plan.layers))
+		}
+		fn(c)
+	}
+}
+
+// selectPathAt navigates path steps through View_level. A '//' step
+// immediately followed by a named step is fused into a single walk, so
+// the frontier of all descendants is never materialized.
+func (r *run) selectPathAt(from vnode, steps []xpath.Step, level int) []vnode {
+	frontier := []vnode{from}
+	for i := 0; i < len(steps); i++ {
+		if len(frontier) == 0 {
+			return nil
+		}
+		s := steps[i]
+		if s.Axis == xpath.DescendantOrSelf && len(s.Quals) == 0 &&
+			i+1 < len(steps) && steps[i+1].Axis == xpath.Child {
+			frontier = r.applyDescChildAt(frontier, steps[i+1], level)
+			i++
+			continue
+		}
+		frontier = r.applyStepAt(frontier, s, level)
+	}
+	return frontier
+}
+
+// applyDescChildAt evaluates the fused step '//l[q]' over View_level: all
+// matching children of the frontier's self-or-descendant nodes, in one
+// walk.
+func (r *run) applyDescChildAt(frontier []vnode, s xpath.Step, level int) []vnode {
+	var out []vnode
+	seen := make(map[vkey]struct{})
+	var visit func(x vnode)
+	visit = func(x vnode) {
+		r.eachChildAt(x, level, true, func(ch vnode) {
+			if (s.Wildcard || ch.label == s.Label) && r.qualsHoldAt(ch, s.Quals, level) {
+				k := ch.key()
+				if _, dup := seen[k]; !dup {
+					seen[k] = struct{}{}
+					out = append(out, ch)
+				}
+			}
+			visit(ch)
+		})
+	}
+	for _, f := range frontier {
+		visit(f)
+	}
+	return out
+}
+
+func (r *run) applyStepAt(frontier []vnode, s xpath.Step, level int) []vnode {
+	var out []vnode
+	switch s.Axis {
+	case xpath.Child:
+		// A node has one parent, so distinct frontier entries yield
+		// distinct children: no deduplication needed.
+		for _, f := range frontier {
+			r.eachChildAt(f, level, true, func(ch vnode) {
+				if !s.Wildcard && ch.label != s.Label {
+					return
+				}
+				if r.qualsHoldAt(ch, s.Quals, level) {
+					out = append(out, ch)
+				}
+			})
+		}
+	case xpath.DescendantOrSelf:
+		// The frontier may contain a node and its own descendant, so the
+		// expansion deduplicates by virtual-node identity.
+		seen := make(map[vkey]struct{})
+		var visit func(x vnode)
+		visit = func(x vnode) {
+			if r.qualsHoldAt(x, s.Quals, level) {
+				k := x.key()
+				if _, dup := seen[k]; !dup {
+					seen[k] = struct{}{}
+					out = append(out, x)
+				}
+			}
+			r.eachChildAt(x, level, true, visit)
+		}
+		for _, f := range frontier {
+			visit(f)
+		}
+	case xpath.Self:
+		for _, f := range frontier {
+			if r.qualsHoldAt(f, s.Quals, level) {
+				out = append(out, f)
+			}
+		}
+	case xpath.Attribute:
+		// Attribute steps are handled by the operand/qualifier
+		// evaluators, never on navigation paths.
+	}
+	return out
+}
+
+// qualsHoldAt evaluates step qualifiers against View_level.
+func (r *run) qualsHoldAt(x vnode, quals []xpath.Qual, level int) bool {
+	for _, q := range quals {
+		if !r.evalQualAt(x, q, level) {
+			return false
+		}
+	}
+	return true
+}
+
+// evalQualAt evaluates one qualifier at x over View_level. It is used
+// both for the user query's qualifiers (level = full stack) and for the
+// qualifiers of layer i's selecting NFA (level = i: a layer's qualifiers
+// see the view produced by the layers below it).
+func (r *run) evalQualAt(x vnode, q xpath.Qual, level int) bool {
+	if x.deadAll() {
+		// No layer below `level` is live at x (entries at or above level
+		// are nil by the level discipline), so plain evaluation over the
+		// real subtree is exact — and much cheaper than the update-aware
+		// machinery.
+		return xpath.EvalQual(x.n, q)
+	}
+	switch q := q.(type) {
+	case *xpath.TrueQual:
+		return true
+	case *xpath.LabelQual:
+		return x.n.Kind == tree.Element && x.label == q.Label
+	case *xpath.AndQual:
+		return r.evalQualAt(x, q.L, level) && r.evalQualAt(x, q.R, level)
+	case *xpath.OrQual:
+		return r.evalQualAt(x, q.L, level) || r.evalQualAt(x, q.R, level)
+	case *xpath.NotQual:
+		return !r.evalQualAt(x, q.X, level)
+	case *xpath.PathQual:
+		return r.pathTestAt(x, q.Path, xpath.OpNone, "", level)
+	case *xpath.CmpQual:
+		return r.pathTestAt(x, q.Path, q.Op, q.Lit, level)
+	default:
+		return false
+	}
+}
+
+// splitAttrTail splits a qualifier or operand path into its navigation
+// steps and the trailing attribute name, if any. It is the one home of
+// the attribute-tail convention shared by pathTestAt, operandValues and
+// holeNodes: a path like a/b/@id navigates a/b and then reads @id, an
+// attribute-only path @id reads the attribute of the context node itself
+// (no steps), and a nil or empty path yields (nil, "").
+func splitAttrTail(p *xpath.Path) (steps []xpath.Step, attr string) {
+	if p == nil {
+		return nil, ""
+	}
+	steps = p.Steps
+	if k := len(steps); k > 0 && steps[k-1].Axis == xpath.Attribute {
+		return steps[:k-1], steps[k-1].Label
+	}
+	return steps, ""
+}
+
+// pathTestAt mirrors xpath's qualifier path evaluation over View_level.
+// Node values and attributes are unaffected by the update kinds of §2
+// (they add, remove or relabel element nodes, and Value reads immediate
+// text children only), so only navigation is update-aware.
+func (r *run) pathTestAt(x vnode, p *xpath.Path, op xpath.CmpOp, lit string, level int) bool {
+	steps, attr := splitAttrTail(p)
+	for _, m := range r.selectPathAt(x, steps, level) {
+		if attr != "" {
+			v, ok := m.n.Attr(attr)
+			if !ok {
+				continue
+			}
+			if op == xpath.OpNone || xpath.Compare(v, op, lit) {
+				return true
+			}
+			continue
+		}
+		if op == xpath.OpNone || xpath.Compare(m.n.Value(), op, lit) {
+			return true
+		}
+	}
+	return false
+}
+
+// condsHold evaluates the user query's where clause at x over the full
+// stack.
+func (r *run) condsHold(x vnode) bool {
+	for _, cond := range r.plan.user.Conds {
+		if !r.condHolds(x, cond) {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *run) condHolds(x vnode, cond xquery.Cond) bool {
+	for _, l := range r.operandValues(x, cond.L) {
+		for _, v := range r.operandValues(x, cond.R) {
+			if xpath.Compare(l, cond.Op, v) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (r *run) operandValues(x vnode, o xquery.Operand) []string {
+	if o.IsConst {
+		return []string{o.Const}
+	}
+	if o.Path == nil || len(o.Path.Steps) == 0 {
+		return []string{x.n.Value()}
+	}
+	if x.deadAll() {
+		return xquery.Operand{Path: o.Path}.Values(x.n)
+	}
+	steps, attr := splitAttrTail(o.Path)
+	var out []string
+	for _, m := range r.selectPathAt(x, steps, len(r.plan.layers)) {
+		if attr != "" {
+			if v, ok := m.n.Attr(attr); ok {
+				out = append(out, v)
+			}
+			continue
+		}
+		out = append(out, m.n.Value())
+	}
+	return out
+}
+
+// instantiate builds the return template for one binding, materializing
+// hole subtrees with the embedded topDown (§4, "The value to be
+// returned").
+func (r *run) instantiate(it xquery.Item, x vnode) []*tree.Node {
+	switch it := it.(type) {
+	case *xquery.TextItem:
+		return []*tree.Node{tree.NewText(it.Data)}
+	case *xquery.Hole:
+		return r.holeNodes(it.Operand, x)
+	case *xquery.ElemTemplate:
+		e := tree.NewElement(it.Label)
+		for _, child := range it.Items {
+			e.Children = append(e.Children, r.instantiate(child, x)...)
+		}
+		return []*tree.Node{e}
+	default:
+		return nil
+	}
+}
+
+func (r *run) holeNodes(o xquery.Operand, x vnode) []*tree.Node {
+	if o.IsConst {
+		return []*tree.Node{tree.NewText(o.Const)}
+	}
+	targets := []vnode{x}
+	if o.Path != nil && len(o.Path.Steps) > 0 {
+		steps, attr := splitAttrTail(o.Path)
+		if attr != "" {
+			// Attribute holes yield the attribute values as text.
+			var out []*tree.Node
+			for _, v := range r.operandValues(x, o) {
+				out = append(out, tree.NewText(v))
+			}
+			return out
+		}
+		targets = r.selectPathAt(x, steps, len(r.plan.layers))
+	}
+	out := make([]*tree.Node, 0, len(targets))
+	for _, t := range targets {
+		out = append(out, r.materialize(t))
+	}
+	return out
+}
+
+// materialize turns a virtual context node into the real tree node it
+// denotes in the top view — the embedded topDown of §4, generalized to
+// stacks: one walk of the virtual document applies every remaining layer,
+// with no per-layer intermediate. Subtrees no layer can touch are shared
+// with the source document; constant-element subtrees are copied per
+// occurrence, like an XQuery element constructor.
+func (r *run) materialize(x vnode) *tree.Node {
+	if x.deadAll() {
+		if x.origin > 0 {
+			size := x.n.Size()
+			r.stats.Materialized += size
+			r.stats.Layers[x.origin-1].Materialized += size
+			return x.n.DeepCopy()
+		}
+		return x.n
+	}
+	r.stats.Materialized++
+	for i, s := range x.states {
+		if s != nil && !s.Empty() {
+			r.stats.Layers[i].Materialized++
+		}
+	}
+	out := &tree.Node{Kind: tree.Element, Label: x.label, Attrs: x.n.Attrs}
+	// Detect the no-op case as we go: when every child materializes to
+	// the original pointer in the original order, the node itself can be
+	// shared with the source (origin-0 nodes only — constant elements
+	// must stay fresh copies).
+	shared := x.origin == 0 && x.label == x.n.Label
+	i := 0
+	r.eachChildAt(x, len(r.plan.layers), false, func(c vnode) {
+		var m *tree.Node
+		if c.n.Kind != tree.Element {
+			m = c.n
+		} else {
+			m = r.materialize(c)
+		}
+		if shared && (i >= len(x.n.Children) || x.n.Children[i] != m) {
+			shared = false
+		}
+		i++
+		out.Children = append(out.Children, m)
+	})
+	if shared && i == len(x.n.Children) {
+		return x.n
+	}
+	return out
+}

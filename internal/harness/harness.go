@@ -341,18 +341,15 @@ func (r *Runner) Fig14() {
 }
 
 // Fig15 reproduces Figure 15: Naive Composition versus the Compose Method
-// over the four transform/user query pairs.
+// over the four transform/user query pairs, through the composition-plan
+// API (single-layer stacks).
 func (r *Runner) Fig15() {
 	for _, p := range queries.Pairs() {
 		ct, err := p.Transform.Compile()
 		if err != nil {
 			panic(err)
 		}
-		comp, err := compose.New(ct, p.User)
-		if err != nil {
-			panic(err)
-		}
-		naive, err := compose.NewNaive(ct, p.User)
+		plan, err := compose.NewPlan([]*core.Compiled{ct}, p.User)
 		if err != nil {
 			panic(err)
 		}
@@ -362,17 +359,100 @@ func (r *Runner) Fig15() {
 		for _, f := range r.opts.Factors {
 			doc := r.Doc(f)
 			nd := r.median(func() {
-				_, err := naive.EvalContext(r.opts.Context, doc)
+				_, err := plan.EvalSequential(r.opts.Context, doc, core.MethodTopDown)
 				r.check(err)
 			})
 			cd := r.median(func() {
-				_, err := comp.EvalContext(r.opts.Context, doc)
+				_, _, err := plan.Eval(r.opts.Context, doc)
 				r.check(err)
 			})
 			if r.stopped() {
 				break
 			}
 			rows = append(rows, []string{fmt.Sprintf("%.2f", f), ms(nd), ms(cd)})
+		}
+		table(r.opts.Out, header, rows)
+		fmt.Fprintln(r.opts.Out)
+		if r.stopped() {
+			return
+		}
+	}
+}
+
+// StackPlan compiles one stacked-view workload into a composition plan.
+func StackPlan(s queries.Stack) (*compose.Plan, error) {
+	layers := make([]*core.Compiled, len(s.Layers))
+	for i, q := range s.Layers {
+		c, err := q.Compile()
+		if err != nil {
+			return nil, err
+		}
+		layers[i] = c
+	}
+	return compose.NewPlan(layers, s.User)
+}
+
+// IntermediateSize sequentially materializes every layer of the plan and
+// returns the total node count of the intermediate (and final) views —
+// the trees the naive method builds and the single-pass method avoids.
+func IntermediateSize(ctx context.Context, p *compose.Plan, doc *tree.Node) (int, error) {
+	total := 0
+	cur := doc
+	for i := 0; i < p.NumLayers(); i++ {
+		var err error
+		cur, err = p.Layer(i).EvalContext(ctx, cur, core.MethodTopDown)
+		if err != nil {
+			return 0, err
+		}
+		total += cur.Size()
+	}
+	return total, nil
+}
+
+// Views reports the stacked-view sweep: for each 2-3-layer view chain of
+// queries.Stacks and each factor, the runtime of the single-pass stacked
+// evaluation versus sequentially materializing every layer, the total
+// size of the intermediate views the sequential method builds, and the
+// per-layer ViewStats (NodesVisited/Materialized) of the single pass —
+// the Figure-14-style "touches only the relevant region" claim, made
+// measurable per view layer.
+func (r *Runner) Views() {
+	for _, s := range queries.Stacks() {
+		plan, err := StackPlan(s)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Fprintf(r.opts.Out, "Stacked views: %s (%d layers; runtime ms per XMark factor)\n",
+			s.Name, plan.NumLayers())
+		header := []string{"factor", "sequential", "stacked", "intermediate nodes", "visited", "materialized"}
+		for i := 0; i < plan.NumLayers(); i++ {
+			header = append(header, fmt.Sprintf("L%d visited", i), fmt.Sprintf("L%d mat", i))
+		}
+		var rows [][]string
+		for _, f := range r.opts.Factors {
+			doc := r.Doc(f)
+			sd := r.median(func() {
+				_, err := plan.EvalSequential(r.opts.Context, doc, core.MethodTopDown)
+				r.check(err)
+			})
+			var vs compose.ViewStats
+			cd := r.median(func() {
+				_, stats, err := plan.Eval(r.opts.Context, doc)
+				r.check(err)
+				vs = stats
+			})
+			inter, err := IntermediateSize(r.opts.Context, plan, doc)
+			r.check(err)
+			if r.stopped() {
+				break
+			}
+			row := []string{fmt.Sprintf("%.2f", f), ms(sd), ms(cd),
+				fmt.Sprintf("%d", inter),
+				fmt.Sprintf("%d", vs.NodesVisited), fmt.Sprintf("%d", vs.Materialized)}
+			for _, ls := range vs.Layers {
+				row = append(row, fmt.Sprintf("%d", ls.NodesVisited), fmt.Sprintf("%d", ls.Materialized))
+			}
+			rows = append(rows, row)
 		}
 		table(r.opts.Out, header, rows)
 		fmt.Fprintln(r.opts.Out)

@@ -1,9 +1,14 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
+
+	"xtq/internal/core"
+	"xtq/internal/queries"
+	"xtq/internal/tree"
 )
 
 // fastOpts keeps harness tests quick: tiny factors, one repeat.
@@ -98,6 +103,62 @@ func TestClaims(t *testing.T) {
 	for _, want := range []string{"Claim 1", "Claim 2", "NAIVE U1 ms"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("Claims output missing %q", want)
+		}
+	}
+}
+
+func TestViews(t *testing.T) {
+	var out strings.Builder
+	New(fastOpts(&out, t)).Views()
+	s := out.String()
+	for _, want := range []string{"Stacked views:", "upd|audit", "hyp|sec", "upd|ren|sec",
+		"sequential", "stacked", "intermediate nodes", "L0 visited", "L1 mat"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Views output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestStackedViewMaterializesLessThanIntermediates pins the stacked-view
+// acceptance claim: a 2+-layer stack evaluates in a single pass, with
+// the run's Materialized count staying below the total size of the
+// intermediate views the sequential method builds — and with results
+// identical to sequential materialization.
+func TestStackedViewMaterializesLessThanIntermediates(t *testing.T) {
+	r := New(fastOpts(&strings.Builder{}, t))
+	ctx := context.Background()
+	doc := r.Doc(0.004)
+	for _, s := range queries.Stacks() {
+		plan, err := StackPlan(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.NumLayers() < 2 {
+			t.Fatalf("%s: stack has %d layers, want 2+", s.Name, plan.NumLayers())
+		}
+		got, vs, err := plan.Eval(ctx, doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := plan.EvalSequential(ctx, doc, core.MethodTopDown)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tree.Equal(got, want) {
+			t.Errorf("%s: single pass disagrees with sequential materialization", s.Name)
+		}
+		inter, err := IntermediateSize(ctx, plan, doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vs.Materialized >= inter {
+			t.Errorf("%s: Materialized = %d, not below intermediate size %d",
+				s.Name, vs.Materialized, inter)
+		}
+		for i, ls := range vs.Layers {
+			if ls.NodesVisited == 0 {
+				t.Errorf("%s: layer %d reports no visited nodes", s.Name, i)
+			}
 		}
 	}
 }

@@ -112,3 +112,71 @@ func Pairs() []Pair {
 		{Name: "(U8,U10)", Transform: TransformOp(8, core.Delete), User: UserQuery(10)},
 	}
 }
+
+// Stack is a stacked-view workload: an ordered transform stack (the
+// first layer transforms the source document) and a user query over the
+// top of the stack.
+type Stack struct {
+	Name   string
+	Layers []*core.Query
+	User   *xquery.UserQuery
+}
+
+// update builds a transform query from an explicit update, for workloads
+// whose layers are not drawn verbatim from U1-U10.
+func update(op core.Op, path string) *core.Query {
+	u := core.Update{Op: op, Path: xpath.MustParse(path)}
+	switch op {
+	case core.Insert, core.Replace:
+		u.Elem = insertElem()
+	}
+	return &core.Query{Var: "a", Doc: "xmark", Update: u}
+}
+
+// Stacks returns the stacked-view workloads: view chains whose layers
+// genuinely interact (a layer deletes what an earlier one inserted,
+// navigates labels an earlier one renamed), mirroring the paper's
+// layered applications — a security view over a virtual update over a
+// hypothetical state.
+func Stacks() []Stack {
+	renameRegions := update(core.Rename, "site/regions")
+	renameRegions.Update.Label = "markets"
+	return []Stack{
+		{
+			// Virtual update (withdraw US items) under an audit marker on
+			// every surviving item; the user lists the audited region.
+			Name: "upd|audit",
+			Layers: []*core.Query{
+				TransformOp(9, core.Delete),
+				TransformOp(4, core.Insert),
+			},
+			User: UserQuery(4),
+		},
+		{
+			// Hypothetical state (flag qualifying bidders) under a
+			// security view that hides bid increases.
+			Name: "hyp|sec",
+			Layers: []*core.Query{
+				TransformOp(8, core.Insert),
+				update(core.Delete, "site/open_auctions/open_auction/bidder/increase"),
+			},
+			User: UserQuery(8),
+		},
+		{
+			// Three layers: flag US items, rename the region container,
+			// and hide quantities — the third layer navigates through
+			// the renamed label, the user query likewise.
+			Name: "upd|ren|sec",
+			Layers: []*core.Query{
+				TransformOp(9, core.Insert),
+				renameRegions,
+				update(core.Delete, "site/markets//item/quantity"),
+			},
+			User: &xquery.UserQuery{
+				Var:    "x",
+				Path:   xpath.MustParse("site/markets//item"),
+				Return: &xquery.Hole{},
+			},
+		},
+	}
+}

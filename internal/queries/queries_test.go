@@ -1,6 +1,7 @@
 package queries
 
 import (
+	"context"
 	"testing"
 
 	"xtq/internal/compose"
@@ -48,19 +49,15 @@ func TestPairsRunnable(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name, err)
 		}
-		comp, err := compose.New(ct, p.User)
+		plan, err := compose.NewPlan([]*core.Compiled{ct}, p.User)
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name, err)
 		}
-		got, err := comp.Eval(doc)
+		got, _, err := plan.Eval(context.Background(), doc)
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name, err)
 		}
-		naive, err := compose.NewNaive(ct, p.User)
-		if err != nil {
-			t.Fatal(err)
-		}
-		want, err := naive.Eval(doc)
+		want, err := plan.EvalSequential(context.Background(), doc, core.MethodTopDown)
 		if err != nil {
 			t.Fatalf("%s naive: %v", p.Name, err)
 		}

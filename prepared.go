@@ -59,6 +59,10 @@ func (p *Prepared) evalMethod(ctx context.Context, src Source, m Method) (*Node,
 func (p *Prepared) EvalStream(ctx context.Context, src Source, sink Sink) (StreamResult, error) {
 	res, err := saxeval.TransformContext(ctx, p.compiled, src, sink.Handler())
 	if err != nil {
+		// classify passes typed errors through, so a malformed document
+		// stays KindParse and a cancelled or failed evaluation stays
+		// KindEval; KindIO is only the fallback for untyped reader
+		// failures. See TestEvalStreamPreservesKinds.
 		return res, classify(err, KindIO)
 	}
 	if err := sink.Flush(); err != nil {
@@ -69,10 +73,14 @@ func (p *Prepared) EvalStream(ctx context.Context, src Source, sink Sink) (Strea
 
 // Compose builds the single-pass composition Qc with Qc(T) = Q(Qt(T))
 // (§4): user queries answered over the virtual output of the transform
-// query without materializing it — the machinery behind hypothetical
-// states, virtual updated views and security views. Each call returns a
-// fresh Composed (they record per-run statistics and must not be shared
-// between goroutines); the compiled transform inside is shared.
+// query without materializing it. Each call returns a fresh Composed
+// (they record per-run statistics and must not be shared between
+// goroutines); the compiled transform inside is shared.
+//
+// Deprecated: use Engine.View and View.Prepare — the resulting
+// PreparedView is goroutine-safe, returns its statistics by value,
+// accepts any Source, supports stacks of transform layers, and is cached
+// on the engine.
 func (p *Prepared) Compose(q *UserQuery) (*Composed, error) {
 	c, err := compose.New(p.compiled, q)
 	if err != nil {
@@ -84,6 +92,9 @@ func (p *Prepared) Compose(q *UserQuery) (*Composed, error) {
 // NaiveCompose builds the sequential composition of §4's Naive
 // Composition Method: materialize the transform result, then run the
 // user query. It exists as the baseline Compose is measured against.
+//
+// Deprecated: use Engine.View and PreparedView.EvalSequential, the same
+// baseline generalized to stacks.
 func (p *Prepared) NaiveCompose(q *UserQuery) (*NaiveComposition, error) {
 	c, err := compose.NewNaive(p.compiled, q)
 	if err != nil {

@@ -28,6 +28,26 @@
 // granularity. Failures are *Error values classified by kind
 // (parse/compile/eval/io) — see Error.
 //
+// # Views
+//
+// A View is a stack of transform queries defining a virtual document —
+// the §4 machinery behind hypothetical states, virtual updated views and
+// security views, generalized to the layered compositions those
+// applications imply (a security view over a virtual update over a
+// hypothetical state). User queries prepared against a view evaluate in
+// a single pass over the source document; no layer is ever materialized:
+//
+//	v, err := eng.View(
+//	    `transform copy $a := doc("d") modify do insert <audit/> into $a/db/part return $a`,
+//	    `transform copy $a := doc("d") modify do delete $a/db/part/price return $a`,
+//	)
+//	pv, err := v.Prepare(`for $x in /db/part return <row>{$x/pname}</row>`)
+//	res, stats, err := pv.Eval(ctx, xtq.FileSource("db.xml"))
+//
+// PreparedView is goroutine-safe (statistics come back by value, one
+// LayerStats per transform layer) and composition plans are cached on
+// the engine keyed by (view stack, user query).
+//
 // # The paper's machinery
 //
 //   - four in-memory evaluation methods (Naive rewriting, the NFA-guided
@@ -35,8 +55,8 @@
 //     copy-and-update baseline) behind one Method switch;
 //   - a streaming twoPassSAX evaluator (Prepared.EvalStream, §6) that
 //     handles documents far larger than memory in O(depth) space;
-//   - composition of user queries with transform queries
-//     (Prepared.Compose, §4), the basis for querying hypothetical states,
+//   - composition of user queries with stacks of transform queries
+//     (Engine.View, §4), the basis for querying hypothetical states,
 //     virtual updated views and security views without materializing them;
 //   - the XMark-like workload generator and the experiment harness that
 //     regenerate the paper's Figures 11-15 (see cmd/xbench).
@@ -105,9 +125,15 @@ type UserQuery = xquery.UserQuery
 
 // Composed is the single-pass composition of a user query with a
 // transform query (the Compose Method of §4).
+//
+// Deprecated: use Engine.View and View.Prepare; the resulting
+// PreparedView is goroutine-safe, supports stacked transforms, and
+// returns statistics by value.
 type Composed = compose.Composed
 
 // NaiveComposition evaluates the transform and user queries sequentially.
+//
+// Deprecated: use PreparedView.EvalSequential.
 type NaiveComposition = compose.NaiveComposition
 
 // Path is a parsed expression of the XPath fragment X.
