@@ -1,0 +1,44 @@
+package xtq
+
+import (
+	"context"
+	"testing"
+)
+
+// TestPreparedEvalAllocs pins the steady-state allocation count of
+// Prepared.Eval on an already-parsed document. The dense representation
+// (symbol-bound automaton stepping, per-depth state-set pooling, lazy
+// child-slice copying) keeps the per-evaluation count small and — more
+// importantly — independent of the untouched part of the document; a
+// regression here means an allocation crept back into the traversal hot
+// path. The bound has headroom over the measured value (~32) so unrelated
+// runtime changes do not flake, while still catching per-node
+// regressions, which show up as hundreds of allocations even on this
+// small document.
+func TestPreparedEvalAllocs(t *testing.T) {
+	eng := NewEngine()
+	p, err := eng.Prepare(`transform copy $a := doc("foo") modify do delete $a//supplier[country = "A"]/price return $a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ParseString(`<db><part><pname>kb</pname>` +
+		`<supplier><sname>HP</sname><price>15</price><country>US</country></supplier>` +
+		`<supplier><sname>Logi</sname><price>12</price><country>A</country></supplier>` +
+		`<subPart><part><pname>key</pname><supplier><sname>Acme</sname><price>20</price><country>CN</country></supplier></part></subPart>` +
+		`</part></db>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := p.Eval(ctx, doc); err != nil { // index + warm up
+		t.Fatal(err)
+	}
+	const maxAllocs = 60
+	if got := testing.AllocsPerRun(200, func() {
+		if _, err := p.Eval(ctx, doc); err != nil {
+			t.Fatal(err)
+		}
+	}); got > maxAllocs {
+		t.Errorf("Prepared.Eval allocates %.1f times per run, want <= %d", got, maxAllocs)
+	}
+}

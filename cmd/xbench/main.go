@@ -47,6 +47,8 @@ func main() {
 	fig15 := flag.Bool("fig15", false, "composition methods (Fig. 15)")
 	views := flag.Bool("views", false, "stacked-view sweep: single-pass vs sequential, per-layer stats")
 	claims := flag.Bool("claims", false, "check the §7.1 textual claims")
+	jsonOut := flag.String("json", "", "write a machine-readable sweep (ns/op, allocs/op) to the given path ('-' for stdout)")
+	jsonFactor := flag.Float64("jsonfactor", 0.01, "XMark factor for the -json sweep")
 	all := flag.Bool("all", false, "run everything")
 	factors := flag.String("factors", "", "comma-separated factors for Fig. 13/15 (default 0.02..0.34)")
 	fig14factors := flag.String("fig14factors", "", "comma-separated factors for Fig. 14 (default 0.1,0.2,0.4; paper used 2..10)")
@@ -94,6 +96,23 @@ func main() {
 	section(*fig15, r.Fig15)
 	section(*views, r.Views)
 	section(*claims, r.Claims)
+	if *jsonOut != "" && ctx.Err() == nil {
+		w := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "xbench:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := r.BenchJSON(w, *jsonFactor); err != nil {
+			fmt.Fprintln(os.Stderr, "xbench:", err)
+			os.Exit(1)
+		}
+		ran = true
+	}
 	if !ran {
 		flag.Usage()
 		os.Exit(2)

@@ -90,11 +90,7 @@ func (p *Plan) Eval(ctx context.Context, doc *tree.Node) (*tree.Node, ViewStats,
 	if ctx != nil && ctx.Err() != nil {
 		return nil, ViewStats{}, xerr.Wrap(xerr.Eval, ctx.Err())
 	}
-	r := &run{
-		plan:  p,
-		can:   core.NewCanceler(ctx),
-		stats: ViewStats{Layers: make([]Stats, len(p.layers))},
-	}
+	r := newRun(p, core.NewCanceler(ctx), doc)
 	root := vnode{n: doc, states: p.initialStates()}
 	result := tree.NewElement("result")
 	for _, x := range r.selectPathAt(root, p.user.Path.Steps, len(p.layers)) {

@@ -22,6 +22,16 @@ type stateSet = automaton.StateSet
 // automaton, constant elements inserted by layer i are navigated (and
 // further transformed) by layers above i, and as soon as every layer's
 // state set dies the evaluator drops into plain navigation.
+//
+// Representation: the run binds every layer's NFA to the source
+// document's symbol table (automaton.Binding), so stepping compares dense
+// symbol ids; labels the document has never seen — rename targets and
+// constant-element labels — carry NoSym and match through the binding's
+// string fallback. Every virtual node has an ordinal: real document nodes
+// use their preorder ordinal from the document index, nodes of constant
+// elements draw fresh ordinals from a per-run arena. Ordinals make
+// identity checks (descendant-axis deduplication, constant-element
+// anchors) dense bitset operations instead of map lookups.
 
 // vnode is a context node of the stacked virtual document.
 //
@@ -35,27 +45,31 @@ type stateSet = automaton.StateSet
 type vnode struct {
 	n     *tree.Node
 	label string
+	// sym is the label's symbol in the source document's table, or NoSym
+	// for labels the document does not know (renames, constant
+	// elements), which the bindings match by string instead.
+	sym tree.SymID
 	// origin is the first view index where n exists: 0 for document
 	// nodes, i+1 for nodes of layer i's constant element.
 	origin int
 	// anchor identifies the attachment instance for constant-element
 	// nodes (constant elements share one *tree.Node across all the
 	// places they appear; the anchor tells the occurrences apart). It is
-	// 0 for document nodes. (n, origin, anchor) is the identity of the
-	// virtual node.
-	anchor int
+	// the virtual ordinal of the attachment point, and 0 for document
+	// nodes. (n, origin, anchor) is the identity of the virtual node.
+	anchor int32
 	// states[i] is the state set of layer i's NFA that reached this node
 	// in View_i; nil means layer i cannot touch the subtree. A nil slice
 	// means every layer is dead — the plain-navigation fast path.
 	states []stateSet
 }
 
-// vkey is the identity of a virtual node, used for deduplication on
-// descendant axes and for interning constant-element anchors.
+// vkey is the identity of a virtual node, used to intern arena ordinals
+// for constant-element occurrences.
 type vkey struct {
 	n      *tree.Node
 	origin int
-	anchor int
+	anchor int32
 }
 
 func (x vnode) key() vkey { return vkey{n: x.n, origin: x.origin, anchor: x.anchor} }
@@ -72,33 +86,101 @@ func (x vnode) deadAll() bool {
 	return true
 }
 
-// run is the per-evaluation state of a Plan: statistics, the cancellation
-// poll, and the anchor-interning table that gives constant-element
-// occurrences stable identities within the evaluation. A fresh run per
-// Eval call is what makes Plan (and the facade's PreparedView)
-// goroutine-safe — nothing of a run ever hangs off the Plan.
-type run struct {
-	plan    *Plan
-	can     *core.Canceler
-	stats   ViewStats
-	anchors map[vkey]int
+// bitset is a growable bit set over virtual ordinals.
+type bitset []uint64
+
+func (b *bitset) add(ord int32) bool {
+	w, bit := int(ord)/64, uint(ord)%64
+	for w >= len(*b) {
+		*b = append(*b, 0)
+	}
+	if (*b)[w]&(1<<bit) != 0 {
+		return false
+	}
+	(*b)[w] |= 1 << bit
+	return true
 }
 
-// anchorOf interns the identity of x and returns a small positive id that
-// is stable for the duration of the run, so two enumerations that reach
-// the same virtual attachment point agree on the anchors of the constant
-// elements hanging off it.
-func (r *run) anchorOf(x vnode) int {
-	if r.anchors == nil {
-		r.anchors = make(map[vkey]int)
+// run is the per-evaluation state of a Plan: statistics, the cancellation
+// poll, the per-layer symbol bindings and the virtual-ordinal arena that
+// gives constant-element occurrences stable dense identities within the
+// evaluation. A fresh run per Eval call is what makes Plan (and the
+// facade's PreparedView) goroutine-safe — nothing of a run ever hangs off
+// the Plan.
+type run struct {
+	plan  *Plan
+	can   *core.Canceler
+	stats ViewStats
+	idx   *tree.Index
+	binds []*automaton.Binding
+	// renameSyms[i] is the doc-table symbol of layer i's rename target
+	// (NoSym when absent from the document or layer i is not a rename).
+	renameSyms []tree.SymID
+	// nextVOrd is the next free virtual ordinal; real nodes own
+	// [0, idx.NumNodes).
+	nextVOrd int32
+	vords    map[vkey]int32
+	// bsPool recycles dedup bitsets across (possibly nested) descendant
+	// expansions.
+	bsPool []bitset
+}
+
+func newRun(p *Plan, can *core.Canceler, doc *tree.Node) *run {
+	idx := tree.EnsureIndex(doc)
+	r := &run{
+		plan:       p,
+		can:        can,
+		stats:      ViewStats{Layers: make([]Stats, len(p.layers))},
+		idx:        idx,
+		binds:      make([]*automaton.Binding, len(p.layers)),
+		renameSyms: make([]tree.SymID, len(p.layers)),
+		nextVOrd:   int32(idx.NumNodes),
+	}
+	for i, l := range p.layers {
+		r.binds[i] = l.NFA.Bind(idx.Syms)
+		if l.Query.Update.Op == core.Rename {
+			r.renameSyms[i] = idx.Syms.Lookup(l.Query.Update.Label)
+		}
+	}
+	return r
+}
+
+// ordOf returns x's virtual ordinal: the preorder ordinal for real
+// document nodes, an interned arena ordinal (≥ NumNodes) otherwise.
+func (r *run) ordOf(x vnode) int32 {
+	if x.origin == 0 && x.anchor == 0 {
+		if ord, ok := r.idx.OrdOf(x.n); ok {
+			return ord
+		}
 	}
 	k := x.key()
-	if id, ok := r.anchors[k]; ok {
+	if id, ok := r.vords[k]; ok {
 		return id
 	}
-	id := len(r.anchors) + 1
-	r.anchors[k] = id
+	if r.vords == nil {
+		r.vords = make(map[vkey]int32)
+	}
+	id := r.nextVOrd
+	r.nextVOrd++
+	r.vords[k] = id
 	return id
+}
+
+// getBS borrows a cleared dedup bitset from the pool; putBS returns it.
+func (r *run) getBS() bitset {
+	if n := len(r.bsPool); n > 0 {
+		b := r.bsPool[n-1]
+		r.bsPool = r.bsPool[:n-1]
+		return b
+	}
+	return make(bitset, (r.idx.NumNodes+63)/64)
+}
+
+func (r *run) putBS(b bitset) {
+	for i := range b {
+		b[i] = 0
+	}
+	r.bsPool = append(r.bsPool, b)
 }
 
 // constant wraps a transform's constant element as a virtual node
@@ -107,8 +189,9 @@ func (r *run) constant(elem *tree.Node, level int, at vnode) vnode {
 	return vnode{
 		n:      elem,
 		label:  elem.Label,
+		sym:    r.idx.Syms.Lookup(elem.Label),
 		origin: level,
-		anchor: r.anchorOf(at),
+		anchor: r.ordOf(at),
 		states: make([]stateSet, len(r.plan.layers)),
 	}
 }
@@ -139,6 +222,7 @@ func (r *run) eachChildAt(x vnode, level int, elemsOnly bool, fn func(vnode)) {
 	}
 	t := r.plan.layers[li]
 	u := &t.Query.Update
+	b := r.binds[li]
 	m := t.NFA
 	r.eachChildAt(x, li, elemsOnly, func(ch vnode) {
 		if ch.n.Kind != tree.Element {
@@ -146,7 +230,7 @@ func (r *run) eachChildAt(x vnode, level int, elemsOnly bool, fn func(vnode)) {
 			return
 		}
 		r.stats.Layers[li].NodesVisited++
-		st := m.Step(parent, ch.label, func(id int) bool {
+		st := b.Step(parent, ch.sym, ch.label, func(id int) bool {
 			for _, q := range m.States[id].Quals {
 				if !r.evalQualAt(ch, q, li) {
 					return false
@@ -164,6 +248,7 @@ func (r *run) eachChildAt(x vnode, level int, elemsOnly bool, fn func(vnode)) {
 				return
 			case core.Rename:
 				ch.label = u.Label
+				ch.sym = r.renameSyms[li]
 				ch.states[li] = st
 				fn(ch)
 				return
@@ -189,6 +274,7 @@ func (r *run) eachChildAt(x vnode, level int, elemsOnly bool, fn func(vnode)) {
 // slice, so whole disjoint regions never allocate per-layer state.
 func (r *run) baseChildren(x vnode, elemsOnly bool, fn func(vnode)) {
 	dead := x.deadAll()
+	fromDoc := x.origin == 0
 	for _, ch := range x.n.Children {
 		if ch.Kind != tree.Element {
 			if !elemsOnly {
@@ -198,6 +284,16 @@ func (r *run) baseChildren(x vnode, elemsOnly bool, fn func(vnode)) {
 		}
 		r.stats.NodesVisited++
 		c := vnode{n: ch, label: ch.Label, origin: x.origin, anchor: x.anchor}
+		if fromDoc {
+			// Foreign nodes (shared subtrees stolen by a more recent
+			// indexing) resolve by name inside SymOf.
+			c.sym = r.idx.SymOf(ch)
+		} else {
+			// Constant-element nodes carry symbols of the query's own
+			// parse, not the document's; resolve against the document
+			// table (NoSym engages the string fallback).
+			c.sym = r.idx.Syms.Lookup(ch.Label)
+		}
 		if !dead {
 			c.states = make([]stateSet, len(r.plan.layers))
 		}
@@ -228,17 +324,15 @@ func (r *run) selectPathAt(from vnode, steps []xpath.Step, level int) []vnode {
 
 // applyDescChildAt evaluates the fused step '//l[q]' over View_level: all
 // matching children of the frontier's self-or-descendant nodes, in one
-// walk.
+// walk. Deduplication is a bitset over virtual ordinals.
 func (r *run) applyDescChildAt(frontier []vnode, s xpath.Step, level int) []vnode {
 	var out []vnode
-	seen := make(map[vkey]struct{})
+	seen := r.getBS()
 	var visit func(x vnode)
 	visit = func(x vnode) {
 		r.eachChildAt(x, level, true, func(ch vnode) {
 			if (s.Wildcard || ch.label == s.Label) && r.qualsHoldAt(ch, s.Quals, level) {
-				k := ch.key()
-				if _, dup := seen[k]; !dup {
-					seen[k] = struct{}{}
+				if seen.add(r.ordOf(ch)) {
 					out = append(out, ch)
 				}
 			}
@@ -248,6 +342,7 @@ func (r *run) applyDescChildAt(frontier []vnode, s xpath.Step, level int) []vnod
 	for _, f := range frontier {
 		visit(f)
 	}
+	r.putBS(seen)
 	return out
 }
 
@@ -269,14 +364,12 @@ func (r *run) applyStepAt(frontier []vnode, s xpath.Step, level int) []vnode {
 		}
 	case xpath.DescendantOrSelf:
 		// The frontier may contain a node and its own descendant, so the
-		// expansion deduplicates by virtual-node identity.
-		seen := make(map[vkey]struct{})
+		// expansion deduplicates by virtual-node ordinal.
+		seen := r.getBS()
 		var visit func(x vnode)
 		visit = func(x vnode) {
 			if r.qualsHoldAt(x, s.Quals, level) {
-				k := x.key()
-				if _, dup := seen[k]; !dup {
-					seen[k] = struct{}{}
+				if seen.add(r.ordOf(x)) {
 					out = append(out, x)
 				}
 			}
@@ -285,6 +378,7 @@ func (r *run) applyStepAt(frontier []vnode, s xpath.Step, level int) []vnode {
 		for _, f := range frontier {
 			visit(f)
 		}
+		r.putBS(seen)
 	case xpath.Self:
 		for _, f := range frontier {
 			if r.qualsHoldAt(f, s.Quals, level) {

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"xtq/internal/sax"
+	"xtq/internal/tree"
+)
+
+// TestAnnotationPassAllocs pins the allocation count of the bottomUp
+// annotation pass (the first half of twoPass) and of a full twoPass
+// evaluation. The pass stores sat vectors in an
+// arena indexed by node ordinal and answers transitions from the interned
+// configuration cache, so its allocation count is a small constant plus
+// O(annotated/chunk) — not one map insertion and three vectors per
+// visited node, which is what a regression back to pointer-keyed
+// annotation looks like (thousands of allocations at any realistic
+// document size). Bounds carry headroom over the measured values
+// (~420 and ~430 on this document) to stay robust against runtime changes.
+func TestAnnotationPassAllocs(t *testing.T) {
+	// A few hundred elements: enough that one stray allocation per
+	// visited node (the failure mode being pinned) dwarfs the per-eval
+	// constant of building the configuration cache.
+	var b strings.Builder
+	b.WriteString("<db>")
+	for i := 0; i < 80; i++ {
+		b.WriteString(`<part><pname>kb</pname>` +
+			`<supplier><sname>HP</sname><price>15</price><country>US</country></supplier>` +
+			`<supplier><sname>Logi</sname><price>12</price><country>A</country></supplier>` +
+			`</part>`)
+	}
+	b.WriteString("</db>")
+	d, err := sax.ParseString(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := compile(t, `transform copy $a := doc("foo") modify do delete $a//part[not(supplier/sname = "HP") and not(supplier/price < 15)] return $a`)
+	ctx := context.Background()
+	tree.EnsureIndex(d)
+	warm, err := EvalBottomUp(ctx, c, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.AnnotatedNodes() == 0 {
+		t.Fatal("annotation pass annotated nothing; the pin below would be vacuous")
+	}
+	const maxBottomUp = 600
+	if got := testing.AllocsPerRun(200, func() {
+		if _, err := EvalBottomUp(ctx, c, d); err != nil {
+			t.Fatal(err)
+		}
+	}); got > maxBottomUp {
+		t.Errorf("EvalBottomUp allocates %.1f times per run, want <= %d", got, maxBottomUp)
+	}
+	const maxTwoPass = 750
+	if got := testing.AllocsPerRun(200, func() {
+		if _, err := EvalTwoPass(ctx, c, d); err != nil {
+			t.Fatal(err)
+		}
+	}); got > maxTwoPass {
+		t.Errorf("EvalTwoPass allocates %.1f times per run, want <= %d", got, maxTwoPass)
+	}
+}

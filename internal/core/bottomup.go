@@ -8,15 +8,160 @@ import (
 	"xtq/internal/xpath"
 )
 
+// satPageBits sizes the pages of the annotation table: 256 vectors per
+// page balances the cost of zeroing pages on heavily-pruned passes (which
+// touch a handful of pages) against pointer-chasing on dense ones.
+const satPageBits = 8
+
 // Annotations is the output of the bottomUp pass: for every node at which
 // some qualifier (or sub-qualifier) had to be evaluated, the sat vector
-// over the automaton's qualifier list LQ. topDown's checkp() then answers
-// in constant time from these vectors (§5).
+// over the automaton's qualifier list LQ, stored by the node's preorder
+// ordinal (tree.Index) in a two-level paged table. topDown's checkp()
+// then answers in constant time — two array loads — instead of a
+// pointer-map lookup, and a pass that prunes most of the document
+// allocates only the pages its annotated ordinals fall into.
 type Annotations struct {
-	Sat map[*tree.Node]xpath.SatVec
+	// Idx is the document index the ordinals refer to.
+	Idx *tree.Index
+	// pages[ord>>satPageBits][ord&mask] is the sat vector of the node
+	// with that preorder ordinal; nil for nodes the pass did not
+	// annotate. Vectors are carved out of a shared arena, so the pass
+	// performs O(annotated/chunk) vector allocations rather than one per
+	// node.
+	pages [][]xpath.SatVec
 	// NodesVisited counts nodes the pass descended into; the pruning
 	// claim of Fig. 9 (line 6) is asserted on it in tests.
 	NodesVisited int
+}
+
+func newAnnotations(idx *tree.Index) *Annotations {
+	numPages := (idx.NumNodes + (1 << satPageBits) - 1) >> satPageBits
+	return &Annotations{Idx: idx, pages: make([][]xpath.SatVec, numPages)}
+}
+
+// SatAt returns the sat vector annotated at n, or nil when n was not
+// annotated (or belongs to a different document than the pass ran over).
+func (a *Annotations) SatAt(n *tree.Node) xpath.SatVec {
+	if ord, ok := a.Idx.OrdOf(n); ok {
+		if p := a.pages[ord>>satPageBits]; p != nil {
+			return p[ord&(1<<satPageBits-1)]
+		}
+	}
+	return nil
+}
+
+// setSat records the vector for a node ordinal.
+func (a *Annotations) setSat(ord int32, sat xpath.SatVec) {
+	pi := ord >> satPageBits
+	p := a.pages[pi]
+	if p == nil {
+		p = make([]xpath.SatVec, 1<<satPageBits)
+		a.pages[pi] = p
+	}
+	p[ord&(1<<satPageBits-1)] = sat
+}
+
+// AnnotatedNodes returns the number of nodes carrying a sat vector.
+func (a *Annotations) AnnotatedNodes() int {
+	total := 0
+	for _, p := range a.pages {
+		for _, v := range p {
+			if v != nil {
+				total++
+			}
+		}
+	}
+	return total
+}
+
+// buFrame is the per-depth scratch of the bottomUp recursion: the csat and
+// dsat accumulators of the node currently open at that depth. Frames are
+// pooled — the frame released at depth d is reused by the next sibling
+// visited at depth d.
+type buFrame struct {
+	csat, dsat xpath.SatVec
+}
+
+// buRun is the per-evaluation state of bottomUp.
+type buRun struct {
+	lq     *xpath.LQ
+	cache  *automaton.ConfigCache
+	ann    *Annotations
+	can    *Canceler
+	frames []*buFrame
+	arena  []bool // current chunk backing the stored sat vectors
+}
+
+func (r *buRun) frameAt(depth int) *buFrame {
+	for len(r.frames) <= depth {
+		r.frames = append(r.frames, &buFrame{csat: r.lq.NewSatVec(), dsat: r.lq.NewSatVec()})
+	}
+	f := r.frames[depth]
+	for i := range f.csat {
+		f.csat[i] = false
+		f.dsat[i] = false
+	}
+	return f
+}
+
+// allocVec carves one zeroed sat vector out of the arena.
+func (r *buRun) allocVec() xpath.SatVec {
+	l := r.lq.Len()
+	if cap(r.arena)-len(r.arena) < l {
+		chunk := 256 * l
+		if chunk < 1024 {
+			chunk = 1024
+		}
+		r.arena = make([]bool, 0, chunk)
+	}
+	v := r.arena[len(r.arena) : len(r.arena)+l : len(r.arena)+l]
+	r.arena = r.arena[:len(r.arena)+l]
+	return xpath.SatVec(v)
+}
+
+// visit processes node n entered with configuration cfg (which carries
+// the unchecked state set and the pending qualifier work, memoized per
+// (parent configuration, label symbol) in the ConfigCache). Results are
+// folded straight into the parent frame, so nothing is returned.
+func (r *buRun) visit(n *tree.Node, cfg *automaton.Config, depth int, parent *buFrame) {
+	if r.can.Stopped() {
+		return
+	}
+	r.ann.NodesVisited++
+	if cfg.Pruned {
+		// Pruning: no automaton state alive and no qualifier pending —
+		// the subtree is irrelevant (Fig. 9 line 6).
+		return
+	}
+	f := r.frameAt(depth)
+	if !cfg.Next.Empty() || len(cfg.ChildNeeds) > 0 {
+		for _, ch := range n.Children {
+			if ch.Kind != tree.Element {
+				continue
+			}
+			r.visit(ch, r.cache.Step(cfg, r.ann.Idx.SymOf(ch), ch.Label), depth+1, f)
+		}
+	}
+	if len(cfg.EvalIDs) == 0 {
+		return
+	}
+	sat := r.allocVec()
+	r.lq.QualDP(n, cfg.EvalIDs, f.csat, f.dsat, sat)
+	if ord, ok := r.ann.Idx.OrdOf(n); ok {
+		r.ann.setSat(ord, sat)
+	}
+	if parent != nil {
+		// Propagate: csat aggregates child sat, dsat child
+		// sat-or-descendant.
+		for _, id := range cfg.EvalIDs {
+			if sat[id] {
+				parent.csat[id] = true
+				parent.dsat[id] = true
+			} else if f.dsat[id] {
+				parent.dsat[id] = true
+			}
+		}
+	}
 }
 
 // EvalBottomUp implements algorithm bottomUp (§5, Fig. 9): a single pass
@@ -31,80 +176,35 @@ type Annotations struct {
 //     the same nodes in the same order.
 //   - The paper's filtering NFA tracks, via qualifier-path states, which
 //     sub-qualifiers must be evaluated at a node. Here the same set — the
-//     list LQ(S') — is computed by propagating normalized expression ids
-//     (xpath.LQ.ChildNeeds); see the automaton package comment.
+//     list LQ(S') — lives in interned configurations
+//     (automaton.ConfigCache): the unchecked state set, the closure to
+//     run through QualDP and the child needs are computed once per
+//     (parent configuration, label symbol) and then answered from a dense
+//     per-symbol transition slice.
 //
 // The pass transitions the NFA without checking qualifiers (its state sets
 // are supersets of the checked sets used by topDown) and prunes subtrees
 // that can contribute neither to node selection nor to any pending
 // qualifier (S' empty and no inherited needs).
 func EvalBottomUp(ctx context.Context, c *Compiled, doc *tree.Node) (*Annotations, error) {
-	can := NewCanceler(ctx)
-	ann := &Annotations{Sat: make(map[*tree.Node]xpath.SatVec)}
-	lq := c.NFA.LQ
-	m := c.NFA
-
-	// visit processes node n entered with (unchecked) state set s and
-	// inherited qualifier needs; it returns n's sat and selfOrDesc
-	// vectors, or (nil, nil) when nothing was evaluated below n.
-	var visit func(n *tree.Node, s automaton.StateSet, inherited []int) (sat, selfOrDesc xpath.SatVec)
-	visit = func(n *tree.Node, s automaton.StateSet, inherited []int) (xpath.SatVec, xpath.SatVec) {
-		if can.Stopped() {
-			return nil, nil
-		}
-		ann.NodesVisited++
-		next := m.Step(s, n.Label, nil)
-		roots := m.EnteredQuals(s, n.Label)
-		roots = append(roots, inherited...)
-		if next.Empty() && len(roots) == 0 {
-			// Pruning: no automaton state alive and no qualifier
-			// pending — the subtree is irrelevant (Fig. 9 line 6).
-			return nil, nil
-		}
-		evalIDs := lq.Closure(roots)
-		childNeeds := lq.ChildNeeds(evalIDs)
-
-		csat := lq.NewSatVec()
-		dsat := lq.NewSatVec()
-		descend := !next.Empty() || len(childNeeds) > 0
-		if descend {
-			for _, ch := range n.Children {
-				if ch.Kind != tree.Element {
-					continue
-				}
-				cSat, cSelfOrDesc := visit(ch, next, childNeeds)
-				if cSat == nil {
-					continue
-				}
-				for i := range csat {
-					csat[i] = csat[i] || cSat[i]
-					dsat[i] = dsat[i] || cSelfOrDesc[i]
-				}
-			}
-		}
-		if len(evalIDs) == 0 {
-			return nil, nil
-		}
-		sat := lq.NewSatVec()
-		lq.QualDP(n, evalIDs, csat, dsat, sat)
-		selfOrDesc := lq.NewSatVec()
-		for _, id := range evalIDs {
-			selfOrDesc[id] = sat[id] || dsat[id]
-		}
-		ann.Sat[n] = sat
-		return sat, selfOrDesc
+	idx := tree.EnsureIndex(doc)
+	b := c.NFA.Bind(idx.Syms)
+	r := &buRun{
+		lq:    c.NFA.LQ,
+		cache: automaton.NewConfigCache(b),
+		ann:   newAnnotations(idx),
+		can:   NewCanceler(ctx),
 	}
-
-	s0 := m.InitialSet()
+	root := r.cache.Root()
 	for _, ch := range doc.Children {
 		if ch.Kind == tree.Element {
-			visit(ch, s0, nil)
+			r.visit(ch, r.cache.Step(root, idx.SymOf(ch), ch.Label), 0, nil)
 		}
 	}
-	if err := can.Err(); err != nil {
+	if err := r.can.Err(); err != nil {
 		return nil, err
 	}
-	return ann, nil
+	return r.ann, nil
 }
 
 // EvalTwoPass is the twoPass implementation of transform queries (§5,
@@ -117,6 +217,6 @@ func EvalTwoPass(ctx context.Context, c *Compiled, doc *tree.Node) (*tree.Node, 
 	if err != nil {
 		return nil, err
 	}
-	checker := &AnnotChecker{Annot: ann.Sat}
+	checker := &AnnotChecker{Ann: ann}
 	return EvalTopDown(ctx, c, doc, checker)
 }

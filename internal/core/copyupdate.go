@@ -22,6 +22,9 @@ func EvalCopyUpdate(ctx context.Context, c *Compiled, doc *tree.Node) (*tree.Nod
 	if ctx != nil && ctx.Err() != nil {
 		return nil, xerr.Wrap(xerr.Eval, ctx.Err())
 	}
+	// Index the private snapshot so Apply's selected-set membership is a
+	// dense ordinal bitset instead of a pointer map.
+	tree.EnsureIndex(snapshot)
 	if err := c.Query.Update.Apply(snapshot); err != nil {
 		return nil, err
 	}

@@ -246,7 +246,7 @@ func TestTwoPassNoFallbacks(t *testing.T) {
 	d := doc(t)
 	c := compile(t, `transform copy $a := doc("foo") modify do delete $a//part[not(supplier/sname = "HP") and not(supplier/price < 15)] return $a`)
 	ann := mustBottomUp(t, c, d)
-	checker := &AnnotChecker{Annot: ann.Sat}
+	checker := &AnnotChecker{Ann: ann}
 	got, err := EvalTopDown(context.Background(), c, d, checker)
 	if err != nil {
 		t.Fatal(err)
@@ -336,7 +336,7 @@ func TestTwoPassNoFallbacksRandom(t *testing.T) {
 			continue
 		}
 		ann := mustBottomUp(t, c, d)
-		checker := &AnnotChecker{Annot: ann.Sat}
+		checker := &AnnotChecker{Ann: ann}
 		if _, err := EvalTopDown(context.Background(), c, d, checker); err != nil {
 			t.Fatal(err)
 		}
@@ -388,5 +388,73 @@ func TestNaiveQuadraticShape(t *testing.T) {
 	ref := assertAllEqual(t, results)
 	if got := tree.CountLabel(ref, "t"); got != 200 {
 		t.Errorf("inserted %d, want 200", got)
+	}
+}
+
+// TestSharedSubtreeReindexSafety pins the ownership discipline of the
+// node index: topDown results share subtrees with their input, so
+// indexing a result steals those nodes from the input document's index
+// (tree.Index ownership is exclusive). Every evaluator must detect the
+// stolen nodes (Index.OrdOf reports non-membership) and degrade to its
+// slow path instead of reading another document's ordinals.
+func TestSharedSubtreeReindexSafety(t *testing.T) {
+	d := doc(t)
+	c := compile(t, `transform copy $a := doc("foo") modify do delete $a//supplier[country = "A"]/price return $a`)
+	want := assertAllEqual(t, evalAllMethods(t, c, d))
+
+	// Produce a sharing result and index it, stealing shared nodes.
+	r1, err := c.Eval(d, MethodTopDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.SharedNodes(d, r1) == 0 {
+		t.Fatal("precondition: result shares no nodes with input")
+	}
+	tree.EnsureIndex(r1)
+
+	// The input document's cached index is now partial; all methods must
+	// still agree with the pre-stealing reference.
+	after := evalAllMethods(t, c, d)
+	assertAllEqual(t, after)
+	if !tree.Equal(after[MethodTwoPass], want) {
+		t.Fatal("results changed after a sharing tree was re-indexed")
+	}
+
+	// Evaluating over the re-indexed result works too.
+	r2, err := c.Eval(r1, MethodTwoPass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := c.Eval(r1.DeepCopy(), MethodCopyUpdate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Equal(r2, ref) {
+		t.Fatal("evaluation over re-indexed result diverges")
+	}
+
+	// The sharper variant: deleting the document's first-interned label
+	// shifts the result's interning order, so the stolen nodes' Sym
+	// fields are valid ids of a *different* table ("a" gets "x"'s old
+	// id). Trusting raw Sym values against the original document's
+	// binding would then false-match and delete <a> on the re-run.
+	d2, err := sax.ParseString(`<root><x/><a/><b/></root>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := compile(t, `transform copy $a := doc("foo") modify do delete $a/root/x return $a`)
+	first, err := c2.Eval(d2, MethodTopDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.EnsureIndex(first) // restamps the shared <a> and <b> nodes
+	for _, m := range Methods() {
+		again, err := c2.Eval(d2, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tree.Equal(again, first) {
+			t.Fatalf("%s after re-indexing: got %s, want %s", m, again, first)
+		}
 	}
 }

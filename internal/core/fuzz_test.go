@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+)
+
+// FuzzParseQuery asserts that the transform-query parser never panics on
+// arbitrary input, and that accepted queries uphold the rendering
+// invariant the engine's query cache relies on: q.String() reparses to a
+// query with the identical rendering (String is a canonical form).
+// Compilation of accepted queries must not panic either.
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		`transform copy $a := doc("foo") modify do delete $a//price return $a`,
+		`transform copy $a := doc("foo") modify do insert <supplier><sname>HP</sname></supplier> into $a//part return $a`,
+		`transform copy $a := doc("foo") modify do replace $a//supplier[price > 10]/price with <price>0</price> return $a`,
+		`transform copy $a := doc("foo") modify do rename $a//subPart as componentOf return $a`,
+		`transform copy $x := doc('q"uote') modify do delete $x/db/part[pname = "keyboard" and not(supplier)] return $x`,
+		`transform copy $a := doc("f") modify do delete $a//part[@id = "p1"]//sub[label() = "s" or c/d = '7'] return $a`,
+		`transform copy $a := doc("f") modify do insert <t a="1">x</t> into $a/db/*[. = "v"] return $a`,
+		`transform copy $a := doc("f") modify do delete $a/return return $a`,
+		`transform copy $a := `,
+		`transform copy $a := doc("f") modify do delete $b//x return $a`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := ParseQuery(src)
+		if err != nil {
+			return // rejected input: the only requirement is "no panic"
+		}
+		first := q.String()
+		q2, err := ParseQuery(first)
+		if err != nil {
+			t.Fatalf("canonical rendering does not reparse: %v\nquery: %s", err, first)
+		}
+		if second := q2.String(); second != first {
+			t.Fatalf("rendering not canonical:\nfirst:  %s\nsecond: %s", first, second)
+		}
+		// Compiling either succeeds or reports a typed error; it must not
+		// panic (the rendering invariant above already pins equivalence).
+		_, _ = q.Compile()
+	})
+}

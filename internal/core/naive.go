@@ -50,9 +50,10 @@ func EvalNaive(ctx context.Context, c *Compiled, doc *tree.Node) (*tree.Node, er
 				return u.Elem.DeepCopy()
 			}
 		}
-		out := &tree.Node{Kind: tree.Element, Label: n.Label, Attrs: n.Attrs}
+		out := &tree.Node{Kind: tree.Element, Sym: n.Sym, Label: n.Label, Attrs: n.Attrs}
 		if hit && u.Op == Rename {
 			out.Label = u.Label
+			out.Sym = tree.NoSym
 		}
 		for _, ch := range n.Children {
 			if r := rebuild(ch); r != nil {

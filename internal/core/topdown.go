@@ -30,14 +30,15 @@ func (DirectChecker) Check(st *automaton.State, n *tree.Node) bool {
 	return true
 }
 
-// AnnotChecker answers qualifier checks from the sat-vector annotations
-// produced by the bottomUp pass, in constant time per check. If a node was
-// not annotated (which cannot happen when the annotation pass ran over the
-// same document and automaton — the bottomUp state sets are supersets of
-// topDown's) it falls back to direct evaluation and counts the event, so
-// tests can assert the invariant.
+// AnnotChecker answers qualifier checks from the dense sat-vector
+// annotations produced by the bottomUp pass, in constant time per check:
+// one ordinal lookup into the annotation table. Nodes outside the
+// annotated document — which cannot occur when the annotation pass ran
+// over the same document and automaton, since the bottomUp state sets are
+// supersets of topDown's — fall back to direct evaluation; the event is
+// counted so tests can assert the invariant.
 type AnnotChecker struct {
-	Annot     map[*tree.Node]xpath.SatVec
+	Ann       *Annotations
 	Fallbacks int
 }
 
@@ -46,90 +47,132 @@ func (a *AnnotChecker) Check(st *automaton.State, n *tree.Node) bool {
 	if len(st.Quals) == 0 {
 		return true
 	}
-	if sat, ok := a.Annot[n]; ok {
+	if sat := a.Ann.SatAt(n); sat != nil {
 		return sat[st.QualID]
 	}
 	a.Fallbacks++
 	return DirectChecker{}.Check(st, n)
 }
 
-// ProcessNode applies the compiled update below (and at) node n, which the
-// caller entered from state set s — i.e. s is the parent-level set and n's
-// label has not been consumed yet. It returns the replacement list for n:
-// empty when n is deleted, the original pointer when the update cannot
-// touch n's subtree, or a rebuilt node. This is the recursive body of
-// algorithm topDown (Fig. 3), exported for the composition package, which
-// materializes returned subtrees exactly this way (the paper's embedded
-// topDown() user-defined function, §4).
-//
-// can may be nil; when it observes cancellation the traversal unwinds with
-// an arbitrary partial result, which the caller must discard after
-// consulting can.Err().
-func ProcessNode(c *Compiled, n *tree.Node, s automaton.StateSet, check QualChecker, can *Canceler) []*tree.Node {
-	if can.Stopped() {
-		return nil
+// tdRun is the per-evaluation state of topDown: the per-document symbol
+// binding and a per-depth pool of successor state sets, so the traversal
+// allocates nothing on the unchanged parts of the document.
+type tdRun struct {
+	c     *Compiled
+	idx   *tree.Index
+	b     *automaton.Binding
+	check QualChecker
+	can   *Canceler
+	sets  []automaton.StateSet // successor-set scratch, one per depth
+}
+
+func (r *tdRun) setAt(depth int) automaton.StateSet {
+	for len(r.sets) <= depth {
+		r.sets = append(r.sets, r.b.M.NewSet())
 	}
-	m := c.NFA
-	next := m.Step(s, n.Label, func(id int) bool { return check.Check(&m.States[id], n) })
+	return r.sets[depth]
+}
+
+// processNode applies the compiled update below (and at) node n, which the
+// traversal entered from state set s — i.e. s is the parent-level set and
+// n's label has not been consumed yet. It returns (replacement, kept):
+// kept is false when n is deleted; otherwise the replacement is the
+// original pointer when the update cannot touch n's subtree, or a rebuilt
+// node. This is the recursive body of algorithm topDown (Fig. 3).
+func (r *tdRun) processNode(n *tree.Node, s automaton.StateSet, depth int) (*tree.Node, bool) {
+	if r.can.Stopped() {
+		return n, true
+	}
+	next := r.setAt(depth)
+	m := r.b.M
+	r.b.StepInto(s, r.idx.SymOf(n), n.Label, func(id int) bool { return r.check.Check(&m.States[id], n) }, next)
 	if next.Empty() {
 		// No state is alive below n: the subtree cannot be selected,
 		// return it unchanged (Fig. 3 lines 2-3).
-		return []*tree.Node{n}
+		return n, true
 	}
-	return ProcessEntered(c, n, next, check, can)
+	return r.processEntered(n, next, depth)
 }
 
-// ProcessEntered is ProcessNode for a node whose label is already consumed:
-// entered is the state set after the transition on n.
-func ProcessEntered(c *Compiled, n *tree.Node, entered automaton.StateSet, check QualChecker, can *Canceler) []*tree.Node {
-	u := &c.Query.Update
-	m := c.NFA
-	matched := m.Matches(entered)
+// processEntered is processNode for a node whose label is already
+// consumed: entered is the state set after the transition on n. The child
+// slice is copied lazily — nodes whose subtree the update does not change
+// are returned by reference without allocating.
+func (r *tdRun) processEntered(n *tree.Node, entered automaton.StateSet, depth int) (*tree.Node, bool) {
+	u := &r.c.Query.Update
+	matched := r.b.M.Matches(entered)
 	if matched {
 		switch u.Op {
 		case Delete:
 			// Prune without loading the subtree.
-			return nil
+			return nil, false
 		case Replace:
-			return []*tree.Node{u.Elem.DeepCopy()}
+			return u.Elem.DeepCopy(), true
 		}
 	}
+	var newChildren []*tree.Node
 	changed := false
-	newChildren := make([]*tree.Node, 0, len(n.Children)+1)
-	for _, ch := range n.Children {
+	for i, ch := range n.Children {
 		if ch.Kind != tree.Element {
-			newChildren = append(newChildren, ch)
+			if changed {
+				newChildren = append(newChildren, ch)
+			}
 			continue
 		}
-		r := ProcessNode(c, ch, entered, check, can)
-		if len(r) != 1 || r[0] != ch {
+		out, kept := r.processNode(ch, entered, depth+1)
+		if !changed && (!kept || out != ch) {
+			// First divergence: copy the unchanged prefix.
 			changed = true
+			newChildren = make([]*tree.Node, 0, len(n.Children)+1)
+			newChildren = append(newChildren, n.Children[:i]...)
 		}
-		newChildren = append(newChildren, r...)
+		if changed && kept {
+			newChildren = append(newChildren, out)
+		}
 	}
 	if matched && u.Op == Insert {
+		if !changed {
+			changed = true
+			newChildren = make([]*tree.Node, 0, len(n.Children)+1)
+			newChildren = append(newChildren, n.Children...)
+		}
 		newChildren = append(newChildren, u.Elem.DeepCopy())
-		changed = true
 	}
 	relabel := matched && u.Op == Rename
 	if !changed && !relabel {
-		return []*tree.Node{n}
+		return n, true
 	}
-	out := &tree.Node{Kind: tree.Element, Label: n.Label, Attrs: n.Attrs, Children: newChildren}
+	if !changed {
+		// Relabel only: the children are untouched, but the node gets a
+		// private child slice so the output never aliases the input's
+		// spare capacity.
+		newChildren = append([]*tree.Node(nil), n.Children...)
+	}
+	out := &tree.Node{Kind: tree.Element, Sym: n.Sym, Label: n.Label, Attrs: n.Attrs, Children: newChildren}
 	if relabel {
 		out.Label = u.Label
+		out.Sym = tree.NoSym
 	}
-	return []*tree.Node{out}
+	return out, true
 }
 
 // EvalTopDown implements algorithm topDown (§3.3, Fig. 3) for all four
 // update kinds. It traverses only the part of the tree reachable with a
 // non-empty automaton state set; subtrees the update cannot touch are
 // returned by reference (structural sharing), so the result is a
-// copy-on-write view over the input. The input is never modified.
+// copy-on-write view over the input. The input is never modified (the
+// document is indexed on first evaluation, which stamps ordinals — see
+// tree.EnsureIndex — but its structure and content are untouched).
 // Cancelling ctx aborts the traversal at node granularity.
 func EvalTopDown(ctx context.Context, c *Compiled, doc *tree.Node, check QualChecker) (*tree.Node, error) {
-	can := NewCanceler(ctx)
+	idx := tree.EnsureIndex(doc)
+	r := &tdRun{
+		c:     c,
+		idx:   idx,
+		b:     c.NFA.Bind(idx.Syms),
+		check: check,
+		can:   NewCanceler(ctx),
+	}
 	s0 := c.NFA.InitialSet()
 	result := tree.NewDocument(nil)
 	changed := false
@@ -138,13 +181,17 @@ func EvalTopDown(ctx context.Context, c *Compiled, doc *tree.Node, check QualChe
 			result.Children = append(result.Children, ch)
 			continue
 		}
-		r := ProcessNode(c, ch, s0, check, can)
-		if len(r) != 1 || r[0] != ch {
+		out, kept := r.processNode(ch, s0, 0)
+		if !kept {
+			changed = true
+			continue
+		}
+		if out != ch {
 			changed = true
 		}
-		result.Children = append(result.Children, r...)
+		result.Children = append(result.Children, out)
 	}
-	if err := can.Err(); err != nil {
+	if err := r.can.Err(); err != nil {
 		return nil, err
 	}
 	if !changed {

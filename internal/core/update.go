@@ -123,25 +123,48 @@ func (u *Update) String(v string) string {
 // copy: this is the second half of the copy-and-update baseline and the
 // only mutating operation on trees in the repository. The selected set
 // r[[p]] is computed before any mutation, matching the paper's update
-// semantics (§2).
+// semantics (§2). On an indexed document membership is a dense bitset
+// over node ordinals; otherwise a pointer map is used. The mutation
+// invalidates any index the document carried (structure and labels
+// change), so the index is dropped and the next evaluation re-indexes.
 func (u *Update) Apply(doc *tree.Node) error {
 	if err := u.Validate(); err != nil {
 		return err
 	}
-	selected := make(map[*tree.Node]struct{})
-	for _, n := range xpath.Select(doc, u.Path) {
-		selected[n] = struct{}{}
+	var selected func(*tree.Node) bool
+	if ix := tree.IndexOf(doc); ix != nil {
+		sel := make([]bool, ix.NumNodes)
+		for _, n := range xpath.Select(doc, u.Path) {
+			if ord, ok := ix.OrdOf(n); ok {
+				sel[ord] = true
+			}
+		}
+		selected = func(n *tree.Node) bool {
+			ord, ok := ix.OrdOf(n)
+			return ok && sel[ord]
+		}
+	} else {
+		sel := make(map[*tree.Node]struct{})
+		for _, n := range xpath.Select(doc, u.Path) {
+			sel[n] = struct{}{}
+		}
+		selected = func(n *tree.Node) bool {
+			_, hit := sel[n]
+			return hit
+		}
 	}
 	applyInPlace(doc, selected, u)
+	tree.DropIndex(doc)
 	return nil
 }
 
-func applyInPlace(n *tree.Node, selected map[*tree.Node]struct{}, u *Update) {
+func applyInPlace(n *tree.Node, selected func(*tree.Node) bool, u *Update) {
 	// Rewrite the child list: delete removes members, replace
 	// substitutes the constant element (without descending further).
 	out := n.Children[:0]
 	for _, c := range n.Children {
-		if _, hit := selected[c]; hit {
+		hit := selected(c)
+		if hit {
 			switch u.Op {
 			case Delete:
 				continue
@@ -150,13 +173,14 @@ func applyInPlace(n *tree.Node, selected map[*tree.Node]struct{}, u *Update) {
 				continue
 			case Rename:
 				c.Label = u.Label
+				c.Sym = tree.NoSym
 			case Insert:
 				// handled after recursion so the inserted
 				// element is the last child
 			}
 		}
 		applyInPlace(c, selected, u)
-		if _, hit := selected[c]; hit && u.Op == Insert {
+		if hit && u.Op == Insert {
 			c.Children = append(c.Children, u.Elem.DeepCopy())
 		}
 		out = append(out, c)

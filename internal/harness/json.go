@@ -1,0 +1,145 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"xtq/internal/core"
+	"xtq/internal/queries"
+	"xtq/internal/sax"
+	"xtq/internal/saxeval"
+)
+
+// BenchResult is one machine-readable measurement of the -json sweep.
+// The fields mirror testing.BenchmarkResult so the numbers are directly
+// comparable with `go test -bench` output.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// BenchReport is the machine-readable sweep emitted by `xbench -json`:
+// every in-memory evaluation method plus the streaming evaluator over the
+// representative queries at one XMark factor, with allocation counts. It
+// is the format of the BENCH_PR*.json trajectory files committed to the
+// repository, which make performance claims across PRs checkable.
+type BenchReport struct {
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	Factor    float64       `json:"factor"`
+	DocBytes  int           `json:"doc_bytes"`
+	DocNodes  int           `json:"doc_nodes"`
+	Results   []BenchResult `json:"results"`
+}
+
+// benchQueries are the representative embedded queries of the paper's
+// scalability figures (U2, U4, U7, U10).
+var benchQueries = []int{2, 4, 7, 10}
+
+func toResult(name string, r testing.BenchmarkResult) BenchResult {
+	return BenchResult{
+		Name:        name,
+		N:           r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// BenchJSON runs the machine-readable sweep at the given factor and writes
+// a BenchReport as indented JSON to w. Unlike the figure tables, every
+// measurement uses testing.Benchmark, so allocs/op and bytes/op are exact.
+// Cancelling the runner's context aborts the sweep: the in-flight row is
+// discarded (it was measured against aborting evaluations) and an error
+// is returned instead of a report full of zero rows — real evaluation
+// failures panic, as in the table sweeps (Runner.check).
+func (r *Runner) BenchJSON(w io.Writer, factor float64) error {
+	xml := r.XML(factor)
+	doc := r.Doc(factor)
+	report := &BenchReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Factor:    factor,
+		DocBytes:  len(xml),
+		DocNodes:  doc.Size(),
+	}
+	add := func(name string, fn func(b *testing.B)) {
+		if r.stopped() {
+			return
+		}
+		res := testing.Benchmark(fn)
+		if r.stopped() {
+			return // drop the interrupted row
+		}
+		report.Results = append(report.Results, toResult(name, res))
+	}
+
+	add("parse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sax.Parse(bytes.NewReader(xml)); err != nil {
+				panic(err)
+			}
+		}
+	})
+
+	for _, qi := range benchQueries {
+		c, err := queries.Compile(qi)
+		if err != nil {
+			return err
+		}
+		for _, m := range []core.Method{core.MethodTopDown, core.MethodTwoPass} {
+			add(fmt.Sprintf("%s/U%d", m, qi), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					_, err := c.EvalContext(r.opts.Context, doc, m)
+					r.check(err)
+				}
+			})
+		}
+		add(fmt.Sprintf("bottomup/U%d", qi), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, err := core.EvalBottomUp(r.opts.Context, c, doc)
+				r.check(err)
+			}
+		})
+		add(fmt.Sprintf("saxstream/U%d", qi), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, err := saxeval.TransformContext(r.opts.Context, c, saxeval.BytesSource(xml), discardHandler{})
+				r.check(err)
+			}
+		})
+	}
+
+	for _, s := range queries.Stacks() {
+		plan, err := StackPlan(s)
+		if err != nil {
+			return err
+		}
+		add(fmt.Sprintf("viewstack/%s", s.Name), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, _, err := plan.Eval(r.opts.Context, doc)
+				r.check(err)
+			}
+		})
+	}
+
+	if err := r.opts.Context.Err(); err != nil {
+		return fmt.Errorf("bench sweep interrupted: %w", err)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

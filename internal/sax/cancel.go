@@ -20,7 +20,30 @@ func WithCancel(ctx context.Context, h Handler) Handler {
 	if ctx == nil || ctx.Done() == nil {
 		return h
 	}
-	return &cancelHandler{ctx: ctx, done: ctx.Done(), h: h}
+	c := &cancelHandler{ctx: ctx, done: ctx.Done(), h: h}
+	if sh, ok := h.(SymbolHandler); ok {
+		// Preserve symbol-awareness: the parser sees a SymbolHandler and
+		// keeps delivering interned start tags through the wrapper.
+		return &cancelSymHandler{cancelHandler: c, sh: sh}
+	}
+	return c
+}
+
+// cancelSymHandler is cancelHandler for symbol-aware inner handlers.
+type cancelSymHandler struct {
+	*cancelHandler
+	sh SymbolHandler
+}
+
+// SetSymbols implements SymbolHandler.
+func (c *cancelSymHandler) SetSymbols(s *tree.Symbols) { c.sh.SetSymbols(s) }
+
+// StartElementSym implements SymbolHandler.
+func (c *cancelSymHandler) StartElementSym(sym tree.SymID, name string, attrs []tree.Attr) error {
+	if err := c.check(); err != nil {
+		return err
+	}
+	return c.sh.StartElementSym(sym, name, attrs)
 }
 
 type cancelHandler struct {

@@ -24,31 +24,64 @@ type Handler interface {
 	EndDocument() error
 }
 
+// SymbolHandler is an optional extension of Handler for consumers that
+// work with interned symbols. When a Parser's handler implements it, the
+// parser calls SetSymbols with its interning table before StartDocument
+// and delivers start tags through StartElementSym (instead of
+// StartElement) with the label's dense tree.SymID — the symbol-keyed
+// evaluators step their automata on the id without ever comparing label
+// strings. The table grows as the parse discovers new names and must not
+// be shared outside the handler until the parse completes.
+type SymbolHandler interface {
+	Handler
+	SetSymbols(*tree.Symbols)
+	StartElementSym(sym tree.SymID, name string, attrs []tree.Attr) error
+}
+
 // TreeBuilder is a Handler that materializes the event stream as a
-// tree.Node document.
+// tree.Node document. Driven by a Parser it is also a SymbolHandler: the
+// parser's interning table becomes the document's symbol table and the
+// finished document is indexed (tree.Index) before Document returns it,
+// so evaluation never pays a separate indexing walk for parsed input.
 type TreeBuilder struct {
 	doc   *tree.Node
 	stack []*tree.Node
+	syms  *tree.Symbols
+	ib    *tree.IndexBuilder
 }
 
 // Document returns the built document; valid after EndDocument.
 func (b *TreeBuilder) Document() *tree.Node { return b.doc }
+
+// SetSymbols implements SymbolHandler.
+func (b *TreeBuilder) SetSymbols(s *tree.Symbols) { b.syms = s }
 
 // StartDocument implements Handler.
 func (b *TreeBuilder) StartDocument() error {
 	b.doc = tree.NewDocument(nil)
 	b.stack = b.stack[:0]
 	b.stack = append(b.stack, b.doc)
+	// A symbol-aware parser has already interned attribute names into the
+	// table it handed over; without one the builder interns them itself.
+	b.ib = tree.NewIndexBuilder(b.syms, b.syms == nil)
+	b.ib.Add(b.doc)
 	return nil
 }
 
 // StartElement implements Handler.
 func (b *TreeBuilder) StartElement(name string, attrs []tree.Attr) error {
+	return b.StartElementSym(tree.NoSym, name, attrs)
+}
+
+// StartElementSym implements SymbolHandler.
+func (b *TreeBuilder) StartElementSym(sym tree.SymID, name string, attrs []tree.Attr) error {
 	e := tree.NewElement(name)
+	e.Sym = sym
 	if len(attrs) > 0 {
 		e.Attrs = make([]tree.Attr, len(attrs))
 		copy(e.Attrs, attrs)
 	}
+	b.ib.Add(e)
 	top := b.stack[len(b.stack)-1]
 	top.Children = append(top.Children, e)
 	b.stack = append(b.stack, e)
@@ -57,8 +90,10 @@ func (b *TreeBuilder) StartElement(name string, attrs []tree.Attr) error {
 
 // Text implements Handler.
 func (b *TreeBuilder) Text(data string) error {
+	t := tree.NewText(data)
+	b.ib.Add(t)
 	top := b.stack[len(b.stack)-1]
-	top.Children = append(top.Children, tree.NewText(data))
+	top.Children = append(top.Children, t)
 	return nil
 }
 
@@ -71,6 +106,9 @@ func (b *TreeBuilder) EndElement(string) error {
 // EndDocument implements Handler.
 func (b *TreeBuilder) EndDocument() error {
 	b.stack = b.stack[:len(b.stack)-1]
+	b.ib.Finish(b.doc)
+	b.ib = nil
+	b.syms = nil
 	return nil
 }
 

@@ -38,15 +38,21 @@ func (e *ParseError) Error() string {
 type Parser struct {
 	r    *bufio.Reader
 	h    Handler
+	sh   SymbolHandler // h when it is symbol-aware, else nil
 	opts Options
 
 	line, col int
 	stack     []string // open element labels
 	text      []byte   // pending character data
 	attrs     []tree.Attr
-	peeked    int               // -1 when empty, otherwise the buffered byte
-	nameBuf   []byte            // scratch for readName
-	names     map[string]string // interned element/attribute names
+	peeked    int    // -1 when empty, otherwise the buffered byte
+	nameBuf   []byte // scratch for readName
+	// syms interns element and attribute names: repeated names share one
+	// string allocation and get the dense symbol ids the symbol-aware
+	// handlers key their transition caches by. lastSym is the symbol of
+	// the most recent readName.
+	syms    *tree.Symbols
+	lastSym tree.SymID
 }
 
 // NewParser returns a parser reading from r and reporting events to h with
@@ -57,12 +63,18 @@ func NewParser(r io.Reader, h Handler) *Parser {
 
 // NewParserOptions returns a parser with explicit options.
 func NewParserOptions(r io.Reader, h Handler, opts Options) *Parser {
-	return &Parser{
+	p := &Parser{
 		r: bufio.NewReaderSize(r, 64<<10), h: h, opts: opts,
 		line: 1, col: 0, peeked: -1,
-		names: make(map[string]string),
+		syms: tree.NewSymbols(),
 	}
+	p.sh, _ = h.(SymbolHandler)
+	return p
 }
+
+// Symbols returns the parser's interning table. It grows during Parse and
+// must not be read concurrently with it.
+func (p *Parser) Symbols() *tree.Symbols { return p.syms }
 
 func (p *Parser) errf(format string, args ...any) error {
 	return &ParseError{Line: p.line, Col: p.col, Msg: fmt.Sprintf(format, args...)}
@@ -111,6 +123,9 @@ func isNameChar(b byte) bool {
 // well-formedness (matching tags, single root element) and returns the
 // first error encountered.
 func (p *Parser) Parse() error {
+	if p.sh != nil {
+		p.sh.SetSymbols(p.syms)
+	}
 	if err := p.h.StartDocument(); err != nil {
 		return err
 	}
@@ -212,11 +227,8 @@ func (p *Parser) readName() (string, error) {
 }
 
 func (p *Parser) intern() string {
-	if s, ok := p.names[string(p.nameBuf)]; ok {
-		return s
-	}
-	s := string(p.nameBuf)
-	p.names[s] = s
+	sym, s := p.syms.InternBytes(p.nameBuf)
+	p.lastSym = sym
 	return s
 }
 
@@ -232,11 +244,21 @@ func (p *Parser) skipSpace() (byte, error) {
 	}
 }
 
+// startElement dispatches a start tag, through the symbol-aware entry
+// point when the handler has one.
+func (p *Parser) startElement(sym tree.SymID, name string, attrs []tree.Attr) error {
+	if p.sh != nil {
+		return p.sh.StartElementSym(sym, name, attrs)
+	}
+	return p.h.StartElement(name, attrs)
+}
+
 func (p *Parser) readStartTag() error {
 	name, err := p.readName()
 	if err != nil {
 		return err
 	}
+	sym := p.lastSym // readAttr's names overwrite lastSym below
 	if p.opts.MaxDepth > 0 && len(p.stack)+1 > p.opts.MaxDepth {
 		return p.errf("element nesting exceeds %d", p.opts.MaxDepth)
 	}
@@ -249,7 +271,7 @@ func (p *Parser) readStartTag() error {
 		switch {
 		case b == '>':
 			p.stack = append(p.stack, name)
-			return p.h.StartElement(name, p.attrs)
+			return p.startElement(sym, name, p.attrs)
 		case b == '/':
 			b, err = p.mustByte()
 			if err != nil {
@@ -258,7 +280,7 @@ func (p *Parser) readStartTag() error {
 			if b != '>' {
 				return p.errf("expected '>' after '/' in tag <%s>", name)
 			}
-			if err := p.h.StartElement(name, p.attrs); err != nil {
+			if err := p.startElement(sym, name, p.attrs); err != nil {
 				return err
 			}
 			return p.h.EndElement(name)

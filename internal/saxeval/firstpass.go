@@ -19,10 +19,14 @@
 // as well (alongside the checked one used for matching); both passes then
 // derive identical qualifier sequences from identical unchecked sets.
 //
-// Because the unchecked transition depends only on the parent's
-// configuration and the element label, both passes intern configurations
-// (state set, qualifier needs) and memoize transitions in a small DFA-like
-// cache, so steady-state processing does one map lookup per element.
+// Both passes are symbol-aware handlers (sax.SymbolHandler): each pass
+// binds the query's NFA to its parser's interning table up front
+// (automaton.Binding) and memoizes unchecked transitions in an
+// automaton.ConfigCache, so steady-state processing of an element is one
+// dense per-symbol slice load — no string comparison and no map lookup.
+// The passes derive identical configuration sequences because the
+// transition function is deterministic in (parent configuration, label),
+// and each pass's label↔symbol mapping is bijective.
 package saxeval
 
 import (
@@ -50,77 +54,23 @@ type Stats struct {
 	ElementsPruned int // elements skipped by the first pass's pruning
 }
 
-// config is an interned node configuration of the unchecked automaton: the
-// state set in force for children plus the qualifier work at the node. Both
-// passes derive identical configs from identical (parent config, label)
-// pairs, which keeps the L_d cursor in sync.
-type config struct {
-	id         int
-	next       automaton.StateSet
-	qualIDs    []int // top-level qualifiers evaluated at this node
-	evalIDs    []int // closure to run through QualDP here
-	childNeeds []int // qualifier ids children must provide
-	pruned     bool  // first pass may skip the subtree entirely
-}
-
-type transKey struct {
-	parent int
-	label  string
-}
-
-// configCache interns configurations and memoizes transitions.
-type configCache struct {
-	nfa     *automaton.NFA
-	lq      *xpath.LQ
-	root    *config
-	trans   map[transKey]*config
-	configs []*config
-}
-
-func newConfigCache(nfa *automaton.NFA) *configCache {
-	c := &configCache{nfa: nfa, lq: nfa.LQ, trans: make(map[transKey]*config)}
-	c.root = &config{id: 0, next: nfa.InitialSet()}
-	c.configs = []*config{c.root}
-	return c
-}
-
-// step returns the configuration for an element labelled label whose
-// parent has configuration p.
-func (c *configCache) step(p *config, label string) *config {
-	key := transKey{parent: p.id, label: label}
-	if cfg, ok := c.trans[key]; ok {
-		return cfg
-	}
-	next := c.nfa.Step(p.next, label, nil)
-	qualIDs := c.nfa.EnteredQuals(p.next, label)
-	roots := append(append([]int(nil), qualIDs...), p.childNeeds...)
-	cfg := &config{id: len(c.configs), next: next, qualIDs: qualIDs}
-	if next.Empty() && len(roots) == 0 {
-		cfg.pruned = true
-	} else {
-		cfg.evalIDs = c.lq.Closure(roots)
-		cfg.childNeeds = c.lq.ChildNeeds(cfg.evalIDs)
-	}
-	c.configs = append(c.configs, cfg)
-	c.trans[key] = cfg
-	return cfg
-}
-
 // buEntry is one stack entry of the first pass (§6, "SAX-based bottomUp").
 // Entries are pooled: the entry popped at depth d is reused by the next
 // element opened at depth d.
 type buEntry struct {
-	cfg        *config
+	cfg        *automaton.Config
 	csat, dsat xpath.SatVec
-	ldPos      int // position in L_d of the first of cfg.qualIDs
+	ldPos      int // position in L_d of the first of cfg.QualIDs
 	attrs      []tree.Attr
 	text       []byte
 	node       tree.Node // scratch node for QualDP's local tests
 }
 
-// firstPass is the sax.Handler running bottomUp over the event stream.
+// firstPass is the sax.SymbolHandler running bottomUp over the event
+// stream.
 type firstPass struct {
-	cache *configCache
+	nfa   *automaton.NFA
+	cache *automaton.ConfigCache
 	lq    *xpath.LQ
 	stack []*buEntry
 	depth int
@@ -133,12 +83,20 @@ type firstPass struct {
 // runFirstPass runs the bottomUp pass over one parse of the document and
 // returns the qualifier-truth list L_d.
 func runFirstPass(c *core.Compiled, parse func(sax.Handler) error) (*QualLog, Stats, error) {
-	fp := &firstPass{cache: newConfigCache(c.NFA), lq: c.NFA.LQ, ld: &QualLog{}}
+	fp := &firstPass{nfa: c.NFA, lq: c.NFA.LQ, ld: &QualLog{}}
 	fp.sat = fp.lq.NewSatVec()
 	if err := parse(fp); err != nil {
 		return nil, fp.stats, err
 	}
 	return fp.ld, fp.stats, nil
+}
+
+// SetSymbols implements sax.SymbolHandler: the pass binds its automaton to
+// the parser's interning table (interning the query's own labels up front,
+// so every labelled transition resolves to a symbol) and builds the
+// per-symbol transition cache against that binding.
+func (f *firstPass) SetSymbols(s *tree.Symbols) {
+	f.cache = automaton.NewConfigCache(f.nfa.BindIntern(s))
 }
 
 // push returns a reset entry for the next stack level.
@@ -162,14 +120,24 @@ func (f *firstPass) push() *buEntry {
 
 // StartDocument implements sax.Handler.
 func (f *firstPass) StartDocument() error {
+	if f.cache == nil {
+		// Driven without a symbol-aware parser (not a path the package
+		// itself uses): fall back to a private table.
+		f.SetSymbols(tree.NewSymbols())
+	}
 	f.depth = 0
 	e := f.push()
-	e.cfg = f.cache.root
+	e.cfg = f.cache.Root()
 	return nil
 }
 
 // StartElement implements sax.Handler.
 func (f *firstPass) StartElement(name string, attrs []tree.Attr) error {
+	return f.StartElementSym(tree.NoSym, name, attrs)
+}
+
+// StartElementSym implements sax.SymbolHandler.
+func (f *firstPass) StartElementSym(sym tree.SymID, name string, attrs []tree.Attr) error {
 	f.stats.ElementsSeen++
 	if f.skip > 0 {
 		f.skip++
@@ -177,8 +145,8 @@ func (f *firstPass) StartElement(name string, attrs []tree.Attr) error {
 		return nil
 	}
 	parent := f.stack[f.depth-1]
-	cfg := f.cache.step(parent.cfg, name)
-	if cfg.pruned {
+	cfg := f.cache.Step(parent.cfg, sym, name)
+	if cfg.Pruned {
 		// Pruning (Fig. 9 line 6): nothing below this element can
 		// matter; skip its events entirely.
 		f.skip = 1
@@ -191,10 +159,10 @@ func (f *firstPass) StartElement(name string, attrs []tree.Attr) error {
 	e.attrs = append(e.attrs, attrs...)
 	// Reserve L_d slots now (cursor order = document order of start
 	// tags); values are filled in at endElement once csat/dsat are known.
-	for range cfg.qualIDs {
+	for range cfg.QualIDs {
 		f.ld.Values = append(f.ld.Values, false)
 	}
-	f.stats.QualsEvaluated += len(cfg.qualIDs)
+	f.stats.QualsEvaluated += len(cfg.QualIDs)
 	e.node = tree.Node{Kind: tree.Element, Label: name, Attrs: e.attrs}
 	if f.depth > f.stats.MaxStackDepth {
 		f.stats.MaxStackDepth = f.depth
@@ -230,13 +198,13 @@ func (f *firstPass) EndElement(string) error {
 	if len(top.text) > 0 {
 		node.Children = append(node.Children, tree.NewText(string(top.text)))
 	}
-	f.lq.QualDP(node, top.cfg.evalIDs, top.csat, top.dsat, f.sat)
-	for i, qid := range top.cfg.qualIDs {
+	f.lq.QualDP(node, top.cfg.EvalIDs, top.csat, top.dsat, f.sat)
+	for i, qid := range top.cfg.QualIDs {
 		f.ld.Values[top.ldPos+i] = f.sat[qid]
 	}
 	// Propagate to the parent: csat aggregates child sat, dsat child
 	// sat-or-descendant.
-	for _, id := range top.cfg.evalIDs {
+	for _, id := range top.cfg.EvalIDs {
 		if f.sat[id] {
 			parent.csat[id] = true
 			parent.dsat[id] = true

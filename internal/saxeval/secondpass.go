@@ -11,19 +11,23 @@ import (
 // tdEntry is one stack entry of the second pass (§6, "SAX-based topDown");
 // entries are pooled by depth like the first pass's.
 type tdEntry struct {
-	cfg      *config            // replays the first pass's cursor discipline
+	cfg      *automaton.Config  // replays the first pass's cursor discipline
 	checked  automaton.StateSet // the selecting NFA's real state set
-	truth    []bool             // L_d values for cfg.qualIDs at this node
+	truth    []bool             // L_d values for cfg.QualIDs at this node
 	matched  bool               // final state entered at this element
 	outLabel string             // label emitted (differs under rename)
 	emitted  bool               // start tag was written to the output
 }
 
 // secondPass rewrites the event stream according to the update while
-// reading qualifier truths from L_d.
+// reading qualifier truths from L_d. Like the first pass it is
+// symbol-aware: the checked transition steps the bound automaton on the
+// label's symbol, and the unchecked configuration replay is a per-symbol
+// cache lookup.
 type secondPass struct {
 	nfa      *automaton.NFA
-	cache    *configCache
+	bind     *automaton.Binding
+	cache    *automaton.ConfigCache
 	update   *core.Update
 	ld       *QualLog
 	cursor   int
@@ -37,7 +41,6 @@ type secondPass struct {
 func runSecondPass(c *core.Compiled, ld *QualLog, out sax.Handler, parse func(sax.Handler) error) (Stats, error) {
 	sp := &secondPass{
 		nfa:    c.NFA,
-		cache:  newConfigCache(c.NFA),
 		update: &c.Query.Update,
 		ld:     ld,
 		out:    out,
@@ -50,6 +53,12 @@ func runSecondPass(c *core.Compiled, ld *QualLog, out sax.Handler, parse func(sa
 			sp.cursor, len(ld.Values))
 	}
 	return sp.stats, nil
+}
+
+// SetSymbols implements sax.SymbolHandler.
+func (s *secondPass) SetSymbols(syms *tree.Symbols) {
+	s.bind = s.nfa.BindIntern(syms)
+	s.cache = automaton.NewConfigCache(s.bind)
 }
 
 func (s *secondPass) push() *tdEntry {
@@ -69,50 +78,59 @@ func (s *secondPass) push() *tdEntry {
 
 // StartDocument implements sax.Handler.
 func (s *secondPass) StartDocument() error {
+	if s.cache == nil {
+		s.SetSymbols(tree.NewSymbols())
+	}
 	s.depth = 0
 	e := s.push()
-	e.cfg = s.cache.root
+	e.cfg = s.cache.Root()
 	e.checked = s.nfa.InitialSet()
 	return s.out.StartDocument()
 }
 
 // StartElement implements sax.Handler.
 func (s *secondPass) StartElement(name string, attrs []tree.Attr) error {
+	return s.StartElementSym(tree.NoSym, name, attrs)
+}
+
+// StartElementSym implements sax.SymbolHandler.
+func (s *secondPass) StartElementSym(sym tree.SymID, name string, attrs []tree.Attr) error {
 	s.stats.ElementsSeen++
 	parent := s.stack[s.depth-1]
 
 	// Replay the first pass's qualifier-id assignment: the same
 	// unchecked transition yields the same qualifier sequence, so the
 	// cursor indexes the truth values computed for exactly this node.
-	cfg := s.cache.step(parent.cfg, name)
+	cfg := s.cache.Step(parent.cfg, sym, name)
 	e := s.push()
 	e.cfg = cfg
 	e.outLabel = name
-	for range cfg.qualIDs {
+	for range cfg.QualIDs {
 		if s.cursor >= len(s.ld.Values) {
 			return xerr.New(xerr.Eval, "", "saxeval: L_d exhausted at element <%s>", name)
 		}
 		e.truth = append(e.truth, s.ld.Values[s.cursor])
 		s.cursor++
 	}
-	s.stats.QualsEvaluated += len(cfg.qualIDs)
+	s.stats.QualsEvaluated += len(cfg.QualIDs)
 
 	// The checked transition takes qualifier truth from L_d — this is
 	// checkp() in constant time.
 	if e.checked == nil {
 		e.checked = s.nfa.NewSet()
 	}
-	s.nfa.StepInto(parent.checked, name, func(stateID int) bool {
+	s.bind.StepInto(parent.checked, sym, name, func(stateID int) bool {
 		st := &s.nfa.States[stateID]
 		if len(st.Quals) == 0 {
 			return true
 		}
-		for i, qid := range cfg.qualIDs {
+		for i, qid := range cfg.QualIDs {
 			if qid == st.QualID {
 				return e.truth[i]
 			}
 		}
-		// Unreachable when both passes share the cache; fail safe.
+		// Unreachable when both passes share the cursor discipline; fail
+		// safe.
 		return false
 	}, e.checked)
 	e.matched = s.nfa.Matches(e.checked)

@@ -1,48 +1,81 @@
 package tree
 
-// DeepCopy returns a structurally identical copy of the subtree rooted at n
-// sharing no nodes with the original. It is the "copy" half of the
-// copy-and-update baseline: a snapshot whose mutation cannot be observed
-// through the source tree.
-func (n *Node) DeepCopy() *Node {
-	if n == nil {
-		return nil
-	}
-	c := &Node{Kind: n.Kind, Label: n.Label, Data: n.Data}
+// The traversals in this file are iterative with explicit stacks: they
+// run over arbitrary caller-supplied trees (including documents admitted
+// by a generous WithMaxDepth), where recursion depth equals document
+// depth and a pathological chain would overflow the goroutine stack.
+
+// shallowCopy duplicates one node without children. The copy keeps the
+// label symbol as a hint (Index validates it before trusting it) but is
+// not a member of any index.
+func shallowCopy(n *Node) *Node {
+	c := &Node{Kind: n.Kind, Sym: n.Sym, Label: n.Label, Data: n.Data}
 	if len(n.Attrs) > 0 {
 		c.Attrs = make([]Attr, len(n.Attrs))
 		copy(c.Attrs, n.Attrs)
 	}
-	if len(n.Children) > 0 {
-		c.Children = make([]*Node, len(n.Children))
-		for i, ch := range n.Children {
-			c.Children[i] = ch.DeepCopy()
+	return c
+}
+
+// DeepCopy returns a structurally identical copy of the subtree rooted at n
+// sharing no nodes with the original. It is the "copy" half of the
+// copy-and-update baseline: a snapshot whose mutation cannot be observed
+// through the source tree. The copy is unindexed.
+func (n *Node) DeepCopy() *Node {
+	if n == nil {
+		return nil
+	}
+	root := shallowCopy(n)
+	type frame struct{ src, dst *Node }
+	stack := []frame{{n, root}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if len(f.src.Children) == 0 {
+			continue
+		}
+		f.dst.Children = make([]*Node, len(f.src.Children))
+		for i, ch := range f.src.Children {
+			c := shallowCopy(ch)
+			f.dst.Children[i] = c
+			if len(ch.Children) > 0 {
+				stack = append(stack, frame{ch, c})
+			}
 		}
 	}
-	return c
+	return root
 }
 
 // Equal reports whether the subtrees rooted at a and b are structurally
 // identical: same kind, label, text data, attribute list (order-sensitive,
-// as attribute order is preserved by the parser) and child list.
+// as attribute order is preserved by the parser) and child list. Index
+// membership and symbols are representation, not structure, and are
+// ignored.
 func Equal(a, b *Node) bool {
-	if a == nil || b == nil {
-		return a == b
-	}
-	if a.Kind != b.Kind || a.Label != b.Label || a.Data != b.Data {
-		return false
-	}
-	if len(a.Attrs) != len(b.Attrs) || len(a.Children) != len(b.Children) {
-		return false
-	}
-	for i := range a.Attrs {
-		if a.Attrs[i] != b.Attrs[i] {
+	type pair struct{ a, b *Node }
+	stack := []pair{{a, b}}
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if p.a == nil || p.b == nil {
+			if p.a != p.b {
+				return false
+			}
+			continue
+		}
+		if p.a.Kind != p.b.Kind || p.a.Label != p.b.Label || p.a.Data != p.b.Data {
 			return false
 		}
-	}
-	for i := range a.Children {
-		if !Equal(a.Children[i], b.Children[i]) {
+		if len(p.a.Attrs) != len(p.b.Attrs) || len(p.a.Children) != len(p.b.Children) {
 			return false
+		}
+		for i := range p.a.Attrs {
+			if p.a.Attrs[i] != p.b.Attrs[i] {
+				return false
+			}
+		}
+		for i := range p.a.Children {
+			stack = append(stack, pair{p.a.Children[i], p.b.Children[i]})
 		}
 	}
 	return true
@@ -55,24 +88,22 @@ func Equal(a, b *Node) bool {
 // not copied.
 func SharedNodes(source, result *Node) int {
 	seen := make(map[*Node]struct{})
-	var index func(*Node)
-	index = func(n *Node) {
+	stack := []*Node{source}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
 		seen[n] = struct{}{}
-		for _, c := range n.Children {
-			index(c)
-		}
+		stack = append(stack, n.Children...)
 	}
-	index(source)
 	shared := 0
-	var count func(*Node)
-	count = func(n *Node) {
+	stack = append(stack[:0], result)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
 		if _, ok := seen[n]; ok {
 			shared++
 		}
-		for _, c := range n.Children {
-			count(c)
-		}
+		stack = append(stack, n.Children...)
 	}
-	count(result)
 	return shared
 }

@@ -1,0 +1,193 @@
+package tree
+
+import "sync"
+
+// Index is the dense per-document view of a tree: a frozen symbol table
+// covering every element label and attribute name, plus a preorder
+// numbering of all nodes (document node first, then each subtree in
+// document order). Ordinals let the evaluators replace
+// map[*Node]-annotation with slices indexed by node ordinal, and symbols
+// let the automata step on integer comparisons; both are the substrate
+// for the dense-state evaluation paths and for future parallel subtree
+// evaluation.
+//
+// An Index belongs to exactly one document node. Indexing mutates the
+// nodes it reaches (it stamps each with its ordinal and owning index), so
+// a node can be a member of at most one Index at a time: re-indexing a
+// tree that shares subtrees with an already-indexed document steals those
+// nodes. OrdOf detects stolen or foreign nodes and reports them as
+// non-members, so evaluators degrade to their slow paths instead of
+// reading another document's ordinals. Do not index a tree concurrently
+// with evaluations over another tree that shares nodes with it.
+type Index struct {
+	// Root is the document node the index was built from.
+	Root *Node
+	// Syms holds every element label and attribute name of the document
+	// (plus any symbols interned by the builder before the freeze). It is
+	// frozen: treat as read-only.
+	Syms *Symbols
+	// NumNodes is the number of nodes numbered: ordinals are
+	// 0..NumNodes-1, with the document node at 0.
+	NumNodes int
+}
+
+// indexMu serializes index construction and the cached-index check, so
+// concurrent evaluations of the same document build its index exactly
+// once and later callers observe fully-stamped nodes (the mutex acquire
+// orders the stamp writes before any ordinal read).
+var indexMu sync.Mutex
+
+// IndexOf returns the document's current index, or nil when it was never
+// indexed (or its index was superseded).
+func IndexOf(doc *Node) *Index {
+	indexMu.Lock()
+	defer indexMu.Unlock()
+	if doc.idx != nil && doc.idx.Root == doc {
+		return doc.idx
+	}
+	return nil
+}
+
+// EnsureIndex returns the document's index, building it on first use.
+// It is safe to call from concurrent evaluations of the same document;
+// see the Index comment for the sharing caveat.
+func EnsureIndex(doc *Node) *Index {
+	indexMu.Lock()
+	defer indexMu.Unlock()
+	if doc.idx != nil && doc.idx.Root == doc {
+		return doc.idx
+	}
+	return indexWithLocked(doc, NewSymbols())
+}
+
+// IndexWith builds doc's index against syms — the parser's TreeBuilder
+// passes the table it interned labels into while building, so the walk
+// reuses the Sym fields already stamped on the nodes. The caller must own
+// syms (no concurrent readers); the table is frozen once IndexWith
+// returns.
+func IndexWith(doc *Node, syms *Symbols) *Index {
+	indexMu.Lock()
+	defer indexMu.Unlock()
+	return indexWithLocked(doc, syms)
+}
+
+func indexWithLocked(doc *Node, syms *Symbols) *Index {
+	ix := &Index{Root: doc, Syms: syms}
+	// Iterative preorder walk: documents admitted by a generous
+	// WithMaxDepth must not overflow the goroutine stack here.
+	ord := int32(0)
+	stack := make([]*Node, 0, 64)
+	stack = append(stack, doc)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n.ord = ord
+		n.idx = ix
+		ord++
+		if n.Kind == Element {
+			if !syms.covers(n.Sym, n.Label) {
+				n.Sym = syms.Intern(n.Label)
+			}
+			for i := range n.Attrs {
+				syms.Intern(n.Attrs[i].Name)
+			}
+		}
+		// Push children in reverse so they pop in document order.
+		for i := len(n.Children) - 1; i >= 0; i-- {
+			stack = append(stack, n.Children[i])
+		}
+	}
+	ix.NumNodes = int(ord)
+	doc.idx = ix
+	return ix
+}
+
+// IndexBuilder stamps ordinals incrementally while a tree is being
+// constructed in document order — the parser's TreeBuilder feeds every
+// node through Add as it is created, so a freshly parsed document is
+// fully indexed without a second walk over it. The tree must be private
+// to the builder until Finish publishes the index.
+type IndexBuilder struct {
+	ix          *Index
+	syms        *Symbols
+	internAttrs bool
+	next        int32
+}
+
+// NewIndexBuilder returns a builder interning into syms (a fresh table
+// when nil). internAttrs controls whether Add interns attribute names;
+// pass false when the event source already interned them into syms (the
+// parser does), true otherwise.
+func NewIndexBuilder(syms *Symbols, internAttrs bool) *IndexBuilder {
+	if syms == nil {
+		syms = NewSymbols()
+	}
+	return &IndexBuilder{ix: &Index{Syms: syms}, syms: syms, internAttrs: internAttrs}
+}
+
+// Add stamps n with the next preorder ordinal. Nodes must be added in
+// document order (each node before its children, siblings left to right —
+// exactly the SAX event order of start tags and text runs).
+func (b *IndexBuilder) Add(n *Node) {
+	n.ord = b.next
+	n.idx = b.ix
+	b.next++
+	if n.Kind == Element {
+		if !b.syms.covers(n.Sym, n.Label) {
+			n.Sym = b.syms.Intern(n.Label)
+		}
+		if b.internAttrs {
+			for i := range n.Attrs {
+				b.syms.Intern(n.Attrs[i].Name)
+			}
+		}
+	}
+}
+
+// Finish freezes the symbol table and publishes the index on doc, which
+// must be the first node that was added.
+func (b *IndexBuilder) Finish(doc *Node) *Index {
+	b.ix.Root = doc
+	b.ix.NumNodes = int(b.next)
+	indexMu.Lock()
+	doc.idx = b.ix
+	indexMu.Unlock()
+	return b.ix
+}
+
+// DropIndex detaches doc's cached index, forcing the next EnsureIndex to
+// rebuild it. Callers that mutate an indexed tree in place (the
+// copy-and-update baseline) drop the index afterwards, since ordinals and
+// the symbol table no longer describe the mutated structure.
+func DropIndex(doc *Node) {
+	indexMu.Lock()
+	defer indexMu.Unlock()
+	doc.idx = nil
+}
+
+// OrdOf returns n's preorder ordinal and whether n is a member of this
+// index. Nodes of other documents — including nodes this document shares
+// with a more recently indexed tree — report false, which the evaluators
+// treat as "use the slow path".
+func (ix *Index) OrdOf(n *Node) (int32, bool) {
+	if n.idx == ix {
+		return n.ord, true
+	}
+	return 0, false
+}
+
+// Contains reports membership of n in this index.
+func (ix *Index) Contains(n *Node) bool { return n.idx == ix }
+
+// SymOf returns n's label symbol in this index's table. For members the
+// stamped Sym is trusted; foreign nodes (shared subtrees stolen by a more
+// recent indexing, whose Sym fields point into another table) are
+// resolved by name — NoSym when this table has never seen the label.
+// Evaluators must use this, never a raw n.Sym, when stepping automata
+// bound to ix.Syms: symbol ids are only comparable within one table.
+func (ix *Index) SymOf(n *Node) SymID {
+	if n.idx == ix {
+		return n.Sym
+	}
+	return ix.Syms.Lookup(n.Label)
+}

@@ -53,10 +53,17 @@ type Attr struct {
 // nodes with NewDocument, NewElement and NewText.
 type Node struct {
 	Kind     Kind
+	Sym      SymID   // interned label symbol; NoSym unless set by a parser or Index walk
 	Label    string  // element label; empty for document and text nodes
 	Data     string  // character data; set only for text nodes
 	Attrs    []Attr  // attributes; set only for element nodes
 	Children []*Node // ordered children; empty for text nodes
+
+	// ord and idx are the node's preorder ordinal and owning Index; they
+	// are stamped by indexing (see index.go) and read through
+	// Index.OrdOf, which validates ownership.
+	ord int32
+	idx *Index
 }
 
 // NewDocument returns a document node holding root as its root element.
@@ -130,6 +137,21 @@ func (n *Node) Attr(name string) (string, bool) {
 func (n *Node) Value() string {
 	if n.Kind == Text {
 		return n.Data
+	}
+	// The overwhelmingly common shapes — no text child, or exactly one —
+	// are answered without building (and allocating) a concatenation.
+	first := ""
+	count := 0
+	for _, c := range n.Children {
+		if c.Kind == Text {
+			if count == 0 {
+				first = c.Data
+			}
+			count++
+		}
+	}
+	if count <= 1 {
+		return first
 	}
 	var b strings.Builder
 	for _, c := range n.Children {

@@ -1,0 +1,81 @@
+package tree
+
+// SymID is a dense per-document symbol: element labels and attribute names
+// interned into a Symbols table get consecutive small ids, so the hot
+// loops of the evaluators compare labels with one integer comparison and
+// index per-symbol lookup slices directly.
+//
+// ID 0 is reserved as NoSym — "no symbol" — so the zero value of a Node's
+// Sym field is self-describingly invalid: a node built outside a parser or
+// Index walk never accidentally claims the first interned label.
+type SymID int32
+
+// NoSym is the reserved invalid symbol. Lookup returns it for names absent
+// from the table; evaluators treat it as "fall back to string comparison".
+const NoSym SymID = 0
+
+// Symbols is a symbol table mapping names to dense SymIDs. A table has two
+// phases: while a document is being built (parser, Index walk) its single
+// owner interns freely; once the document's Index is published the table
+// is frozen and may be read from any number of goroutines concurrently.
+// Interning into a table reachable from a published Index is a data race.
+type Symbols struct {
+	names []string
+	ids   map[string]SymID
+}
+
+// NewSymbols returns an empty table with id 0 reserved.
+func NewSymbols() *Symbols {
+	return &Symbols{names: []string{""}, ids: make(map[string]SymID, 64)}
+}
+
+// Intern returns the id of name, assigning the next dense id on first use.
+func (s *Symbols) Intern(name string) SymID {
+	if id, ok := s.ids[name]; ok {
+		return id
+	}
+	id := SymID(len(s.names))
+	s.names = append(s.names, name)
+	s.ids[name] = id
+	return id
+}
+
+// InternBytes is Intern for a scratch byte buffer. It returns the id and
+// the canonical string, allocating only on first sight of a name — the
+// parser's hot path, where repeated element and attribute names dominate.
+func (s *Symbols) InternBytes(b []byte) (SymID, string) {
+	if id, ok := s.ids[string(b)]; ok {
+		return id, s.names[id]
+	}
+	name := string(b)
+	id := SymID(len(s.names))
+	s.names = append(s.names, name)
+	s.ids[name] = id
+	return id, name
+}
+
+// Lookup returns the id of name, or NoSym when it was never interned.
+// Unlike Intern it never mutates the table, so it is safe on frozen
+// tables shared between goroutines.
+func (s *Symbols) Lookup(name string) SymID {
+	return s.ids[name]
+}
+
+// Name returns the name of id; NoSym yields the empty string.
+func (s *Symbols) Name(id SymID) string {
+	if id <= NoSym || int(id) >= len(s.names) {
+		return ""
+	}
+	return s.names[id]
+}
+
+// Len returns the table size including the reserved id 0, i.e. the length
+// a dense per-symbol slice must have to be indexable by every assigned id.
+func (s *Symbols) Len() int { return len(s.names) }
+
+// covers reports whether sym is a valid id in s naming exactly label; the
+// Index walk uses it to keep parser-assigned symbols instead of
+// re-interning every element.
+func (s *Symbols) covers(sym SymID, label string) bool {
+	return sym > NoSym && int(sym) < len(s.names) && s.names[sym] == label
+}

@@ -144,20 +144,60 @@ func evalPathTest(n *tree.Node, p *Path, op CmpOp, lit string) bool {
 	return false
 }
 
+// mayBeNumber is a cheap pre-filter for parseFloat: it accepts every
+// character that can occur in a string strconv.ParseFloat accepts (digits,
+// sign, point, exponent and the inf/nan spellings), so rejecting a string
+// here proves ParseFloat would fail — without paying for the error value
+// ParseFloat allocates on failure. Qualifier comparisons run once per
+// candidate node, and most non-numeric values (names, country codes) are
+// rejected on their first letter.
+func mayBeNumber(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c >= '0' && c <= '9':
+		case c == '.' || c == '+' || c == '-' || c == '_':
+			// '_' included: ParseFloat accepts Go-style digit separators.
+		default:
+			switch c | 0x20 { // ASCII lower-case
+			case 'e', 'i', 'n', 'f', 't', 'y', 'a', 'x', 'p':
+				// exponents, hex floats, "inf(inity)", "nan"
+			default:
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// parseFloat is strconv.ParseFloat behind the mayBeNumber pre-filter.
+func parseFloat(s string) (float64, bool) {
+	s = strings.TrimSpace(s)
+	if !mayBeNumber(s) {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	return f, err == nil
+}
+
 // Compare applies "value op lit". When both sides parse as floating-point
 // numbers the comparison is numeric, otherwise it is lexicographic — the
 // convention needed by the XMark qualifiers (increase > 5, age > 20) while
 // keeping string equality tests (country = 'A') exact.
 func Compare(value string, op CmpOp, lit string) bool {
-	lv, errV := strconv.ParseFloat(strings.TrimSpace(value), 64)
-	ll, errL := strconv.ParseFloat(strings.TrimSpace(lit), 64)
 	var cmp int
-	if errV == nil && errL == nil {
-		switch {
-		case lv < ll:
-			cmp = -1
-		case lv > ll:
-			cmp = 1
+	if lv, okV := parseFloat(value); okV {
+		if ll, okL := parseFloat(lit); okL {
+			switch {
+			case lv < ll:
+				cmp = -1
+			case lv > ll:
+				cmp = 1
+			}
+		} else {
+			cmp = strings.Compare(value, lit)
 		}
 	} else {
 		cmp = strings.Compare(value, lit)

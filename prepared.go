@@ -30,10 +30,22 @@ func (p *Prepared) String() string { return p.compiled.Query.String() }
 // Eval evaluates the query over src with the engine's in-memory method
 // and returns the transformed document. src is any Source — an
 // already-parsed *Node evaluates directly, other sources are parsed
-// first (honouring the engine's WithMaxDepth). The input is never
-// modified; depending on the method the result may share unmodified
-// subtrees with it. Cancelling ctx aborts evaluation at node granularity
-// with a KindEval error satisfying errors.Is(err, context.Canceled).
+// first (honouring the engine's WithMaxDepth). The input's structure and
+// content are never modified; depending on the method the result may
+// share unmodified subtrees with it. Cancelling ctx aborts evaluation at
+// node granularity with a KindEval error satisfying
+// errors.Is(err, context.Canceled).
+//
+// Concurrency: a document is indexed on its first evaluation (dense
+// symbol/ordinal bookkeeping stamped onto its nodes, built exactly once
+// under a lock). Concurrent evaluations of the same document, or of
+// documents that share no nodes, are always safe. The one unsafe pattern
+// is indexing a not-yet-evaluated tree that shares subtrees with a
+// document another goroutine is concurrently evaluating — e.g. a result
+// tree (which shares unmodified subtrees with its input) evaluated for
+// the first time while the original input is still being evaluated
+// elsewhere. Evaluate derived trees from one goroutine first (any later
+// use is fine), or deep-copy them.
 func (p *Prepared) Eval(ctx context.Context, src Source) (*Node, error) {
 	return p.evalMethod(ctx, src, p.eng.method)
 }
