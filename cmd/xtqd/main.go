@@ -1,0 +1,77 @@
+// Command xtqd serves a versioned xtq.Store over HTTP — update syntax as
+// the write path of a live XML corpus, transform queries and stacked
+// views as its read path.
+//
+//	xtqd -addr :8344
+//
+//	curl -X PUT  --data-binary @parts.xml localhost:8344/docs/parts
+//	curl -X POST --data-binary \
+//	  'transform copy $a := doc("parts") modify do delete $a//price return $a' \
+//	  localhost:8344/docs/parts/query
+//	curl -X POST -H 'If-Match: "1"' --data-binary \
+//	  'transform copy $a := doc("parts") modify do delete $a//price return $a' \
+//	  localhost:8344/docs/parts/update
+//	curl -X PUT --data-binary \
+//	  '["transform copy $a := doc(\"parts\") modify do delete $a//price return $a"]' \
+//	  localhost:8344/views/public
+//	curl localhost:8344/docs/parts/views/public
+//
+// Reads are lock-free against immutable snapshots; updates commit
+// copy-on-write with optimistic versioning (If-Match → 409 Conflict on
+// a lost race). Every request runs under -timeout and is cancelled at
+// node/SAX-event granularity when the client disconnects.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"xtq"
+)
+
+func main() {
+	addr := flag.String("addr", ":8344", "listen address")
+	method := flag.String("method", string(xtq.MethodTopDown),
+		"in-memory evaluation method ("+strings.Join(xtq.MethodNames(), ", ")+")")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request evaluation timeout (0 = none)")
+	maxBody := flag.Int64("maxbody", 64<<20, "maximum request body size in bytes")
+	maxDepth := flag.Int("maxdepth", 10_000, "maximum element nesting of ingested documents (0 = no limit)")
+	flag.Parse()
+
+	m, err := xtq.ParseMethod(*method)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xtqd:", err)
+		os.Exit(2)
+	}
+	eng := xtq.NewEngine(xtq.WithMethod(m), xtq.WithMaxDepth(*maxDepth))
+	st := xtq.NewStore(eng)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(st, *timeout, *maxBody),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("xtqd: serving on %s (method=%s, timeout=%s)", *addr, m, *timeout)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("xtqd: %v", err)
+	}
+	log.Print("xtqd: shut down")
+}

@@ -1,0 +1,342 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xtq"
+)
+
+const testDoc = `<db>` +
+	`<part><pname>keyboard</pname><supplier><sname>HP</sname><price>15</price><country>US</country></supplier></part>` +
+	`<part><pname>mouse</pname><supplier><sname>Dell</sname><price>9</price><country>A</country></supplier></part>` +
+	`</db>`
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	st := xtq.NewStore(nil)
+	ts := httptest.NewServer(newServer(st, 5*time.Second, 1<<20))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func do(t *testing.T, method, url string, body string, hdr map[string]string) (int, http.Header, string) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	b, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.StatusCode, res.Header, string(b)
+}
+
+func jsonField(t *testing.T, body, field string) float64 {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal([]byte(body), &m); err != nil {
+		t.Fatalf("bad JSON %q: %v", body, err)
+	}
+	f, ok := m[field].(float64)
+	if !ok {
+		t.Fatalf("no numeric field %q in %s", field, body)
+	}
+	return f
+}
+
+func TestIngestQueryUpdateRoundTrip(t *testing.T) {
+	ts := newTestServer(t)
+
+	// Ingest.
+	code, hdr, body := do(t, "PUT", ts.URL+"/docs/parts", testDoc, nil)
+	if code != http.StatusCreated {
+		t.Fatalf("ingest: %d %s", code, body)
+	}
+	if v := jsonField(t, body, "version"); v != 1 {
+		t.Fatalf("ingest version = %v", v)
+	}
+	if hdr.Get("ETag") != `"1"` {
+		t.Fatalf("ingest ETag = %q", hdr.Get("ETag"))
+	}
+
+	// Fetch the document back.
+	code, hdr, got := do(t, "GET", ts.URL+"/docs/parts", "", nil)
+	if code != http.StatusOK || got != testDoc {
+		t.Fatalf("get: %d %q", code, got)
+	}
+	if hdr.Get("X-Xtq-Version") != "1" {
+		t.Fatalf("get version header = %q", hdr.Get("X-Xtq-Version"))
+	}
+
+	// Query: a side-effect-free read.
+	q := `transform copy $a := doc("parts") modify do delete $a//price return $a`
+	code, hdr, res := do(t, "POST", ts.URL+"/docs/parts/query", q, nil)
+	if code != http.StatusOK {
+		t.Fatalf("query: %d %s", code, res)
+	}
+	if strings.Contains(res, "<price>") || !strings.Contains(res, "<pname>keyboard</pname>") {
+		t.Fatalf("query result wrong: %s", res)
+	}
+	if hdr.Get("X-Xtq-Version") != "1" {
+		t.Fatal("query must report the snapshot version it ran over")
+	}
+	// The document itself is untouched.
+	if _, _, cur := do(t, "GET", ts.URL+"/docs/parts", "", nil); !strings.Contains(cur, "<price>") {
+		t.Fatal("query mutated the document")
+	}
+
+	// The same query via the streaming evaluator.
+	code, _, sres := do(t, "POST", ts.URL+"/docs/parts/query?stream=1", q, nil)
+	if code != http.StatusOK || sres != res {
+		t.Fatalf("stream query diverges: %d %q vs %q", code, sres, res)
+	}
+
+	// And per-method overrides agree.
+	for _, m := range xtq.MethodNames() {
+		code, _, mres := do(t, "POST", ts.URL+"/docs/parts/query?method="+m, q, nil)
+		if code != http.StatusOK || mres != res {
+			t.Fatalf("method %s diverges: %d %q", m, code, mres)
+		}
+	}
+
+	// Update: the write path. Version advances.
+	code, hdr, ub := do(t, "POST", ts.URL+"/docs/parts/update", q, nil)
+	if code != http.StatusOK {
+		t.Fatalf("update: %d %s", code, ub)
+	}
+	if v := jsonField(t, ub, "version"); v != 2 {
+		t.Fatalf("update version = %v", v)
+	}
+	if jsonField(t, ub, "copied_nodes") == 0 {
+		t.Fatal("copy-on-write commit reported no copied nodes")
+	}
+	if hdr.Get("ETag") != `"2"` {
+		t.Fatalf("update ETag = %q", hdr.Get("ETag"))
+	}
+	if _, _, cur := do(t, "GET", ts.URL+"/docs/parts", "", nil); strings.Contains(cur, "<price>") {
+		t.Fatal("update did not commit")
+	}
+
+	// Listing.
+	code, _, lb := do(t, "GET", ts.URL+"/docs", "", nil)
+	if code != http.StatusOK || !strings.Contains(lb, `"parts"`) {
+		t.Fatalf("list: %d %s", code, lb)
+	}
+
+	// Delete.
+	if code, _, _ := do(t, "DELETE", ts.URL+"/docs/parts", "", nil); code != http.StatusNoContent {
+		t.Fatalf("delete: %d", code)
+	}
+	if code, _, _ := do(t, "GET", ts.URL+"/docs/parts", "", nil); code != http.StatusNotFound {
+		t.Fatalf("get after delete: %d", code)
+	}
+}
+
+func TestConditionalUpdateConflict(t *testing.T) {
+	ts := newTestServer(t)
+	do(t, "PUT", ts.URL+"/docs/d", testDoc, nil)
+	up := `transform copy $a := doc("d") modify do insert <audit/> into $a/db/part return $a`
+
+	// If-Match at the current version commits.
+	code, _, body := do(t, "POST", ts.URL+"/docs/d/update", up, map[string]string{"If-Match": `"1"`})
+	if code != http.StatusOK || jsonField(t, body, "version") != 2 {
+		t.Fatalf("conditional update: %d %s", code, body)
+	}
+	// A stale If-Match is a 409 with kind conflict, and does not commit.
+	code, _, body = do(t, "POST", ts.URL+"/docs/d/update", up, map[string]string{"If-Match": `"1"`})
+	if code != http.StatusConflict || !strings.Contains(body, `"conflict"`) {
+		t.Fatalf("stale update: %d %s", code, body)
+	}
+	// X-Xtq-Base-Version works the same way.
+	code, _, _ = do(t, "POST", ts.URL+"/docs/d/update", up, map[string]string{"X-Xtq-Base-Version": "2"})
+	if code != http.StatusOK {
+		t.Fatalf("header-based conditional update: %d", code)
+	}
+	// If-Match: * means "any current representation" (RFC 9110): the
+	// update commits unconditionally as long as the document exists.
+	code, _, body = do(t, "POST", ts.URL+"/docs/d/update", up, map[string]string{"If-Match": "*"})
+	if code != http.StatusOK || jsonField(t, body, "version") != 4 {
+		t.Fatalf("If-Match *: %d %s", code, body)
+	}
+	if code, _, _ := do(t, "POST", ts.URL+"/docs/none/update", up, map[string]string{"If-Match": "*"}); code != http.StatusNotFound {
+		t.Fatalf("If-Match * on missing doc: %d", code)
+	}
+	if code, _, _ := do(t, "POST", ts.URL+"/docs/d/update", up, map[string]string{"If-Match": `"zap"`}); code != http.StatusBadRequest {
+		t.Fatalf("garbage If-Match: %d", code)
+	}
+}
+
+func TestViewEndpoints(t *testing.T) {
+	ts := newTestServer(t)
+	do(t, "PUT", ts.URL+"/docs/parts", testDoc, nil)
+
+	stack, err := json.Marshal([]string{
+		`transform copy $a := doc("parts") modify do delete $a//price return $a`,
+		`transform copy $a := doc("parts") modify do delete $a//country return $a`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, _, body := do(t, "PUT", ts.URL+"/views/public", string(stack), nil)
+	if code != http.StatusCreated || !strings.Contains(body, `"layers": 2`) {
+		t.Fatalf("register view: %d %s", code, body)
+	}
+
+	// Materialized view over the current snapshot.
+	code, hdr, got := do(t, "GET", ts.URL+"/docs/parts/views/public", "", nil)
+	if code != http.StatusOK {
+		t.Fatalf("view: %d %s", code, got)
+	}
+	if strings.Contains(got, "<price>") || strings.Contains(got, "<country>") {
+		t.Fatalf("view leaked hidden elements: %s", got)
+	}
+	if hdr.Get("X-Xtq-Version") != "1" {
+		t.Fatal("view must carry the snapshot version")
+	}
+
+	// Composed user query over the view (single pass, no layer
+	// materialized — the handler reports nodes visited).
+	code, hdr, got = do(t, "GET",
+		ts.URL+"/docs/parts/views/public?q="+
+			"for+$x+in+/db/part/supplier+return+%3Centry%3E%7B$x/sname%7D%3C/entry%3E", "", nil)
+	if code != http.StatusOK || !strings.Contains(got, "<sname>HP</sname>") {
+		t.Fatalf("composed view query: %d %s", code, got)
+	}
+	if hdr.Get("X-Xtq-Nodes-Visited") == "" {
+		t.Fatal("composed query must report stats")
+	}
+
+	// The view tracks updates: delete a supplier, the view follows.
+	do(t, "POST", ts.URL+"/docs/parts/update",
+		`transform copy $a := doc("parts") modify do delete $a//supplier[sname = "HP"] return $a`, nil)
+	_, hdr, got = do(t, "GET", ts.URL+"/docs/parts/views/public", "", nil)
+	if strings.Contains(got, "HP") || hdr.Get("X-Xtq-Version") != "2" {
+		t.Fatalf("view did not follow the update: v=%s %s", hdr.Get("X-Xtq-Version"), got)
+	}
+
+	code, _, body = do(t, "GET", ts.URL+"/views", "", nil)
+	if code != http.StatusOK || !strings.Contains(body, `"public"`) {
+		t.Fatalf("list views: %d %s", code, body)
+	}
+	if code, _, _ := do(t, "DELETE", ts.URL+"/views/public", "", nil); code != http.StatusNoContent {
+		t.Fatalf("delete view: %d", code)
+	}
+	if code, _, _ := do(t, "GET", ts.URL+"/docs/parts/views/public", "", nil); code != http.StatusNotFound {
+		t.Fatalf("view after delete: %d", code)
+	}
+}
+
+func TestErrorStatuses(t *testing.T) {
+	ts := newTestServer(t)
+	do(t, "PUT", ts.URL+"/docs/d", testDoc, nil)
+
+	cases := []struct {
+		name, method, path, body string
+		want                     int
+	}{
+		{"missing doc query", "POST", "/docs/none/query", `transform copy $a := doc("d") modify do delete $a//x return $a`, 404},
+		{"missing doc get", "GET", "/docs/none", "", 404},
+		{"malformed query", "POST", "/docs/d/query", "not a query", 400},
+		{"empty query", "POST", "/docs/d/query", "", 400},
+		{"outside fragment", "POST", "/docs/d/query", `transform copy $a := doc("d") modify do delete $a/part/@id return $a`, 422},
+		{"malformed update", "POST", "/docs/d/update", "nope", 400},
+		{"malformed ingest", "PUT", "/docs/bad", "<db><open>", 400},
+		{"bad view body", "PUT", "/views/v", "not json", 400},
+		{"missing view", "GET", "/docs/d/views/none", "", 404},
+		{"unknown method", "POST", "/docs/d/query?method=bogus", `transform copy $a := doc("d") modify do delete $a//x return $a`, 400},
+		{"method combined with stream", "POST", "/docs/d/query?method=naive&stream=1", `transform copy $a := doc("d") modify do delete $a//x return $a`, 400},
+	}
+	for _, tc := range cases {
+		code, _, body := do(t, tc.method, ts.URL+tc.path, tc.body, nil)
+		if code != tc.want {
+			t.Errorf("%s: status %d (want %d): %s", tc.name, code, tc.want, body)
+		}
+	}
+}
+
+// TestStreamErrorBeforeOutputReportsStatus pins that a streaming query
+// failing before any byte is written returns a real error status, not
+// 200 with an empty body: with a nanosecond request timeout the
+// evaluation dies before the sink's first flush, so the handler can
+// still report 504.
+func TestStreamErrorBeforeOutputReportsStatus(t *testing.T) {
+	st := xtq.NewStore(nil)
+	ts := httptest.NewServer(newServer(st, time.Nanosecond, 1<<20))
+	defer ts.Close()
+	// Ingest through a store handle directly: the HTTP ingest would also
+	// be killed by the nanosecond timeout.
+	if _, _, err := st.Put(t.Context(), "d", xtq.FromString(testDoc)); err != nil {
+		t.Fatal(err)
+	}
+	code, _, body := do(t, "POST", ts.URL+"/docs/d/query?stream=1",
+		`transform copy $a := doc("d") modify do delete $a//price return $a`, nil)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("stream under expired deadline: %d %q, want 504", code, body)
+	}
+	if !strings.Contains(body, `"kind"`) {
+		t.Fatalf("no error body: %q", body)
+	}
+}
+
+// TestConcurrentHTTP hammers the server with parallel readers and one
+// writer — the serving-layer version of the store's isolation tests.
+func TestConcurrentHTTP(t *testing.T) {
+	ts := newTestServer(t)
+	do(t, "PUT", ts.URL+"/docs/d", testDoc, nil)
+	q := `transform copy $a := doc("d") modify do rename $a//supplier as vendor return $a`
+	up := `transform copy $a := doc("d") modify do insert <audit/> into $a/db/part return $a`
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				code, _, body := do(t, "POST", ts.URL+"/docs/d/query", q, nil)
+				if code != http.StatusOK {
+					panic(fmt.Sprintf("reader: %d %s", code, body))
+				}
+			}
+		}()
+	}
+	for i := 0; i < 15; i++ {
+		code, _, body := do(t, "POST", ts.URL+"/docs/d/update", up, nil)
+		if code != http.StatusOK {
+			t.Errorf("writer: %d %s", code, body)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	_, hdr, _ := do(t, "GET", ts.URL+"/docs/d", "", nil)
+	if hdr.Get("X-Xtq-Version") != "16" {
+		t.Fatalf("final version = %s, want 16", hdr.Get("X-Xtq-Version"))
+	}
+}

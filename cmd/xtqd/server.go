@@ -1,0 +1,462 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"xtq"
+	"xtq/internal/sax"
+)
+
+// server routes HTTP requests onto one xtq.Store. All handlers are
+// stateless beyond the store and safe for concurrent use; every request
+// runs under a per-request timeout and is aborted at node/SAX-event
+// granularity when the client disconnects.
+type server struct {
+	st      *xtq.Store
+	timeout time.Duration
+	maxBody int64
+	// engines serves the ?method= override of the query endpoint: one
+	// long-lived engine per evaluation method, each with its own query
+	// cache, built up front so request handling never constructs one.
+	engines map[string]*xtq.Engine
+}
+
+func newServer(st *xtq.Store, timeout time.Duration, maxBody int64) http.Handler {
+	s := &server{st: st, timeout: timeout, maxBody: maxBody, engines: make(map[string]*xtq.Engine)}
+	for _, m := range xtq.Methods() {
+		if m == st.Engine().Method() {
+			s.engines[string(m)] = st.Engine()
+		} else {
+			s.engines[string(m)] = xtq.NewEngine(xtq.WithMethod(m))
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /docs", s.handleListDocs)
+	mux.HandleFunc("PUT /docs/{name}", s.handlePutDoc)
+	mux.HandleFunc("GET /docs/{name}", s.handleGetDoc)
+	mux.HandleFunc("DELETE /docs/{name}", s.handleDeleteDoc)
+	mux.HandleFunc("POST /docs/{name}/query", s.handleQuery)
+	mux.HandleFunc("POST /docs/{name}/update", s.handleUpdate)
+	mux.HandleFunc("GET /docs/{name}/views/{view}", s.handleDocView)
+	mux.HandleFunc("GET /views", s.handleListViews)
+	mux.HandleFunc("PUT /views/{view}", s.handlePutView)
+	mux.HandleFunc("DELETE /views/{view}", s.handleDeleteView)
+	return mux
+}
+
+// ctx derives the per-request evaluation context: the client
+// disconnecting or the server timeout elapsing cancels the in-flight
+// parse/evaluation promptly.
+func (s *server) ctx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.timeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.timeout)
+}
+
+// docMeta is the JSON shape of one document in listings and write
+// responses.
+type docMeta struct {
+	Name    string `json:"name"`
+	Version uint64 `json:"version"`
+	Nodes   int    `json:"nodes"`
+}
+
+// commitMeta is the JSON shape of a successful write.
+type commitMeta struct {
+	docMeta
+	CopiedNodes    int   `json:"copied_nodes"`
+	CopiedBytes    int64 `json:"copied_bytes"`
+	SharedWithPrev int   `json:"shared_with_prev,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError maps the xtq error taxonomy onto HTTP statuses. Unknown
+// errors are 500s; the typed kinds keep query authors (4xx) apart from
+// operational failures (5xx).
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	kind := "internal"
+	var xe *xtq.Error
+	if errors.As(err, &xe) {
+		kind = xe.Kind.String()
+		switch xe.Kind {
+		case xtq.KindParse:
+			status = http.StatusBadRequest
+		case xtq.KindCompile:
+			status = http.StatusUnprocessableEntity
+		case xtq.KindNotFound:
+			status = http.StatusNotFound
+		case xtq.KindConflict:
+			status = http.StatusConflict
+		case xtq.KindEval:
+			if errors.Is(err, context.DeadlineExceeded) {
+				status = http.StatusGatewayTimeout
+			}
+		case xtq.KindIO:
+			// Oversized ingests surface as IO errors wrapping the
+			// http.MaxBytesError the limited reader produced.
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				status = http.StatusRequestEntityTooLarge
+			}
+		}
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error(), "kind": kind})
+}
+
+// readBody returns the request body as a string, bounded by maxBody.
+func (s *server) readBody(w http.ResponseWriter, r *http.Request) (string, error) {
+	b, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return "", &xtq.Error{Kind: xtq.KindIO, Err: err}
+		}
+		return "", &xtq.Error{Kind: xtq.KindIO, Msg: "xtqd: reading request body", Err: err}
+	}
+	return string(b), nil
+}
+
+// trackingWriter records whether any byte reached the underlying
+// writer, so streaming handlers know if an error can still become a
+// proper HTTP status or only a truncated body.
+type trackingWriter struct {
+	w     io.Writer
+	wrote bool
+}
+
+func (t *trackingWriter) Write(p []byte) (int, error) {
+	if len(p) > 0 {
+		t.wrote = true
+	}
+	return t.w.Write(p)
+}
+
+func versionHeaders(w http.ResponseWriter, snap *xtq.Snapshot) {
+	v := strconv.FormatUint(snap.Version(), 10)
+	w.Header().Set("ETag", `"`+v+`"`)
+	w.Header().Set("X-Xtq-Version", v)
+}
+
+// baseVersion extracts the optimistic-concurrency base from If-Match
+// (ETag syntax: a quoted version) or X-Xtq-Base-Version. Zero means
+// unconditional — including `If-Match: *`, RFC 9110's "any current
+// representation", whose existence check the store performs anyway.
+func baseVersion(r *http.Request) (uint64, error) {
+	raw := r.Header.Get("X-Xtq-Base-Version")
+	if im := strings.TrimSpace(r.Header.Get("If-Match")); im != "" {
+		if im == "*" {
+			return 0, nil
+		}
+		raw = strings.Trim(im, `"`)
+	}
+	if raw == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil || v == 0 {
+		return 0, &xtq.Error{Kind: xtq.KindParse, Msg: fmt.Sprintf("xtqd: bad base version %q", raw)}
+	}
+	return v, nil
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "docs": s.st.Len()})
+}
+
+func (s *server) handleListDocs(w http.ResponseWriter, r *http.Request) {
+	names := s.st.Names()
+	docs := make([]docMeta, 0, len(names))
+	for _, name := range names {
+		if snap, err := s.st.Snapshot(name); err == nil {
+			docs = append(docs, docMeta{Name: name, Version: snap.Version(), Nodes: snap.NumNodes()})
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"docs": docs})
+}
+
+func (s *server) handlePutDoc(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.ctx(r)
+	defer cancel()
+	name := r.PathValue("name")
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	snap, com, err := s.st.Put(ctx, name, xtq.FromReader(body))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	versionHeaders(w, snap)
+	status := http.StatusCreated
+	if com.Version > 1 {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, commitMeta{
+		docMeta:     docMeta{Name: name, Version: com.Version, Nodes: snap.NumNodes()},
+		CopiedNodes: com.CopiedNodes,
+		CopiedBytes: com.CopiedBytes,
+	})
+}
+
+func (s *server) handleGetDoc(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.st.Snapshot(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	versionHeaders(w, snap)
+	w.Header().Set("Content-Type", "application/xml")
+	snap.WriteXML(w)
+}
+
+func (s *server) handleDeleteDoc(w http.ResponseWriter, r *http.Request) {
+	if !s.st.Remove(r.PathValue("name")) {
+		writeError(w, &xtq.Error{Kind: xtq.KindNotFound, Msg: "xtqd: no document " + strconv.Quote(r.PathValue("name"))})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleQuery evaluates a transform query read from the body against
+// the current snapshot of the document, streaming the result document
+// through the Sink layer. ?method= overrides the engine's in-memory
+// method; ?stream=1 uses the two-pass SAX evaluator instead, emitting
+// output as it goes. Note that over an in-memory snapshot the streaming
+// evaluator's two input passes each read a fresh serialization of the
+// tree (Snapshot.Open), so stream=1 trades extra transient allocation
+// for never materializing the result tree — its O(depth) guarantee is
+// about evaluation state, not about the already-resident document.
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.ctx(r)
+	defer cancel()
+	src, err := s.readBody(w, r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if strings.TrimSpace(src) == "" {
+		writeError(w, &xtq.Error{Kind: xtq.KindParse, Msg: "xtqd: empty query body"})
+		return
+	}
+	snap, err := s.st.Snapshot(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	eng := s.st.Engine()
+	if m := r.URL.Query().Get("method"); m != "" {
+		if r.URL.Query().Get("stream") == "1" {
+			// stream=1 always evaluates with twoPassSAX; silently
+			// ignoring an explicit in-memory method would hand the
+			// client a different evaluator than it asked to verify.
+			writeError(w, &xtq.Error{Kind: xtq.KindParse,
+				Msg: "xtqd: method= cannot be combined with stream=1 (streaming always uses the twoPassSAX evaluator)"})
+			return
+		}
+		if _, err := xtq.ParseMethod(m); err != nil {
+			// The unknown-method error is KindEval (it normally means a
+			// misconfigured engine); here it is a client-supplied query
+			// parameter, so surface it as a 400, not a 500.
+			msg := err.Error()
+			var ie *xtq.Error
+			if errors.As(err, &ie) && ie.Msg != "" {
+				msg = ie.Msg
+			}
+			writeError(w, &xtq.Error{Kind: xtq.KindParse, Msg: msg, Err: err})
+			return
+		}
+		eng = s.engines[m]
+	}
+	p, err := eng.Prepare(src)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+
+	if r.URL.Query().Get("stream") == "1" {
+		versionHeaders(w, snap)
+		w.Header().Set("Content-Type", "application/xml")
+		// The sink buffers, so a failure before the first flush (a bad
+		// evaluation, the timeout expiring mid-pass) can still report a
+		// proper status; once bytes are on the wire a truncated body is
+		// all a failure can leave behind.
+		tw := &trackingWriter{w: w}
+		if _, err := p.EvalStream(ctx, snap, xtq.ToWriter(tw)); err != nil {
+			if !tw.wrote {
+				w.Header().Del("Content-Type")
+				writeError(w, err)
+			}
+			return
+		}
+		return
+	}
+
+	res, err := p.Eval(ctx, snap)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeResult(w, snap, res)
+}
+
+// writeResult serializes a result tree to the response through the Sink
+// layer, stamping the snapshot version it was computed over. An Emit
+// failure mid-write can only leave a truncated body (the status already
+// went out with the first flush), so it is not separately reported.
+func writeResult(w http.ResponseWriter, snap *xtq.Snapshot, res *xtq.Node) {
+	versionHeaders(w, snap)
+	w.Header().Set("Content-Type", "application/xml")
+	sink := xtq.ToWriter(w)
+	if err := sax.Emit(res, sink.Handler()); err != nil {
+		return
+	}
+	sink.Flush()
+}
+
+// handleUpdate commits the update query in the body. If-Match: "v"
+// (or X-Xtq-Base-Version: v) makes the commit conditional — 409 when
+// the base version was superseded.
+func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.ctx(r)
+	defer cancel()
+	src, err := s.readBody(w, r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if strings.TrimSpace(src) == "" {
+		writeError(w, &xtq.Error{Kind: xtq.KindParse, Msg: "xtqd: empty update body"})
+		return
+	}
+	base, err := baseVersion(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	name := r.PathValue("name")
+	var (
+		snap *xtq.Snapshot
+		com  xtq.Commit
+	)
+	if base != 0 {
+		snap, com, err = s.st.ApplyAt(ctx, name, src, base)
+	} else {
+		snap, com, err = s.st.Apply(ctx, name, src)
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	versionHeaders(w, snap)
+	writeJSON(w, http.StatusOK, commitMeta{
+		docMeta:        docMeta{Name: name, Version: com.Version, Nodes: snap.NumNodes()},
+		CopiedNodes:    com.CopiedNodes,
+		CopiedBytes:    com.CopiedBytes,
+		SharedWithPrev: com.SharedWithPrev,
+	})
+}
+
+// handleDocView serves a registered view stack over the current
+// snapshot: materialized by default, or — with ?q= — answering a user
+// query composed with the stack in a single pass (no layer
+// materialized).
+func (s *server) handleDocView(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.ctx(r)
+	defer cancel()
+	snap, err := s.st.Snapshot(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	v, err := s.st.LookupView(r.PathValue("view"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+
+	var res *xtq.Node
+	if q := r.URL.Query().Get("q"); q != "" {
+		pv, err := v.Prepare(q)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		out, stats, err := pv.Eval(ctx, snap)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("X-Xtq-Nodes-Visited", strconv.Itoa(stats.NodesVisited))
+		res = out
+	} else {
+		out, err := v.Materialize(ctx, snap)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		res = out
+	}
+	writeResult(w, snap, res)
+}
+
+// viewMeta is the JSON shape of one registered view.
+type viewMeta struct {
+	Name   string `json:"name"`
+	Layers int    `json:"layers"`
+}
+
+func (s *server) handleListViews(w http.ResponseWriter, r *http.Request) {
+	names := s.st.ViewNames()
+	views := make([]viewMeta, 0, len(names))
+	for _, name := range names {
+		if v, err := s.st.LookupView(name); err == nil {
+			views = append(views, viewMeta{Name: name, Layers: v.Layers()})
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"views": views})
+}
+
+// handlePutView registers a view stack: the body is a JSON array of
+// transform query strings, innermost layer first.
+func (s *server) handlePutView(w http.ResponseWriter, r *http.Request) {
+	body, err := s.readBody(w, r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var stack []string
+	if err := json.Unmarshal([]byte(body), &stack); err != nil {
+		writeError(w, &xtq.Error{Kind: xtq.KindParse, Msg: "xtqd: view body must be a JSON array of transform queries: " + err.Error()})
+		return
+	}
+	v, err := s.st.RegisterView(r.PathValue("view"), stack...)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, viewMeta{Name: r.PathValue("view"), Layers: v.Layers()})
+}
+
+func (s *server) handleDeleteView(w http.ResponseWriter, r *http.Request) {
+	if !s.st.RemoveView(r.PathValue("view")) {
+		writeError(w, &xtq.Error{Kind: xtq.KindNotFound, Msg: "xtqd: no view " + strconv.Quote(r.PathValue("view"))})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

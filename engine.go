@@ -7,6 +7,7 @@ import (
 
 	"xtq/internal/core"
 	"xtq/internal/sax"
+	"xtq/internal/store"
 )
 
 // DefaultQueryCacheSize is the compiled-query cache capacity of an Engine
@@ -242,6 +243,11 @@ func (e *Engine) ViewCacheStats() (hits, misses uint64, size int) {
 func (e *Engine) parse(ctx context.Context, src Source) (*Node, error) {
 	if n, ok := src.(*Node); ok {
 		return n, nil
+	}
+	if sn, ok := src.(*store.Snapshot); ok {
+		// Unwrap the sealed tree directly — the store's lock-free read
+		// path — instead of serializing and re-parsing through Open.
+		return sn.Root(), nil
 	}
 	r, err := src.Open()
 	if err != nil {

@@ -21,6 +21,8 @@ import (
 //		case xtq.KindCompile: // query outside the supported fragment
 //		case xtq.KindEval:    // evaluation failed or was cancelled
 //		case xtq.KindIO:      // source/sink failure
+//		case xtq.KindNotFound: // store document/view does not exist
+//		case xtq.KindConflict: // optimistic store commit lost the race
 //		}
 //	}
 //
@@ -42,6 +44,11 @@ const (
 	KindEval = xerr.Eval
 	// KindIO marks source and sink failures.
 	KindIO = xerr.IO
+	// KindNotFound marks store lookups of unknown documents or views.
+	KindNotFound = xerr.NotFound
+	// KindConflict marks optimistic store commits whose base version was
+	// superseded by a concurrent writer (Store.ApplyAt; If-Match in xtqd).
+	KindConflict = xerr.Conflict
 )
 
 // classify maps an arbitrary error onto the taxonomy, attaching position

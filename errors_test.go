@@ -175,6 +175,56 @@ func TestErrorTaxonomy(t *testing.T) {
 			},
 			kind: KindIO,
 		},
+		{
+			name: "store: missing document",
+			run: func() error {
+				_, err := NewStore(eng).Snapshot("nope")
+				return err
+			},
+			kind: KindNotFound,
+		},
+		{
+			name: "store: missing view",
+			run: func() error {
+				_, err := NewStore(eng).LookupView("nope")
+				return err
+			},
+			kind: KindNotFound,
+		},
+		{
+			name: "store: stale conditional commit",
+			run: func() error {
+				st := NewStore(eng)
+				if _, _, err := st.Put(ctx, "d", FromString("<db><price>1</price></db>")); err != nil {
+					return err
+				}
+				if _, _, err := st.Apply(ctx, "d", validQuery); err != nil {
+					return err
+				}
+				_, _, err := st.ApplyAt(ctx, "d", validQuery, 1)
+				return err
+			},
+			kind: KindConflict,
+		},
+		{
+			name: "store: in-place update of a sealed snapshot",
+			run: func() error {
+				st := NewStore(eng)
+				if _, _, err := st.Put(ctx, "d", FromString("<db><price>1</price></db>")); err != nil {
+					return err
+				}
+				snap, err := st.Snapshot("d")
+				if err != nil {
+					return err
+				}
+				q, err := ParseQuery(validQuery)
+				if err != nil {
+					return err
+				}
+				return q.Update.Apply(snap.Root())
+			},
+			kind: KindEval,
+		},
 	}
 
 	for _, tc := range cases {

@@ -1,0 +1,97 @@
+package xtq_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"xtq"
+)
+
+// ExampleStore_Apply commits XQU updates through the store: each Apply
+// evaluates the update copy-on-write over the current snapshot and
+// publishes the result as the next version, while ApplyAt adds
+// If-Match-style optimistic concurrency.
+func ExampleStore_Apply() {
+	ctx := context.Background()
+	st := xtq.NewStore(nil)
+
+	_, _, err := st.Put(ctx, "parts", xtq.FromString(
+		`<db><part><pname>keyboard</pname><price>15</price></part></db>`))
+	if err != nil {
+		panic(err)
+	}
+
+	snap, com, err := st.Apply(ctx, "parts",
+		`transform copy $a := doc("parts") modify do delete $a//price return $a`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("version %d: %s\n", com.Version, snap.Root())
+
+	// A conditional update against the version we just saw succeeds ...
+	if _, _, err = st.ApplyAt(ctx, "parts",
+		`transform copy $a := doc("parts") modify do insert <audit/> into $a/db/part return $a`,
+		snap.Version()); err != nil {
+		panic(err)
+	}
+	// ... but re-running it against the now-stale version conflicts.
+	_, _, err = st.ApplyAt(ctx, "parts",
+		`transform copy $a := doc("parts") modify do insert <audit/> into $a/db/part return $a`,
+		snap.Version())
+	var xe *xtq.Error
+	if errors.As(err, &xe) {
+		fmt.Println("stale commit:", xe.Kind)
+	}
+	// Output:
+	// version 2: <db><part><pname>keyboard</pname></part></db>
+	// stale commit: conflict
+}
+
+// ExampleStore_Snapshot shows reader isolation: a snapshot handle keeps
+// serving its committed version — evaluable by any Prepared query —
+// while writers move the document forward.
+func ExampleStore_Snapshot() {
+	ctx := context.Background()
+	st := xtq.NewStore(nil)
+
+	if _, _, err := st.Put(ctx, "parts", xtq.FromString(
+		`<db><part><pname>mouse</pname><price>9</price></part></db>`)); err != nil {
+		panic(err)
+	}
+
+	before, err := st.Snapshot("parts")
+	if err != nil {
+		panic(err)
+	}
+
+	// A writer deletes every price after the reader took its handle.
+	if _, _, err := st.Apply(ctx, "parts",
+		`transform copy $a := doc("parts") modify do delete $a//price return $a`); err != nil {
+		panic(err)
+	}
+	after, err := st.Snapshot("parts")
+	if err != nil {
+		panic(err)
+	}
+
+	// Snapshots are Sources: evaluate a prepared query over each.
+	p, err := st.Engine().Prepare(
+		`transform copy $a := doc("parts") modify do rename $a/db/part as row return $a`)
+	if err != nil {
+		panic(err)
+	}
+	v1, err := p.Eval(ctx, before)
+	if err != nil {
+		panic(err)
+	}
+	v2, err := p.Eval(ctx, after)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("v%d: %s\n", before.Version(), v1)
+	fmt.Printf("v%d: %s\n", after.Version(), v2)
+	// Output:
+	// v1: <db><row><pname>mouse</pname><price>9</price></row></db>
+	// v2: <db><row><pname>mouse</pname></row></db>
+}

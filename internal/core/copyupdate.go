@@ -22,11 +22,15 @@ func EvalCopyUpdate(ctx context.Context, c *Compiled, doc *tree.Node) (*tree.Nod
 	if ctx != nil && ctx.Err() != nil {
 		return nil, xerr.Wrap(xerr.Eval, ctx.Err())
 	}
-	// Index the private snapshot so Apply's selected-set membership is a
-	// dense ordinal bitset instead of a pointer map.
+	// Index the private snapshot so the update's selected-set membership
+	// is a dense ordinal bitset instead of a pointer map. The deep copy
+	// shares no nodes with anything, so the sealed-ownership guard of
+	// the public Update.Apply is skipped: applyPrivate saves a full
+	// traversal per evaluation on this benchmarked baseline.
 	tree.EnsureIndex(snapshot)
-	if err := c.Query.Update.Apply(snapshot); err != nil {
+	if err := c.Query.Update.Validate(); err != nil {
 		return nil, err
 	}
+	c.Query.Update.applyPrivate(snapshot)
 	return snapshot, nil
 }

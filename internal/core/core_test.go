@@ -2,12 +2,14 @@ package core
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
 
 	"xtq/internal/sax"
 	"xtq/internal/tree"
+	"xtq/internal/xerr"
 	"xtq/internal/xpath"
 )
 
@@ -456,5 +458,105 @@ func TestSharedSubtreeReindexSafety(t *testing.T) {
 		if !tree.Equal(again, first) {
 			t.Fatalf("%s after re-indexing: got %s, want %s", m, again, first)
 		}
+	}
+}
+
+// TestApplySealedSnapshotFailsFast pins the store-snapshot counterpart
+// of TestSharedSubtreeReindexSafety: Update.Apply on a document that is
+// — or shares subtrees with — a sealed snapshot must fail with a typed
+// error before any mutation, instead of corrupting the snapshot's
+// lock-free readers and silently degrading them by dropping the index.
+func TestApplySealedSnapshotFailsFast(t *testing.T) {
+	d := doc(t)
+	snapRoot, _, _ := tree.SnapshotCopy(d, nil)
+	snapXML := snapRoot.String()
+
+	u := &Update{Op: Delete, Path: xpath.MustParse(`//price`)}
+
+	// Directly on the sealed root.
+	err := u.Apply(snapRoot)
+	var xe *xerr.Error
+	if !errors.As(err, &xe) || xe.Kind != xerr.Eval {
+		t.Fatalf("Apply(sealed) = %v, want *xerr.Error kind eval", err)
+	}
+	if snapRoot.String() != snapXML {
+		t.Fatal("failed Apply mutated the sealed snapshot")
+	}
+	if ix := tree.IndexOf(snapRoot); ix == nil || !ix.Sealed() {
+		t.Fatal("failed Apply disturbed the sealed index")
+	}
+
+	// On a tree that shares subtrees with the snapshot: the structural
+	// sharing shape a topDown result over a snapshot has.
+	c := compile(t, `transform copy $a := doc("foo") modify do delete $a//supplier[country = "A"]/price return $a`)
+	shared, err := c.Eval(snapRoot, MethodTopDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.SharedNodes(snapRoot, shared) == 0 {
+		t.Fatal("precondition: result shares no nodes with the snapshot")
+	}
+	err = u.Apply(shared)
+	if !errors.As(err, &xe) || xe.Kind != xerr.Eval {
+		t.Fatalf("Apply(sharing tree) = %v, want *xerr.Error kind eval", err)
+	}
+	if snapRoot.String() != snapXML {
+		t.Fatal("failed Apply mutated the snapshot through a sharing tree")
+	}
+
+	// A private deep copy severs the sharing and updates fine — the
+	// copy-and-update baseline over snapshots keeps working.
+	priv := shared.DeepCopy()
+	if err := u.Apply(priv); err != nil {
+		t.Fatalf("Apply(deep copy) = %v", err)
+	}
+	if snapRoot.String() != snapXML {
+		t.Fatal("updating a deep copy mutated the snapshot")
+	}
+}
+
+// TestEvalOverSealedSharingTree pins that all methods still agree when
+// evaluating a tree that shares subtrees with a sealed snapshot: the
+// sharing nodes stay owned by the snapshot (no stealing), so the
+// evaluators must take their slow paths there instead of reading foreign
+// ordinals.
+func TestEvalOverSealedSharingTree(t *testing.T) {
+	d := doc(t)
+	snapRoot, _, _ := tree.SnapshotCopy(d, nil)
+
+	c := compile(t, `transform copy $a := doc("foo") modify do delete $a//supplier[country = "A"]/price return $a`)
+	shared, err := c.Eval(snapRoot, MethodTopDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.SharedNodes(snapRoot, shared) == 0 {
+		t.Fatal("precondition: no structural sharing")
+	}
+
+	// Evaluate a second query over the sharing tree with every method;
+	// EnsureIndex(shared) skips the sealed subtrees, so OrdOf misses
+	// there and the slow paths must carry the evaluation.
+	c2 := compile(t, `transform copy $a := doc("foo") modify do rename $a//supplier[country = "US"] as vendor return $a`)
+	results := evalAllMethods(t, c2, shared)
+	assertAllEqual(t, results)
+
+	// The snapshot still owns every one of its nodes.
+	ix := tree.IndexOf(snapRoot)
+	if ix == nil || !ix.Sealed() {
+		t.Fatal("snapshot index lost")
+	}
+	count := 0
+	var walk func(n *tree.Node)
+	walk = func(n *tree.Node) {
+		if ix.Contains(n) {
+			count++
+		}
+		for _, ch := range n.Children {
+			walk(ch)
+		}
+	}
+	walk(snapRoot)
+	if count != ix.NumNodes {
+		t.Fatalf("snapshot owns %d of %d nodes after sharing-tree evaluation", count, ix.NumNodes)
 	}
 }

@@ -127,10 +127,31 @@ func (u *Update) String(v string) string {
 // over node ordinals; otherwise a pointer map is used. The mutation
 // invalidates any index the document carried (structure and labels
 // change), so the index is dropped and the next evaluation re-indexes.
+//
+// A document that is — or shares subtrees with — a sealed store snapshot
+// is rejected up front with a typed Eval error: mutating nodes a live
+// snapshot owns would corrupt its lock-free readers, and dropping the
+// index afterwards would silently degrade them at best. Commit updates
+// through the store (which evaluates the transform copy-on-write)
+// instead of mutating a snapshot in place.
 func (u *Update) Apply(doc *tree.Node) error {
 	if err := u.Validate(); err != nil {
 		return err
 	}
+	if ix := tree.SealedOwner(doc); ix != nil {
+		return xerr.New(xerr.Eval, "",
+			"core: in-place update on a tree sharing nodes with a sealed snapshot (%d nodes); apply the update through the store instead",
+			ix.NumNodes)
+	}
+	u.applyPrivate(doc)
+	return nil
+}
+
+// applyPrivate is Apply after validation and the sealed-ownership guard:
+// the fast path for callers that constructed doc themselves this instant
+// (EvalCopyUpdate's deep copy can never share sealed nodes, so scanning
+// it on every evaluation would tax the baseline for nothing).
+func (u *Update) applyPrivate(doc *tree.Node) {
 	var selected func(*tree.Node) bool
 	if ix := tree.IndexOf(doc); ix != nil {
 		sel := make([]bool, ix.NumNodes)
@@ -155,7 +176,6 @@ func (u *Update) Apply(doc *tree.Node) error {
 	}
 	applyInPlace(doc, selected, u)
 	tree.DropIndex(doc)
-	return nil
 }
 
 func applyInPlace(n *tree.Node, selected func(*tree.Node) bool, u *Update) {

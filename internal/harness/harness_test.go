@@ -219,3 +219,38 @@ func TestMeasurePeakHeap(t *testing.T) {
 		t.Errorf("peak = %d, expected to observe the 8 MB allocation", peak)
 	}
 }
+
+func TestStoreSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping factor-0.01 store sweep in -short mode")
+	}
+	var out strings.Builder
+	New(fastOpts(&out, t)).Store()
+	s := out.String()
+	for _, want := range []string{"Store sweep", "readers", "reads/s", "commit ms", "copied MB/commit"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("store sweep output missing %q:\n%s", want, s)
+		}
+	}
+	if rows := strings.Split(strings.TrimSpace(s), "\n"); len(rows) < 8 {
+		t.Errorf("store sweep should print 5 data rows:\n%s", s)
+	}
+}
+
+func TestBenchJSONIncludesStoreRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping bench sweep in -short mode")
+	}
+	var out strings.Builder
+	r := New(fastOpts(&out, t))
+	var buf strings.Builder
+	if err := r.BenchJSON(&buf, 0.002); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{`"store/read/U2"`, `"store/commit/rename-items"`, `"copied-B/op"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("bench JSON missing %q", want)
+		}
+	}
+}

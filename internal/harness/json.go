@@ -12,6 +12,7 @@ import (
 	"xtq/internal/queries"
 	"xtq/internal/sax"
 	"xtq/internal/saxeval"
+	"xtq/internal/store"
 )
 
 // BenchResult is one machine-readable measurement of the -json sweep.
@@ -23,6 +24,9 @@ type BenchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Extra carries custom b.ReportMetric values (e.g. the store commit
+	// sweep's "copied-B/op" snapshot-copy volume).
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // BenchReport is the machine-readable sweep emitted by `xbench -json`:
@@ -45,13 +49,20 @@ type BenchReport struct {
 var benchQueries = []int{2, 4, 7, 10}
 
 func toResult(name string, r testing.BenchmarkResult) BenchResult {
-	return BenchResult{
+	out := BenchResult{
 		Name:        name,
 		N:           r.N,
 		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 		AllocsPerOp: r.AllocsPerOp(),
 		BytesPerOp:  r.AllocedBytesPerOp(),
 	}
+	if len(r.Extra) > 0 {
+		out.Extra = make(map[string]float64, len(r.Extra))
+		for k, v := range r.Extra {
+			out.Extra[k] = v
+		}
+	}
+	return out
 }
 
 // BenchJSON runs the machine-readable sweep at the given factor and writes
@@ -132,6 +143,52 @@ func (r *Runner) BenchJSON(w io.Writer, factor float64) error {
 			for i := 0; i < b.N; i++ {
 				_, _, err := plan.Eval(r.opts.Context, doc)
 				r.check(err)
+			}
+		})
+	}
+
+	// Store rows: the snapshot read path (compare with topdown/U2 — the
+	// same evaluation over the same corpus as a plain tree; the
+	// acceptance bar is within 10%) and the copy-on-write commit path
+	// with its snapshot-copy volume.
+	if !r.stopped() {
+		st := store.New()
+		if _, _, err := st.Put("d", doc.DeepCopy(), true); err != nil {
+			return err
+		}
+		readC, err := queries.Compile(2)
+		if err != nil {
+			return err
+		}
+		writeA, writeB, err := StoreWriteQueries()
+		if err != nil {
+			return err
+		}
+		add("store/read/U2", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				snap, err := st.Snapshot("d")
+				if err != nil {
+					panic(err)
+				}
+				_, err = readC.EvalContext(r.opts.Context, snap.Root(), core.MethodTopDown)
+				r.check(err)
+			}
+		})
+		add("store/commit/rename-items", func(b *testing.B) {
+			b.ReportAllocs()
+			var copied int64
+			for i := 0; i < b.N; i++ {
+				writeC := writeA
+				if i%2 == 1 {
+					writeC = writeB
+				}
+				_, com, err := st.Apply(r.opts.Context, "d", writeC, core.MethodTopDown)
+				r.check(err)
+				copied += com.CopiedBytes
+			}
+			if b.N > 0 {
+				b.ReportMetric(float64(copied)/float64(b.N), "copied-B/op")
 			}
 		})
 	}

@@ -1,0 +1,200 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xtq/internal/core"
+	"xtq/internal/queries"
+	"xtq/internal/store"
+	"xtq/internal/tree"
+	"xtq/internal/xpath"
+)
+
+// StoreWriteQueries returns the alternating pair of rename updates the
+// store measurements commit: the first renames every /site/regions//item
+// to item_, the second renames them back. Alternating keeps the work
+// and the snapshot-copy volume of every commit identical — an
+// insert-based writer would grow the corpus with each commit and skew
+// latency over the run.
+func StoreWriteQueries() (a, b *core.Compiled, err error) {
+	qa := &core.Query{Var: "a", Doc: "xmark", Update: core.Update{
+		Op: core.Rename, Path: xpath.MustParse(`/site/regions//item`), Label: "item_"}}
+	qb := &core.Query{Var: "a", Doc: "xmark", Update: core.Update{
+		Op: core.Rename, Path: xpath.MustParse(`/site/regions//item_`), Label: "item"}}
+	if a, err = qa.Compile(); err != nil {
+		return nil, nil, err
+	}
+	if b, err = qb.Compile(); err != nil {
+		return nil, nil, err
+	}
+	return a, b, nil
+}
+
+// storeCell is one measured configuration of the store sweep.
+type storeCell struct {
+	readers        int
+	withWriter     bool
+	readsPerSec    float64
+	commitsPerSec  float64
+	commitMeanMs   float64
+	copiedMBCommit float64
+}
+
+// Store runs the store throughput sweep (`xbench -store`): N concurrent
+// readers evaluating a prepared query over lock-free snapshots of a
+// factor-0.01 XMark corpus while one writer commits copy-on-write
+// updates, reporting aggregate reads/sec, commit latency and
+// snapshot-copy volume. The single-reader no-writer row is the plain
+// evaluation baseline the acceptance criterion compares against: the
+// snapshot hot path must stay within a few percent of it.
+func (r *Runner) Store() {
+	const (
+		factor  = 0.01
+		perCell = 300 * time.Millisecond
+	)
+	doc := r.Doc(factor)
+	readC, err := queries.Compile(2)
+	r.check(err)
+	writeA, writeB, err := StoreWriteQueries()
+	r.check(err)
+
+	fmt.Fprintf(r.opts.Out, "Store sweep: factor %.2f (%d nodes), read=U2 insert transform, write=alternating //item renames, %s per cell\n",
+		factor, doc.Size(), perCell)
+
+	var rows [][]string
+	for _, cfg := range []struct {
+		readers    int
+		withWriter bool
+	}{
+		{1, false},
+		{1, true},
+		{2, true},
+		{4, true},
+		{8, true},
+	} {
+		if r.stopped() {
+			break
+		}
+		cell := r.measureStoreCell(doc, readC, writeA, writeB, cfg.readers, cfg.withWriter, perCell)
+		if r.stopped() {
+			// Ctrl-C truncated the cell: its counters cover a partial
+			// window (and reads that died with cancellation), so drop
+			// the in-flight row instead of printing bogus numbers —
+			// same contract as the figure sweeps.
+			break
+		}
+		writer := "-"
+		commits := "-"
+		latency := "-"
+		copied := "-"
+		if cfg.withWriter {
+			writer = "1"
+			commits = fmt.Sprintf("%.1f", cell.commitsPerSec)
+			latency = fmt.Sprintf("%.2f", cell.commitMeanMs)
+			copied = fmt.Sprintf("%.2f", cell.copiedMBCommit)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", cell.readers),
+			writer,
+			fmt.Sprintf("%.0f", cell.readsPerSec),
+			fmt.Sprintf("%.0f", cell.readsPerSec/float64(cell.readers)),
+			commits,
+			latency,
+			copied,
+		})
+	}
+	table(r.opts.Out, []string{"readers", "writer", "reads/s", "reads/s/reader", "commits/s", "commit ms", "copied MB/commit"}, rows)
+}
+
+// measureStoreCell runs one configuration: readers evaluate over
+// snapshots in a tight loop for the cell duration; the optional writer
+// applies updates back-to-back. The store is rebuilt per cell so commit
+// history does not accumulate across cells.
+func (r *Runner) measureStoreCell(doc *tree.Node, readC, writeA, writeB *core.Compiled, readers int, withWriter bool, d time.Duration) storeCell {
+	st := store.New()
+	if _, _, err := st.Put("d", doc.DeepCopy(), true); err != nil {
+		panic(err)
+	}
+	ctx := r.opts.Context
+
+	var (
+		reads       atomic.Int64
+		commits     atomic.Int64
+		commitNanos atomic.Int64
+		copiedBytes atomic.Int64
+		wg          sync.WaitGroup
+	)
+	stop := make(chan struct{})
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap, err := st.Snapshot("d")
+				if err != nil {
+					panic(err)
+				}
+				_, err = readC.EvalContext(ctx, snap.Root(), core.MethodTopDown)
+				r.check(err)
+				reads.Add(1)
+			}
+		}()
+	}
+	if withWriter {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				writeC := writeA
+				if i%2 == 1 {
+					writeC = writeB
+				}
+				start := time.Now()
+				_, com, err := st.Apply(ctx, "d", writeC, core.MethodTopDown)
+				r.check(err)
+				if err != nil {
+					return
+				}
+				commitNanos.Add(int64(time.Since(start)))
+				commits.Add(1)
+				copiedBytes.Add(com.CopiedBytes)
+			}
+		}()
+	}
+
+	start := time.Now()
+	timer := time.NewTimer(d)
+	select {
+	case <-timer.C:
+	case <-ctx.Done():
+		timer.Stop()
+	}
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	cell := storeCell{
+		readers:     readers,
+		withWriter:  withWriter,
+		readsPerSec: float64(reads.Load()) / elapsed,
+	}
+	if n := commits.Load(); withWriter && n > 0 {
+		cell.commitsPerSec = float64(n) / elapsed
+		cell.commitMeanMs = float64(commitNanos.Load()) / float64(n) / 1e6
+		cell.copiedMBCommit = float64(copiedBytes.Load()) / float64(n) / 1e6
+	}
+	return cell
+}

@@ -1,0 +1,141 @@
+package store
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"xtq/internal/core"
+	"xtq/internal/xmark"
+)
+
+func benchDoc(b *testing.B) *Store {
+	b.Helper()
+	doc, err := xmark.Generate(xmark.Config{Factor: 0.01, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := New()
+	if _, _, err := st.Put("d", doc, true); err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+func benchCompile(b *testing.B, src string) *core.Compiled {
+	b.Helper()
+	c, err := core.MustParseQuery(src).Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+const benchRead = `transform copy $a := doc("d") modify do delete $a/site/people/person[@id = "person10"] return $a`
+const benchWrite = `transform copy $a := doc("d") modify do insert <audit/> into $a/site/people/person return $a`
+
+// BenchmarkSnapshotRead is the store's read hot path: snapshot lookup
+// plus one prepared evaluation, single goroutine. Compare with
+// BenchmarkPlainEval — the acceptance bar is within 10%.
+func BenchmarkSnapshotRead(b *testing.B) {
+	st := benchDoc(b)
+	c := benchCompile(b, benchRead)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, err := st.Snapshot("d")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.EvalContext(ctx, snap.Root(), core.MethodTopDown); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlainEval is the baseline: the same evaluation over the same
+// document held as a plain tree outside any store.
+func BenchmarkPlainEval(b *testing.B) {
+	doc, err := xmark.Generate(xmark.Config{Factor: 0.01, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := benchCompile(b, benchRead)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.EvalContext(ctx, doc, core.MethodTopDown); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreReaders8Writer1 is the serving shape: 8 concurrent
+// readers evaluating over snapshots while one writer commits updates.
+// b.N counts reads; the writer commits continuously in the background.
+func BenchmarkStoreReaders8Writer1(b *testing.B) {
+	st := benchDoc(b)
+	read := benchCompile(b, benchRead)
+	write := benchCompile(b, benchWrite)
+	ctx := context.Background()
+
+	stop := make(chan struct{})
+	var writerDone sync.WaitGroup
+	writerDone.Add(1)
+	go func() {
+		defer writerDone.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, _, err := st.Apply(ctx, "d", write, core.MethodTopDown); err != nil {
+				panic(err)
+			}
+		}
+	}()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.SetParallelism(8)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			snap, err := st.Snapshot("d")
+			if err != nil {
+				panic(err)
+			}
+			if _, err := read.EvalContext(ctx, snap.Root(), core.MethodTopDown); err != nil {
+				panic(err)
+			}
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	writerDone.Wait()
+}
+
+// BenchmarkStoreCommit measures one copy-on-write commit: evaluate the
+// update over the current snapshot, snapshot-copy the result, publish.
+func BenchmarkStoreCommit(b *testing.B) {
+	st := benchDoc(b)
+	write := benchCompile(b, benchWrite)
+	ctx := context.Background()
+	var copied atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, com, err := st.Apply(ctx, "d", write, core.MethodTopDown)
+		if err != nil {
+			b.Fatal(err)
+		}
+		copied.Add(com.CopiedBytes)
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(copied.Load())/float64(b.N), "copied-B/op")
+	}
+}

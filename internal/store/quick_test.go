@@ -1,0 +1,206 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"xtq/internal/core"
+	"xtq/internal/tree"
+	"xtq/internal/xmark"
+)
+
+// randomUpdates builds a reproducible random sequence of XQU update
+// queries over the XMark vocabulary: every op kind, child and descendant
+// paths, with and without qualifiers.
+func randomUpdates(t *testing.T, rng *rand.Rand, n int) []*core.Compiled {
+	t.Helper()
+	paths := []string{
+		`$a/site/people/person`,
+		`$a/site/regions//item`,
+		`$a/site/open_auctions/open_auction/bidder`,
+		`$a/site//description`,
+		`$a/site/people/person[profile/age > 20]`,
+		`$a/site/closed_auctions/closed_auction/annotation`,
+	}
+	out := make([]*core.Compiled, 0, n)
+	for i := 0; i < n; i++ {
+		p := paths[rng.Intn(len(paths))]
+		var u string
+		switch rng.Intn(4) {
+		case 0:
+			u = fmt.Sprintf(`insert <patch><n>p%d</n></patch> into %s`, i, p)
+		case 1:
+			u = fmt.Sprintf(`delete %s`, p)
+		case 2:
+			u = fmt.Sprintf(`replace %s with <stub><n>r%d</n></stub>`, p, i)
+		default:
+			u = fmt.Sprintf(`rename %s as relabeled%d`, p, i%3)
+		}
+		src := fmt.Sprintf(`transform copy $a := doc("d") modify do %s return $a`, u)
+		c, err := core.MustParseQuery(src).Compile()
+		if err != nil {
+			t.Fatalf("compile %s: %v", src, err)
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// TestSnapshotIsolationQuick interleaves a random XQU update sequence
+// with concurrent readers and asserts every reader observes exactly one
+// committed version: each snapshot renders byte-identically to the
+// sequential replay of the commit log at that version — never a torn
+// mix of two versions, never an uncommitted state. Run under -race in
+// CI, this is the store's isolation property test.
+func TestSnapshotIsolationQuick(t *testing.T) {
+	const (
+		updates = 40
+		readers = 6
+	)
+	rng := rand.New(rand.NewSource(4))
+	base, err := xmark.Generate(xmark.Config{Factor: 0.002, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := randomUpdates(t, rng, updates)
+
+	// Oracle: sequential replay on a private tree, one rendering per
+	// version. Version 1 is the ingest.
+	oracle := make(map[uint64]string, updates+1)
+	cur := base.DeepCopy()
+	oracle[1] = cur.String()
+	ctx := context.Background()
+	for i, c := range seq {
+		next, err := c.EvalContext(ctx, cur, core.MethodTopDown)
+		if err != nil {
+			t.Fatalf("oracle update %d: %v", i, err)
+		}
+		cur = next
+		oracle[uint64(i+2)] = cur.String()
+	}
+
+	// Live run: one writer commits the same sequence through the store
+	// while readers continuously snapshot and render.
+	st := New()
+	if _, _, err := st.Put("d", base, true); err != nil {
+		t.Fatal(err)
+	}
+
+	type obs struct {
+		version uint64
+		xml     string
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		observed []obs
+	)
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastV uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap, err := st.Snapshot("d")
+				if err != nil {
+					panic(err)
+				}
+				if snap.Version() < lastV {
+					panic("version went backwards within one reader")
+				}
+				lastV = snap.Version()
+				mu.Lock()
+				observed = append(observed, obs{snap.Version(), snap.Root().String()})
+				mu.Unlock()
+			}
+		}()
+	}
+
+	for i, c := range seq {
+		snap, _, err := st.Apply(ctx, "d", c, core.MethodTopDown)
+		if err != nil {
+			t.Fatalf("apply update %d: %v", i, err)
+		}
+		if snap.Version() != uint64(i+2) {
+			t.Fatalf("commit %d produced version %d", i, snap.Version())
+		}
+		// Pace the writer so reader observations interleave with the
+		// commit sequence instead of all landing on the final version
+		// (commits are fast; the race detector slows readers more).
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	final, _ := st.Snapshot("d")
+	if final.Root().String() != oracle[final.Version()] {
+		t.Fatal("final store state diverges from sequential replay")
+	}
+
+	versionsSeen := make(map[uint64]bool)
+	for _, o := range observed {
+		want, ok := oracle[o.version]
+		if !ok {
+			t.Fatalf("reader observed version %d, which was never committed", o.version)
+		}
+		if o.xml != want {
+			t.Fatalf("reader observed a state that is not the committed version %d", o.version)
+		}
+		versionsSeen[o.version] = true
+	}
+	if len(observed) == 0 || len(versionsSeen) < 2 {
+		t.Fatalf("readers observed %d snapshots over %d distinct versions; too few to mean anything",
+			len(observed), len(versionsSeen))
+	}
+}
+
+// TestSnapshotEvalMatchesPlainEval pins read-path equivalence: a query
+// evaluated against a store snapshot returns the same result as against
+// a plain document — the snapshot machinery changes where the tree
+// lives, not what queries see.
+func TestSnapshotEvalMatchesPlainEval(t *testing.T) {
+	base, err := xmark.Generate(xmark.Config{Factor: 0.002, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := base.DeepCopy()
+	st := New()
+	if _, _, err := st.Put("d", base, true); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := st.Snapshot("d")
+
+	for _, src := range []string{
+		`transform copy $a := doc("d") modify do delete $a/site/people/person[profile/age > 20] return $a`,
+		`transform copy $a := doc("d") modify do insert <flag/> into $a/site/regions//item return $a`,
+		`transform copy $a := doc("d") modify do rename $a/site//description as blurb return $a`,
+	} {
+		c, err := core.MustParseQuery(src).Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range core.Methods() {
+			got, err := c.EvalContext(context.Background(), snap.Root(), m)
+			if err != nil {
+				t.Fatalf("%s over snapshot: %v", m, err)
+			}
+			want, err := c.EvalContext(context.Background(), plain, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !tree.Equal(got, want) {
+				t.Fatalf("%s: snapshot result diverges from plain result for %s", m, src)
+			}
+		}
+	}
+}

@@ -1,0 +1,320 @@
+// Package store implements a goroutine-safe, versioned, in-memory XML
+// document store — the write path that turns transform queries from a
+// query device into the update mechanism of a live corpus (the dual of
+// the paper's central move, and the substrate the xtqd serving layer
+// runs on).
+//
+// Named documents are held as immutable, indexed, sealed snapshots
+// (tree.SnapshotCopy / tree.Seal). Readers obtain a *Snapshot via an
+// atomic pointer load and evaluate compiled queries and composition
+// plans against it with zero locking on the hot path: a sealed index is
+// served by tree.EnsureIndex without the package mutex, and nothing ever
+// mutates or re-stamps a sealed tree. Writers commit XQU updates
+// copy-on-write: the update's transform query is evaluated over the
+// current snapshot (structural sharing, input untouched), the result is
+// adopted into a fresh sealed snapshot, and the new snapshot is
+// published with a compare-and-swap on the per-document version chain —
+// optimistic concurrency whose losers either retry (Apply) or surface a
+// typed conflict error (ApplyAt).
+package store
+
+import (
+	"context"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"xtq/internal/core"
+	"xtq/internal/tree"
+	"xtq/internal/xerr"
+)
+
+// Snapshot is one immutable committed version of a named document.
+// Snapshots are safe for unlimited concurrent readers, never change
+// after publication, and remain valid (and evaluable) after newer
+// versions are committed or the document is removed — a reader holding
+// a handle is isolated from every later write.
+type Snapshot struct {
+	name    string
+	version uint64
+	root    *tree.Node
+	ix      *tree.Index
+}
+
+// Name returns the document name the snapshot was committed under.
+func (s *Snapshot) Name() string { return s.name }
+
+// Version returns the snapshot's version: 1 for the first ingest of a
+// name, incremented by every committed update or re-ingest.
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// Root returns the snapshot's document node. The tree is sealed: treat
+// it as strictly read-only (in-place mutation is rejected by
+// core.Update.Apply, and evaluators never modify their input).
+func (s *Snapshot) Root() *tree.Node { return s.root }
+
+// Index returns the snapshot's sealed index.
+func (s *Snapshot) Index() *tree.Index { return s.ix }
+
+// Open serializes the snapshot, making *Snapshot a Source: the
+// streaming evaluator (which reads its input twice) can run over a
+// snapshot like over a file. In-memory evaluation never goes through
+// Open — the engine unwraps the tree directly.
+func (s *Snapshot) Open() (io.ReadCloser, error) { return s.root.Open() }
+
+// WriteXML serializes the snapshot to w.
+func (s *Snapshot) WriteXML(w io.Writer) error { return s.root.WriteXML(w) }
+
+// NumNodes returns the number of nodes in the snapshot.
+func (s *Snapshot) NumNodes() int { return s.ix.NumNodes }
+
+// Commit describes one successful write: the snapshot it produced and
+// what the copy-on-write adoption cost.
+type Commit struct {
+	// Version of the snapshot the write produced.
+	Version uint64
+	// CopiedNodes and CopiedBytes are the size of the snapshot copy the
+	// commit performed — zero for a no-op update (nothing matched: the
+	// new version shares the predecessor's whole tree) and for adopted
+	// ingests.
+	CopiedNodes int
+	CopiedBytes int64
+	// SharedWithPrev counts result nodes the update's evaluation reused
+	// from the previous snapshot before adoption copied them — the
+	// "touches only the relevant region" number: the copy-on-write
+	// evaluation only built the difference.
+	SharedWithPrev int
+}
+
+// docState is the per-name version chain head. The pointer is the whole
+// synchronization story of the read path: Store.Snapshot is one map
+// read plus one atomic load, and a published *Snapshot is immutable.
+type docState struct {
+	cur atomic.Pointer[Snapshot]
+	// removed is set (under the store lock) when the name is deleted, so
+	// an in-flight optimistic commit that raced with the removal can
+	// detect that its CAS landed in an unreachable chain.
+	removed atomic.Bool
+}
+
+// Store is a named collection of versioned documents. The zero value is
+// not usable; construct with New. A Store is safe for concurrent use.
+type Store struct {
+	mu   sync.RWMutex
+	docs map[string]*docState
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{docs: make(map[string]*docState)}
+}
+
+func notFound(name string) error {
+	return xerr.New(xerr.NotFound, "", "store: no document %q", name)
+}
+
+func conflict(name string, base, cur uint64) error {
+	return xerr.New(xerr.Conflict, "", "store: %q version %d superseded (current %d)", name, base, cur)
+}
+
+// lookup returns the state of name, or nil.
+func (st *Store) lookup(name string) *docState {
+	st.mu.RLock()
+	ds := st.docs[name]
+	st.mu.RUnlock()
+	return ds
+}
+
+// Snapshot returns the current committed version of name. The fast path
+// is one read-locked map access and one atomic load; the returned
+// handle is immune to later writes.
+func (st *Store) Snapshot(name string) (*Snapshot, error) {
+	ds := st.lookup(name)
+	if ds == nil {
+		return nil, notFound(name)
+	}
+	snap := ds.cur.Load()
+	if snap == nil {
+		return nil, notFound(name)
+	}
+	return snap, nil
+}
+
+// Names returns the stored document names, unordered.
+func (st *Store) Names() []string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]string, 0, len(st.docs))
+	for name := range st.docs {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Len returns the number of stored documents.
+func (st *Store) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.docs)
+}
+
+// Remove deletes name, reporting whether it existed. Readers holding
+// snapshot handles are unaffected; an optimistic commit racing with the
+// removal fails with a not-found error rather than committing into an
+// unreachable chain.
+func (st *Store) Remove(name string) bool {
+	st.mu.Lock()
+	ds := st.docs[name]
+	if ds != nil {
+		ds.removed.Store(true)
+		delete(st.docs, name)
+	}
+	st.mu.Unlock()
+	return ds != nil
+}
+
+// state returns the docState for name, creating it if absent.
+func (st *Store) state(name string) *docState {
+	if ds := st.lookup(name); ds != nil {
+		return ds
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if ds := st.docs[name]; ds != nil {
+		return ds
+	}
+	ds := &docState{}
+	st.docs[name] = ds
+	return ds
+}
+
+// Put commits doc as the next version of name, creating the document at
+// version 1 when the name is new. When adopt is true the store takes
+// ownership of doc directly — the caller must hand over a private,
+// fully-built tree (e.g. one it just parsed) and never touch it again;
+// the tree's index is sealed in place, skipping the snapshot copy.
+// When adopt is false doc is snapshot-copied, so the caller keeps
+// ownership of its tree.
+func (st *Store) Put(name string, doc *tree.Node, adopt bool) (*Snapshot, Commit, error) {
+	if doc == nil {
+		return nil, Commit{}, xerr.New(xerr.Eval, "", "store: nil document for %q", name)
+	}
+	var (
+		root *tree.Node
+		ix   *tree.Index
+		cs   tree.CopyStats
+	)
+	owner := tree.SealedOwner(doc)
+	if adopt && owner == nil {
+		root = doc
+		ix = tree.Seal(doc)
+	} else {
+		// Either the caller keeps ownership, or the "private" tree shares
+		// nodes with a sealed snapshot (it was not private after all):
+		// copy in both cases. A sealed owner (e.g. re-ingesting another
+		// snapshot) seeds the symbol table, so its labels keep their ids
+		// and the copy walk skips the intern lookups.
+		root, ix, cs = tree.SnapshotCopy(doc, owner)
+	}
+	ds := st.state(name)
+	for {
+		old := ds.cur.Load()
+		next := &Snapshot{name: name, version: 1, root: root, ix: ix}
+		if old != nil {
+			next.version = old.version + 1
+		}
+		if !ds.cur.CompareAndSwap(old, next) {
+			continue
+		}
+		if ds.removed.Load() {
+			return nil, Commit{}, notFound(name)
+		}
+		return next, Commit{Version: next.version, CopiedNodes: cs.Nodes, CopiedBytes: cs.Bytes}, nil
+	}
+}
+
+// Apply commits the compiled update query c against the current version
+// of name: the transform is evaluated copy-on-write over the snapshot
+// (which concurrent readers keep using, untouched), the result is
+// adopted into a fresh sealed snapshot, and the version chain head is
+// advanced by CAS. A writer that loses the race re-evaluates against
+// the winner's snapshot and tries again — Apply itself never returns a
+// conflict. Use ApplyAt for compare-and-set semantics against a version
+// the caller has seen.
+func (st *Store) Apply(ctx context.Context, name string, c *core.Compiled, m core.Method) (*Snapshot, Commit, error) {
+	return st.apply(ctx, name, c, m, 0)
+}
+
+// ApplyAt is Apply with optimistic concurrency surfaced: the commit
+// only succeeds if the current version still equals base; otherwise a
+// typed error of kind Conflict reports the version that superseded it,
+// and the caller decides whether to re-read and retry.
+func (st *Store) ApplyAt(ctx context.Context, name string, c *core.Compiled, m core.Method, base uint64) (*Snapshot, Commit, error) {
+	if base == 0 {
+		return nil, Commit{}, xerr.New(xerr.Conflict, "", "store: ApplyAt requires a base version (got 0)")
+	}
+	return st.apply(ctx, name, c, m, base)
+}
+
+func (st *Store) apply(ctx context.Context, name string, c *core.Compiled, m core.Method, base uint64) (*Snapshot, Commit, error) {
+	ds := st.lookup(name)
+	if ds == nil {
+		return nil, Commit{}, notFound(name)
+	}
+	for {
+		snap := ds.cur.Load()
+		if snap == nil || ds.removed.Load() {
+			return nil, Commit{}, notFound(name)
+		}
+		if base != 0 && snap.version != base {
+			return nil, Commit{}, conflict(name, base, snap.version)
+		}
+
+		out, err := c.EvalContext(ctx, snap.root, m)
+		if err != nil {
+			return nil, Commit{}, err
+		}
+
+		var (
+			next = &Snapshot{name: name, version: snap.version + 1}
+			com  = Commit{Version: snap.version + 1}
+		)
+		// A no-op update commits zero-copy: the new version shares the old
+		// tree (sealed snapshots are immutable, so sharing root and index
+		// across versions is safe). topDown and twoPass signal "nothing
+		// matched" by returning the input itself; the other evaluators
+		// always build a fresh root, so for them a structural comparison
+		// (early-exit on the first difference, cheaper than the copy it
+		// saves) keeps the zero-copy semantics method-independent.
+		noop := out == snap.root
+		if !noop && m != core.MethodTopDown && m != core.MethodTwoPass {
+			noop = tree.Equal(out, snap.root)
+		}
+		if noop {
+			next.root, next.ix = snap.root, snap.ix
+		} else {
+			var cs tree.CopyStats
+			next.root, next.ix, cs = tree.SnapshotCopy(out, snap.ix)
+			com.CopiedNodes, com.CopiedBytes = cs.Nodes, cs.Bytes
+			com.SharedWithPrev = cs.SharedWithBase
+		}
+
+		if !ds.cur.CompareAndSwap(snap, next) {
+			// Another writer committed first. With CAS semantics that is
+			// the caller's conflict; without, re-evaluate on the new head.
+			if base != 0 {
+				cur := ds.cur.Load()
+				var curV uint64
+				if cur != nil {
+					curV = cur.version
+				}
+				return nil, Commit{}, conflict(name, base, curV)
+			}
+			continue
+		}
+		if ds.removed.Load() {
+			return nil, Commit{}, notFound(name)
+		}
+		return next, com, nil
+	}
+}

@@ -19,6 +19,13 @@ import "sync"
 // non-members, so evaluators degrade to their slow paths instead of
 // reading another document's ordinals. Do not index a tree concurrently
 // with evaluations over another tree that shares nodes with it.
+//
+// A sealed Index (see Seal and SnapshotCopy) is the exception to the
+// stealing rule: its nodes are permanently owned — indexing a tree that
+// shares subtrees with a sealed document skips those subtrees instead of
+// stealing them, and DropIndex is a no-op. Sealing is what makes
+// versioned store snapshots safe to read without locks while other trees
+// are being indexed.
 type Index struct {
 	// Root is the document node the index was built from.
 	Root *Node
@@ -29,7 +36,17 @@ type Index struct {
 	// NumNodes is the number of nodes numbered: ordinals are
 	// 0..NumNodes-1, with the document node at 0.
 	NumNodes int
+	// sealed marks the index (and every node it owns) immutable: the
+	// nodes can never be re-stamped by a later indexing and the index can
+	// never be dropped. It is written only before the tree is published
+	// to other goroutines (Seal's contract), so the lock-free fast paths
+	// may read it without synchronization.
+	sealed bool
 }
+
+// Sealed reports whether the index is sealed — owned by an immutable
+// snapshot whose nodes can never be stolen or mutated.
+func (ix *Index) Sealed() bool { return ix.sealed }
 
 // indexMu serializes index construction and the cached-index check, so
 // concurrent evaluations of the same document build its index exactly
@@ -40,10 +57,13 @@ var indexMu sync.Mutex
 // IndexOf returns the document's current index, or nil when it was never
 // indexed (or its index was superseded).
 func IndexOf(doc *Node) *Index {
+	if ix := doc.idx.Load(); ix != nil && ix.sealed && ix.Root == doc {
+		return ix
+	}
 	indexMu.Lock()
 	defer indexMu.Unlock()
-	if doc.idx != nil && doc.idx.Root == doc {
-		return doc.idx
+	if ix := doc.idx.Load(); ix != nil && ix.Root == doc {
+		return ix
 	}
 	return nil
 }
@@ -51,11 +71,22 @@ func IndexOf(doc *Node) *Index {
 // EnsureIndex returns the document's index, building it on first use.
 // It is safe to call from concurrent evaluations of the same document;
 // see the Index comment for the sharing caveat.
+//
+// For members of a sealed snapshot the hot path is lock-free: a sealed
+// index is immutable and its nodes can never be re-stamped, so the
+// cached pointer is returned without taking the package mutex. This is
+// what lets any number of store readers evaluate against one snapshot
+// with zero lock traffic. (When doc is an interior node of a sealed
+// snapshot the owner's index is returned: its ordinals and symbols
+// remain valid for the subtree.)
 func EnsureIndex(doc *Node) *Index {
+	if ix := doc.idx.Load(); ix != nil && ix.sealed {
+		return ix
+	}
 	indexMu.Lock()
 	defer indexMu.Unlock()
-	if doc.idx != nil && doc.idx.Root == doc {
-		return doc.idx
+	if ix := doc.idx.Load(); ix != nil && (ix.Root == doc || ix.sealed) {
+		return ix
 	}
 	return indexWithLocked(doc, NewSymbols())
 }
@@ -64,14 +95,23 @@ func EnsureIndex(doc *Node) *Index {
 // passes the table it interned labels into while building, so the walk
 // reuses the Sym fields already stamped on the nodes. The caller must own
 // syms (no concurrent readers); the table is frozen once IndexWith
-// returns.
+// returns. When doc is already owned by a sealed index that index is
+// returned unchanged: sealed trees are never re-indexed.
 func IndexWith(doc *Node, syms *Symbols) *Index {
 	indexMu.Lock()
 	defer indexMu.Unlock()
+	if ix := doc.idx.Load(); ix != nil && ix.sealed {
+		return ix
+	}
 	return indexWithLocked(doc, syms)
 }
 
 func indexWithLocked(doc *Node, syms *Symbols) *Index {
+	if cur := doc.idx.Load(); cur != nil && cur.sealed {
+		// doc is (an interior node of) a sealed snapshot: nothing here
+		// may be restamped. The owner's index covers the subtree.
+		return cur
+	}
 	ix := &Index{Root: doc, Syms: syms}
 	// Iterative preorder walk: documents admitted by a generous
 	// WithMaxDepth must not overflow the goroutine stack here.
@@ -81,8 +121,16 @@ func indexWithLocked(doc *Node, syms *Symbols) *Index {
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
+		if cur := n.idx.Load(); cur != nil && cur.sealed {
+			// n (and, by construction, its whole subtree) is owned by a
+			// sealed snapshot. Stealing it would corrupt lock-free
+			// readers of that snapshot, so the subtree keeps its owner
+			// and this index simply does not cover it — OrdOf reports
+			// non-membership and evaluators use their slow paths there.
+			continue
+		}
 		n.ord = ord
-		n.idx = ix
+		n.idx.Store(ix)
 		ord++
 		if n.Kind == Element {
 			if !syms.covers(n.Sym, n.Label) {
@@ -98,7 +146,29 @@ func indexWithLocked(doc *Node, syms *Symbols) *Index {
 		}
 	}
 	ix.NumNodes = int(ord)
-	doc.idx = ix
+	doc.idx.Store(ix)
+	return ix
+}
+
+// Seal marks doc's index immutable, building the index first when doc
+// has none. A sealed document's nodes can never be stolen by a later
+// indexing, its index is never dropped, and EnsureIndex serves it
+// lock-free — the properties the versioned store relies on for its
+// snapshots.
+//
+// The caller must own doc exclusively: Seal is meant for the moment a
+// private, fully-built tree is about to be published (for example via an
+// atomic pointer), which is what makes the unsynchronized sealed reads
+// of the fast paths safe. Sealing a tree other goroutines already
+// evaluate is a data race.
+func Seal(doc *Node) *Index {
+	indexMu.Lock()
+	defer indexMu.Unlock()
+	ix := doc.idx.Load()
+	if ix == nil || ix.Root != doc {
+		ix = indexWithLocked(doc, NewSymbols())
+	}
+	ix.sealed = true
 	return ix
 }
 
@@ -130,7 +200,7 @@ func NewIndexBuilder(syms *Symbols, internAttrs bool) *IndexBuilder {
 // exactly the SAX event order of start tags and text runs).
 func (b *IndexBuilder) Add(n *Node) {
 	n.ord = b.next
-	n.idx = b.ix
+	n.idx.Store(b.ix)
 	b.next++
 	if n.Kind == Element {
 		if !b.syms.covers(n.Sym, n.Label) {
@@ -150,7 +220,7 @@ func (b *IndexBuilder) Finish(doc *Node) *Index {
 	b.ix.Root = doc
 	b.ix.NumNodes = int(b.next)
 	indexMu.Lock()
-	doc.idx = b.ix
+	doc.idx.Store(b.ix)
 	indexMu.Unlock()
 	return b.ix
 }
@@ -158,11 +228,16 @@ func (b *IndexBuilder) Finish(doc *Node) *Index {
 // DropIndex detaches doc's cached index, forcing the next EnsureIndex to
 // rebuild it. Callers that mutate an indexed tree in place (the
 // copy-and-update baseline) drop the index afterwards, since ordinals and
-// the symbol table no longer describe the mutated structure.
+// the symbol table no longer describe the mutated structure. Dropping a
+// sealed index is a no-op: sealed trees are immutable, so their index
+// never goes stale (and in-place mutation of them is rejected upstream).
 func DropIndex(doc *Node) {
 	indexMu.Lock()
 	defer indexMu.Unlock()
-	doc.idx = nil
+	if ix := doc.idx.Load(); ix != nil && ix.sealed {
+		return
+	}
+	doc.idx.Store(nil)
 }
 
 // OrdOf returns n's preorder ordinal and whether n is a member of this
@@ -170,14 +245,14 @@ func DropIndex(doc *Node) {
 // with a more recently indexed tree — report false, which the evaluators
 // treat as "use the slow path".
 func (ix *Index) OrdOf(n *Node) (int32, bool) {
-	if n.idx == ix {
+	if n.idx.Load() == ix {
 		return n.ord, true
 	}
 	return 0, false
 }
 
 // Contains reports membership of n in this index.
-func (ix *Index) Contains(n *Node) bool { return n.idx == ix }
+func (ix *Index) Contains(n *Node) bool { return n.idx.Load() == ix }
 
 // SymOf returns n's label symbol in this index's table. For members the
 // stamped Sym is trusted; foreign nodes (shared subtrees stolen by a more
@@ -186,7 +261,7 @@ func (ix *Index) Contains(n *Node) bool { return n.idx == ix }
 // Evaluators must use this, never a raw n.Sym, when stepping automata
 // bound to ix.Syms: symbol ids are only comparable within one table.
 func (ix *Index) SymOf(n *Node) SymID {
-	if n.idx == ix {
+	if n.idx.Load() == ix {
 		return n.Sym
 	}
 	return ix.Syms.Lookup(n.Label)

@@ -12,7 +12,10 @@
 // copy-and-update baseline, which always works on a private deep copy.
 package tree
 
-import "strings"
+import (
+	"strings"
+	"sync/atomic"
+)
 
 // Kind distinguishes the three node kinds of the model.
 type Kind uint8
@@ -61,9 +64,12 @@ type Node struct {
 
 	// ord and idx are the node's preorder ordinal and owning Index; they
 	// are stamped by indexing (see index.go) and read through
-	// Index.OrdOf, which validates ownership.
+	// Index.OrdOf, which validates ownership. idx is atomic so the
+	// sealed-snapshot fast path of EnsureIndex can read it without the
+	// package mutex while another tree that shares nodes is being
+	// indexed.
 	ord int32
-	idx *Index
+	idx atomic.Pointer[Index]
 }
 
 // NewDocument returns a document node holding root as its root element.

@@ -1,0 +1,126 @@
+package tree
+
+import "unsafe"
+
+// This file holds the copy-on-write helpers behind the versioned
+// document store: committing an update evaluates the transform over the
+// current snapshot (structural sharing, never mutating), then adopts the
+// result into a fresh, fully-owned, sealed snapshot with SnapshotCopy.
+// The shared subtrees must be copied — they are owned by the previous
+// snapshot's sealed index, which live lock-free readers are using — and
+// the copy is where a commit pays its Θ(|T|); CopyStats makes that cost
+// observable (the store's commit metrics and the xbench -store sweep
+// report it).
+
+// CopyStats reports the work of one SnapshotCopy.
+type CopyStats struct {
+	// Nodes is the number of nodes copied (every node of the new
+	// snapshot: snapshots never share nodes with their predecessors).
+	Nodes int
+	// Bytes approximates the heap bytes retained by the copy: the node
+	// structs plus attribute slices. Label and character-data strings
+	// are shared with the source (Go strings are immutable), so they are
+	// not counted.
+	Bytes int64
+	// SharedWithBase counts source nodes owned by the base index — for a
+	// commit, how much of the update's result the copy-on-write
+	// evaluation reused from the previous snapshot. Zero when no base
+	// was given.
+	SharedWithBase int
+}
+
+// nodeBytes is the approximate retained size of one copied node.
+const nodeBytes = int64(unsafe.Sizeof(Node{}))
+
+// attrBytes is the approximate retained size of one copied attribute.
+const attrBytes = int64(unsafe.Sizeof(Attr{}))
+
+// SnapshotCopy deep-copies the subtree rooted at src into a fresh tree
+// that shares no nodes with any other document, indexing and sealing it
+// in the same walk: every copied node is stamped with its preorder
+// ordinal, labels and attribute names are interned, and the resulting
+// index is sealed before it is returned — ready to be published (via an
+// atomic pointer) to lock-free readers.
+//
+// base, when non-nil, is the index of the document src derives from
+// (for a commit, the previous snapshot): its frozen symbol table is
+// cloned so symbols stamped on nodes copied from it keep their ids and
+// the walk skips the intern lookup for them, and the same pass counts
+// how many source nodes base owns (CopyStats.SharedWithBase).
+//
+// src itself is only read, never written, so it may share subtrees with
+// a live sealed snapshot (the intended input is exactly the structurally
+// sharing result of evaluating an update over one).
+func SnapshotCopy(src *Node, base *Index) (*Node, *Index, CopyStats) {
+	syms := NewSymbols()
+	if base != nil {
+		syms = base.Syms.Clone()
+	}
+	var stats CopyStats
+	ix := &Index{Syms: syms, sealed: true}
+	ord := int32(0)
+	stamp := func(n *Node) {
+		n.ord = ord
+		n.idx.Store(ix)
+		ord++
+		stats.Nodes++
+		stats.Bytes += nodeBytes + int64(len(n.Attrs))*attrBytes
+		if n.Kind == Element {
+			if !syms.covers(n.Sym, n.Label) {
+				n.Sym = syms.Intern(n.Label)
+			}
+			for i := range n.Attrs {
+				syms.Intern(n.Attrs[i].Name)
+			}
+		}
+	}
+
+	root := shallowCopy(src)
+	// Iterative walk mirroring DeepCopy, stamping each copy as it is
+	// popped with children pushed in reverse, so ordinals are assigned in
+	// strict preorder (document order) — the evaluators' ordinal-based
+	// anchoring and dedup rely on that order, not just on density.
+	type frame struct{ src, dst *Node }
+	stack := []frame{{src, root}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		stamp(f.dst)
+		if base != nil && f.src.idx.Load() == base {
+			stats.SharedWithBase++
+		}
+		if len(f.src.Children) == 0 {
+			continue
+		}
+		f.dst.Children = make([]*Node, len(f.src.Children))
+		stats.Bytes += int64(len(f.src.Children)) * int64(unsafe.Sizeof((*Node)(nil)))
+		for i := len(f.src.Children) - 1; i >= 0; i-- {
+			ch := f.src.Children[i]
+			c := shallowCopy(ch)
+			f.dst.Children[i] = c
+			stack = append(stack, frame{ch, c})
+		}
+	}
+	ix.Root = root
+	ix.NumNodes = int(ord)
+	return root, ix, stats
+}
+
+// SealedOwner scans the subtree rooted at doc and returns the sealed
+// index owning the first node it finds that belongs to one, or nil when
+// no node of the tree is part of a sealed snapshot. In-place mutation
+// (core's Update.Apply) uses it to fail fast instead of corrupting a
+// snapshot that live readers are evaluating against.
+func SealedOwner(doc *Node) *Index {
+	stack := make([]*Node, 0, 64)
+	stack = append(stack, doc)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if ix := n.idx.Load(); ix != nil && ix.sealed {
+			return ix
+		}
+		stack = append(stack, n.Children...)
+	}
+	return nil
+}

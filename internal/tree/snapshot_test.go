@@ -1,0 +1,255 @@
+package tree
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildTestDoc returns a small document built by hand (unindexed).
+func buildTestDoc() *Node {
+	return NewDocument(
+		NewElement("db",
+			NewElement("part",
+				NewElement("pname", NewText("widget")),
+				NewElement("price", NewText("9")).WithAttrs(Attr{Name: "cur", Value: "usd"}),
+			),
+			NewElement("part",
+				NewElement("pname", NewText("gadget")),
+			),
+		),
+	)
+}
+
+func TestSnapshotCopyStructureAndIndependence(t *testing.T) {
+	src := buildTestDoc()
+	EnsureIndex(src)
+
+	root, ix, stats := SnapshotCopy(src, nil)
+	if !Equal(src, root) {
+		t.Fatalf("copy differs: got %s want %s", root, src)
+	}
+	if SharedNodes(src, root) != 0 {
+		t.Fatal("snapshot copy shares nodes with its source")
+	}
+	if !ix.Sealed() {
+		t.Fatal("snapshot index not sealed")
+	}
+	if ix.Root != root {
+		t.Fatal("index root is not the copy")
+	}
+	if want := src.Size(); ix.NumNodes != want || stats.Nodes != want {
+		t.Fatalf("NumNodes=%d stats.Nodes=%d want %d", ix.NumNodes, stats.Nodes, want)
+	}
+	if stats.Bytes <= 0 {
+		t.Fatalf("stats.Bytes=%d, want > 0", stats.Bytes)
+	}
+	// The published index is the one EnsureIndex serves, lock-free.
+	if got := EnsureIndex(root); got != ix {
+		t.Fatal("EnsureIndex does not return the sealed index")
+	}
+	// The source document's own index is untouched.
+	if got := IndexOf(src); got == nil || got == ix {
+		t.Fatal("source index was disturbed by SnapshotCopy")
+	}
+}
+
+// TestSnapshotCopyPreorderOrdinals pins that ordinals are assigned in
+// strict document order: compose's anchoring and dedup rely on ordinal
+// comparisons meaning document-order comparisons.
+func TestSnapshotCopyPreorderOrdinals(t *testing.T) {
+	src := buildTestDoc()
+	root, ix, _ := SnapshotCopy(src, nil)
+	want := int32(0)
+	var walk func(n *Node)
+	var fail bool
+	walk = func(n *Node) {
+		ord, ok := ix.OrdOf(n)
+		if !ok || ord != want {
+			fail = true
+		}
+		want++
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	if fail {
+		t.Fatal("ordinals are not a preorder numbering")
+	}
+}
+
+func TestSnapshotCopyClonesBaseSymbols(t *testing.T) {
+	src := buildTestDoc()
+	baseIx := EnsureIndex(src)
+	root, ix, stats := SnapshotCopy(src, baseIx)
+	if stats.SharedWithBase != src.Size() {
+		t.Fatalf("SharedWithBase = %d, want %d (every source node is base-owned)",
+			stats.SharedWithBase, src.Size())
+	}
+	if ix.Syms == baseIx.Syms {
+		t.Fatal("snapshot shares the base symbol table instead of cloning it")
+	}
+	// Same names must keep their ids, so stamped Syms stay valid.
+	for _, name := range []string{"db", "part", "pname", "price", "cur"} {
+		if got, want := ix.Syms.Lookup(name), baseIx.Syms.Lookup(name); got != want || got == NoSym {
+			t.Fatalf("symbol %q: clone id %d, base id %d", name, got, want)
+		}
+	}
+	// New labels intern into the clone without touching the base.
+	el := root.Root()
+	el.Children = append(el.Children, NewElement("brandnew"))
+	// (mutating our private copy pre-publication is fine; re-walk interns)
+	if ix.Syms.Lookup("brandnew") != NoSym {
+		t.Fatal("unexpected interning") // sanity: not interned by append alone
+	}
+}
+
+// TestIndexingSkipsSealedSubtrees pins the no-stealing rule: indexing a
+// tree that shares subtrees with a sealed snapshot leaves the shared
+// nodes owned by the snapshot and simply does not cover them.
+func TestIndexingSkipsSealedSubtrees(t *testing.T) {
+	src := buildTestDoc()
+	snapRoot, snapIx, _ := SnapshotCopy(src, nil)
+
+	// Build a tree that shares the snapshot's first <part> subtree.
+	sharedPart := snapRoot.Root().Children[0]
+	mixed := NewDocument(NewElement("db", sharedPart, NewElement("extra")))
+
+	ix := EnsureIndex(mixed)
+	if ix == snapIx {
+		t.Fatal("EnsureIndex returned the sealed index for a different root")
+	}
+	// The shared subtree still belongs to the snapshot.
+	if !snapIx.Contains(sharedPart) {
+		t.Fatal("sealed node was stolen by re-indexing")
+	}
+	if _, ok := ix.OrdOf(sharedPart); ok {
+		t.Fatal("new index claims membership of a sealed node")
+	}
+	// Fresh nodes are covered.
+	extra := mixed.Root().Children[1]
+	if _, ok := ix.OrdOf(extra); !ok {
+		t.Fatal("fresh sibling of a sealed subtree was not indexed")
+	}
+	// And the snapshot's own lookups still work.
+	if _, ok := snapIx.OrdOf(sharedPart); !ok {
+		t.Fatal("sealed membership lost")
+	}
+}
+
+func TestEnsureIndexOnSealedInteriorReturnsOwner(t *testing.T) {
+	src := buildTestDoc()
+	snapRoot, snapIx, _ := SnapshotCopy(src, nil)
+	part := snapRoot.Root().Children[0]
+	if got := EnsureIndex(part); got != snapIx {
+		t.Fatalf("EnsureIndex(interior) = %p, want owner %p", got, snapIx)
+	}
+}
+
+func TestDropIndexIsNoOpOnSealed(t *testing.T) {
+	src := buildTestDoc()
+	root, ix, _ := SnapshotCopy(src, nil)
+	DropIndex(root)
+	if got := IndexOf(root); got != ix {
+		t.Fatal("DropIndex removed a sealed index")
+	}
+}
+
+func TestSealBuildsAndPins(t *testing.T) {
+	doc := buildTestDoc()
+	ix := Seal(doc)
+	if !ix.Sealed() || ix.Root != doc || ix.NumNodes != doc.Size() {
+		t.Fatalf("Seal: sealed=%v root-ok=%v nodes=%d", ix.Sealed(), ix.Root == doc, ix.NumNodes)
+	}
+	if EnsureIndex(doc) != ix {
+		t.Fatal("EnsureIndex rebuilt a sealed index")
+	}
+	// Sealing an already-indexed document seals that index in place.
+	doc2 := buildTestDoc()
+	pre := EnsureIndex(doc2)
+	if Seal(doc2) != pre {
+		t.Fatal("Seal rebuilt an existing owned index")
+	}
+	if !pre.Sealed() {
+		t.Fatal("existing index not sealed")
+	}
+}
+
+func TestSealedOwner(t *testing.T) {
+	plain := buildTestDoc()
+	if SealedOwner(plain) != nil {
+		t.Fatal("unindexed tree reported a sealed owner")
+	}
+	EnsureIndex(plain)
+	if SealedOwner(plain) != nil {
+		t.Fatal("unsealed indexed tree reported a sealed owner")
+	}
+
+	src := buildTestDoc()
+	snapRoot, snapIx, _ := SnapshotCopy(src, nil)
+	if SealedOwner(snapRoot) != snapIx {
+		t.Fatal("sealed root not detected")
+	}
+	// Sharing case: a fresh spine over a sealed subtree.
+	mixed := NewDocument(NewElement("wrap", snapRoot.Root().Children[0]))
+	if SealedOwner(mixed) != snapIx {
+		t.Fatal("sealed subtree under fresh spine not detected")
+	}
+}
+
+// TestSealedConcurrentEnsureWhileIndexingSharingTree is the race-detector
+// teeth of the sealed discipline: readers resolve a sealed snapshot's
+// index lock-free while another goroutine indexes a tree sharing nodes
+// with the snapshot. Without the sealed skip (or with a non-atomic idx
+// field) this test fails under -race.
+func TestSealedConcurrentEnsureWhileIndexingSharingTree(t *testing.T) {
+	src := buildTestDoc()
+	snapRoot, snapIx, _ := SnapshotCopy(src, nil)
+	part := snapRoot.Root().Children[0]
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for j := 0; j < 200; j++ {
+				if EnsureIndex(snapRoot) != snapIx {
+					panic("sealed index changed")
+				}
+				if _, ok := snapIx.OrdOf(part); !ok {
+					panic("sealed membership lost")
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		for j := 0; j < 50; j++ {
+			mixed := NewDocument(NewElement("db", part, NewElement("extra")))
+			EnsureIndex(mixed)
+		}
+	}()
+	close(start)
+	wg.Wait()
+}
+
+func TestSnapshotCopyDeepChain(t *testing.T) {
+	// A deep chain must not overflow the stack (iterative walk).
+	n := NewElement("leaf")
+	for i := 0; i < 100_000; i++ {
+		n = NewElement("e", n)
+	}
+	doc := NewDocument(n)
+	root, ix, stats := SnapshotCopy(doc, nil)
+	if ix.NumNodes != doc.Size() || stats.Nodes != ix.NumNodes {
+		t.Fatalf("NumNodes=%d size=%d", ix.NumNodes, doc.Size())
+	}
+	if !strings.HasPrefix(root.String(), "<e><e>") {
+		t.Fatal("unexpected serialization")
+	}
+}

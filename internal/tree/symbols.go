@@ -54,6 +54,22 @@ func (s *Symbols) InternBytes(b []byte) (SymID, string) {
 	return id, name
 }
 
+// Clone returns a private copy of the table assigning every existing
+// name the same id, so symbols stamped against the original stay valid
+// against the clone. Cloning is how a store commit derives the next
+// version's table from the frozen table of the previous snapshot: the
+// clone interns any labels the update introduced, then freezes in turn.
+func (s *Symbols) Clone() *Symbols {
+	c := &Symbols{
+		names: append([]string(nil), s.names...),
+		ids:   make(map[string]SymID, len(s.ids)+8),
+	}
+	for name, id := range s.ids {
+		c.ids[name] = id
+	}
+	return c
+}
+
 // Lookup returns the id of name, or NoSym when it was never interned.
 // Unlike Intern it never mutates the table, so it is safe on frozen
 // tables shared between goroutines.

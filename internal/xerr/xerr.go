@@ -31,6 +31,12 @@ const (
 	Eval
 	// IO covers failures opening, reading or writing sources and sinks.
 	IO
+	// NotFound covers lookups of documents or views that are not in a
+	// store.
+	NotFound
+	// Conflict covers optimistic-concurrency failures: a store commit
+	// whose base version was superseded by another writer.
+	Conflict
 )
 
 // String returns the kind's lower-case name.
@@ -44,6 +50,10 @@ func (k Kind) String() string {
 		return "eval"
 	case IO:
 		return "io"
+	case NotFound:
+		return "notfound"
+	case Conflict:
+		return "conflict"
 	default:
 		return "unknown"
 	}

@@ -1,0 +1,189 @@
+package xtq
+
+import (
+	"context"
+	"sort"
+	"strconv"
+	"sync"
+
+	"xtq/internal/store"
+)
+
+// Snapshot is one immutable committed version of a stored document: a
+// sealed, fully-indexed tree behind an atomic version chain. Any number
+// of goroutines evaluate Prepared queries and PreparedViews against a
+// Snapshot concurrently with zero locking on the hot path — a Snapshot
+// is a Source, so it goes wherever a document goes:
+//
+//	snap, err := st.Snapshot("parts")
+//	res, err := prepared.Eval(ctx, snap)        // lock-free, in-memory
+//	res, err := prepared.EvalStream(ctx, snap, sink) // O(depth) streaming
+//
+// A handle stays valid (and evaluable) after newer versions commit and
+// after the document is removed: readers are fully isolated from
+// writers.
+type Snapshot = store.Snapshot
+
+// Commit reports what one store write did: the version it produced and
+// the copy-on-write cost it paid (zero copied nodes for adopted ingests
+// and for updates that matched nothing).
+type Commit = store.Commit
+
+// Store is a goroutine-safe, versioned, in-memory XML document store —
+// update syntax as the write path of a live corpus. Documents are held
+// as immutable indexed snapshots; writers commit XQU update queries
+// copy-on-write with optimistic versioning, readers evaluate against
+// snapshot handles without locks:
+//
+//	st := xtq.NewStore(nil)
+//	_, _, err := st.Put(ctx, "parts", xtq.FileSource("parts.xml"))
+//	snap, com, err := st.Apply(ctx, "parts",
+//	    `transform copy $a := doc("parts") modify do delete $a//price return $a`)
+//	// com.Version == 2; version-1 readers are untouched.
+//
+// Apply always commits against the latest version (losing a race means
+// re-evaluating on the winner's snapshot); ApplyAt commits only if the
+// version the caller saw is still current, returning a KindConflict
+// error otherwise — HTTP If-Match semantics, which cmd/xtqd exposes
+// directly. Named view stacks registered with RegisterView serve
+// per-principal virtual views of any stored document.
+type Store struct {
+	eng *Engine
+	st  *store.Store
+
+	vmu   sync.RWMutex
+	views map[string]*View
+}
+
+// NewStore builds a store on top of eng, which compiles the update
+// queries Apply receives (sharing the engine's query cache) and parses
+// ingested sources. A nil eng uses a fresh default Engine.
+func NewStore(eng *Engine) *Store {
+	if eng == nil {
+		eng = NewEngine()
+	}
+	return &Store{eng: eng, st: store.New(), views: make(map[string]*View)}
+}
+
+// Engine returns the engine the store compiles and parses with.
+func (s *Store) Engine() *Engine { return s.eng }
+
+// Put parses src and commits it as the next version of name (version 1
+// when the name is new). A src the caller may still hold — an
+// already-parsed *Node or a *Snapshot — is deep-copied so the store
+// never aliases caller-visible state; sources the store parses itself
+// (files, bytes, readers) are adopted without a copy.
+func (s *Store) Put(ctx context.Context, name string, src Source) (*Snapshot, Commit, error) {
+	if n, ok := src.(*Node); ok {
+		snap, com, err := s.st.Put(name, n, false)
+		return snap, com, classify(err, KindEval)
+	}
+	// A *Snapshot source needs no branch of its own: parse unwraps it to
+	// its sealed root, and the store's adopt path detects the sealed
+	// owner and snapshot-copies (seeding the symbol table from it).
+	doc, err := s.eng.parse(ctx, src)
+	if err != nil {
+		return nil, Commit{}, err
+	}
+	snap, com, err := s.st.Put(name, doc, true)
+	return snap, com, classify(err, KindEval)
+}
+
+// Snapshot returns the current committed version of name — one
+// read-locked map access plus one atomic load — or a KindNotFound
+// error. The handle is immune to every later write.
+func (s *Store) Snapshot(name string) (*Snapshot, error) {
+	snap, err := s.st.Snapshot(name)
+	return snap, classify(err, KindNotFound)
+}
+
+// Apply compiles updateQuery through the engine's query cache and
+// commits it against the current version of name: the update is
+// evaluated copy-on-write over the snapshot (readers keep using it,
+// untouched) and the result becomes the next version. A writer losing
+// the optimistic race retries against the winner's snapshot; Apply
+// never returns a conflict.
+func (s *Store) Apply(ctx context.Context, name, updateQuery string) (*Snapshot, Commit, error) {
+	p, err := s.eng.Prepare(updateQuery)
+	if err != nil {
+		return nil, Commit{}, err
+	}
+	snap, com, err := s.st.Apply(ctx, name, p.compiled, s.eng.method)
+	return snap, com, classify(err, KindEval)
+}
+
+// ApplyAt is Apply with compare-and-set semantics: the commit succeeds
+// only if the current version still equals base, and returns a
+// KindConflict error naming the superseding version otherwise. It is
+// the primitive behind xtqd's If-Match conditional updates.
+func (s *Store) ApplyAt(ctx context.Context, name, updateQuery string, base uint64) (*Snapshot, Commit, error) {
+	p, err := s.eng.Prepare(updateQuery)
+	if err != nil {
+		return nil, Commit{}, err
+	}
+	snap, com, err := s.st.ApplyAt(ctx, name, p.compiled, s.eng.method, base)
+	return snap, com, classify(err, KindEval)
+}
+
+// Remove deletes name, reporting whether it existed. Held snapshot
+// handles remain valid; a commit racing with the removal fails with
+// KindNotFound instead of writing into an unreachable chain.
+func (s *Store) Remove(name string) bool { return s.st.Remove(name) }
+
+// Names returns the stored document names, sorted.
+func (s *Store) Names() []string {
+	names := s.st.Names()
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of stored documents.
+func (s *Store) Len() int { return s.st.Len() }
+
+// RegisterView registers a named stack of transform queries (innermost
+// first, as Engine.View) servable over any stored document —
+// per-principal security views over one shared corpus. Re-registering a
+// name replaces the stack. The returned View is also usable directly.
+func (s *Store) RegisterView(name string, transformSrcs ...string) (*View, error) {
+	v, err := s.eng.View(transformSrcs...)
+	if err != nil {
+		return nil, err
+	}
+	s.vmu.Lock()
+	s.views[name] = v
+	s.vmu.Unlock()
+	return v, nil
+}
+
+// LookupView returns the registered view stack named name, or a
+// KindNotFound error.
+func (s *Store) LookupView(name string) (*View, error) {
+	s.vmu.RLock()
+	v := s.views[name]
+	s.vmu.RUnlock()
+	if v == nil {
+		return nil, &Error{Kind: KindNotFound, Msg: "xtq: no view " + strconv.Quote(name)}
+	}
+	return v, nil
+}
+
+// RemoveView unregisters name, reporting whether it existed.
+func (s *Store) RemoveView(name string) bool {
+	s.vmu.Lock()
+	_, ok := s.views[name]
+	delete(s.views, name)
+	s.vmu.Unlock()
+	return ok
+}
+
+// ViewNames returns the registered view names, sorted.
+func (s *Store) ViewNames() []string {
+	s.vmu.RLock()
+	out := make([]string, 0, len(s.views))
+	for name := range s.views {
+		out = append(out, name)
+	}
+	s.vmu.RUnlock()
+	sort.Strings(out)
+	return out
+}

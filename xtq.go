@@ -48,6 +48,23 @@
 // LayerStats per transform layer) and composition plans are cached on
 // the engine keyed by (view stack, user query).
 //
+// # Store
+//
+// A Store turns update syntax into the write path of a live corpus: it
+// holds named documents as immutable versioned snapshots, commits XQU
+// update queries copy-on-write with optimistic versioning (KindConflict
+// on a lost ApplyAt race), and hands readers lock-free Snapshot handles
+// that any Prepared or PreparedView evaluates against:
+//
+//	st := xtq.NewStore(eng)
+//	_, _, err := st.Put(ctx, "parts", xtq.FileSource("parts.xml"))
+//	snap, com, err := st.Apply(ctx, "parts",
+//	    `transform copy $a := doc("parts") modify do delete $a//price return $a`)
+//
+// cmd/xtqd serves a Store over HTTP: ingest, queries, conditional
+// updates and registered view stacks, with per-request timeouts and
+// streamed responses.
+//
 // # The paper's machinery
 //
 //   - four in-memory evaluation methods (Naive rewriting, the NFA-guided
