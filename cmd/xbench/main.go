@@ -47,6 +47,7 @@ func main() {
 	fig15 := flag.Bool("fig15", false, "composition methods (Fig. 15)")
 	views := flag.Bool("views", false, "stacked-view sweep: single-pass vs sequential, per-layer stats")
 	storeSweep := flag.Bool("store", false, "store throughput sweep: concurrent readers + 1 update writer over snapshots")
+	walSweep := flag.Bool("wal", false, "durability sweep: commit latency/throughput across WAL fsync policies vs the in-memory store")
 	claims := flag.Bool("claims", false, "check the §7.1 textual claims")
 	jsonOut := flag.String("json", "", "write a machine-readable sweep (ns/op, allocs/op) to the given path ('-' for stdout)")
 	jsonFactor := flag.Float64("jsonfactor", 0.01, "XMark factor for the -json sweep")
@@ -97,6 +98,7 @@ func main() {
 	section(*fig15, r.Fig15)
 	section(*views, r.Views)
 	section(*storeSweep, r.Store)
+	section(*walSweep, r.WAL)
 	section(*claims, r.Claims)
 	if *jsonOut != "" && ctx.Err() == nil {
 		w := os.Stdout

@@ -20,6 +20,14 @@
 // copy-on-write with optimistic versioning (If-Match → 409 Conflict on
 // a lost race). Every request runs under -timeout and is cancelled at
 // node/SAX-event granularity when the client disconnects.
+//
+// With -wal DIR the store is durable: every committed write is appended
+// to a write-ahead log of logical update records before it is
+// published, the corpus survives kill -9 and restarts (the log replays
+// through the engine on startup), background checkpoints bound recovery
+// time, and GET /docs/{name}?version=N plus GET /docs/{name}/history
+// expose time travel over recent versions. -fsync picks the durability
+// policy: always (group-committed fsync per write), interval, or none.
 package main
 
 import (
@@ -44,6 +52,9 @@ func main() {
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request evaluation timeout (0 = none)")
 	maxBody := flag.Int64("maxbody", 64<<20, "maximum request body size in bytes")
 	maxDepth := flag.Int("maxdepth", 10_000, "maximum element nesting of ingested documents (0 = no limit)")
+	walDir := flag.String("wal", "", "write-ahead-log directory; empty serves an in-memory (non-durable) store")
+	fsync := flag.String("fsync", "always", "WAL fsync policy: always, interval or none")
+	ckptEvery := flag.Int64("checkpoint-bytes", 256<<20, "checkpoint after this many bytes of new log (0 = manual only; needs -wal)")
 	flag.Parse()
 
 	m, err := xtq.ParseMethod(*method)
@@ -52,7 +63,26 @@ func main() {
 		os.Exit(2)
 	}
 	eng := xtq.NewEngine(xtq.WithMethod(m), xtq.WithMaxDepth(*maxDepth))
-	st := xtq.NewStore(eng)
+	var st *xtq.Store
+	if *walDir != "" {
+		policy, err := xtq.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xtqd:", err)
+			os.Exit(2)
+		}
+		st, err = xtq.OpenStore(*walDir, eng,
+			xtq.WithFsync(policy),
+			xtq.WithCheckpointEvery(*ckptEvery),
+		)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xtqd: opening store:", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		log.Printf("xtqd: durable store at %s (fsync=%s, %d docs recovered)", *walDir, policy, st.Len())
+	} else {
+		st = xtq.NewStore(eng)
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,

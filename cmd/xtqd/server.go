@@ -43,6 +43,7 @@ func newServer(st *xtq.Store, timeout time.Duration, maxBody int64) http.Handler
 	mux.HandleFunc("GET /docs", s.handleListDocs)
 	mux.HandleFunc("PUT /docs/{name}", s.handlePutDoc)
 	mux.HandleFunc("GET /docs/{name}", s.handleGetDoc)
+	mux.HandleFunc("GET /docs/{name}/history", s.handleHistory)
 	mux.HandleFunc("DELETE /docs/{name}", s.handleDeleteDoc)
 	mux.HandleFunc("POST /docs/{name}/query", s.handleQuery)
 	mux.HandleFunc("POST /docs/{name}/update", s.handleUpdate)
@@ -214,8 +215,28 @@ func (s *server) handlePutDoc(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleGetDoc serves the current snapshot, or — with ?version=N — a
+// time-travel read: recent versions come from the in-memory history
+// ring, older ones (on a WAL-backed server) are reconstructed by
+// replaying the logged update queries from the last checkpoint.
 func (s *server) handleGetDoc(w http.ResponseWriter, r *http.Request) {
-	snap, err := s.st.Snapshot(r.PathValue("name"))
+	name := r.PathValue("name")
+	var (
+		snap *xtq.Snapshot
+		err  error
+	)
+	if v := r.URL.Query().Get("version"); v != "" {
+		version, perr := strconv.ParseUint(v, 10, 64)
+		if perr != nil || version == 0 {
+			writeError(w, &xtq.Error{Kind: xtq.KindParse, Msg: fmt.Sprintf("xtqd: bad version %q", v)})
+			return
+		}
+		ctx, cancel := s.ctx(r)
+		defer cancel()
+		snap, err = s.st.SnapshotAt(ctx, name, version)
+	} else {
+		snap, err = s.st.Snapshot(name)
+	}
 	if err != nil {
 		writeError(w, err)
 		return
@@ -225,8 +246,50 @@ func (s *server) handleGetDoc(w http.ResponseWriter, r *http.Request) {
 	snap.WriteXML(w)
 }
 
+// historyMeta is the JSON shape of GET /docs/{name}/history.
+type historyMeta struct {
+	Name    string            `json:"name"`
+	Current uint64            `json:"current"`
+	Floor   uint64            `json:"floor"`
+	Entries []historyEntryOut `json:"entries"`
+}
+
+type historyEntryOut struct {
+	Version  uint64 `json:"version"`
+	Nodes    int    `json:"nodes"`
+	Deleted  bool   `json:"deleted,omitempty"`
+	Resident bool   `json:"resident"`
+}
+
+// handleHistory lists the versions GET ?version=N can serve: the
+// memory-resident entries (newest first) and the floor, the oldest
+// version reconstructable from the log.
+func (s *server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	entries, floor, err := s.st.History(name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	out := historyMeta{Name: name, Floor: floor, Entries: make([]historyEntryOut, 0, len(entries))}
+	if len(entries) > 0 {
+		out.Current = entries[0].Version
+	}
+	for _, e := range entries {
+		out.Entries = append(out.Entries, historyEntryOut{
+			Version: e.Version, Nodes: e.Nodes, Deleted: e.Deleted, Resident: e.Resident,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 func (s *server) handleDeleteDoc(w http.ResponseWriter, r *http.Request) {
-	if !s.st.Remove(r.PathValue("name")) {
+	ok, err := s.st.Remove(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if !ok {
 		writeError(w, &xtq.Error{Kind: xtq.KindNotFound, Msg: "xtqd: no document " + strconv.Quote(r.PathValue("name"))})
 		return
 	}

@@ -23,6 +23,7 @@ import (
 //		case xtq.KindIO:      // source/sink failure
 //		case xtq.KindNotFound: // store document/view does not exist
 //		case xtq.KindConflict: // optimistic store commit lost the race
+//		case xtq.KindCorrupt:  // WAL/checkpoint damage (xe.Pos says where)
 //		}
 //	}
 //
@@ -49,6 +50,11 @@ const (
 	// KindConflict marks optimistic store commits whose base version was
 	// superseded by a concurrent writer (Store.ApplyAt; If-Match in xtqd).
 	KindConflict = xerr.Conflict
+	// KindCorrupt marks durable-store recovery failures: a write-ahead-log
+	// record or checkpoint with a bad checksum, impossible framing, or a
+	// broken version chain. The Pos names the segment file and byte
+	// offset.
+	KindCorrupt = xerr.Corrupt
 )
 
 // classify maps an arbitrary error onto the taxonomy, attaching position

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -207,6 +209,23 @@ func TestErrorTaxonomy(t *testing.T) {
 			kind: KindConflict,
 		},
 		{
+			name: "store: corrupt write-ahead log",
+			run: func() error {
+				dir := t.TempDir()
+				// A garbled checkpoint file: behind an atomic rename this
+				// can only be bit rot, so recovery must refuse, typed and
+				// positioned.
+				if err := os.WriteFile(filepath.Join(dir, "ckpt-0000000000000001.ckpt"),
+					[]byte("this is not a checkpoint, it is corruption"), 0o644); err != nil {
+					return err
+				}
+				_, err := OpenStore(dir, eng)
+				return err
+			},
+			kind:    KindCorrupt,
+			wantPos: true,
+		},
+		{
 			name: "store: in-place update of a sealed snapshot",
 			run: func() error {
 				st := NewStore(eng)
@@ -298,6 +317,7 @@ func TestErrorString(t *testing.T) {
 	}
 	for kind, name := range map[ErrorKind]string{
 		KindParse: "parse", KindCompile: "compile", KindEval: "eval", KindIO: "io",
+		KindNotFound: "notfound", KindConflict: "conflict", KindCorrupt: "corrupt",
 	} {
 		if kind.String() != name {
 			t.Errorf("Kind(%d).String() = %q, want %q", kind, kind.String(), name)

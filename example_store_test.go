@@ -4,9 +4,63 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 
 	"xtq"
 )
+
+// ExampleOpenStore shows the durable store: commits are appended to a
+// write-ahead log of logical update records (the update query's own
+// text) before they are published, so closing and reopening the
+// directory — or crashing — loses nothing, and recent versions stay
+// readable through SnapshotAt.
+func ExampleOpenStore() {
+	ctx := context.Background()
+	dir, err := os.MkdirTemp("", "xtq-wal-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	st, err := xtq.OpenStore(dir, nil, xtq.WithFsync(xtq.FsyncAlways))
+	if err != nil {
+		panic(err)
+	}
+	if _, _, err := st.Put(ctx, "parts", xtq.FromString(
+		`<db><part><pname>keyboard</pname><price>15</price></part></db>`)); err != nil {
+		panic(err)
+	}
+	if _, _, err := st.Apply(ctx, "parts",
+		`transform copy $a := doc("parts") modify do delete $a//price return $a`); err != nil {
+		panic(err)
+	}
+	if err := st.Close(); err != nil { // the process "crashes" here
+		panic(err)
+	}
+
+	// Reopening replays the log: the ingest re-parses, the update
+	// re-evaluates its logged query text through the engine.
+	st, err = xtq.OpenStore(dir, nil)
+	if err != nil {
+		panic(err)
+	}
+	defer st.Close()
+	cur, err := st.Snapshot("parts")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("recovered v%d: %s\n", cur.Version(), cur.Root())
+
+	// Time travel: version 1 (pre-update) is still servable.
+	old, err := st.SnapshotAt(ctx, "parts", 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("time travel v%d: %s\n", old.Version(), old.Root())
+	// Output:
+	// recovered v2: <db><part><pname>keyboard</pname></part></db>
+	// time travel v1: <db><part><pname>keyboard</pname><price>15</price></part></db>
+}
 
 // ExampleStore_Apply commits XQU updates through the store: each Apply
 // evaluates the update copy-on-write over the current snapshot and

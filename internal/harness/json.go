@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"testing"
 
@@ -13,6 +14,7 @@ import (
 	"xtq/internal/sax"
 	"xtq/internal/saxeval"
 	"xtq/internal/store"
+	"xtq/internal/wal"
 )
 
 // BenchResult is one machine-readable measurement of the -json sweep.
@@ -191,6 +193,86 @@ func (r *Runner) BenchJSON(w io.Writer, factor float64) error {
 				b.ReportMetric(float64(copied)/float64(b.N), "copied-B/op")
 			}
 		})
+
+		// WAL rows: the same commit with durability attached, one row per
+		// fsync policy (compare with store/commit/rename-items, the
+		// in-memory baseline), plus the cost of recovering a log.
+		for _, policy := range walPolicies {
+			if r.stopped() {
+				break
+			}
+			dir, err := os.MkdirTemp(r.opts.TempDir, "xtq-wal-*")
+			if err != nil {
+				return err
+			}
+			dst, err := store.Open(dir, store.Options{Fsync: policy})
+			if err != nil {
+				return err
+			}
+			if _, _, err := dst.Put("d", doc.DeepCopy(), true); err != nil {
+				return err
+			}
+			add(fmt.Sprintf("wal/commit/%s", policy), func(b *testing.B) {
+				b.ReportAllocs()
+				logStart := dst.CheckpointStats().LogBytes
+				for i := 0; i < b.N; i++ {
+					writeC := writeA
+					if i%2 == 1 {
+						writeC = writeB
+					}
+					_, _, err := dst.Apply(r.opts.Context, "d", writeC, core.MethodTopDown)
+					r.check(err)
+				}
+				if b.N > 0 {
+					b.ReportMetric(float64(dst.CheckpointStats().LogBytes-logStart)/float64(b.N), "log-B/op")
+				}
+			})
+			if err := dst.Close(); err != nil {
+				return err
+			}
+			os.RemoveAll(dir)
+		}
+
+		if !r.stopped() {
+			// Recovery cost: reopening a log of 50 update records over the
+			// checkpointless corpus — the startup latency durability buys.
+			dir, err := os.MkdirTemp(r.opts.TempDir, "xtq-walrec-*")
+			if err != nil {
+				return err
+			}
+			rst, err := store.Open(dir, store.Options{Fsync: wal.FsyncNone})
+			if err != nil {
+				return err
+			}
+			if _, _, err := rst.Put("d", doc.DeepCopy(), true); err != nil {
+				return err
+			}
+			for i := 0; i < 50; i++ {
+				writeC := writeA
+				if i%2 == 1 {
+					writeC = writeB
+				}
+				if _, _, err := rst.Apply(r.opts.Context, "d", writeC, core.MethodTopDown); err != nil {
+					return err
+				}
+			}
+			if err := rst.Close(); err != nil {
+				return err
+			}
+			add("wal/recover/50-updates", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					st, err := store.Open(dir, store.Options{})
+					if err != nil {
+						panic(err)
+					}
+					if err := st.Close(); err != nil {
+						panic(err)
+					}
+				}
+			})
+			os.RemoveAll(dir)
+		}
 	}
 
 	if err := r.opts.Context.Err(); err != nil {

@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"xtq/internal/core"
+	"xtq/internal/store"
+	"xtq/internal/wal"
+)
+
+// walPolicies are the fsync policies the durability sweep measures, in
+// decreasing durability order, after the in-memory baseline.
+var walPolicies = []wal.FsyncPolicy{wal.FsyncNone, wal.FsyncInterval, wal.FsyncAlways}
+
+// WAL runs the durability sweep (`xbench -wal`): the alternating
+// rename-update writer of the store sweep committing back-to-back
+// against (a) the in-memory store and (b) a WAL-backed store under each
+// fsync policy, reporting commits/s and mean/total commit latency. The
+// gap between rows is the price of each durability level: none ≈
+// write(2) per commit, interval adds nothing on the commit path but
+// bounds loss to the sync window, always pays a (group-committed) fsync
+// per commit.
+func (r *Runner) WAL() {
+	const (
+		factor  = 0.01
+		perCell = 400 * time.Millisecond
+	)
+	doc := r.Doc(factor)
+	writeA, writeB, err := StoreWriteQueries()
+	r.check(err)
+
+	fmt.Fprintf(r.opts.Out, "Durability sweep: factor %.2f (%d nodes), 1 writer committing alternating //item renames, %s per cell\n",
+		factor, doc.Size(), perCell)
+
+	var rows [][]string
+	addRow := func(label string, commits int64, elapsed time.Duration, logBytes int64) {
+		if commits == 0 {
+			return
+		}
+		perCommit := elapsed / time.Duration(commits)
+		mb := "-"
+		if logBytes > 0 {
+			mb = fmt.Sprintf("%.2f", float64(logBytes)/1e6)
+		}
+		rows = append(rows, []string{
+			label,
+			fmt.Sprintf("%.1f", float64(commits)/elapsed.Seconds()),
+			fmt.Sprintf("%.3f", float64(perCommit)/1e6),
+			mb,
+		})
+	}
+
+	// Baseline: the in-memory store's commit path (evaluation + snapshot
+	// copy + CAS), no logging at all.
+	if !r.stopped() {
+		st := store.New()
+		_, _, err := st.Put("d", doc.DeepCopy(), true)
+		r.check(err)
+		commits, elapsed := r.commitLoop(st, writeA, writeB, perCell)
+		addRow("memory", commits, elapsed, 0)
+	}
+
+	for _, policy := range walPolicies {
+		if r.stopped() {
+			break
+		}
+		dir, err := os.MkdirTemp(r.opts.TempDir, "xtq-wal-*")
+		r.check(err)
+		st, err := store.Open(dir, store.Options{Fsync: policy})
+		r.check(err)
+		_, _, err = st.Put("d", doc.DeepCopy(), true)
+		r.check(err)
+		commits, elapsed := r.commitLoop(st, writeA, writeB, perCell)
+		logBytes := st.CheckpointStats().LogBytes
+		r.check(st.Close())
+		os.RemoveAll(dir)
+		if r.stopped() {
+			break // drop the interrupted row
+		}
+		addRow("wal/"+policy.String(), commits, elapsed, logBytes)
+	}
+	table(r.opts.Out, []string{"store", "commits/s", "commit ms", "log MB"}, rows)
+}
+
+// commitLoop commits alternating updates back-to-back for d, returning
+// the commit count and elapsed time.
+func (r *Runner) commitLoop(st *store.Store, writeA, writeB *core.Compiled, d time.Duration) (int64, time.Duration) {
+	ctx := r.opts.Context
+	start := time.Now()
+	deadline := start.Add(d)
+	var commits int64
+	for time.Now().Before(deadline) {
+		if r.stopped() {
+			break
+		}
+		writeC := writeA
+		if commits%2 == 1 {
+			writeC = writeB
+		}
+		_, _, err := st.Apply(ctx, "d", writeC, core.MethodTopDown)
+		r.check(err)
+		commits++
+	}
+	return commits, time.Since(start)
+}

@@ -1,8 +1,8 @@
-// Package store implements a goroutine-safe, versioned, in-memory XML
-// document store — the write path that turns transform queries from a
-// query device into the update mechanism of a live corpus (the dual of
-// the paper's central move, and the substrate the xtqd serving layer
-// runs on).
+// Package store implements a goroutine-safe, versioned XML document
+// store — the write path that turns transform queries from a query
+// device into the update mechanism of a live corpus (the dual of the
+// paper's central move, and the substrate the xtqd serving layer runs
+// on).
 //
 // Named documents are held as immutable, indexed, sealed snapshots
 // (tree.SnapshotCopy / tree.Seal). Readers obtain a *Snapshot via an
@@ -16,11 +16,26 @@
 // published with a compare-and-swap on the per-document version chain —
 // optimistic concurrency whose losers either retry (Apply) or surface a
 // typed conflict error (ApplyAt).
+//
+// Removal is itself a committed version: Remove publishes a tombstone
+// snapshot, so a commit racing with a removal loses the CAS and
+// surfaces not-found instead of writing into an unreachable chain, and
+// a later re-ingest continues the version chain rather than restarting
+// it. Tombstones are garbage-collected by checkpointing (durable
+// stores); a purely in-memory store retains them, which is the price of
+// version-chain continuity.
+//
+// Every document keeps a small ring of recent snapshots: SnapshotAt
+// serves those versions lock- and allocation-free. A store opened with
+// Open (see durable.go) is additionally backed by a write-ahead log of
+// logical update records, giving crash recovery, snapshot checkpoints
+// and time travel to any version since the last checkpoint.
 package store
 
 import (
 	"context"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -28,6 +43,10 @@ import (
 	"xtq/internal/tree"
 	"xtq/internal/xerr"
 )
+
+// DefaultHistoryDepth is the per-document snapshot ring size of stores
+// built without an explicit HistoryDepth.
+const DefaultHistoryDepth = 8
 
 // Snapshot is one immutable committed version of a named document.
 // Snapshots are safe for unlimited concurrent readers, never change
@@ -37,7 +56,7 @@ import (
 type Snapshot struct {
 	name    string
 	version uint64
-	root    *tree.Node
+	root    *tree.Node // nil for a tombstone (the committed removal)
 	ix      *tree.Index
 }
 
@@ -45,7 +64,7 @@ type Snapshot struct {
 func (s *Snapshot) Name() string { return s.name }
 
 // Version returns the snapshot's version: 1 for the first ingest of a
-// name, incremented by every committed update or re-ingest.
+// name, incremented by every committed update, re-ingest or removal.
 func (s *Snapshot) Version() uint64 { return s.version }
 
 // Root returns the snapshot's document node. The tree is sealed: treat
@@ -55,6 +74,11 @@ func (s *Snapshot) Root() *tree.Node { return s.root }
 
 // Index returns the snapshot's sealed index.
 func (s *Snapshot) Index() *tree.Index { return s.ix }
+
+// deleted reports whether the snapshot is a tombstone — the committed
+// form of Remove. Tombstones are never handed to readers: Snapshot and
+// SnapshotAt translate them to not-found errors.
+func (s *Snapshot) deleted() bool { return s.root == nil }
 
 // Open serializes the snapshot, making *Snapshot a Source: the
 // streaming evaluator (which reads its input twice) can run over a
@@ -66,7 +90,12 @@ func (s *Snapshot) Open() (io.ReadCloser, error) { return s.root.Open() }
 func (s *Snapshot) WriteXML(w io.Writer) error { return s.root.WriteXML(w) }
 
 // NumNodes returns the number of nodes in the snapshot.
-func (s *Snapshot) NumNodes() int { return s.ix.NumNodes }
+func (s *Snapshot) NumNodes() int {
+	if s.ix == nil {
+		return 0
+	}
+	return s.ix.NumNodes
+}
 
 // Commit describes one successful write: the snapshot it produced and
 // what the copy-on-write adoption cost.
@@ -86,27 +115,77 @@ type Commit struct {
 	SharedWithPrev int
 }
 
-// docState is the per-name version chain head. The pointer is the whole
-// synchronization story of the read path: Store.Snapshot is one map
-// read plus one atomic load, and a published *Snapshot is immutable.
+// docState is the per-name version chain head plus the recent-history
+// ring. The head pointer is the whole synchronization story of the read
+// path: Store.Snapshot is one map read plus one atomic load, and a
+// published *Snapshot is immutable. The ring serves SnapshotAt for
+// recent versions the same way — slot version % len, validated by the
+// version stamp, so an overwritten or raced slot is a clean miss, never
+// a wrong answer.
 type docState struct {
 	cur atomic.Pointer[Snapshot]
-	// removed is set (under the store lock) when the name is deleted, so
-	// an in-flight optimistic commit that raced with the removal can
-	// detect that its CAS landed in an unreachable chain.
-	removed atomic.Bool
+	// wmu serializes writers of this document in a durable store, so a
+	// WAL record's version is decided before the record is appended and
+	// the following CAS cannot lose. In-memory stores never lock it:
+	// their writers race on the CAS as before.
+	wmu  sync.Mutex
+	hist []atomic.Pointer[Snapshot]
+}
+
+// publish installs s as the chain head (the caller has won or owns the
+// right to advance the chain) and retains it in the history ring.
+func (ds *docState) pushHist(s *Snapshot) {
+	if n := uint64(len(ds.hist)); n > 0 {
+		ds.hist[s.version%n].Store(s)
+	}
+}
+
+// clearHist drops every retained snapshot, unpinning the trees. Called
+// on removal: a removed document's resident history dies with it.
+func (ds *docState) clearHist() {
+	for i := range ds.hist {
+		ds.hist[i].Store(nil)
+	}
+}
+
+// ringAt returns the retained snapshot of exactly the given version, or
+// nil. Lock- and allocation-free.
+func (ds *docState) ringAt(version uint64) *Snapshot {
+	n := uint64(len(ds.hist))
+	if n == 0 {
+		return nil
+	}
+	if s := ds.hist[version%n].Load(); s != nil && s.version == version {
+		return s
+	}
+	return nil
 }
 
 // Store is a named collection of versioned documents. The zero value is
-// not usable; construct with New. A Store is safe for concurrent use.
+// not usable; construct with New (in-memory) or Open (durable). A Store
+// is safe for concurrent use.
 type Store struct {
 	mu   sync.RWMutex
 	docs map[string]*docState
+
+	histDepth int
+	dur       *durable // nil for a purely in-memory store
 }
 
-// New returns an empty store.
+// New returns an empty in-memory store retaining DefaultHistoryDepth
+// recent snapshots per document.
 func New() *Store {
-	return &Store{docs: make(map[string]*docState)}
+	return NewWithHistory(DefaultHistoryDepth)
+}
+
+// NewWithHistory returns an empty in-memory store retaining depth
+// recent snapshots per document for SnapshotAt; depth 0 disables the
+// ring.
+func NewWithHistory(depth int) *Store {
+	if depth < 0 {
+		depth = 0
+	}
+	return &Store{docs: make(map[string]*docState), histDepth: depth}
 }
 
 func notFound(name string) error {
@@ -134,43 +213,182 @@ func (st *Store) Snapshot(name string) (*Snapshot, error) {
 		return nil, notFound(name)
 	}
 	snap := ds.cur.Load()
-	if snap == nil {
+	if snap == nil || snap.deleted() {
 		return nil, notFound(name)
 	}
 	return snap, nil
 }
 
-// Names returns the stored document names, unordered.
+// SnapshotAt returns the committed snapshot of name at exactly the
+// given version. Recent versions — the current head and the
+// per-document history ring — are served lock- and allocation-free with
+// zero log reads. On a durable store, older versions still covered by
+// the log are reconstructed by replaying the update records from the
+// last checkpoint (ctx bounds that re-evaluation); versions compacted
+// away, never committed, or removed at that version surface as typed
+// not-found errors.
+func (st *Store) SnapshotAt(ctx context.Context, name string, version uint64) (*Snapshot, error) {
+	ds := st.lookup(name)
+	if ds == nil {
+		return nil, notFound(name)
+	}
+	cur := ds.cur.Load()
+	if cur == nil {
+		return nil, notFound(name)
+	}
+	if version == 0 || version > cur.version {
+		return nil, xerr.New(xerr.NotFound, "", "store: %q has no version %d (current %d)", name, version, cur.version)
+	}
+	if version == cur.version {
+		if cur.deleted() {
+			return nil, removedAt(name, version)
+		}
+		return cur, nil
+	}
+	if s := ds.ringAt(version); s != nil {
+		if s.deleted() {
+			return nil, removedAt(name, version)
+		}
+		return s, nil
+	}
+	if st.dur == nil {
+		return nil, xerr.New(xerr.NotFound, "", "store: %q version %d is no longer retained", name, version)
+	}
+	return st.dur.reconstruct(ctx, name, version)
+}
+
+func removedAt(name string, version uint64) error {
+	return xerr.New(xerr.NotFound, "", "store: %q was removed at version %d", name, version)
+}
+
+// HistoryEntry describes one servable version of a document.
+type HistoryEntry struct {
+	// Version of the snapshot.
+	Version uint64
+	// Nodes in the snapshot (0 for a tombstone).
+	Nodes int
+	// Deleted marks the tombstone a Remove committed.
+	Deleted bool
+	// Resident marks versions served memory-only (the current head and
+	// the history ring) — SnapshotAt on them reads no log.
+	Resident bool
+}
+
+// History reports the versions of name that SnapshotAt can serve:
+// the resident entries (current head and history ring, newest first)
+// and the floor — the oldest version reconstructable at all. On an
+// in-memory store the floor is the oldest resident version; on a
+// durable store it extends back to the last checkpoint.
+func (st *Store) History(name string) (entries []HistoryEntry, floor uint64, err error) {
+	ds := st.lookup(name)
+	if ds == nil {
+		return nil, 0, notFound(name)
+	}
+	cur := ds.cur.Load()
+	if cur == nil || cur.deleted() {
+		// A removed document has no servable versions (its resident
+		// history died with it), so its history is not-found — the same
+		// answer every other read path gives.
+		return nil, 0, notFound(name)
+	}
+	add := func(s *Snapshot) {
+		for _, e := range entries {
+			if e.Version == s.version {
+				return
+			}
+		}
+		entries = append(entries, HistoryEntry{
+			Version:  s.version,
+			Nodes:    s.NumNodes(),
+			Deleted:  s.deleted(),
+			Resident: true,
+		})
+	}
+	add(cur)
+	for i := range ds.hist {
+		if s := ds.hist[i].Load(); s != nil && s.version <= cur.version {
+			add(s)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Version > entries[j].Version })
+
+	floor = entries[len(entries)-1].Version
+	if st.dur != nil {
+		if f, ok := st.dur.floorOf(name); ok && f < floor {
+			floor = f
+		}
+	}
+	return entries, floor, nil
+}
+
+// Names returns the stored document names, unordered. Removed documents
+// (tombstones awaiting checkpoint GC) are not listed.
 func (st *Store) Names() []string {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	out := make([]string, 0, len(st.docs))
-	for name := range st.docs {
-		out = append(out, name)
+	for name, ds := range st.docs {
+		if s := ds.cur.Load(); s != nil && !s.deleted() {
+			out = append(out, name)
+		}
 	}
 	return out
 }
 
-// Len returns the number of stored documents.
+// Len returns the number of stored (non-removed) documents.
 func (st *Store) Len() int {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	return len(st.docs)
+	n := 0
+	for _, ds := range st.docs {
+		if s := ds.cur.Load(); s != nil && !s.deleted() {
+			n++
+		}
+	}
+	return n
 }
 
-// Remove deletes name, reporting whether it existed. Readers holding
-// snapshot handles are unaffected; an optimistic commit racing with the
-// removal fails with a not-found error rather than committing into an
-// unreachable chain.
-func (st *Store) Remove(name string) bool {
-	st.mu.Lock()
-	ds := st.docs[name]
-	if ds != nil {
-		ds.removed.Store(true)
-		delete(st.docs, name)
+// Remove deletes name, reporting whether it existed. The removal is a
+// committed version: a tombstone snapshot is published on the chain (and
+// logged, when durable), so readers holding handles are unaffected, an
+// optimistic commit racing with the removal fails with a not-found error
+// rather than committing into an unreachable chain, and a later Put of
+// the same name continues the version chain. The history ring is
+// dropped with the document — removal forgets resident history, so the
+// removed trees become collectible (a durable store can still
+// reconstruct pre-removal versions from the log until the next
+// checkpoint). Tombstones themselves are small and are garbage-collected
+// by the next checkpoint on durable stores.
+func (st *Store) Remove(name string) (bool, error) {
+	ds := st.lookup(name)
+	if ds == nil {
+		return false, nil
 	}
-	st.mu.Unlock()
-	return ds != nil
+	if st.dur != nil {
+		ds = st.lockWriter(name, ds)
+		defer ds.wmu.Unlock()
+	}
+	for {
+		old := ds.cur.Load()
+		if old == nil || old.deleted() {
+			return false, nil
+		}
+		next := &Snapshot{name: name, version: old.version + 1}
+		if st.dur != nil {
+			err := st.commitDurable(ds, old, next, func() error {
+				return st.dur.appendRemove(name, next.version)
+			})
+			if err != nil {
+				return false, err
+			}
+			ds.clearHist()
+			return true, nil
+		}
+		if ds.cur.CompareAndSwap(old, next) {
+			ds.clearHist()
+			return true, nil
+		}
+	}
 }
 
 // state returns the docState for name, creating it if absent.
@@ -184,8 +402,53 @@ func (st *Store) state(name string) *docState {
 		return ds
 	}
 	ds := &docState{}
+	if st.histDepth > 0 {
+		ds.hist = make([]atomic.Pointer[Snapshot], st.histDepth)
+	}
 	st.docs[name] = ds
 	return ds
+}
+
+// lockWriter acquires the durable writer lock for name: the
+// per-document wmu serializes this document's writers, so the WAL
+// record's version is decided before the record is appended and the
+// publishing CAS cannot lose. It revalidates that ds is still the live
+// state: checkpoint GC can retire a tombstoned docState, in which case
+// the writer must restart on the fresh one or the commit would publish
+// into an unreachable chain while its record survives in the log.
+func (st *Store) lockWriter(name string, ds *docState) *docState {
+	for {
+		ds.wmu.Lock()
+		if st.lookup(name) == ds {
+			return ds
+		}
+		ds.wmu.Unlock()
+		ds = st.state(name)
+	}
+}
+
+// commitDurable performs the logged half of a durable commit: append
+// the record, publish the snapshot, retain it in the ring — all under
+// the checkpoint gate, so no append→publish pair straddles a segment
+// rotation (a record frozen into a covered segment is always published,
+// and therefore captured, before the segment can be deleted). The gate
+// is deliberately NOT held during query evaluation: a pending
+// checkpoint stalls writers only for this short section plus the
+// rotation fsync. The caller holds ds.wmu, which is what guarantees the
+// CAS cannot lose.
+func (st *Store) commitDurable(ds *docState, old, next *Snapshot, appendRec func() error) error {
+	st.dur.gate.RLock()
+	defer st.dur.gate.RUnlock()
+	if err := appendRec(); err != nil {
+		return err
+	}
+	if !ds.cur.CompareAndSwap(old, next) {
+		// Unreachable while wmu serializes this document's writers; fail
+		// loudly rather than diverge memory from the log.
+		return xerr.New(xerr.Eval, "", "store: internal: durable publish lost a race under the writer lock")
+	}
+	ds.pushHist(next)
+	return nil
 }
 
 // Put commits doc as the next version of name, creating the document at
@@ -217,19 +480,30 @@ func (st *Store) Put(name string, doc *tree.Node, adopt bool) (*Snapshot, Commit
 		root, ix, cs = tree.SnapshotCopy(doc, owner)
 	}
 	ds := st.state(name)
+	if st.dur != nil {
+		ds = st.lockWriter(name, ds)
+		defer ds.wmu.Unlock()
+	}
 	for {
 		old := ds.cur.Load()
 		next := &Snapshot{name: name, version: 1, root: root, ix: ix}
 		if old != nil {
 			next.version = old.version + 1
 		}
-		if !ds.cur.CompareAndSwap(old, next) {
-			continue
+		com := Commit{Version: next.version, CopiedNodes: cs.Nodes, CopiedBytes: cs.Bytes}
+		if st.dur != nil {
+			err := st.commitDurable(ds, old, next, func() error {
+				return st.dur.appendPut(name, next.version, root, old == nil)
+			})
+			if err != nil {
+				return nil, Commit{}, err
+			}
+			return next, com, nil
 		}
-		if ds.removed.Load() {
-			return nil, Commit{}, notFound(name)
+		if ds.cur.CompareAndSwap(old, next) {
+			ds.pushHist(next)
+			return next, com, nil
 		}
-		return next, Commit{Version: next.version, CopiedNodes: cs.Nodes, CopiedBytes: cs.Bytes}, nil
 	}
 }
 
@@ -261,9 +535,13 @@ func (st *Store) apply(ctx context.Context, name string, c *core.Compiled, m cor
 	if ds == nil {
 		return nil, Commit{}, notFound(name)
 	}
+	if st.dur != nil {
+		ds = st.lockWriter(name, ds)
+		defer ds.wmu.Unlock()
+	}
 	for {
 		snap := ds.cur.Load()
-		if snap == nil || ds.removed.Load() {
+		if snap == nil || snap.deleted() {
 			return nil, Commit{}, notFound(name)
 		}
 		if base != 0 && snap.version != base {
@@ -299,9 +577,21 @@ func (st *Store) apply(ctx context.Context, name string, c *core.Compiled, m cor
 			com.SharedWithPrev = cs.SharedWithBase
 		}
 
+		if st.dur != nil {
+			err := st.commitDurable(ds, snap, next, func() error {
+				return st.dur.appendUpdate(name, snap.version, next.version, c)
+			})
+			if err != nil {
+				return nil, Commit{}, err
+			}
+			return next, com, nil
+		}
+
 		if !ds.cur.CompareAndSwap(snap, next) {
-			// Another writer committed first. With CAS semantics that is
-			// the caller's conflict; without, re-evaluate on the new head.
+			// Another writer committed first (in-memory stores only: a
+			// durable commit holds the writer lock). With CAS semantics
+			// that is the caller's conflict; without, re-evaluate on the
+			// new head.
 			if base != 0 {
 				cur := ds.cur.Load()
 				var curV uint64
@@ -312,9 +602,7 @@ func (st *Store) apply(ctx context.Context, name string, c *core.Compiled, m cor
 			}
 			continue
 		}
-		if ds.removed.Load() {
-			return nil, Commit{}, notFound(name)
-		}
+		ds.pushHist(next)
 		return next, com, nil
 	}
 }

@@ -225,11 +225,11 @@ func TestRemove(t *testing.T) {
 		t.Fatal(err)
 	}
 	held, _ := st.Snapshot("parts")
-	if !st.Remove("parts") {
-		t.Fatal("Remove reported missing")
+	if ok, err := st.Remove("parts"); err != nil || !ok {
+		t.Fatalf("Remove = %v, %v", ok, err)
 	}
-	if st.Remove("parts") {
-		t.Fatal("double Remove reported present")
+	if ok, err := st.Remove("parts"); err != nil || ok {
+		t.Fatalf("double Remove = %v, %v", ok, err)
 	}
 	if _, err := st.Snapshot("parts"); kindOf(t, err) != xerr.NotFound {
 		t.Fatal("removed doc must be notfound")
@@ -242,13 +242,28 @@ func TestRemove(t *testing.T) {
 	if _, _, err := st.Apply(ctx, "parts", del, core.MethodTopDown); kindOf(t, err) != xerr.NotFound {
 		t.Fatal("Apply after Remove must be notfound")
 	}
-	// Re-ingesting after removal starts a fresh chain.
+	if _, _, err := st.History("parts"); kindOf(t, err) != xerr.NotFound {
+		t.Fatal("History after Remove must be notfound")
+	}
+	// The removal is itself a committed version: the tombstone sits at
+	// v2, so re-ingesting continues the chain at v3 instead of
+	// restarting it — SnapshotAt history stays unambiguous.
 	snap, _, err := st.Put("parts", parse(t, partsXML), true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if snap.Version() != 1 {
-		t.Fatalf("re-created doc version = %d, want 1", snap.Version())
+	if snap.Version() != 3 {
+		t.Fatalf("re-created doc version = %d, want 3", snap.Version())
+	}
+	// The tombstone version itself is not servable.
+	if _, err := st.SnapshotAt(ctx, "parts", 2); kindOf(t, err) != xerr.NotFound {
+		t.Fatal("tombstone version must be notfound")
+	}
+	// Removal dropped the resident history with the document (so the
+	// removed trees are collectible): the pre-removal version is gone
+	// from an in-memory store. A held handle is the way to keep it.
+	if _, err := st.SnapshotAt(ctx, "parts", 1); kindOf(t, err) != xerr.NotFound {
+		t.Fatal("pre-removal version must be forgotten by an in-memory store")
 	}
 }
 

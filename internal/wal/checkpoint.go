@@ -1,0 +1,244 @@
+package wal
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"xtq/internal/xerr"
+)
+
+// CheckpointDoc is one document captured by a checkpoint: its name, the
+// version the capture saw, and its canonical serialization — or, for a
+// tombstone that was not yet garbage-collected, Removed with no bytes.
+// Tombstone entries keep recovery's version-chain verification strict:
+// replay knows the removed document's version, so a chain-restarting
+// put (version 1 after a garbage collection) is distinguishable from a
+// gap.
+type CheckpointDoc struct {
+	Name    string
+	Version uint64
+	XML     []byte
+	Removed bool
+}
+
+// Checkpoint is a loaded checkpoint file: the segment cut it covers
+// and the per-document state at exactly that cut.
+type Checkpoint struct {
+	// Seq is the highest segment sequence the checkpoint covers:
+	// recovery loads the checkpoint, then replays segments > Seq.
+	Seq  uint64
+	Docs []CheckpointDoc
+}
+
+func checkpointName(seq uint64) string { return fmt.Sprintf("ckpt-%016d.ckpt", seq) }
+
+// CheckpointWriter streams a checkpoint covering segments ≤ seq into a
+// temporary file, one document at a time, publishing it atomically on
+// Close: fully written and fsynced under the temporary name, renamed
+// into place, directory fsynced. A crash at any point leaves either the
+// previous checkpoint or the new one — never a half-visible file. Peak
+// memory is one document's record, not the corpus: the caller hands
+// each CheckpointDoc to Add and may reuse its XML buffer immediately.
+//
+// The file reuses the record codec: a KindCheckpoint header (Seq = seq,
+// Version = count, fixed at creation) followed by one KindPut record
+// per live document and one KindRemove per retained tombstone, so
+// checkpoint reading is segment reading.
+type CheckpointWriter struct {
+	dir, tmp, final string
+	f               *os.File
+	bw              *bufio.Writer
+	scratch         []byte
+	added           uint64
+	count           uint64
+	err             error
+}
+
+// NewCheckpointWriter starts a checkpoint file that will hold exactly
+// count entries.
+func NewCheckpointWriter(dir string, seq, count uint64) (*CheckpointWriter, error) {
+	final := filepath.Join(dir, checkpointName(seq))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, xerr.Wrap(xerr.IO, err)
+	}
+	w := &CheckpointWriter{dir: dir, tmp: tmp, final: final, f: f, bw: bufio.NewWriterSize(f, 1<<16), count: count}
+	w.write(&Record{Kind: KindCheckpoint, Seq: seq, Version: count})
+	return w, nil
+}
+
+func (w *CheckpointWriter) write(rec *Record) {
+	if w.err != nil {
+		return
+	}
+	w.scratch = AppendRecord(w.scratch[:0], rec)
+	if _, err := w.bw.Write(w.scratch); err != nil {
+		w.err = xerr.Wrap(xerr.IO, err)
+	}
+}
+
+// Add appends one entry. doc.XML is consumed before Add returns, so the
+// caller may reuse the buffer.
+func (w *CheckpointWriter) Add(doc CheckpointDoc) error {
+	rec := Record{Kind: KindPut, Name: doc.Name, Version: doc.Version, Doc: doc.XML}
+	if doc.Removed {
+		rec = Record{Kind: KindRemove, Name: doc.Name, Version: doc.Version}
+	}
+	w.write(&rec)
+	w.added++
+	return w.err
+}
+
+// Close flushes, fsyncs and atomically publishes the checkpoint. It
+// fails (removing the temporary file) if any Add failed or the entry
+// count does not match the header's promise.
+func (w *CheckpointWriter) Close() error {
+	err := w.err
+	if err == nil && w.added != w.count {
+		err = xerr.New(xerr.IO, "", "wal: checkpoint promised %d entries, got %d", w.count, w.added)
+	}
+	if err == nil {
+		err = w.bw.Flush()
+	}
+	if err == nil {
+		err = w.f.Sync()
+	}
+	if cerr := w.f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(w.tmp)
+		return xerr.Wrap(xerr.IO, err)
+	}
+	if err := os.Rename(w.tmp, w.final); err != nil {
+		os.Remove(w.tmp)
+		return xerr.Wrap(xerr.IO, err)
+	}
+	syncDir(w.dir)
+	return nil
+}
+
+// Abort discards the in-progress checkpoint.
+func (w *CheckpointWriter) Abort() {
+	w.f.Close()
+	os.Remove(w.tmp)
+}
+
+// WriteCheckpoint writes a complete checkpoint in one call — the
+// convenience form of CheckpointWriter for small corpora and tests.
+func WriteCheckpoint(dir string, seq uint64, docs []CheckpointDoc) (string, error) {
+	w, err := NewCheckpointWriter(dir, seq, uint64(len(docs)))
+	if err != nil {
+		return "", err
+	}
+	for i := range docs {
+		if err := w.Add(docs[i]); err != nil {
+			w.Abort()
+			return "", err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return "", err
+	}
+	return w.final, nil
+}
+
+// ReadLatestCheckpoint loads the newest checkpoint in dir, or returns
+// nil when none exists. A checkpoint that fails validation (its rename
+// was atomic, so this means bit rot, not a crash) is a typed corrupt
+// error naming the file and offset.
+func ReadLatestCheckpoint(dir string) (*Checkpoint, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, xerr.Wrap(xerr.IO, err)
+	}
+	var seqs []uint64
+	for _, e := range ents {
+		if seq, ok := parseSeq(e.Name(), "ckpt-", ".ckpt"); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	if len(seqs) == 0 {
+		return nil, nil
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	seq := seqs[len(seqs)-1]
+	return readCheckpoint(filepath.Join(dir, checkpointName(seq)))
+}
+
+func readCheckpoint(path string) (*Checkpoint, error) {
+	r, err := openSegReader(path, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer r.close()
+	name := filepath.Base(path)
+	ckpos := func(p Pos) string { return name + ":" + strconv.FormatInt(p.Offset, 10) }
+
+	head, pos, err := r.next()
+	if err != nil {
+		return nil, corruptAt(err, ckpos(pos), "reading checkpoint header")
+	}
+	if head.Kind != KindCheckpoint {
+		return nil, corrupt(ckpos(pos), "checkpoint starts with %s record, want checkpoint header", head.Kind)
+	}
+	ck := &Checkpoint{Seq: head.Seq}
+	for {
+		rec, pos, err := r.next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, corruptAt(err, ckpos(pos), "reading checkpoint document")
+		}
+		switch rec.Kind {
+		case KindPut:
+			ck.Docs = append(ck.Docs, CheckpointDoc{Name: rec.Name, Version: rec.Version, XML: rec.Doc})
+		case KindRemove:
+			ck.Docs = append(ck.Docs, CheckpointDoc{Name: rec.Name, Version: rec.Version, Removed: true})
+		default:
+			return nil, corrupt(ckpos(pos), "checkpoint holds %s record, want put or remove", rec.Kind)
+		}
+	}
+	if uint64(len(ck.Docs)) != head.Version {
+		return nil, corrupt(name, "checkpoint header promises %d documents, file holds %d", head.Version, len(ck.Docs))
+	}
+	return ck, nil
+}
+
+// corruptAt reclassifies a record-level failure (including a torn tail,
+// which cannot legitimately appear inside an atomically renamed file) as
+// checkpoint corruption at the given position. Inner errors are always
+// re-positioned: the record reader names positions in segment terms,
+// which would point operators at a segment file that does not exist.
+func corruptAt(err error, pos, doing string) error {
+	return &xerr.Error{Kind: xerr.Corrupt, Pos: pos, Msg: "wal: " + doing, Err: err}
+}
+
+// RemoveCheckpointsBelow deletes checkpoints older than seq, keeping the
+// one at seq itself. Compaction calls it after publishing a new
+// checkpoint.
+func RemoveCheckpointsBelow(dir string, seq uint64) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return xerr.Wrap(xerr.IO, err)
+	}
+	for _, e := range ents {
+		if s, ok := parseSeq(e.Name(), "ckpt-", ".ckpt"); ok && s < seq {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil && !os.IsNotExist(err) {
+				return xerr.Wrap(xerr.IO, err)
+			}
+		}
+	}
+	return nil
+}

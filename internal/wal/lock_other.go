@@ -1,0 +1,9 @@
+//go:build !unix
+
+package wal
+
+import "os"
+
+// lockDir is a no-op on platforms without flock: double-open protection
+// is advisory and unix-only.
+func lockDir(dir string) (*os.File, error) { return nil, nil }

@@ -1,0 +1,28 @@
+//go:build unix
+
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"syscall"
+
+	"xtq/internal/xerr"
+)
+
+// lockDir takes an exclusive advisory lock on dir/LOCK, failing fast if
+// another Log (in this process or another) holds it: two appenders on
+// one directory would write records over each other at identical
+// offsets, destroying acknowledged commits. flock locks die with the
+// process, so a kill -9 never leaves a stale lock behind.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, xerr.Wrap(xerr.IO, err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, xerr.New(xerr.IO, "", "wal: %s is locked by another store (flock: %v)", dir, err)
+	}
+	return f, nil
+}

@@ -1,0 +1,476 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"xtq/internal/xerr"
+)
+
+// FsyncPolicy selects when appended records are forced to stable
+// storage.
+type FsyncPolicy uint8
+
+const (
+	// FsyncAlways fsyncs before Append returns: a successful commit
+	// survives an OS crash. Concurrent appenders share fsyncs (group
+	// commit) — while one fsync is in flight, later appends queue and are
+	// covered by the next one.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval fsyncs on a background ticker (Options.SyncEvery).
+	// Append returns after write(2), so a committed write survives a
+	// process kill immediately but may be lost to an OS crash inside the
+	// sync window.
+	FsyncInterval
+	// FsyncNone never fsyncs outside rotation, checkpointing and Close.
+	// Committed writes survive a process kill (the data is in the OS
+	// page cache) but an OS crash loses the tail.
+	FsyncNone
+)
+
+// String returns the policy's flag spelling.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNone:
+		return "none"
+	default:
+		return "invalid"
+	}
+}
+
+// ParseFsyncPolicy parses the flag spelling of a policy.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "none":
+		return FsyncNone, nil
+	}
+	return 0, xerr.New(xerr.Eval, "", "wal: unknown fsync policy %q (want always, interval or none)", s)
+}
+
+// Options configures a Log.
+type Options struct {
+	// Fsync is the durability policy for appends. Default FsyncAlways.
+	Fsync FsyncPolicy
+	// SyncEvery is the FsyncInterval period. Default 25ms.
+	SyncEvery time.Duration
+	// SegmentBytes rotates the active segment when it exceeds this size.
+	// Default 64 MiB.
+	SegmentBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 25 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	return o
+}
+
+// Pos locates a record in the log, for corrupt-error reporting and
+// replay bookkeeping.
+type Pos struct {
+	Seq    uint64 // segment sequence number
+	Offset int64  // byte offset of the frame within the segment
+}
+
+// String renders the position as "seg-SEQ.wal:OFFSET".
+func (p Pos) String() string { return fmt.Sprintf("%s:%d", segmentName(p.Seq), p.Offset) }
+
+func segmentName(seq uint64) string { return fmt.Sprintf("seg-%016d.wal", seq) }
+
+// parseSeq extracts the sequence number from a segment or checkpoint
+// file name, reporting ok=false for foreign files.
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := name[len(prefix) : len(name)-len(suffix)]
+	seq, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil || len(mid) != 16 {
+		return 0, false
+	}
+	return seq, true
+}
+
+// Log is an append-only segmented record log. Appends are safe for
+// concurrent use; Replay must complete before the first Append.
+type Log struct {
+	dir  string
+	opts Options
+
+	// syncMu serializes fsyncs and segment transitions; it is always
+	// acquired before mu. synced is the high-water mark of bytes known
+	// stable, in cumulative log offsets (appended counts across segment
+	// boundaries).
+	syncMu sync.Mutex
+	synced int64
+
+	// mu guards the append path: the active file, sizes and the sticky
+	// error.
+	mu       sync.Mutex
+	f        *os.File
+	seq      uint64 // active segment sequence
+	ckptSeq  uint64 // highest checkpoint cut found at Open (floor for seq)
+	segSize  int64  // bytes in the active segment
+	appended int64  // cumulative bytes appended across all segments
+	segs     []uint64
+	scratch  []byte
+	err      error // sticky: a failed write poisons the log
+	closed   bool
+
+	lock *os.File // flock on dir/LOCK; closing releases it
+
+	closeOnce  sync.Once
+	closeErr   error
+	stopTicker chan struct{}
+	tickerDone chan struct{}
+}
+
+// Open opens dir as a log, creating it if necessary. Existing segments
+// are scanned and validated: a torn tail in the newest segment (the
+// expected state after a crash mid-append) is truncated away, while a
+// checksum or framing violation anywhere else surfaces as a typed
+// corrupt error naming the segment and offset. Appends continue in the
+// newest segment.
+//
+// Call Replay before the first Append to feed the surviving records to
+// recovery.
+func Open(dir string, o Options) (*Log, error) {
+	o = o.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, xerr.Wrap(xerr.IO, err)
+	}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: o, lock: lock}
+	fail := func(err error) (*Log, error) {
+		if lock != nil {
+			lock.Close() // releases the flock
+		}
+		return nil, err
+	}
+	if err := l.scan(); err != nil {
+		return fail(err)
+	}
+	if err := l.openActive(); err != nil {
+		return fail(err)
+	}
+	if o.Fsync == FsyncInterval {
+		l.stopTicker = make(chan struct{})
+		l.tickerDone = make(chan struct{})
+		go l.tick()
+	}
+	return l, nil
+}
+
+// scan lists segments, validates them and truncates a torn tail of the
+// newest one.
+func (l *Log) scan() error {
+	ents, err := os.ReadDir(l.dir)
+	if err != nil {
+		return xerr.Wrap(xerr.IO, err)
+	}
+	var ckMax uint64
+	for _, e := range ents {
+		if seq, ok := parseSeq(e.Name(), "seg-", ".wal"); ok {
+			l.segs = append(l.segs, seq)
+		}
+		if seq, ok := parseSeq(e.Name(), "ckpt-", ".ckpt"); ok && seq > ckMax {
+			ckMax = seq
+		}
+		// Leftover temp files from an interrupted checkpoint are garbage.
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			os.Remove(filepath.Join(l.dir, e.Name()))
+		}
+	}
+	l.ckptSeq = ckMax
+	sort.Slice(l.segs, func(i, j int) bool { return l.segs[i] < l.segs[j] })
+	for i, seq := range l.segs {
+		last := i == len(l.segs)-1
+		valid, err := validateSegment(filepath.Join(l.dir, segmentName(seq)), seq, last)
+		if err != nil {
+			return err
+		}
+		if last {
+			// A torn tail — a frame the crash cut short — is truncated so
+			// new appends continue from the last whole record.
+			path := filepath.Join(l.dir, segmentName(seq))
+			fi, err := os.Stat(path)
+			if err != nil {
+				return xerr.Wrap(xerr.IO, err)
+			}
+			if fi.Size() > valid {
+				if err := os.Truncate(path, valid); err != nil {
+					return xerr.Wrap(xerr.IO, err)
+				}
+			}
+			l.segSize = valid
+		}
+	}
+	return nil
+}
+
+// openActive opens (or creates) the newest segment for appending. The
+// active sequence is always above every checkpoint's covered cut: if
+// the directory holds a checkpoint but no segments past it (segment
+// files lost, or cleaned up by an operator), starting numbering back at
+// 1 would put new appends below the cut, where the next recovery's
+// Replay(afterSeq) would silently skip them.
+func (l *Log) openActive() error {
+	if len(l.segs) == 0 || l.segs[len(l.segs)-1] <= l.ckptSeq {
+		l.seq = l.ckptSeq + 1 // 1 for a brand-new directory
+		l.segs = append(l.segs, l.seq)
+		l.segSize = 0
+	} else {
+		l.seq = l.segs[len(l.segs)-1]
+	}
+	f, err := os.OpenFile(filepath.Join(l.dir, segmentName(l.seq)), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return xerr.Wrap(xerr.IO, err)
+	}
+	if _, err := f.Seek(l.segSize, 0); err != nil {
+		f.Close()
+		return xerr.Wrap(xerr.IO, err)
+	}
+	l.f = f
+	l.appended = l.segSize
+	l.synced = l.segSize
+	syncDir(l.dir)
+	return nil
+}
+
+func (l *Log) tick() {
+	defer close(l.tickerDone)
+	t := time.NewTicker(l.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stopTicker:
+			return
+		case <-t.C:
+			l.syncTo(-1)
+		}
+	}
+}
+
+// Append encodes rec and appends it to the active segment, honouring
+// the fsync policy before returning. It reports the record's position.
+// A log whose underlying file failed stays failed: every later Append
+// returns the first error.
+func (l *Log) Append(rec *Record) (Pos, error) {
+	l.mu.Lock()
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return Pos{}, err
+	}
+	if l.closed {
+		l.mu.Unlock()
+		return Pos{}, xerr.New(xerr.IO, "", "wal: log closed")
+	}
+	l.scratch = AppendRecord(l.scratch[:0], rec)
+	pos := Pos{Seq: l.seq, Offset: l.segSize}
+	n, err := l.f.Write(l.scratch)
+	if err != nil {
+		// A partial frame may be on disk; recovery will see it as a torn
+		// tail. Poison the log so no later append writes after garbage.
+		l.err = xerr.Wrap(xerr.IO, err)
+		l.mu.Unlock()
+		return Pos{}, l.err
+	}
+	l.segSize += int64(n)
+	l.appended += int64(n)
+	lsn := l.appended
+	needRotate := l.segSize >= l.opts.SegmentBytes
+	l.mu.Unlock()
+
+	if needRotate {
+		if _, err := l.Rotate(); err != nil {
+			return pos, err
+		}
+	}
+	if l.opts.Fsync == FsyncAlways {
+		if err := l.syncTo(lsn); err != nil {
+			return pos, err
+		}
+	}
+	return pos, nil
+}
+
+// syncTo fsyncs until at least lsn cumulative bytes are stable; lsn < 0
+// means "everything appended so far". Concurrent callers group: one
+// fsync covers every byte appended before it started.
+func (l *Log) syncTo(lsn int64) error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	if lsn >= 0 && l.synced >= lsn {
+		return nil
+	}
+	l.mu.Lock()
+	target := l.appended
+	f := l.f
+	err := l.err
+	l.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if f == nil || l.synced >= target {
+		return nil
+	}
+	if err := f.Sync(); err != nil {
+		l.mu.Lock()
+		if l.err == nil {
+			l.err = xerr.Wrap(xerr.IO, err)
+		}
+		err2 := l.err
+		l.mu.Unlock()
+		return err2
+	}
+	l.synced = target
+	return nil
+}
+
+// Sync forces everything appended so far to stable storage, regardless
+// of policy.
+func (l *Log) Sync() error { return l.syncTo(-1) }
+
+// Rotate syncs and closes the active segment and starts a new one,
+// returning the sequence number of the segment just frozen — everything
+// at or below it is complete, fsynced and immutable. Checkpointing uses
+// it as the cut: a checkpoint capturing state after Rotate covers all
+// records in segments ≤ the returned sequence.
+func (l *Log) Rotate() (uint64, error) {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return 0, l.err
+	}
+	if l.closed {
+		return 0, xerr.New(xerr.IO, "", "wal: log closed")
+	}
+	frozen := l.seq
+	if err := l.f.Sync(); err != nil {
+		l.err = xerr.Wrap(xerr.IO, err)
+		return 0, l.err
+	}
+	l.synced = l.appended
+	if err := l.f.Close(); err != nil {
+		l.err = xerr.Wrap(xerr.IO, err)
+		return 0, l.err
+	}
+	l.seq++
+	f, err := os.OpenFile(filepath.Join(l.dir, segmentName(l.seq)), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		l.err = xerr.Wrap(xerr.IO, err)
+		return 0, l.err
+	}
+	l.f = f
+	l.segSize = 0
+	l.segs = append(l.segs, l.seq)
+	syncDir(l.dir)
+	return frozen, nil
+}
+
+// RemoveThrough deletes all segments with sequence ≤ seq (they are
+// covered by a checkpoint), reporting how many were removed. The active
+// segment is never removed.
+func (l *Log) RemoveThrough(seq uint64) (int, error) {
+	l.mu.Lock()
+	var keep, drop []uint64
+	for _, s := range l.segs {
+		if s <= seq && s != l.seq {
+			drop = append(drop, s)
+		} else {
+			keep = append(keep, s)
+		}
+	}
+	l.segs = keep
+	l.mu.Unlock()
+	for _, s := range drop {
+		if err := os.Remove(filepath.Join(l.dir, segmentName(s))); err != nil && !os.IsNotExist(err) {
+			return 0, xerr.Wrap(xerr.IO, err)
+		}
+	}
+	if len(drop) > 0 {
+		syncDir(l.dir)
+	}
+	return len(drop), nil
+}
+
+// Size returns the cumulative bytes appended to the log since Open
+// (across rotations; deletions do not subtract). The checkpointer uses
+// it as its growth trigger.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appended
+}
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Segments returns the live segment sequences in ascending order.
+func (l *Log) Segments() []uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]uint64(nil), l.segs...)
+}
+
+// Close syncs and closes the log. Further appends fail. Close is
+// idempotent: every call after the first returns the first call's
+// result.
+func (l *Log) Close() error {
+	l.closeOnce.Do(func() {
+		if l.stopTicker != nil {
+			close(l.stopTicker)
+			<-l.tickerDone
+		}
+		err := l.Sync()
+		l.syncMu.Lock()
+		defer l.syncMu.Unlock()
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		l.closed = true
+		if l.f != nil {
+			if cerr := l.f.Close(); err == nil && cerr != nil {
+				err = xerr.Wrap(xerr.IO, cerr)
+			}
+			l.f = nil
+		}
+		if l.lock != nil {
+			l.lock.Close()
+			l.lock = nil
+		}
+		l.closeErr = err
+	})
+	return l.closeErr
+}
+
+// syncDir fsyncs a directory so renames and creates within it are
+// durable. Best effort: some platforms reject directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

@@ -1,0 +1,245 @@
+// Package wal implements the durability layer of the versioned document
+// store: an append-only write-ahead log of *logical* update records.
+//
+// Because every store commit is already expressed as an XQU update query,
+// the log does not need physical page images — a committed update is
+// durable as its canonical query text plus the version it was applied
+// at, and recovery replays the text through the same engine that
+// evaluated it live (the replay-as-evaluation discipline of functional
+// XML update semantics). Ingests are logged as full document bytes,
+// removals as tombstone markers.
+//
+// The package has three parts:
+//
+//   - a binary record codec (this file): length-prefixed,
+//     CRC32C-checksummed frames holding put/update/remove/checkpoint
+//     records. Decoding never panics; any framing, checksum or field
+//     violation surfaces as a typed xerr.Corrupt error.
+//   - an append-only segmented log (log.go): numbered segment files with
+//     group-commit batching and a configurable fsync policy, plus
+//     replay with torn-tail truncation (reader.go).
+//   - snapshot checkpoints (checkpoint.go): a checkpoint file captures
+//     every live document at a version, is published by atomic rename,
+//     and lets the segments it covers be deleted.
+//
+// The package knows nothing about trees or queries: records are plain
+// data, and the store decides what replaying one means.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"xtq/internal/xerr"
+)
+
+// Kind discriminates the record types of the log.
+type Kind uint8
+
+const (
+	// KindPut is a full-document ingest: Name, Version and the serialized
+	// document bytes in Doc.
+	KindPut Kind = iota + 1
+	// KindUpdate is a committed XQU update: Name, the canonical query
+	// text in Query, the version it was evaluated against in Base and
+	// the version it produced in Version (always Base+1).
+	KindUpdate
+	// KindRemove is a document removal: Name and the tombstone Version
+	// the removal advanced the chain to.
+	KindRemove
+	// KindCheckpoint is the header of a checkpoint file: Seq is the
+	// highest segment sequence the checkpoint covers, Version the number
+	// of documents that follow. Checkpoint records never appear in
+	// segment files.
+	KindCheckpoint
+)
+
+// String returns the kind's lower-case name.
+func (k Kind) String() string {
+	switch k {
+	case KindPut:
+		return "put"
+	case KindUpdate:
+		return "update"
+	case KindRemove:
+		return "remove"
+	case KindCheckpoint:
+		return "checkpoint"
+	default:
+		return "invalid"
+	}
+}
+
+// Record is one logical log entry. Which fields are meaningful depends
+// on Kind; see the kind constants.
+type Record struct {
+	Kind    Kind
+	Name    string // document name (empty for checkpoint headers)
+	Version uint64 // version the record advanced the document to
+	Base    uint64 // update: version the query was evaluated against
+	Seq     uint64 // checkpoint: highest covered segment sequence
+	Query   string // update: canonical transform-query text
+	Doc     []byte // put: serialized document
+}
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on the
+// platforms Go supports.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// frameHeader is the fixed prefix of every frame: payload length and
+// payload CRC32C, both little-endian uint32.
+const frameHeader = 8
+
+// MaxRecordBytes bounds a single record's payload. Frames claiming more
+// are rejected as corrupt before any allocation, so a flipped length
+// byte cannot make recovery attempt a multi-gigabyte read.
+const MaxRecordBytes = 1 << 30
+
+func corrupt(pos, format string, args ...any) *xerr.Error {
+	return xerr.New(xerr.Corrupt, pos, "wal: "+format, args...)
+}
+
+// AppendRecord encodes r as one frame and appends it to buf, returning
+// the extended slice. The layout is
+//
+//	[4B payload len][4B CRC32C(payload)][payload]
+//
+// with the payload holding the kind byte followed by uvarint-framed
+// fields. The encoding is canonical: decoding an encoded record and
+// re-encoding it reproduces the bytes exactly.
+func AppendRecord(buf []byte, r *Record) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // header patched below
+	buf = append(buf, byte(r.Kind))
+	buf = binary.AppendUvarint(buf, r.Version)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Name)))
+	buf = append(buf, r.Name...)
+	switch r.Kind {
+	case KindPut:
+		buf = binary.AppendUvarint(buf, uint64(len(r.Doc)))
+		buf = append(buf, r.Doc...)
+	case KindUpdate:
+		buf = binary.AppendUvarint(buf, r.Base)
+		buf = binary.AppendUvarint(buf, uint64(len(r.Query)))
+		buf = append(buf, r.Query...)
+	case KindRemove:
+		// name and version say it all
+	case KindCheckpoint:
+		buf = binary.AppendUvarint(buf, r.Seq)
+	}
+	payload := buf[start+frameHeader:]
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, crcTable))
+	return buf
+}
+
+// DecodeRecord decodes the first frame of b into a Record, returning the
+// number of bytes consumed. Failures are typed:
+//
+//   - a b shorter than a complete frame returns errShortFrame (the
+//     caller decides whether that is a clean end of log or a torn tail);
+//   - a frame whose checksum, kind or field framing is invalid returns
+//     an xerr.Corrupt error whose Pos is pos (the caller supplies the
+//     "file:offset" position, which this codec cannot know).
+//
+// DecodeRecord never panics, whatever bytes it is handed — the
+// FuzzWALRecord fuzz target pins that.
+func DecodeRecord(b []byte, pos string) (Record, int, error) {
+	if len(b) < frameHeader {
+		return Record{}, 0, errShortFrame
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if n == 0 || n > MaxRecordBytes {
+		return Record{}, 0, corrupt(pos, "impossible payload length %d", n)
+	}
+	if uint64(len(b)) < frameHeader+uint64(n) {
+		return Record{}, 0, errShortFrame
+	}
+	payload := b[frameHeader : frameHeader+int(n)]
+	if got, want := crc32.Checksum(payload, crcTable), binary.LittleEndian.Uint32(b[4:]); got != want {
+		return Record{}, 0, corrupt(pos, "checksum mismatch (stored %08x, computed %08x)", want, got)
+	}
+	r, err := decodePayload(payload, pos)
+	if err != nil {
+		return Record{}, 0, err
+	}
+	return r, frameHeader + int(n), nil
+}
+
+// errShortFrame reports that the buffer ends before the frame does. It
+// is an internal sentinel: readers translate it into either a clean EOF
+// or a torn-tail position.
+var errShortFrame = fmt.Errorf("wal: short frame")
+
+func decodePayload(p []byte, pos string) (Record, error) {
+	var r Record
+	if len(p) == 0 {
+		return r, corrupt(pos, "empty payload")
+	}
+	r.Kind = Kind(p[0])
+	p = p[1:]
+	var err error
+	if r.Version, p, err = takeUvarint(p, pos, "version"); err != nil {
+		return r, err
+	}
+	var name []byte
+	if name, p, err = takeBytes(p, pos, "name"); err != nil {
+		return r, err
+	}
+	r.Name = string(name)
+	switch r.Kind {
+	case KindPut:
+		var doc []byte
+		if doc, p, err = takeBytes(p, pos, "document"); err != nil {
+			return r, err
+		}
+		// Copy: the payload buffer is reused by readers.
+		r.Doc = append([]byte(nil), doc...)
+	case KindUpdate:
+		if r.Base, p, err = takeUvarint(p, pos, "base version"); err != nil {
+			return r, err
+		}
+		var q []byte
+		if q, p, err = takeBytes(p, pos, "query"); err != nil {
+			return r, err
+		}
+		r.Query = string(q)
+	case KindRemove:
+	case KindCheckpoint:
+		if r.Seq, p, err = takeUvarint(p, pos, "sequence"); err != nil {
+			return r, err
+		}
+	default:
+		return r, corrupt(pos, "unknown record kind %d", byte(r.Kind))
+	}
+	if len(p) != 0 {
+		return r, corrupt(pos, "%d trailing payload bytes after %s record", len(p), r.Kind)
+	}
+	return r, nil
+}
+
+func takeUvarint(p []byte, pos, field string) (uint64, []byte, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, corrupt(pos, "truncated %s", field)
+	}
+	// Reject non-minimal encodings: the codec is canonical, so a decoded
+	// record always re-encodes to the exact bytes it came from (replay
+	// arithmetic and the fuzz round-trip property rely on that).
+	if n > 1 && p[n-1] == 0 {
+		return 0, nil, corrupt(pos, "non-canonical %s encoding", field)
+	}
+	return v, p[n:], nil
+}
+
+func takeBytes(p []byte, pos, field string) ([]byte, []byte, error) {
+	n, p, err := takeUvarint(p, pos, field+" length")
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(p)) {
+		return nil, nil, corrupt(pos, "%s length %d exceeds remaining payload %d", field, n, len(p))
+	}
+	return p[:n], p[n:], nil
+}

@@ -1,0 +1,532 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"xtq/internal/xerr"
+)
+
+var sampleRecords = []Record{
+	{Kind: KindPut, Name: "parts", Version: 1, Doc: []byte("<db><part/></db>")},
+	{Kind: KindUpdate, Name: "parts", Version: 2, Base: 1,
+		Query: `transform copy $a := doc("parts") modify do delete $a//price return $a`},
+	{Kind: KindRemove, Name: "parts", Version: 3},
+	{Kind: KindCheckpoint, Seq: 7, Version: 2},
+	{Kind: KindPut, Name: "", Version: 9, Doc: nil}, // degenerate fields still frame
+}
+
+func encodeAll(recs []Record) []byte {
+	var buf []byte
+	for i := range recs {
+		buf = AppendRecord(buf, &recs[i])
+	}
+	return buf
+}
+
+func kindOf(t *testing.T, err error) xerr.Kind {
+	t.Helper()
+	var xe *xerr.Error
+	if !errors.As(err, &xe) {
+		t.Fatalf("error %v is not *xerr.Error", err)
+	}
+	return xe.Kind
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	buf := encodeAll(sampleRecords)
+	rest := buf
+	for i := range sampleRecords {
+		rec, n, err := DecodeRecord(rest, "t:0")
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		want := sampleRecords[i]
+		if want.Doc == nil {
+			want.Doc = []byte{}
+		}
+		if rec.Doc == nil {
+			rec.Doc = []byte{}
+		}
+		if !reflect.DeepEqual(rec, want) {
+			t.Fatalf("record %d: decoded %+v, want %+v", i, rec, want)
+		}
+		// Canonical: re-encoding reproduces the consumed bytes.
+		if re := AppendRecord(nil, &rec); !bytes.Equal(re, rest[:n]) {
+			t.Fatalf("record %d: re-encoding diverges", i)
+		}
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d undecoded bytes", len(rest))
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	one := AppendRecord(nil, &sampleRecords[1])
+
+	t.Run("bitflips", func(t *testing.T) {
+		for i := 0; i < len(one); i++ {
+			mut := append([]byte(nil), one...)
+			mut[i] ^= 0x40
+			_, _, err := DecodeRecord(mut, "t:0")
+			if err == nil {
+				// A flip in the length field can make the frame "short"
+				// instead of corrupt only if it grows the length; both
+				// shapes must be non-nil errors, never silent success.
+				t.Fatalf("bit flip at %d decoded successfully", i)
+			}
+		}
+	})
+	t.Run("truncations", func(t *testing.T) {
+		for i := 1; i < len(one); i++ {
+			_, _, err := DecodeRecord(one[:len(one)-i], "t:0")
+			if err == nil {
+				t.Fatalf("truncation by %d decoded successfully", i)
+			}
+		}
+	})
+	t.Run("kind", func(t *testing.T) {
+		bad := sampleRecords[0]
+		bad.Kind = 99
+		b := AppendRecord(nil, &bad)
+		_, _, err := DecodeRecord(b, "t:0")
+		if kindOf(t, err) != xerr.Corrupt {
+			t.Fatalf("unknown kind produced %v, want corrupt", err)
+		}
+	})
+}
+
+func appendAll(t *testing.T, l *Log, recs []Record) {
+	t.Helper()
+	for i := range recs {
+		if _, err := l.Append(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func replayAll(t *testing.T, dir string, o Options) []Record {
+	t.Helper()
+	l, err := Open(dir, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var got []Record
+	if err := l.Replay(0, func(r Record, _ Pos) error {
+		got = append(got, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func sameRecords(a, b []Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if len(x.Doc) == 0 {
+			x.Doc = nil
+		}
+		if len(y.Doc) == 0 {
+			y.Doc = nil
+		}
+		if !reflect.DeepEqual(x, y) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLogAppendReplay(t *testing.T) {
+	for _, policy := range []FsyncPolicy{FsyncAlways, FsyncInterval, FsyncNone} {
+		t.Run(policy.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			l, err := Open(dir, Options{Fsync: policy})
+			if err != nil {
+				t.Fatal(err)
+			}
+			appendAll(t, l, sampleRecords)
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			got := replayAll(t, dir, Options{Fsync: policy})
+			if !sameRecords(got, sampleRecords) {
+				t.Fatalf("replay returned %d records, want %d matching", len(got), len(sampleRecords))
+			}
+		})
+	}
+}
+
+func TestLogRotationAndRemoveThrough(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments: every append rotates.
+	l, err := Open(dir, Options{Fsync: FsyncNone, SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, sampleRecords)
+	if segs := l.Segments(); len(segs) < len(sampleRecords) {
+		t.Fatalf("expected ≥%d segments, got %v", len(sampleRecords), segs)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, dir, Options{})
+	if !sameRecords(got, sampleRecords) {
+		t.Fatal("multi-segment replay diverges")
+	}
+	// Reopen (the directory lock is released by Close) to compact.
+	if l, err = Open(dir, Options{Fsync: FsyncNone, SegmentBytes: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	frozen, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.RemoveThrough(frozen); err != nil {
+		t.Fatal(err)
+	}
+	if segs := l.Segments(); len(segs) != 1 {
+		t.Fatalf("RemoveThrough left %v", segs)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Fsync: FsyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, sampleRecords[:3])
+	l.Close()
+
+	seg := filepath.Join(dir, segmentName(1))
+	whole, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the last record in half: the classic crash-mid-append tail.
+	if err := os.WriteFile(seg, whole[:len(whole)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got := replayAll(t, dir, Options{})
+	if !sameRecords(got, sampleRecords[:2]) {
+		t.Fatalf("torn tail recovery returned %d records, want 2", len(got))
+	}
+	// And the file was truncated to the valid prefix, so new appends
+	// extend a clean log.
+	l2, err := Open(dir, Options{Fsync: FsyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l2, sampleRecords[2:3])
+	l2.Close()
+	got = replayAll(t, dir, Options{})
+	if !sameRecords(got, sampleRecords[:3]) {
+		t.Fatal("append after torn-tail truncation diverges")
+	}
+}
+
+func TestFrozenSegmentCorruptionIsTyped(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Fsync: FsyncNone, SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, sampleRecords[:3])
+	l.Close()
+
+	// Flip a byte in the middle of segment 2 — a frozen, fsynced file:
+	// that is bit rot, not a torn tail, and recovery must refuse.
+	seg := filepath.Join(dir, segmentName(2))
+	b, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xff
+	if err := os.WriteFile(seg, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(dir, Options{})
+	if err == nil {
+		t.Fatal("Open accepted a corrupt frozen segment")
+	}
+	var xe *xerr.Error
+	if !errors.As(err, &xe) || xe.Kind != xerr.Corrupt {
+		t.Fatalf("corruption surfaced as %v, want kind corrupt", err)
+	}
+	if xe.Pos == "" {
+		t.Fatal("corrupt error carries no segment/offset position")
+	}
+}
+
+func TestGroupCommitConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers = 8
+		each    = 25
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				rec := Record{Kind: KindRemove, Name: "doc", Version: uint64(w*each + i + 1)}
+				if _, err := l.Append(&rec); err != nil {
+					panic(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, dir, Options{})
+	if len(got) != writers*each {
+		t.Fatalf("replayed %d records, want %d", len(got), writers*each)
+	}
+	seen := make(map[uint64]bool)
+	for _, r := range got {
+		if seen[r.Version] {
+			t.Fatalf("version %d duplicated", r.Version)
+		}
+		seen[r.Version] = true
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if ck, err := ReadLatestCheckpoint(dir); err != nil || ck != nil {
+		t.Fatalf("empty dir: ck=%v err=%v", ck, err)
+	}
+	docs := []CheckpointDoc{
+		{Name: "a", Version: 3, XML: []byte("<a/>")},
+		{Name: "b", Version: 17, XML: []byte("<b><c>x</c></b>")},
+	}
+	if _, err := WriteCheckpoint(dir, 4, docs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteCheckpoint(dir, 9, docs[:1]); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := ReadLatestCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Seq != 9 || len(ck.Docs) != 1 || ck.Docs[0].Name != "a" || string(ck.Docs[0].XML) != "<a/>" {
+		t.Fatalf("latest checkpoint = %+v", ck)
+	}
+	if err := RemoveCheckpointsBelow(dir, 9); err != nil {
+		t.Fatal(err)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("compaction left %d files", len(ents))
+	}
+
+	// A truncated checkpoint (torn tails are impossible behind an atomic
+	// rename, so this is corruption) must be a typed error.
+	path := filepath.Join(dir, checkpointName(9))
+	b, _ := os.ReadFile(path)
+	os.WriteFile(path, b[:len(b)-3], 0o644)
+	if _, err := ReadLatestCheckpoint(dir); kindOf(t, err) != xerr.Corrupt {
+		t.Fatalf("truncated checkpoint read as %v, want corrupt", err)
+	}
+}
+
+// TestActiveTailPointInTime pins the active segment's recovery
+// contract: damage anywhere in the tail truncates to the prefix before
+// it — point-in-time recovery. Group commit allows several
+// written-but-unsynced records at once and page writeback is unordered,
+// so after an OS crash a garbled frame followed by intact ones is a
+// legitimate state of the unacknowledged suffix under every policy;
+// refusing it would strand normal crashes. (Frozen segments stay
+// strict: see TestFrozenSegmentCorruptionIsTyped.)
+func TestActiveTailPointInTime(t *testing.T) {
+	for _, policy := range []FsyncPolicy{FsyncAlways, FsyncNone} {
+		t.Run("garbled mid-tail "+policy.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			l, err := Open(dir, Options{Fsync: policy})
+			if err != nil {
+				t.Fatal(err)
+			}
+			appendAll(t, l, sampleRecords[:3])
+			l.Close()
+			// Garble the middle record, leaving the last one intact.
+			seg := filepath.Join(dir, segmentName(1))
+			b, err := os.ReadFile(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			first := AppendRecord(nil, &sampleRecords[0])
+			b[len(first)+10] ^= 0xff
+			if err := os.WriteFile(seg, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			got := replayAll(t, dir, Options{Fsync: policy})
+			if !sameRecords(got, sampleRecords[:1]) {
+				t.Fatalf("point-in-time recovery returned %d records, want 1", len(got))
+			}
+		})
+	}
+	t.Run("garbled final frame", func(t *testing.T) {
+		dir := t.TempDir()
+		l, err := Open(dir, Options{Fsync: FsyncAlways})
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendAll(t, l, sampleRecords[:2])
+		l.Close()
+		seg := filepath.Join(dir, segmentName(1))
+		b, _ := os.ReadFile(seg)
+		b[len(b)-3] ^= 0xff
+		os.WriteFile(seg, b, 0o644)
+		got := replayAll(t, dir, Options{Fsync: FsyncAlways})
+		if !sameRecords(got, sampleRecords[:1]) {
+			t.Fatalf("torn final frame: recovered %d records, want 1", len(got))
+		}
+	})
+}
+
+// TestActiveSegmentSeedsAboveCheckpoint pins the segment-numbering
+// floor: a directory holding a checkpoint but no segments past its cut
+// (segment files lost or cleaned up) must not restart numbering below
+// the cut, or the next recovery's Replay(afterSeq) would silently skip
+// every new append.
+func TestActiveSegmentSeedsAboveCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := WriteCheckpoint(dir, 5, nil); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(dir, Options{Fsync: FsyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if segs := l.Segments(); len(segs) != 1 || segs[0] != 6 {
+		t.Fatalf("active segment = %v, want [6]", segs)
+	}
+	appendAll(t, l, sampleRecords[:1])
+	l.Close()
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	var got []Record
+	if err := l2.Replay(5, func(r Record, _ Pos) error {
+		got = append(got, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !sameRecords(got, sampleRecords[:1]) {
+		t.Fatalf("post-checkpoint append not visible above the cut: %d records", len(got))
+	}
+}
+
+// TestCheckpointCorruptionNamesCheckpointFile pins the corrupt-error
+// position of a damaged checkpoint: it must name the checkpoint file,
+// not a segment that does not exist.
+func TestCheckpointCorruptionNamesCheckpointFile(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := WriteCheckpoint(dir, 3, []CheckpointDoc{{Name: "a", Version: 1, XML: []byte("<a/>")}}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, checkpointName(3))
+	b, _ := os.ReadFile(path)
+	b[len(b)/2] ^= 0xff
+	os.WriteFile(path, b, 0o644)
+	_, err := ReadLatestCheckpoint(dir)
+	var xe *xerr.Error
+	if !errors.As(err, &xe) || xe.Kind != xerr.Corrupt {
+		t.Fatalf("got %v, want corrupt", err)
+	}
+	if !strings.Contains(xe.Pos, "ckpt-") {
+		t.Fatalf("corrupt position %q does not name the checkpoint file", xe.Pos)
+	}
+}
+
+// TestCloseIdempotent pins that double Close (with and without the
+// interval ticker) neither panics nor re-fails.
+func TestCloseIdempotent(t *testing.T) {
+	for _, policy := range []FsyncPolicy{FsyncAlways, FsyncInterval} {
+		l, err := Open(t.TempDir(), Options{Fsync: policy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("second Close under %s: %v", policy, err)
+		}
+	}
+}
+
+// TestCheckpointTombstoneRoundTrip covers the Removed entries the store
+// writes for not-yet-collected tombstones.
+func TestCheckpointTombstoneRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	docs := []CheckpointDoc{
+		{Name: "live", Version: 4, XML: []byte("<a/>")},
+		{Name: "gone", Version: 9, Removed: true},
+	}
+	if _, err := WriteCheckpoint(dir, 2, docs); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := ReadLatestCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ck.Docs) != 2 || !ck.Docs[1].Removed || ck.Docs[1].Version != 9 || ck.Docs[1].XML != nil {
+		t.Fatalf("round trip = %+v", ck.Docs)
+	}
+}
+
+// TestDirectoryLock pins single-writer ownership of a log directory:
+// two appenders at identical offsets would destroy each other's
+// acknowledged records, so the second Open must fail fast, and Close
+// must release the lock for a clean handover.
+func TestDirectoryLock(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Fsync: FsyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{Fsync: FsyncNone}); err == nil {
+		t.Fatal("second Open of a live log directory succeeded")
+	} else if kindOf(t, err) != xerr.IO {
+		t.Fatalf("double open = %v, want io error", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{Fsync: FsyncNone})
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	l2.Close()
+}

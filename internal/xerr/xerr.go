@@ -37,6 +37,11 @@ const (
 	// Conflict covers optimistic-concurrency failures: a store commit
 	// whose base version was superseded by another writer.
 	Conflict
+	// Corrupt covers durability failures: a write-ahead-log record or
+	// checkpoint that fails its checksum, frames an impossible length, or
+	// breaks the recovered version chain. Pos names the segment file and
+	// byte offset of the offending record.
+	Corrupt
 )
 
 // String returns the kind's lower-case name.
@@ -54,6 +59,8 @@ func (k Kind) String() string {
 		return "notfound"
 	case Conflict:
 		return "conflict"
+	case Corrupt:
+		return "corrupt"
 	default:
 		return "unknown"
 	}

@@ -5,8 +5,11 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
+	"xtq/internal/core"
 	"xtq/internal/store"
+	"xtq/internal/wal"
 )
 
 // Snapshot is one immutable committed version of a stored document: a
@@ -28,6 +31,38 @@ type Snapshot = store.Snapshot
 // the copy-on-write cost it paid (zero copied nodes for adopted ingests
 // and for updates that matched nothing).
 type Commit = store.Commit
+
+// HistoryEntry describes one servable version of a stored document —
+// see Store.History.
+type HistoryEntry = store.HistoryEntry
+
+// CheckpointStats reports the checkpoint/compaction activity of a
+// durable store — see Store.Checkpoint and Store.CheckpointStats.
+type CheckpointStats = store.CheckpointStats
+
+// FsyncPolicy selects when a durable store's committed records are
+// forced to stable storage — the commit-latency/durability trade-off of
+// OpenStore.
+type FsyncPolicy = wal.FsyncPolicy
+
+// Fsync policies for WithFsync.
+const (
+	// FsyncAlways fsyncs before a commit returns (group-committed across
+	// concurrent writers): state survives an OS crash.
+	FsyncAlways = wal.FsyncAlways
+	// FsyncInterval fsyncs on a background interval: a commit survives a
+	// process kill immediately, an OS crash may lose the last interval.
+	FsyncInterval = wal.FsyncInterval
+	// FsyncNone leaves fsync to rotation, checkpoints and Close: fastest,
+	// survives a process kill, an OS crash loses the unsynced tail.
+	FsyncNone = wal.FsyncNone
+)
+
+// ParseFsyncPolicy parses "always", "interval" or "none".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	p, err := wal.ParseFsyncPolicy(s)
+	return p, classify(err, KindEval)
+}
 
 // Store is a goroutine-safe, versioned, in-memory XML document store —
 // update syntax as the write path of a live corpus. Documents are held
@@ -55,15 +90,101 @@ type Store struct {
 	views map[string]*View
 }
 
-// NewStore builds a store on top of eng, which compiles the update
-// queries Apply receives (sharing the engine's query cache) and parses
-// ingested sources. A nil eng uses a fresh default Engine.
+// NewStore builds an in-memory store on top of eng, which compiles the
+// update queries Apply receives (sharing the engine's query cache) and
+// parses ingested sources. A nil eng uses a fresh default Engine. The
+// store dies with the process; OpenStore builds one that does not.
 func NewStore(eng *Engine) *Store {
 	if eng == nil {
 		eng = NewEngine()
 	}
 	return &Store{eng: eng, st: store.New(), views: make(map[string]*View)}
 }
+
+// storeConfig collects the OpenStore options.
+type storeConfig struct {
+	opts store.Options
+}
+
+// StoreOption configures OpenStore.
+type StoreOption func(*storeConfig)
+
+// WithFsync selects the durability policy commits honour before they
+// return. Default FsyncAlways.
+func WithFsync(p FsyncPolicy) StoreOption {
+	return func(c *storeConfig) { c.opts.Fsync = p }
+}
+
+// WithSyncInterval sets the FsyncInterval flush period. Default 25ms.
+func WithSyncInterval(d time.Duration) StoreOption {
+	return func(c *storeConfig) { c.opts.SyncEvery = d }
+}
+
+// WithSegmentBytes sets the log segment rotation size. Default 64 MiB.
+func WithSegmentBytes(n int64) StoreOption {
+	return func(c *storeConfig) { c.opts.SegmentBytes = n }
+}
+
+// WithHistoryDepth sets the per-document ring of recent snapshots that
+// SnapshotAt serves lock- and allocation-free. Default 8; negative
+// disables the ring (history then always replays the log).
+func WithHistoryDepth(n int) StoreOption {
+	return func(c *storeConfig) { c.opts.HistoryDepth = n }
+}
+
+// WithCheckpointEvery enables the background checkpointer: a checkpoint
+// (snapshot capture + log compaction + tombstone GC) runs whenever the
+// log has grown by n bytes. Zero (the default) leaves checkpointing to
+// explicit Store.Checkpoint calls.
+func WithCheckpointEvery(n int64) StoreOption {
+	return func(c *storeConfig) { c.opts.CheckpointEvery = n }
+}
+
+// OpenStore opens (creating if necessary) a durable store rooted at
+// dir: a crash-safe Store whose every successful Put/Apply/ApplyAt/
+// Remove is appended to a write-ahead log of logical update records
+// before it is published. Because commits are already XQU update
+// queries, the log stores their canonical text and recovery replays
+// them through eng.Prepare and the same copy-on-write commit path that
+// executed them live, verifying the version chain as it goes — the
+// paper's uniform read/write syntax doubling as its own durability
+// format. Corrupt logs surface as KindCorrupt errors naming the segment
+// file and byte offset.
+//
+// A nil eng uses a fresh default Engine. Close the store when done: it
+// stops the background checkpointer and syncs the log.
+func OpenStore(dir string, eng *Engine, options ...StoreOption) (*Store, error) {
+	if eng == nil {
+		eng = NewEngine()
+	}
+	cfg := storeConfig{opts: store.Options{
+		Compile: func(src string) (*core.Compiled, error) {
+			p, err := eng.Prepare(src)
+			if err != nil {
+				return nil, err
+			}
+			return p.compiled, nil
+		},
+		Method:   eng.method,
+		MaxDepth: eng.maxDepth,
+	}}
+	for _, o := range options {
+		o(&cfg)
+	}
+	st, err := store.Open(dir, cfg.opts)
+	if err != nil {
+		return nil, classify(err, KindIO)
+	}
+	return &Store{eng: eng, st: st, views: make(map[string]*View)}, nil
+}
+
+// Durable reports whether the store is backed by a write-ahead log.
+func (s *Store) Durable() bool { return s.st.Durable() }
+
+// Close stops the background checkpointer and syncs and closes the
+// write-ahead log. On an in-memory store it is a no-op. Commits issued
+// after Close fail.
+func (s *Store) Close() error { return classify(s.st.Close(), KindIO) }
 
 // Engine returns the engine the store compiles and parses with.
 func (s *Store) Engine() *Engine { return s.eng }
@@ -97,6 +218,41 @@ func (s *Store) Snapshot(name string) (*Snapshot, error) {
 	return snap, classify(err, KindNotFound)
 }
 
+// SnapshotAt returns the committed snapshot of name at exactly version
+// — time travel. The current head and the recent-history ring are
+// served lock- and allocation-free with zero log reads; on a durable
+// store, older versions still covered by the log are reconstructed by
+// replaying the logged update queries from the last checkpoint (ctx
+// bounds the re-evaluation). Versions never committed, compacted away,
+// or removed at that version are KindNotFound.
+func (s *Store) SnapshotAt(ctx context.Context, name string, version uint64) (*Snapshot, error) {
+	snap, err := s.st.SnapshotAt(ctx, name, version)
+	return snap, classify(err, KindNotFound)
+}
+
+// History reports the versions of name that SnapshotAt can serve: the
+// memory-resident entries (newest first) and the floor — the oldest
+// version reconstructable at all (on a durable store, back to the last
+// checkpoint).
+func (s *Store) History(name string) (entries []HistoryEntry, floor uint64, err error) {
+	entries, floor, err = s.st.History(name)
+	return entries, floor, classify(err, KindNotFound)
+}
+
+// Checkpoint captures every live document into a checkpoint file,
+// compacts the log segments it covers and garbage-collects removed
+// documents. Only meaningful on a durable store (KindEval error
+// otherwise); the background checkpointer (WithCheckpointEvery) calls
+// the same machinery.
+func (s *Store) Checkpoint(ctx context.Context) (CheckpointStats, error) {
+	stats, err := s.st.Checkpoint(ctx)
+	return stats, classify(err, KindIO)
+}
+
+// CheckpointStats reports checkpoint and compaction activity since the
+// store was opened (zeros for an in-memory store).
+func (s *Store) CheckpointStats() CheckpointStats { return s.st.CheckpointStats() }
+
 // Apply compiles updateQuery through the engine's query cache and
 // commits it against the current version of name: the update is
 // evaluated copy-on-write over the snapshot (readers keep using it,
@@ -125,10 +281,18 @@ func (s *Store) ApplyAt(ctx context.Context, name, updateQuery string, base uint
 	return snap, com, classify(err, KindEval)
 }
 
-// Remove deletes name, reporting whether it existed. Held snapshot
-// handles remain valid; a commit racing with the removal fails with
-// KindNotFound instead of writing into an unreachable chain.
-func (s *Store) Remove(name string) bool { return s.st.Remove(name) }
+// Remove deletes name, reporting whether it existed. The removal is a
+// committed version (a tombstone on the chain — and a logged record,
+// when durable): held snapshot handles remain valid, a commit racing
+// with the removal fails with KindNotFound instead of writing into an
+// unreachable chain, and a later Put of the same name continues the
+// version chain. Durable stores garbage-collect tombstones at the next
+// checkpoint. The error is non-nil only on a durable store whose log
+// append failed.
+func (s *Store) Remove(name string) (bool, error) {
+	ok, err := s.st.Remove(name)
+	return ok, classify(err, KindIO)
+}
 
 // Names returns the stored document names, sorted.
 func (s *Store) Names() []string {

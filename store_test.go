@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -256,5 +258,95 @@ func TestStoreConcurrentFacade(t *testing.T) {
 	wg.Wait()
 	if last != 21 {
 		t.Fatalf("final version = %d, want 21", last)
+	}
+}
+
+// TestOpenStoreDurableFacade exercises the facade durable path:
+// recovery replays logged update text through the engine's Prepare
+// (sharing its query cache), version history is servable, and a damaged
+// log surfaces as KindCorrupt.
+func TestOpenStoreDurableFacade(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	st, err := xtq.OpenStore(dir, nil, xtq.WithFsync(xtq.FsyncNone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Durable() {
+		t.Fatal("OpenStore returned a non-durable store")
+	}
+	if _, _, err := st.Put(ctx, "parts", xtq.FromString(storeDoc)); err != nil {
+		t.Fatal(err)
+	}
+	del := `transform copy $a := doc("parts") modify do delete $a//price return $a`
+	if _, _, err := st.Apply(ctx, "parts", del); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with a fresh engine: recovery goes through Prepare, so the
+	// replayed query lands in the engine cache.
+	eng := xtq.NewEngine()
+	st2, err := xtq.OpenStore(dir, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if _, misses, size := eng.CacheStats(); misses != 1 || size != 1 {
+		t.Fatalf("recovery did not warm the query cache: misses=%d size=%d", misses, size)
+	}
+	snap, err := st2.Snapshot("parts")
+	if err != nil || snap.Version() != 2 {
+		t.Fatalf("recovered snapshot: %v, %v", snap, err)
+	}
+	if strings.Contains(snap.Root().String(), "<price>") {
+		t.Fatal("recovered state missing the update")
+	}
+	old, err := st2.SnapshotAt(ctx, "parts", 1)
+	if err != nil || !strings.Contains(old.Root().String(), "<price>") {
+		t.Fatalf("time travel to v1: %v", err)
+	}
+	entries, floor, err := st2.History("parts")
+	if err != nil || floor != 1 || len(entries) != 2 {
+		t.Fatalf("history = %v, floor %d, %v", entries, floor, err)
+	}
+	if ok, err := st2.Remove("parts"); err != nil || !ok {
+		t.Fatalf("Remove = %v, %v", ok, err)
+	}
+	if stats, err := st2.Checkpoint(ctx); err != nil || stats.TombstonesGCd != 1 {
+		t.Fatalf("checkpoint = %+v, %v", stats, err)
+	}
+	st2.Close()
+
+	// Flip a byte mid-log → KindCorrupt with a position.
+	st3, err := xtq.OpenStore(dir, nil, xtq.WithFsync(xtq.FsyncNone), xtq.WithSegmentBytes(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st3.Put(ctx, "parts", xtq.FromString(storeDoc)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st3.Apply(ctx, "parts", del); err != nil {
+		t.Fatal(err)
+	}
+	st3.Close()
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("segments: %v, %v", segs, err)
+	}
+	b, err := os.ReadFile(segs[0])
+	if err != nil || len(b) == 0 {
+		t.Fatalf("read segment: %v", err)
+	}
+	b[len(b)/2] ^= 0xff
+	if err := os.WriteFile(segs[0], b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = xtq.OpenStore(dir, nil)
+	var xe *xtq.Error
+	if !errors.As(err, &xe) || xe.Kind != xtq.KindCorrupt || xe.Pos == "" {
+		t.Fatalf("corrupt log opened as %v", err)
 	}
 }

@@ -61,9 +61,15 @@
 //	snap, com, err := st.Apply(ctx, "parts",
 //	    `transform copy $a := doc("parts") modify do delete $a//price return $a`)
 //
+// OpenStore builds the same store backed by a write-ahead log of
+// logical update records — because commits are already update queries,
+// the log stores their canonical text and recovery replays them through
+// the engine: crash safety, snapshot checkpoints and time travel
+// (Store.SnapshotAt) on top of the paper's own syntax.
+//
 // cmd/xtqd serves a Store over HTTP: ingest, queries, conditional
-// updates and registered view stacks, with per-request timeouts and
-// streamed responses.
+// updates, registered view stacks and versioned time-travel reads, with
+// per-request timeouts and streamed responses; -wal makes it durable.
 //
 // # The paper's machinery
 //
