@@ -50,7 +50,9 @@ func main() {
 	walSweep := flag.Bool("wal", false, "durability sweep: commit latency/throughput across WAL fsync policies vs the in-memory store")
 	claims := flag.Bool("claims", false, "check the §7.1 textual claims")
 	jsonOut := flag.String("json", "", "write a machine-readable sweep (ns/op, allocs/op) to the given path ('-' for stdout)")
-	jsonFactor := flag.Float64("jsonfactor", 0.01, "XMark factor for the -json sweep")
+	jsonFactor := flag.Float64("jsonfactor", 0.01, "XMark factor for the -json and -cluster sweeps")
+	cluster := flag.Bool("cluster", false,
+		"replication sweep: single-node vs 1-primary/N-follower read throughput and lag percentiles; with -json the report replaces the standard sweep")
 	all := flag.Bool("all", false, "run everything")
 	factors := flag.String("factors", "", "comma-separated factors for Fig. 13/15 (default 0.02..0.34)")
 	fig14factors := flag.String("fig14factors", "", "comma-separated factors for Fig. 14 (default 0.1,0.2,0.4; paper used 2..10)")
@@ -111,7 +113,17 @@ func main() {
 			defer f.Close()
 			w = f
 		}
-		if err := r.BenchJSON(w, *jsonFactor); err != nil {
+		sweep := r.BenchJSON
+		if *cluster {
+			sweep = r.ClusterJSON
+		}
+		if err := sweep(w, *jsonFactor); err != nil {
+			fmt.Fprintln(os.Stderr, "xbench:", err)
+			os.Exit(1)
+		}
+		ran = true
+	} else if *cluster && ctx.Err() == nil {
+		if err := r.ClusterJSON(os.Stdout, *jsonFactor); err != nil {
 			fmt.Fprintln(os.Stderr, "xbench:", err)
 			os.Exit(1)
 		}

@@ -40,6 +40,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"xtq"
@@ -55,53 +56,112 @@ func main() {
 	walDir := flag.String("wal", "", "write-ahead-log directory; empty serves an in-memory (non-durable) store")
 	fsync := flag.String("fsync", "always", "WAL fsync policy: always, interval or none")
 	ckptEvery := flag.Int64("checkpoint-bytes", 256<<20, "checkpoint after this many bytes of new log (0 = manual only; needs -wal)")
+	follow := flag.String("follow", "", "follower mode: primary base URL to replicate from (serves reads, redirects writes)")
+	followDir := flag.String("follow-dir", "", "follower state directory (local checkpoints + replay position; empty = in-memory)")
+	catchup := flag.Duration("catchup-wait", 500*time.Millisecond,
+		"follower mode: how long a read waits for replication to reach X-Xtq-Min-Version before redirecting to the primary")
+	route := flag.String("route", "",
+		`router mode: static node map "primary[|follower...][,primary[|follower...]...]" — shards documents across groups by name hash and proxies`)
 	flag.Parse()
 
-	m, err := xtq.ParseMethod(*method)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "xtqd:", err)
+	if *route != "" && *follow != "" {
+		fmt.Fprintln(os.Stderr, "xtqd: -route and -follow are mutually exclusive")
 		os.Exit(2)
 	}
-	eng := xtq.NewEngine(xtq.WithMethod(m), xtq.WithMaxDepth(*maxDepth))
-	var st *xtq.Store
-	if *walDir != "" {
-		policy, err := xtq.ParseFsyncPolicy(*fsync)
+
+	// Graceful shutdown: stop accepting, drain in-flight requests (their
+	// commits finish group-committed fsyncs), then close the store/
+	// follower — never the other way around, or a signal races the WAL.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var handler http.Handler
+	var closers []func() error
+
+	switch {
+	case *route != "":
+		shards, err := parseShards(*route)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xtqd: -route:", err)
+			os.Exit(2)
+		}
+		handler = newRouter(shards)
+		log.Printf("xtqd: routing %d shard(s)", len(shards))
+
+	case *follow != "":
+		m, err := xtq.ParseMethod(*method)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "xtqd:", err)
 			os.Exit(2)
 		}
-		st, err = xtq.OpenStore(*walDir, eng,
-			xtq.WithFsync(policy),
-			xtq.WithCheckpointEvery(*ckptEvery),
+		eng := xtq.NewEngine(xtq.WithMethod(m), xtq.WithMaxDepth(*maxDepth))
+		fol, err := xtq.Follow(*follow, eng,
+			xtq.WithFollowDir(*followDir),
+			xtq.WithFollowLogf(log.Printf),
 		)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "xtqd: opening store:", err)
+			fmt.Fprintln(os.Stderr, "xtqd: starting follower:", err)
 			os.Exit(1)
 		}
-		defer st.Close()
-		log.Printf("xtqd: durable store at %s (fsync=%s, %d docs recovered)", *walDir, policy, st.Len())
-	} else {
-		st = xtq.NewStore(eng)
+		closers = append(closers, fol.Close)
+		handler = newFollowerServer(fol, *timeout, *maxBody, *catchup)
+		log.Printf("xtqd: following %s (%d docs replicated)", *follow, fol.Store().Len())
+
+	default:
+		m, err := xtq.ParseMethod(*method)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xtqd:", err)
+			os.Exit(2)
+		}
+		eng := xtq.NewEngine(xtq.WithMethod(m), xtq.WithMaxDepth(*maxDepth))
+		var st *xtq.Store
+		if *walDir != "" {
+			policy, err := xtq.ParseFsyncPolicy(*fsync)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "xtqd:", err)
+				os.Exit(2)
+			}
+			st, err = xtq.OpenStore(*walDir, eng,
+				xtq.WithFsync(policy),
+				xtq.WithCheckpointEvery(*ckptEvery),
+			)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "xtqd: opening store:", err)
+				os.Exit(1)
+			}
+			closers = append(closers, st.Close)
+			log.Printf("xtqd: durable store at %s (fsync=%s, %d docs recovered; replication feed on /wal)",
+				*walDir, policy, st.Len())
+		} else {
+			st = xtq.NewStore(eng)
+		}
+		handler = newServer(st, *timeout, *maxBody)
+		log.Printf("xtqd: serving (method=%s, timeout=%s)", m, *timeout)
 	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(st, *timeout, *maxBody),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
+	shutdownDone := make(chan struct{})
 	go func() {
+		defer close(shutdownDone)
 		<-ctx.Done()
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		srv.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("xtqd: serving on %s (method=%s, timeout=%s)", *addr, m, *timeout)
+	log.Printf("xtqd: listening on %s", *addr)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("xtqd: %v", err)
+	}
+	<-shutdownDone // every in-flight request has finished or timed out
+	for _, close := range closers {
+		if err := close(); err != nil {
+			log.Printf("xtqd: closing: %v", err)
+		}
 	}
 	log.Print("xtqd: shut down")
 }

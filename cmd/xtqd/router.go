@@ -1,0 +1,312 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xtq/internal/replica"
+)
+
+// shard is one replication group in the static node map: a primary that
+// commits plus zero or more follower replicas that serve reads.
+type shard struct {
+	primary  string
+	replicas []string // read targets: the followers, or the primary when none
+}
+
+// router is the thin coordinator mode (xtqd -route): it owns no
+// documents, just a static node map. Documents shard across the groups
+// by rendezvous hash of their name, so every router given the same map
+// agrees on placement with no shared state; writes proxy to the owning
+// shard's primary, reads to one of its replicas round-robin. A read a
+// lagging follower cannot serve yet (X-Xtq-Min-Version) comes back as a
+// redirect to the primary, which the router follows server-side so the
+// client still sees exactly one hop.
+type router struct {
+	shards []shard
+	names  []string // shard keys for rendezvous hashing (the primary URLs)
+	hc     *http.Client
+	rr     atomic.Uint64
+}
+
+// parseShards parses the -route node map: comma-separated shards, nodes
+// within a shard separated by "|", first node the primary:
+//
+//	-route "http://p1:8344|http://f1:8345|http://f2:8346,http://p2:8347"
+func parseShards(spec string) ([]shard, error) {
+	var shards []shard
+	for _, group := range strings.Split(spec, ",") {
+		group = strings.TrimSpace(group)
+		if group == "" {
+			continue
+		}
+		var sh shard
+		for i, node := range strings.Split(group, "|") {
+			node = strings.TrimRight(strings.TrimSpace(node), "/")
+			if !strings.HasPrefix(node, "http://") && !strings.HasPrefix(node, "https://") {
+				return nil, fmt.Errorf("node %q is not an http(s) URL", node)
+			}
+			if i == 0 {
+				sh.primary = node
+			} else {
+				sh.replicas = append(sh.replicas, node)
+			}
+		}
+		if len(sh.replicas) == 0 {
+			sh.replicas = []string{sh.primary}
+		}
+		shards = append(shards, sh)
+	}
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("empty node map")
+	}
+	return shards, nil
+}
+
+func newRouter(shards []shard) *router {
+	names := make([]string, len(shards))
+	for i, sh := range shards {
+		names[i] = sh.primary
+	}
+	return &router{
+		shards: shards,
+		names:  names,
+		hc: &http.Client{
+			// The router forwards redirects it does not handle itself back
+			// to the client instead of chasing them.
+			CheckRedirect: func(req *http.Request, via []*http.Request) error {
+				return http.ErrUseLastResponse
+			},
+			Timeout: 60 * time.Second,
+		},
+	}
+}
+
+// shardFor maps a document name onto its owning shard.
+func (rt *router) shardFor(name string) shard {
+	owner := replica.PickNode(name, rt.names)
+	for _, sh := range rt.shards {
+		if sh.primary == owner {
+			return sh
+		}
+	}
+	return rt.shards[0] // unreachable: PickNode returns a member of names
+}
+
+// readTarget picks the next replica of a shard round-robin.
+func (rt *router) readTarget(sh shard) string {
+	return sh.replicas[rt.rr.Add(1)%uint64(len(sh.replicas))]
+}
+
+func (rt *router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	switch {
+	case path == "/healthz":
+		rt.handleHealth(w, r)
+	case path == "/docs" && r.Method == http.MethodGet:
+		rt.handleListDocs(w, r)
+	case strings.HasPrefix(path, "/docs/"):
+		rt.proxyDoc(w, r)
+	case path == "/views" || strings.HasPrefix(path, "/views/"):
+		rt.proxyViews(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (rt *router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	type shardOut struct {
+		Primary  string   `json:"primary"`
+		Replicas []string `json:"replicas"`
+	}
+	out := make([]shardOut, len(rt.shards))
+	for i, sh := range rt.shards {
+		out[i] = shardOut{Primary: sh.primary, Replicas: sh.replicas}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "role": "router", "shards": out})
+}
+
+// proxyDoc routes one document request: writes (PUT/DELETE/POST) to the
+// owning shard's primary, reads to a replica. A replica that cannot
+// satisfy X-Xtq-Min-Version in time answers 302 to the primary; the
+// router follows that one hop itself so read-your-writes holds through
+// a single client request.
+func (rt *router) proxyDoc(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/docs/")
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		name = name[:i]
+	}
+	if name == "" {
+		http.NotFound(w, r)
+		return
+	}
+	sh := rt.shardFor(name)
+	read := r.Method == http.MethodGet || r.Method == http.MethodHead ||
+		(r.Method == http.MethodPost && (strings.HasSuffix(r.URL.Path, "/query") || strings.Contains(r.URL.Path, "/views/")))
+	target := sh.primary
+	var body []byte
+	if read {
+		target = rt.readTarget(sh)
+	} else if r.Body != nil {
+		// Buffer write bodies: a redirect retry must resend them.
+		b, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		body = b
+	}
+	resp, err := rt.forward(w, r, target, body)
+	if err != nil {
+		return
+	}
+	// One redirect hop: a follower punting to its primary (302 reads,
+	// 307 writes that raced a promotion flip).
+	if loc := resp.Header.Get("Location"); (resp.StatusCode == http.StatusFound || resp.StatusCode == http.StatusTemporaryRedirect) && loc != "" {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		resp, err = rt.forwardTo(w, r, loc, body)
+		if err != nil {
+			return
+		}
+	}
+	relay(w, resp)
+}
+
+// handleListDocs fans GET /docs out to every shard primary and merges
+// the listings into one namespace.
+func (rt *router) handleListDocs(w http.ResponseWriter, r *http.Request) {
+	type listing struct {
+		Docs []json.RawMessage `json:"docs"`
+	}
+	var (
+		mu     sync.Mutex
+		merged []json.RawMessage
+		errs   []string
+		wg     sync.WaitGroup
+	)
+	for _, sh := range rt.shards {
+		wg.Add(1)
+		go func(base string) {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, base+"/docs", nil)
+			if err == nil {
+				var resp *http.Response
+				if resp, err = rt.hc.Do(req); err == nil {
+					defer resp.Body.Close()
+					var l listing
+					if err = json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&l); err == nil {
+						mu.Lock()
+						merged = append(merged, l.Docs...)
+						mu.Unlock()
+						return
+					}
+				}
+			}
+			mu.Lock()
+			errs = append(errs, base+": "+err.Error())
+			mu.Unlock()
+		}(sh.primary)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		writeJSON(w, http.StatusBadGateway, map[string]any{"error": strings.Join(errs, "; ")})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"docs": merged})
+}
+
+// proxyViews broadcasts view mutations to every node (views are
+// per-node engine state, so each node needs the stack to serve
+// /docs/{name}/views/{view} for the shards it holds) and answers view
+// listings from the first shard's primary.
+func (rt *router) proxyViews(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet {
+		resp, err := rt.forward(w, r, rt.shards[0].primary, nil)
+		if err != nil {
+			return
+		}
+		relay(w, resp)
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	seen := map[string]bool{}
+	var nodes []string
+	for _, sh := range rt.shards {
+		for _, node := range append([]string{sh.primary}, sh.replicas...) {
+			if !seen[node] {
+				seen[node] = true
+				nodes = append(nodes, node)
+			}
+		}
+	}
+	var last *http.Response
+	for _, node := range nodes {
+		resp, err := rt.forwardTo(w, r, node+r.URL.RequestURI(), body)
+		if err != nil {
+			return
+		}
+		if last != nil {
+			io.Copy(io.Discard, last.Body)
+			last.Body.Close()
+		}
+		last = resp
+		if resp.StatusCode >= 400 {
+			relay(w, resp)
+			return
+		}
+	}
+	relay(w, last)
+}
+
+// forward proxies r to target, preserving method, path, query, headers
+// and body. The response must be relayed or closed by the caller.
+func (rt *router) forward(w http.ResponseWriter, r *http.Request, target string, body []byte) (*http.Response, error) {
+	return rt.forwardTo(w, r, target+r.URL.RequestURI(), body)
+}
+
+func (rt *router) forwardTo(w http.ResponseWriter, r *http.Request, url string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = strings.NewReader(string(body))
+	} else if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		rd = r.Body
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, url, rd)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return nil, err
+	}
+	for k, vs := range r.Header {
+		if k == "Connection" || k == "Keep-Alive" || k == "Transfer-Encoding" {
+			continue
+		}
+		req.Header[k] = vs
+	}
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway, map[string]any{"error": err.Error()})
+		return nil, err
+	}
+	return resp, nil
+}
+
+// relay streams a proxied response back to the client.
+func relay(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		w.Header()[k] = vs
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}

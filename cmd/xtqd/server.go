@@ -23,14 +23,34 @@ type server struct {
 	st      *xtq.Store
 	timeout time.Duration
 	maxBody int64
+	// fol is set in follower mode: the replication handle behind st.
+	// Write requests then redirect to fol.Primary() until promotion, and
+	// reads honour X-Xtq-Min-Version by waiting up to catchup for
+	// replication before redirecting themselves.
+	fol     *xtq.Follower
+	catchup time.Duration
 	// engines serves the ?method= override of the query endpoint: one
 	// long-lived engine per evaluation method, each with its own query
 	// cache, built up front so request handling never constructs one.
 	engines map[string]*xtq.Engine
 }
 
+// newServer serves st as a standalone node or replication primary: when
+// st is durable its WAL feed is mounted under /wal for followers to
+// tail.
 func newServer(st *xtq.Store, timeout time.Duration, maxBody int64) http.Handler {
-	s := &server{st: st, timeout: timeout, maxBody: maxBody, engines: make(map[string]*xtq.Engine)}
+	return buildServer(st, nil, timeout, maxBody, 0)
+}
+
+// newFollowerServer serves a follower replica: lock-free reads with
+// read-your-writes waiting (bounded by catchup), writes redirected to
+// the primary, and POST /admin/promote for failover.
+func newFollowerServer(fol *xtq.Follower, timeout time.Duration, maxBody int64, catchup time.Duration) http.Handler {
+	return buildServer(fol.Store(), fol, timeout, maxBody, catchup)
+}
+
+func buildServer(st *xtq.Store, fol *xtq.Follower, timeout time.Duration, maxBody int64, catchup time.Duration) http.Handler {
+	s := &server{st: st, timeout: timeout, maxBody: maxBody, fol: fol, catchup: catchup, engines: make(map[string]*xtq.Engine)}
 	for _, m := range xtq.Methods() {
 		if m == st.Engine().Method() {
 			s.engines[string(m)] = st.Engine()
@@ -39,6 +59,12 @@ func newServer(st *xtq.Store, timeout time.Duration, maxBody int64) http.Handler
 		}
 	}
 	mux := http.NewServeMux()
+	if h := st.ReplicationHandler(); h != nil {
+		mux.Handle("/wal/", http.StripPrefix("/wal", h))
+	}
+	if fol != nil {
+		mux.HandleFunc("POST /admin/promote", s.handlePromote)
+	}
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /docs", s.handleListDocs)
 	mux.HandleFunc("PUT /docs/{name}", s.handlePutDoc)
@@ -178,8 +204,96 @@ func baseVersion(r *http.Request) (uint64, error) {
 	return v, nil
 }
 
+// redirecting reports (and performs) the follower write redirect: an
+// unpromoted follower rejects every mutation with a 307 pointing at the
+// same path on the primary, so a client that retries verbatim lands on
+// the node that can commit.
+func (s *server) redirecting(w http.ResponseWriter, r *http.Request) bool {
+	if s.fol == nil || !s.st.ReadOnly() {
+		return false
+	}
+	http.Redirect(w, r, s.fol.Primary()+r.URL.RequestURI(), http.StatusTemporaryRedirect)
+	return true
+}
+
+// minVersion parses the X-Xtq-Min-Version read-your-writes header;
+// 0 means unconditional.
+func minVersion(r *http.Request) (uint64, error) {
+	raw := strings.TrimSpace(r.Header.Get("X-Xtq-Min-Version"))
+	if raw == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil || v == 0 {
+		return 0, &xtq.Error{Kind: xtq.KindParse, Msg: fmt.Sprintf("xtqd: bad X-Xtq-Min-Version %q", raw)}
+	}
+	return v, nil
+}
+
+// awaitMinVersion enforces read-your-writes on follower reads: a client
+// that just committed version N on the primary reads back through this
+// follower with X-Xtq-Min-Version: N, and the handler either waits
+// (bounded by -catchup-wait) until replication reaches N or redirects
+// the read to the primary (302 — the client retries there, where the
+// version already exists). It reports whether the caller may proceed;
+// on false the response has been written. On a primary or promoted
+// node the local head is authoritative and the header is a no-op.
+func (s *server) awaitMinVersion(w http.ResponseWriter, r *http.Request, name string) bool {
+	v, err := minVersion(r)
+	if err != nil {
+		writeError(w, err)
+		return false
+	}
+	if v == 0 || s.fol == nil || !s.st.ReadOnly() {
+		return true
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.catchup)
+	defer cancel()
+	err = s.fol.WaitMinVersion(ctx, name, v)
+	if err == nil {
+		return true
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		http.Redirect(w, r, s.fol.Primary()+r.URL.RequestURI(), http.StatusFound)
+		return false
+	}
+	writeError(w, err) // sticky replication failure: typed Corrupt
+	return false
+}
+
+// handlePromote makes a follower writable (failover). Idempotent; the
+// response reports the final replication stats.
+func (s *server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	s.fol.Promote()
+	writeJSON(w, http.StatusOK, map[string]any{"promoted": true, "replication": s.fol.Stats()})
+}
+
+// handleHealth reports role-aware node status: the primary's WAL tail
+// (segment, offset, records appended), a follower's replay position and
+// lag in bytes and versions, and plain document counts everywhere —
+// what the cluster smoke test and an operator's first curl both read.
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "docs": s.st.Len()})
+	out := map[string]any{"ok": true, "docs": s.st.Len()}
+	switch {
+	case s.fol != nil:
+		out["role"] = "follower"
+		if s.fol.Stats().Promoted {
+			out["role"] = "primary" // promoted: serving writes now
+			out["promoted_from"] = s.fol.Primary()
+		}
+		out["primary"] = s.fol.Primary()
+		stats := s.fol.Stats()
+		out["replication"] = stats
+		out["ok"] = stats.Err == ""
+	default:
+		out["role"] = "primary"
+		if seg, off, recs, ok := s.st.WalTail(); ok {
+			out["wal"] = map[string]any{"segment": seg, "offset": off, "records": recs}
+		} else {
+			out["durable"] = false
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *server) handleListDocs(w http.ResponseWriter, r *http.Request) {
@@ -194,6 +308,9 @@ func (s *server) handleListDocs(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handlePutDoc(w http.ResponseWriter, r *http.Request) {
+	if s.redirecting(w, r) {
+		return
+	}
 	ctx, cancel := s.ctx(r)
 	defer cancel()
 	name := r.PathValue("name")
@@ -221,6 +338,9 @@ func (s *server) handlePutDoc(w http.ResponseWriter, r *http.Request) {
 // replaying the logged update queries from the last checkpoint.
 func (s *server) handleGetDoc(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	if !s.awaitMinVersion(w, r, name) {
+		return
+	}
 	var (
 		snap *xtq.Snapshot
 		err  error
@@ -242,6 +362,13 @@ func (s *server) handleGetDoc(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	versionHeaders(w, snap)
+	// If-None-Match: a cache revalidation against the served version.
+	if inm := strings.TrimSpace(r.Header.Get("If-None-Match")); inm != "" {
+		if strings.Trim(inm, `"`) == strconv.FormatUint(snap.Version(), 10) {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
 	w.Header().Set("Content-Type", "application/xml")
 	snap.WriteXML(w)
 }
@@ -284,6 +411,9 @@ func (s *server) handleHistory(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleDeleteDoc(w http.ResponseWriter, r *http.Request) {
+	if s.redirecting(w, r) {
+		return
+	}
 	ok, err := s.st.Remove(r.PathValue("name"))
 	if err != nil {
 		writeError(w, err)
@@ -315,6 +445,9 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if strings.TrimSpace(src) == "" {
 		writeError(w, &xtq.Error{Kind: xtq.KindParse, Msg: "xtqd: empty query body"})
+		return
+	}
+	if !s.awaitMinVersion(w, r, r.PathValue("name")) {
 		return
 	}
 	snap, err := s.st.Snapshot(r.PathValue("name"))
@@ -396,6 +529,9 @@ func writeResult(w http.ResponseWriter, snap *xtq.Snapshot, res *xtq.Node) {
 // (or X-Xtq-Base-Version: v) makes the commit conditional — 409 when
 // the base version was superseded.
 func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if s.redirecting(w, r) {
+		return
+	}
 	ctx, cancel := s.ctx(r)
 	defer cancel()
 	src, err := s.readBody(w, r)
@@ -440,6 +576,9 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 // query composed with the stack in a single pass (no layer
 // materialized).
 func (s *server) handleDocView(w http.ResponseWriter, r *http.Request) {
+	if !s.awaitMinVersion(w, r, r.PathValue("name")) {
+		return
+	}
 	ctx, cancel := s.ctx(r)
 	defer cancel()
 	snap, err := s.st.Snapshot(r.PathValue("name"))

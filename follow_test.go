@@ -1,0 +1,112 @@
+package xtq_test
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"xtq"
+)
+
+// startPrimary opens a durable facade store and serves its replication
+// feed the way a primary xtqd does.
+func startPrimary(t *testing.T) (*xtq.Store, *httptest.Server) {
+	t.Helper()
+	st, err := xtq.OpenStore(t.TempDir(), nil, xtq.WithFsync(xtq.FsyncNone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	mux := http.NewServeMux()
+	mux.Handle("/wal/", http.StripPrefix("/wal", st.ReplicationHandler()))
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return st, srv
+}
+
+func TestFollowReplicatesAndPromotes(t *testing.T) {
+	ctx := context.Background()
+	st, srv := startPrimary(t)
+	if st.ReplicationHandler() == nil {
+		t.Fatal("durable store has no replication handler")
+	}
+	if xtq.NewStore(nil).ReplicationHandler() != nil {
+		t.Fatal("in-memory store grew a replication handler")
+	}
+	if _, _, err := st.Put(ctx, "parts", xtq.FromString(storeDoc)); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := xtq.Follow(srv.URL, nil, xtq.WithFollowPoll(200*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if !f.Store().ReadOnly() {
+		t.Fatal("follower store is not read-only")
+	}
+
+	snap2, _, err := st.Apply(ctx, "parts",
+		`transform copy $a := doc("parts") modify do delete $a//price return $a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Read-your-writes: wait for the commit we just saw, then read it.
+	wctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := f.WaitMinVersion(wctx, "parts", snap2.Version()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Store().Snapshot("parts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version() != snap2.Version() {
+		t.Fatalf("follower at version %d, want %d", got.Version(), snap2.Version())
+	}
+	var pb, fb bytes.Buffer
+	if err := snap2.WriteXML(&pb); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.WriteXML(&fb); err != nil {
+		t.Fatal(err)
+	}
+	if pb.String() != fb.String() {
+		t.Fatal("follower bytes differ from primary")
+	}
+
+	// Writes are typed Conflict until promotion.
+	_, _, err = f.Store().Apply(ctx, "parts",
+		`transform copy $a := doc("parts") modify do delete $a//country return $a`)
+	if storeKind(t, err) != xtq.KindConflict {
+		t.Fatalf("write on follower = %v, want KindConflict", err)
+	}
+
+	stats := f.Stats()
+	if !stats.Connected || stats.Err != "" || !strings.HasPrefix(stats.Position, "seg-") {
+		t.Fatalf("stats = %+v", stats)
+	}
+	seg, off, recs, ok := st.WalTail()
+	if !ok || seg == 0 || off == 0 || recs != 2 {
+		t.Fatalf("WalTail = %d %d %d %v", seg, off, recs, ok)
+	}
+
+	// Failover: promote, then the chain continues without a gap.
+	f.Promote()
+	snap3, _, err := f.Store().Apply(ctx, "parts",
+		`transform copy $a := doc("parts") modify do delete $a//country return $a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap3.Version() != snap2.Version()+1 {
+		t.Fatalf("post-promotion version = %d, want %d", snap3.Version(), snap2.Version()+1)
+	}
+	if !f.Stats().Promoted {
+		t.Fatal("stats do not report promotion")
+	}
+}

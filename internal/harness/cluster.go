@@ -1,0 +1,305 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"xtq/internal/core"
+	"xtq/internal/queries"
+	"xtq/internal/replica"
+	"xtq/internal/store"
+	"xtq/internal/tree"
+	"xtq/internal/wal"
+)
+
+// clusterFollowers are the topologies of the `xbench -cluster` sweep:
+// one primary feeding N followers for each N here, compared against the
+// single-node baseline.
+var clusterFollowers = []int{1, 2, 4}
+
+// clusterLagWindow is how long the lag sampler watches each topology
+// while the alternating-rename writer commits against the primary.
+const clusterLagWindow = 2 * time.Second
+
+// ClusterJSON runs the replication sweep at the given factor and writes
+// a BenchReport to w — the payload of BENCH_PR6.json. It measures two
+// things the single-store sweep cannot:
+//
+//   - Aggregate read throughput of a 1-primary/N-follower group versus
+//     one node. Follower reads are shared-nothing (each node evaluates
+//     over its own snapshots; replication only appends), so each node's
+//     throughput is measured in isolation with testing.Benchmark and the
+//     aggregate is the sum. On a single-CPU host concurrent measurement
+//     would only time-slice one core; the sum of isolated per-node rates
+//     is what N single-core machines actually serve.
+//
+//   - Replication lag under write load: an alternating-rename writer
+//     commits against the primary while a sampler records, for each
+//     follower, how many committed versions it is behind. Reported as
+//     p50/p99 versions-behind per topology.
+func (r *Runner) ClusterJSON(w io.Writer, factor float64) error {
+	xml := r.XML(factor)
+	doc := r.Doc(factor)
+	report := &BenchReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Factor:    factor,
+		DocBytes:  len(xml),
+		DocNodes:  doc.Size(),
+	}
+	readC, err := queries.Compile(2)
+	if err != nil {
+		return err
+	}
+	writeA, writeB, err := StoreWriteQueries()
+	if err != nil {
+		return err
+	}
+
+	readBench := func(st *store.Store) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				snap, err := st.Snapshot("d")
+				if err != nil {
+					panic(err)
+				}
+				_, err = readC.EvalContext(r.opts.Context, snap.Root(), core.MethodTopDown)
+				r.check(err)
+			}
+		})
+	}
+
+	// Baseline: one durable node serving reads, no replication at all.
+	dir, err := os.MkdirTemp(r.opts.TempDir, "xtq-cluster-single-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	single, err := store.Open(dir, store.Options{Fsync: wal.FsyncNone})
+	if err != nil {
+		return err
+	}
+	if _, _, err := single.Put("d", doc.DeepCopy(), true); err != nil {
+		return err
+	}
+	if r.stopped() {
+		single.Close()
+		return r.opts.Context.Err()
+	}
+	singleRes := readBench(single)
+	singleRate := readsPerSec(singleRes)
+	if err := single.Close(); err != nil {
+		return err
+	}
+	row := toResult("cluster/read/single-node", singleRes)
+	if row.Extra == nil {
+		row.Extra = map[string]float64{}
+	}
+	row.Extra["reads/s"] = singleRate
+	report.Results = append(report.Results, row)
+
+	for _, n := range clusterFollowers {
+		if r.stopped() {
+			break
+		}
+		rows, err := r.clusterTopology(doc, readBench, writeA, writeB, n, singleRate)
+		if err != nil {
+			return err
+		}
+		if r.stopped() {
+			break // drop rows measured against aborting evaluations
+		}
+		report.Results = append(report.Results, rows...)
+	}
+
+	if err := r.opts.Context.Err(); err != nil {
+		return fmt.Errorf("cluster sweep interrupted: %w", err)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// clusterTopology measures one 1-primary/N-follower group: replication
+// lag percentiles while the alternating-rename writer commits against
+// the primary, then each follower's isolated read throughput once the
+// group has drained.
+func (r *Runner) clusterTopology(doc *tree.Node, readBench func(*store.Store) testing.BenchmarkResult,
+	writeA, writeB *core.Compiled, n int, singleRate float64) ([]BenchResult, error) {
+	dir, err := os.MkdirTemp(r.opts.TempDir, fmt.Sprintf("xtq-cluster-1p%df-*", n))
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	primary, err := store.Open(dir, store.Options{Fsync: wal.FsyncNone})
+	if err != nil {
+		return nil, err
+	}
+	defer primary.Close()
+	if _, _, err := primary.Put("d", doc.DeepCopy(), true); err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/wal/", http.StripPrefix("/wal", replica.NewLogService(primary.WAL())))
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	followers := make([]*replica.Follower, n)
+	for i := range followers {
+		f, err := replica.Start(replica.Options{
+			Primary: srv.URL,
+			Poll:    10 * time.Millisecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		followers[i] = f
+	}
+	if err := r.clusterDrain(primary, followers); err != nil {
+		return nil, err
+	}
+
+	// Read throughput first, on freshly converged replicas — the same
+	// store state the single-node baseline was measured in, so the rows
+	// compare the read path and not accumulated write-churn garbage.
+	// Each node is measured alone; the aggregate is the sum.
+	aggregate := 0.0
+	var nodeRes testing.BenchmarkResult
+	for _, f := range followers {
+		if r.stopped() {
+			return nil, nil
+		}
+		nodeRes = readBench(f.Store())
+		aggregate += readsPerSec(nodeRes)
+	}
+
+	// Lag under load: the writer commits alternating renames back to
+	// back (the same writer as the store sweep) while the sampler reads
+	// every follower's versions-behind.
+	var lag []float64
+	writerDone := make(chan error, 1)
+	stop := make(chan struct{})
+	go func() {
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				writerDone <- nil
+				return
+			default:
+			}
+			writeC := writeA
+			if i%2 == 1 {
+				writeC = writeB
+			}
+			if _, _, err := primary.Apply(r.opts.Context, "d", writeC, core.MethodTopDown); err != nil {
+				writerDone <- err
+				return
+			}
+		}
+	}()
+	deadline := time.Now().Add(clusterLagWindow)
+	for time.Now().Before(deadline) && !r.stopped() {
+		pv, ok := primary.HeadVersion("d")
+		if !ok {
+			break
+		}
+		for _, f := range followers {
+			fv, _ := f.Store().HeadVersion("d")
+			if fv > pv {
+				continue // sampled across a commit; not lag
+			}
+			lag = append(lag, float64(pv-fv))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	if err := <-writerDone; err != nil {
+		return nil, err
+	}
+	if r.stopped() {
+		return nil, nil
+	}
+	if err := r.clusterDrain(primary, followers); err != nil {
+		return nil, err
+	}
+
+	var rows []BenchResult
+	name := fmt.Sprintf("cluster/read/1p%df", n)
+	row := toResult(name, nodeRes) // ns/op etc. of the last follower; all replicas are identical
+	if row.Extra == nil {
+		row.Extra = map[string]float64{}
+	}
+	row.Extra["reads/s-aggregate"] = aggregate
+	row.Extra["reads/s-per-node"] = aggregate / float64(n)
+	if singleRate > 0 {
+		row.Extra["speedup-vs-single"] = aggregate / singleRate
+	}
+	rows = append(rows, row)
+
+	sort.Float64s(lag)
+	rows = append(rows, BenchResult{
+		Name: fmt.Sprintf("cluster/lag/1p%df", n),
+		N:    len(lag),
+		Extra: map[string]float64{
+			"p50-versions-behind": percentile(lag, 50),
+			"p99-versions-behind": percentile(lag, 99),
+			"samples":             float64(len(lag)),
+		},
+	})
+	return rows, nil
+}
+
+// clusterDrain waits until every follower has applied the primary's
+// entire log.
+func (r *Runner) clusterDrain(primary *store.Store, followers []*replica.Follower) error {
+	tail := primary.WAL().TailPos()
+	deadline := time.Now().Add(30 * time.Second)
+	for _, f := range followers {
+		for {
+			if r.stopped() {
+				return nil
+			}
+			s := f.Stats()
+			if s.Err != "" {
+				return fmt.Errorf("follower failed during drain: %s", s.Err)
+			}
+			if s.Position.Seq > tail.Seq || (s.Position.Seq == tail.Seq && s.Position.Offset >= tail.Offset) {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("follower never drained: at %v, want %v", s.Position, tail)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+func readsPerSec(res testing.BenchmarkResult) float64 {
+	ns := float64(res.T.Nanoseconds()) / float64(res.N)
+	if ns <= 0 {
+		return 0
+	}
+	return 1e9 / ns
+}
+
+// percentile returns the pth percentile (0..100) of sorted samples by
+// nearest-rank interpolation-free indexing.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}

@@ -1,0 +1,51 @@
+package replica
+
+import "hash/fnv"
+
+// PickNode returns the node that owns name under rendezvous
+// (highest-random-weight) hashing: every (node, name) pair gets a
+// pseudo-random weight and the highest weight wins. Unlike modular
+// hashing, removing one node from the list reassigns only the names
+// that node owned — every other name keeps its owner — and every router
+// given the same node list agrees on the assignment without any shared
+// state. Ties (astronomically unlikely with a 64-bit hash, but the
+// router must be deterministic anyway) break toward the
+// lexicographically smaller node string. An empty node list returns "".
+func PickNode(name string, nodes []string) string {
+	var (
+		best   string
+		bestW  uint64
+		picked bool
+	)
+	for _, node := range nodes {
+		w := weight(node, name)
+		if !picked || w > bestW || (w == bestW && node < best) {
+			best, bestW, picked = node, w, true
+		}
+	}
+	return best
+}
+
+// weight hashes the (node, name) pair with FNV-1a, separating the two
+// with a NUL so ("ab","c") and ("a","bc") cannot collide by
+// concatenation. Raw FNV-1a has poor avalanche when inputs differ only
+// in their last few bytes — two document names then produce nearby
+// weights for every node and the same node wins the comparison every
+// time — so the sum goes through a 64-bit finalizer (the murmur3
+// fmix64 constants) to spread suffix differences across all bits.
+func weight(node, name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(node))
+	h.Write([]byte{0})
+	h.Write([]byte(name))
+	return mix64(h.Sum64())
+}
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

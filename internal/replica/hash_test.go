@@ -1,0 +1,44 @@
+package replica
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestPickNodeDeterministicAndTotal(t *testing.T) {
+	nodes := []string{"http://a:8080", "http://b:8080", "http://c:8080"}
+	if got := PickNode("doc", nil); got != "" {
+		t.Fatalf("empty node list picked %q", got)
+	}
+	hits := map[string]int{}
+	for i := 0; i < 300; i++ {
+		name := fmt.Sprintf("doc-%03d", i)
+		n1 := PickNode(name, nodes)
+		n2 := PickNode(name, []string{nodes[2], nodes[0], nodes[1]})
+		if n1 != n2 {
+			t.Fatalf("%q: order-dependent pick %q vs %q", name, n1, n2)
+		}
+		hits[n1]++
+	}
+	for _, n := range nodes {
+		if hits[n] == 0 {
+			t.Fatalf("node %q owns nothing across 300 names: %v", n, hits)
+		}
+	}
+}
+
+func TestPickNodeMinimalRemapping(t *testing.T) {
+	full := []string{"n1", "n2", "n3", "n4"}
+	reduced := []string{"n1", "n2", "n4"}
+	for i := 0; i < 500; i++ {
+		name := fmt.Sprintf("doc-%03d", i)
+		before := PickNode(name, full)
+		after := PickNode(name, reduced)
+		if before != "n3" && after != before {
+			t.Fatalf("%q moved %q -> %q though its owner never left", name, before, after)
+		}
+		if before == "n3" && after == "n3" {
+			t.Fatalf("%q still assigned to removed node", name)
+		}
+	}
+}

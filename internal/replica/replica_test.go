@@ -1,0 +1,451 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"xtq/internal/core"
+	"xtq/internal/sax"
+	"xtq/internal/store"
+	"xtq/internal/wal"
+	"xtq/internal/xerr"
+)
+
+const partsXML = `<db>` +
+	`<part><pname>keyboard</pname><supplier><sname>HP</sname><price>15</price></supplier></part>` +
+	`<part><pname>mouse</pname><supplier><sname>Dell</sname><price>9</price></supplier></part>` +
+	`</db>`
+
+// newPrimary opens a durable store and serves its WAL feed the way
+// xtqd does: mounted under /wal.
+func newPrimary(t *testing.T, opts store.Options) (*store.Store, *httptest.Server) {
+	t.Helper()
+	if opts.Fsync == 0 {
+		opts.Fsync = wal.FsyncNone
+	}
+	st, err := store.Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	mux := http.NewServeMux()
+	mux.Handle("/wal/", http.StripPrefix("/wal", NewLogService(st.WAL())))
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return st, srv
+}
+
+func put(t *testing.T, st *store.Store, name, xml string) {
+	t.Helper()
+	doc, err := sax.ParseString(xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Put(name, doc, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func applyQ(t *testing.T, st *store.Store, name, src string) uint64 {
+	t.Helper()
+	c, err := core.MustParseQuery(src).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _, err := st.Apply(context.Background(), name, c, core.MethodTopDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap.Version()
+}
+
+// serialize renders a document's current snapshot, failing the test on
+// a read error.
+func serialize(t *testing.T, st *store.Store, name string) (uint64, string) {
+	t.Helper()
+	snap, err := st.Snapshot(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := snap.WriteXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return snap.Version(), buf.String()
+}
+
+// waitConverged blocks until the follower has applied every byte the
+// primary's log holds.
+func waitConverged(t *testing.T, primary *store.Store, f *Follower) {
+	t.Helper()
+	tail := primary.WAL().TailPos()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s := f.Stats()
+		if s.Position.Seq > tail.Seq || (s.Position.Seq == tail.Seq && s.Position.Offset >= tail.Offset) {
+			return
+		}
+		if err := f.Err(); err != nil {
+			t.Fatalf("follower failed while converging: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never converged: at %v, want %v", s.Position, tail)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// assertIdentical compares every document byte-for-byte between
+// primary and follower.
+func assertIdentical(t *testing.T, primary, follower *store.Store) {
+	t.Helper()
+	names := primary.Names()
+	if got := follower.Names(); len(got) != len(names) {
+		t.Fatalf("follower has %d documents, primary %d", len(got), len(names))
+	}
+	for _, name := range names {
+		pv, px := serialize(t, primary, name)
+		fv, fx := serialize(t, follower, name)
+		if pv != fv {
+			t.Fatalf("%q: follower at version %d, primary at %d", name, fv, pv)
+		}
+		if px != fx {
+			t.Fatalf("%q@%d: follower bytes differ from primary", name, pv)
+		}
+	}
+}
+
+func TestLogServiceStatusAndSegmentBytes(t *testing.T) {
+	st, srv := newPrimary(t, store.Options{})
+	put(t, st, "parts", partsXML)
+	applyQ(t, st, "parts", `transform copy $a := doc("parts") modify do delete $a//price return $a`)
+
+	resp, err := http.Get(srv.URL + "/wal/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status Status
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if status.Records != 2 || len(status.Segments) != 1 || status.Segments[0].Sealed {
+		t.Fatalf("status = %+v, want 2 records in one active segment", status)
+	}
+	if status.Tail.Segment != status.Segments[0].Segment || status.Tail.Offset != status.Segments[0].Size {
+		t.Fatalf("status tail %+v disagrees with segment %+v", status.Tail, status.Segments[0])
+	}
+
+	// The segment bytes decode with the stock codec into the two records.
+	resp, err = http.Get(fmt.Sprintf("%s/wal/segments/%d?from=0", srv.URL, status.Tail.Segment))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("segment fetch: %s", resp.Status)
+	}
+	var body bytes.Buffer
+	body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get(HdrBehind) != "0" {
+		t.Fatalf("Behind = %q, want 0", resp.Header.Get(HdrBehind))
+	}
+	var kinds []wal.Kind
+	b := body.Bytes()
+	for len(b) > 0 {
+		rec, n, err := wal.DecodeRecord(b, "resp")
+		if err != nil {
+			t.Fatalf("feed bytes do not decode: %v", err)
+		}
+		kinds = append(kinds, rec.Kind)
+		b = b[n:]
+	}
+	if len(kinds) != 2 || kinds[0] != wal.KindPut || kinds[1] != wal.KindUpdate {
+		t.Fatalf("feed kinds = %v, want [put update]", kinds)
+	}
+
+	// Caught up + no wait → 204 with geometry headers.
+	resp, err = http.Get(fmt.Sprintf("%s/wal/segments/%d?from=%d", srv.URL, status.Tail.Segment, status.Tail.Offset))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("caught-up fetch = %s, want 204", resp.Status)
+	}
+
+	// Beyond the end → 416 (the rewind signal).
+	resp, err = http.Get(fmt.Sprintf("%s/wal/segments/%d?from=%d", srv.URL, status.Tail.Segment, status.Tail.Offset+999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestedRangeNotSatisfiable {
+		t.Fatalf("beyond-end fetch = %s, want 416", resp.Status)
+	}
+
+	// Unknown high segment → 404; segment 0 → 400.
+	for path, want := range map[string]int{"/wal/segments/99": 404, "/wal/segments/0": 400} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("%s = %s, want %d", path, resp.Status, want)
+		}
+	}
+}
+
+func TestLogServiceLongPollWakesOnAppend(t *testing.T) {
+	st, srv := newPrimary(t, store.Options{})
+	put(t, st, "parts", partsXML)
+	tail := st.WAL().TailPos()
+
+	start := time.Now()
+	type result struct {
+		code int
+		n    int64
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(fmt.Sprintf("%s/wal/segments/%d?from=%d&wait=8000", srv.URL, tail.Seq, tail.Offset))
+		if err != nil {
+			ch <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		n, _ := buf.ReadFrom(resp.Body)
+		ch <- result{code: resp.StatusCode, n: n}
+	}()
+	time.Sleep(50 * time.Millisecond) // let the poll park
+	applyQ(t, st, "parts", `transform copy $a := doc("parts") modify do delete $a//price return $a`)
+	r := <-ch
+	if r.err != nil || r.code != http.StatusOK || r.n == 0 {
+		t.Fatalf("long poll = %+v", r)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("long poll waited out its full window despite an append")
+	}
+}
+
+func TestFollowerReplicatesLiveCommits(t *testing.T) {
+	st, srv := newPrimary(t, store.Options{})
+	put(t, st, "parts", partsXML)
+
+	f, err := Start(Options{Primary: srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	if !f.Store().ReadOnly() {
+		t.Fatal("follower store must be read-only")
+	}
+	v := applyQ(t, st, "parts", `transform copy $a := doc("parts") modify do delete $a//price return $a`)
+	put(t, st, "extra", `<x><y/></x>`)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := f.WaitMinVersion(ctx, "parts", v); err != nil {
+		t.Fatal(err)
+	}
+	waitConverged(t, st, f)
+	assertIdentical(t, st, f.Store())
+
+	s := f.Stats()
+	if !s.Connected || s.Err != "" {
+		t.Fatalf("stats = %+v, want connected and healthy", s)
+	}
+	if s.BehindBytes != 0 {
+		t.Fatalf("BehindBytes = %d after convergence", s.BehindBytes)
+	}
+}
+
+func TestFollowerBootstrapsFromCheckpointAndSurvivesCompaction(t *testing.T) {
+	// Small segments force rotations; explicit checkpoints compact.
+	st, srv := newPrimary(t, store.Options{SegmentBytes: 1 << 10})
+	put(t, st, "parts", partsXML)
+	for i := 0; i < 5; i++ {
+		applyQ(t, st, "parts", `transform copy $a := doc("parts") modify do insert <audit/> into $a/db return $a`)
+	}
+	if _, err := st.Checkpoint(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bootstrap lands on the checkpoint, then tails.
+	f, err := Start(Options{Primary: srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	waitConverged(t, st, f)
+	assertIdentical(t, st, f.Store())
+
+	// While the follower is parked at the tail, more writes + another
+	// checkpoint compact the segments it already consumed — tailing must
+	// simply continue (its position is past the compacted range).
+	for i := 0; i < 5; i++ {
+		applyQ(t, st, "parts", `transform copy $a := doc("parts") modify do insert <more/> into $a/db return $a`)
+	}
+	if _, err := st.Checkpoint(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	applyQ(t, st, "parts", `transform copy $a := doc("parts") modify do insert <tail/> into $a/db return $a`)
+	waitConverged(t, st, f)
+	assertIdentical(t, st, f.Store())
+	if err := f.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFollowerResumesFromLocalState(t *testing.T) {
+	st, srv := newPrimary(t, store.Options{})
+	put(t, st, "parts", partsXML)
+	dir := t.TempDir()
+
+	f, err := Start(Options{Primary: srv.URL, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitConverged(t, st, f)
+	f.Close() // persists a local checkpoint + position
+
+	// Commits while the follower is down.
+	v := applyQ(t, st, "parts", `transform copy $a := doc("parts") modify do delete $a//supplier return $a`)
+
+	f2, err := Start(Options{Primary: srv.URL, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := f2.WaitMinVersion(ctx, "parts", v); err != nil {
+		t.Fatal(err)
+	}
+	waitConverged(t, st, f2)
+	assertIdentical(t, st, f2.Store())
+}
+
+func TestFollowerPromotionContinuesChains(t *testing.T) {
+	st, srv := newPrimary(t, store.Options{})
+	put(t, st, "parts", partsXML)
+	v := applyQ(t, st, "parts", `transform copy $a := doc("parts") modify do delete $a//price return $a`)
+
+	f, err := Start(Options{Primary: srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	waitConverged(t, st, f)
+
+	// Primary dies hard; promote the replica.
+	srv.CloseClientConnections()
+	srv.Close()
+	f.Promote()
+	if !f.Stats().Promoted {
+		t.Fatal("stats do not report promotion")
+	}
+	if f.Store().ReadOnly() {
+		t.Fatal("promoted follower still read-only")
+	}
+
+	// The next commit continues the replicated chain without a gap.
+	got := applyQ(t, f.Store(), "parts", `transform copy $a := doc("parts") modify do insert <after-failover/> into $a/db return $a`)
+	if got != v+1 {
+		t.Fatalf("post-promotion version = %d, want %d", got, v+1)
+	}
+	// WaitMinVersion is immediately satisfied on a promoted follower,
+	// even for versions never replicated: local state is authoritative.
+	if err := f.WaitMinVersion(context.Background(), "parts", got+100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitMinVersionTimesOutWhileLagging(t *testing.T) {
+	st, srv := newPrimary(t, store.Options{})
+	put(t, st, "parts", partsXML)
+	f, err := Start(Options{Primary: srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	waitConverged(t, st, f)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	err = f.WaitMinVersion(ctx, "parts", 99)
+	if err == nil || ctx.Err() == nil {
+		t.Fatalf("WaitMinVersion for an unreached version = %v, want context timeout", err)
+	}
+}
+
+func TestGarbledFeedBytesAreTypedCorrupt(t *testing.T) {
+	st, srv := newPrimary(t, store.Options{})
+	put(t, st, "parts", partsXML)
+
+	// A proxy that flips a byte inside every frame payload it relays.
+	garble := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		resp, err := http.Get(srv.URL + r.URL.String())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		b := buf.Bytes()
+		for k, vs := range resp.Header {
+			w.Header()[k] = vs
+		}
+		if resp.StatusCode == http.StatusOK && len(b) > 12 && r.URL.Path != "/wal/checkpoint" {
+			b[12] ^= 0xFF
+		}
+		w.Header().Set("Content-Length", fmt.Sprint(len(b)))
+		w.WriteHeader(resp.StatusCode)
+		w.Write(b)
+	}))
+	defer garble.Close()
+
+	f, err := Start(Options{Primary: garble.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for f.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("garbled feed never surfaced an error")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	var xe *xerr.Error
+	if err := f.Err(); !asXerr(err, &xe) || xe.Kind != xerr.Corrupt {
+		t.Fatalf("garbled feed error = %v, want typed Corrupt", f.Err())
+	}
+	if xe.Pos == "" {
+		t.Fatalf("corrupt error has no position: %v", xe)
+	}
+	// Divergence never happened: the poisoned record was not applied.
+	if _, err := f.Store().Snapshot("parts"); err == nil {
+		t.Fatal("follower applied a garbled record")
+	}
+}
+
+func asXerr(err error, xe **xerr.Error) bool {
+	e, ok := err.(*xerr.Error)
+	if ok {
+		*xe = e
+	}
+	return ok
+}

@@ -1,0 +1,318 @@
+// Package replica implements WAL-shipping replication for the durable
+// document store: a primary-side log service that exposes the
+// write-ahead log over HTTP, and a follower that tails it, replaying
+// the primary's logical update records through its own store via the
+// exact machinery crash recovery uses.
+//
+// The protocol leans on what PR 5 already built. Every commit is
+// durable as a logical record — canonical update-query text plus the
+// version chain it extends — so the log IS the replication stream: no
+// separate format, no physical pages, and a follower may even evaluate
+// under a different method than the primary (replay is
+// method-independent). Frames are CRC32C-checksummed end to end; the
+// follower decodes with the same codec and verifies every chain link,
+// so divergence is always a typed xerr.Corrupt naming the primary's
+// segment file and byte offset — never a silently wrong replica.
+//
+// The feed has three endpoints, mounted by xtqd under /wal:
+//
+//	GET <base>/status        → JSON: checkpoint cut, tail position,
+//	                           record count, live segments
+//	GET <base>/checkpoint    → the newest checkpoint file's raw bytes
+//	                           (404 when none exists yet)
+//	GET <base>/segments/{n}?from=F&wait=MS&max=B
+//	                         → raw CRC-framed record bytes of segment n
+//	                           starting at byte F; long-polls up to MS
+//	                           for new bytes when caught up (204 when
+//	                           none arrive), serves at most B bytes
+//
+// Status codes carry the protocol's edge cases: 410 Gone means the
+// segment was compacted away (the follower re-bootstraps from the
+// checkpoint), 416 means the requested offset is beyond the segment's
+// end — the signature of a primary whose log rewound (an OS crash under
+// a relaxed fsync policy), which the follower surfaces as divergence.
+package replica
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"xtq/internal/wal"
+)
+
+// Feed headers. Every segment response (200, 204, 410, 416) describes
+// the log around it so a follower tracks lag from the responses alone.
+const (
+	HdrSegment     = "X-Xtq-Wal-Segment"      // segment this response serves
+	HdrFrom        = "X-Xtq-Wal-From"         // byte offset the body starts at
+	HdrSize        = "X-Xtq-Wal-Size"         // segment's safe size at response time
+	HdrSealed      = "X-Xtq-Wal-Sealed"       // "true" once rotation froze it
+	HdrTailSegment = "X-Xtq-Wal-Tail-Segment" // active segment at response time
+	HdrTailOffset  = "X-Xtq-Wal-Tail-Offset"  // its safe size at response time
+	HdrBehind      = "X-Xtq-Wal-Behind"       // bytes from end-of-body to tail
+	HdrRecords     = "X-Xtq-Wal-Records"      // records appended since primary open
+	HdrCkptSeq     = "X-Xtq-Ckpt-Seq"         // checkpoint cut (checkpoint + 410 responses)
+)
+
+const (
+	defaultMaxChunk = 4 << 20
+	maxMaxChunk     = 64 << 20
+	maxWait         = 30 * time.Second
+)
+
+// Status is the log service's JSON status document.
+type Status struct {
+	// CheckpointSeq is the newest checkpoint's segment cut, 0 when no
+	// checkpoint exists yet.
+	CheckpointSeq uint64 `json:"checkpoint_seq"`
+	// Tail is the position one past the last complete record.
+	Tail PosJSON `json:"tail"`
+	// Records counts records appended since the primary opened its log.
+	Records int64 `json:"records"`
+	// Segments lists the live segments in ascending order.
+	Segments []SegmentJSON `json:"segments"`
+}
+
+// PosJSON is a log position in JSON form.
+type PosJSON struct {
+	Segment uint64 `json:"segment"`
+	Offset  int64  `json:"offset"`
+}
+
+// SegmentJSON describes one live segment in JSON form.
+type SegmentJSON struct {
+	Segment uint64 `json:"segment"`
+	Size    int64  `json:"size"`
+	Sealed  bool   `json:"sealed"`
+}
+
+// LogService is the primary-side feed: an http.Handler serving a
+// store's write-ahead log to followers. Mount it under a prefix (xtqd
+// uses /wal) with http.StripPrefix.
+type LogService struct {
+	log *wal.Log
+}
+
+// NewLogService returns the feed handler for l.
+func NewLogService(l *wal.Log) *LogService { return &LogService{log: l} }
+
+func (s *LogService) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	path := strings.TrimPrefix(r.URL.Path, "/")
+	switch {
+	case path == "status":
+		s.serveStatus(w)
+	case path == "checkpoint":
+		s.serveCheckpoint(w, r)
+	case strings.HasPrefix(path, "segments/"):
+		seq, err := strconv.ParseUint(strings.TrimPrefix(path, "segments/"), 10, 64)
+		if err != nil || seq == 0 {
+			http.Error(w, "bad segment number", http.StatusBadRequest)
+			return
+		}
+		s.serveSegment(w, r, seq)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (s *LogService) serveStatus(w http.ResponseWriter) {
+	_, ckSeq, _, err := wal.LatestCheckpointInfo(s.log.Dir())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	tail := s.log.TailPos()
+	st := Status{
+		CheckpointSeq: ckSeq,
+		Tail:          PosJSON{Segment: tail.Seq, Offset: tail.Offset},
+		Records:       s.log.AppendedRecords(),
+	}
+	for _, seg := range s.log.SegmentStatus() {
+		st.Segments = append(st.Segments, SegmentJSON{Segment: seg.Seq, Size: seg.Size, Sealed: seg.Sealed})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}
+
+// serveCheckpoint streams the newest checkpoint file's raw bytes. The
+// small retry loop covers the race with compaction replacing the
+// newest checkpoint between the directory listing and the open (the
+// newest itself is never deleted, so a missing file always means a
+// newer one exists).
+func (s *LogService) serveCheckpoint(w http.ResponseWriter, r *http.Request) {
+	for attempt := 0; ; attempt++ {
+		path, seq, ok, err := wal.LatestCheckpointInfo(s.log.Dir())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if !ok {
+			http.Error(w, "no checkpoint yet", http.StatusNotFound)
+			return
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			if os.IsNotExist(err) && attempt < 5 {
+				continue
+			}
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		defer f.Close()
+		fi, err := f.Stat()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.FormatInt(fi.Size(), 10))
+		w.Header().Set(HdrCkptSeq, strconv.FormatUint(seq, 10))
+		if r.Method != http.MethodHead {
+			io.Copy(w, f)
+		}
+		return
+	}
+}
+
+func (s *LogService) serveSegment(w http.ResponseWriter, r *http.Request, seq uint64) {
+	q := r.URL.Query()
+	from, err := strconv.ParseInt(q.Get("from"), 10, 64)
+	if err != nil || from < 0 {
+		from = 0
+	}
+	var wait time.Duration
+	if ms, err := strconv.ParseInt(q.Get("wait"), 10, 64); err == nil && ms > 0 {
+		wait = min(time.Duration(ms)*time.Millisecond, maxWait)
+	}
+	maxBytes := int64(defaultMaxChunk)
+	if m, err := strconv.ParseInt(q.Get("max"), 10, 64); err == nil && m > 0 {
+		maxBytes = min(m, maxMaxChunk)
+	}
+
+	deadline := time.Now().Add(wait)
+	for {
+		info, live := s.segInfo(seq)
+		if !live {
+			if segs := s.log.SegmentStatus(); len(segs) > 0 && seq < segs[0].Seq {
+				// Compacted away: the follower re-bootstraps from the
+				// checkpoint that covered it.
+				if _, ckSeq, ok, err := wal.LatestCheckpointInfo(s.log.Dir()); err == nil && ok {
+					w.Header().Set(HdrCkptSeq, strconv.FormatUint(ckSeq, 10))
+				}
+				http.Error(w, "segment compacted", http.StatusGone)
+				return
+			}
+			http.Error(w, "no such segment", http.StatusNotFound)
+			return
+		}
+		if from > info.Size {
+			// The primary's log ends before the follower's position: the
+			// log rewound (a crash under a relaxed fsync policy lost the
+			// tail). The follower holds state the primary never re-served —
+			// divergence, its call to make.
+			s.describe(w, seq, from, from, info)
+			http.Error(w, "offset beyond segment end", http.StatusRequestedRangeNotSatisfiable)
+			return
+		}
+		if from < info.Size {
+			s.sendChunk(w, r, seq, from, info, maxBytes)
+			return
+		}
+		if info.Sealed {
+			// Caught up on a sealed segment: tell the follower so it
+			// advances to the next one.
+			s.describe(w, seq, from, from, info)
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		// Caught up on the active segment: long-poll for new bytes.
+		tail, ch := s.log.TailState()
+		if tail.Seq != seq || tail.Offset > from {
+			continue // the tail moved between the size check and here
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			s.describe(w, seq, from, from, info)
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-ch:
+			t.Stop()
+		case <-t.C:
+		case <-r.Context().Done():
+			t.Stop()
+			return
+		}
+	}
+}
+
+func (s *LogService) segInfo(seq uint64) (wal.SegmentInfo, bool) {
+	for _, seg := range s.log.SegmentStatus() {
+		if seg.Seq == seq {
+			return seg, true
+		}
+	}
+	return wal.SegmentInfo{}, false
+}
+
+// describe stamps the standard feed headers for a response whose body
+// covers [from, end) of segment seq (from == end for empty responses).
+func (s *LogService) describe(w http.ResponseWriter, seq uint64, from, end int64, info wal.SegmentInfo) {
+	h := w.Header()
+	h.Set(HdrSegment, strconv.FormatUint(seq, 10))
+	h.Set(HdrFrom, strconv.FormatInt(from, 10))
+	h.Set(HdrSize, strconv.FormatInt(info.Size, 10))
+	h.Set(HdrSealed, strconv.FormatBool(info.Sealed))
+	tail := s.log.TailPos()
+	h.Set(HdrTailSegment, strconv.FormatUint(tail.Seq, 10))
+	h.Set(HdrTailOffset, strconv.FormatInt(tail.Offset, 10))
+	var behind int64
+	for _, seg := range s.log.SegmentStatus() {
+		switch {
+		case seg.Seq == seq:
+			behind += max(seg.Size-end, 0)
+		case seg.Seq > seq:
+			behind += seg.Size
+		}
+	}
+	h.Set(HdrBehind, strconv.FormatInt(behind, 10))
+	h.Set(HdrRecords, strconv.FormatInt(s.log.AppendedRecords(), 10))
+}
+
+func (s *LogService) sendChunk(w http.ResponseWriter, r *http.Request, seq uint64, from int64, info wal.SegmentInfo, maxBytes int64) {
+	n := min(info.Size-from, maxBytes)
+	f, err := os.Open(wal.SegmentPath(s.log.Dir(), seq))
+	if err != nil {
+		if os.IsNotExist(err) {
+			// Compacted between the size check and the open.
+			http.Error(w, "segment compacted", http.StatusGone)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	defer f.Close()
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(io.NewSectionReader(f, from, n), buf); err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.describe(w, seq, from, from+n, info)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(n, 10))
+	if r.Method != http.MethodHead {
+		w.Write(buf)
+	}
+}

@@ -1,0 +1,253 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xtq/internal/core"
+	"xtq/internal/store"
+	"xtq/internal/wal"
+	"xtq/internal/xmark"
+)
+
+// flakyTransport injects the failures a real network serves up: whole
+// requests dropped before they start, and response bodies cut off after
+// a random number of bytes (which lands the follower mid-frame — it
+// must refetch, never apply a partial record).
+type flakyTransport struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	active atomic.Bool
+}
+
+func (ft *flakyTransport) roll(p float64) bool {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	return ft.rng.Float64() < p
+}
+
+func (ft *flakyTransport) intn(n int) int {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	return ft.rng.Intn(n)
+}
+
+func (ft *flakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if ft.active.Load() && ft.roll(0.15) {
+		return nil, errors.New("torture: injected connection drop")
+	}
+	resp, err := http.DefaultTransport.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if ft.active.Load() && strings.Contains(req.URL.Path, "/wal/segments/") && ft.roll(0.20) {
+		resp.Body = &truncatingBody{rc: resp.Body, remain: int64(ft.intn(300))}
+	}
+	return resp, nil
+}
+
+// truncatingBody yields remain bytes then fails the read — a connection
+// dying mid-response.
+type truncatingBody struct {
+	rc     io.ReadCloser
+	remain int64
+}
+
+func (tb *truncatingBody) Read(p []byte) (int, error) {
+	if tb.remain <= 0 {
+		return 0, errors.New("torture: connection died mid-body")
+	}
+	if int64(len(p)) > tb.remain {
+		p = p[:tb.remain]
+	}
+	n, err := tb.rc.Read(p)
+	tb.remain -= int64(n)
+	return n, err
+}
+
+func (tb *truncatingBody) Close() error { return tb.rc.Close() }
+
+// tortureUpdate builds the i-th random update query over the XMark
+// vocabulary for document name.
+func tortureUpdate(rng *rand.Rand, name string, i int) string {
+	paths := []string{
+		`$a/site/people/person`,
+		`$a/site/regions//item`,
+		`$a/site/open_auctions/open_auction/bidder`,
+		`$a/site//description`,
+		`$a/site/closed_auctions/closed_auction/annotation`,
+	}
+	p := paths[rng.Intn(len(paths))]
+	var u string
+	switch rng.Intn(4) {
+	case 0:
+		u = fmt.Sprintf(`insert <patch><n>p%d</n></patch> into %s`, i, p)
+	case 1:
+		u = fmt.Sprintf(`delete %s`, p)
+	case 2:
+		u = fmt.Sprintf(`replace %s with <stub><n>r%d</n></stub>`, p, i)
+	default:
+		u = fmt.Sprintf(`rename %s as relabeled%d`, p, i%3)
+	}
+	return fmt.Sprintf(`transform copy $a := doc(%q) modify do %s return $a`, name, u)
+}
+
+// TestFollowerTortureConvergence is the replication subsystem's
+// end-to-end adversarial test: a writer hammers the primary with random
+// XMark updates — removing and re-ingesting a document midstream, so
+// the follower must replay a tombstone and a chain restart — while the
+// primary checkpoints (compacting segments out from under a lagging
+// follower, forcing re-bootstrap) and the feed connection drops and
+// dies mid-response at random. The follower is also hard-restarted
+// several times, resuming from its own local checkpoint + position.
+// When the writer drains, the follower must hold exactly the primary's
+// documents, version- and byte-identical.
+func TestFollowerTortureConvergence(t *testing.T) {
+	const updates = 200
+	ctx := context.Background()
+
+	st, err := store.Open(t.TempDir(), store.Options{Fsync: wal.FsyncNone, SegmentBytes: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	mux := http.NewServeMux()
+	mux.Handle("/wal/", http.StripPrefix("/wal", NewLogService(st.WAL())))
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	base, err := xmark.Generate(xmark.Config{Factor: 0.002, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Put("d", base.DeepCopy(), true); err != nil {
+		t.Fatal(err)
+	}
+	put(t, st, "side", `<side><v>0</v></side>`)
+
+	ft := &flakyTransport{rng: rand.New(rand.NewSource(7))}
+	folDir := t.TempDir()
+	folOpts := Options{
+		Primary:         srv.URL,
+		Dir:             folDir,
+		CheckpointEvery: 32 << 10,
+		Poll:            25 * time.Millisecond,
+		MaxFetch:        8 << 10,
+		Client:          &http.Client{Transport: ft},
+	}
+	f, err := Start(folOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft.active.Store(true)
+
+	// The writer: random updates, a midstream remove + re-ingest (chain
+	// restart), occasional side-document churn, periodic checkpoints
+	// compacting the log.
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		wrng := rand.New(rand.NewSource(99))
+		for i := 0; i < updates; i++ {
+			src := tortureUpdate(wrng, "d", i)
+			c, err := core.MustParseQuery(src).Compile()
+			if err != nil {
+				t.Errorf("compile %s: %v", src, err)
+				return
+			}
+			if _, _, err := st.Apply(ctx, "d", c, core.MethodTopDown); err != nil {
+				t.Errorf("writer update %d: %v", i, err)
+				return
+			}
+			switch i {
+			case updates / 3:
+				if _, err := st.Remove("d"); err != nil {
+					t.Errorf("remove: %v", err)
+					return
+				}
+				if _, _, err := st.Put("d", base.DeepCopy(), true); err != nil {
+					t.Errorf("re-ingest: %v", err)
+					return
+				}
+			case updates / 2, updates - 20:
+				if _, err := st.Checkpoint(ctx); err != nil {
+					t.Errorf("checkpoint: %v", err)
+					return
+				}
+			}
+			if i%10 == 0 {
+				applyQ(t, st, "side", fmt.Sprintf(
+					`transform copy $a := doc("side") modify do replace $a/side/v with <v>%d</v> return $a`, i))
+			}
+			// Throttle just enough that restarts, checkpoints and drops
+			// genuinely interleave with live tailing.
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// Meanwhile: hard-restart the follower a few times; it must resume
+	// from its local checkpoint + position (or re-bootstrap when its
+	// position was compacted away) without losing chain verification.
+	restarts := 0
+	for running := true; running; {
+		select {
+		case <-writerDone:
+			running = false
+		case <-time.After(100 * time.Millisecond):
+			if restarts >= 4 {
+				continue
+			}
+			restarts++
+			f.Close()
+			var err error
+			for attempt := 0; ; attempt++ {
+				f, err = Start(folOpts)
+				if err == nil {
+					break
+				}
+				if attempt > 50 {
+					t.Fatalf("follower restart: %v", err)
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+		}
+	}
+
+	// Drain: stop injecting failures and wait for full convergence.
+	ft.active.Store(false)
+	defer f.Close()
+	tail := st.WAL().TailPos()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		s := f.Stats()
+		if s.Position.Seq > tail.Seq || (s.Position.Seq == tail.Seq && s.Position.Offset >= tail.Offset) {
+			break
+		}
+		if err := f.Err(); err != nil {
+			t.Fatalf("follower failed during drain: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never drained: at %v, want %v", s.Position, tail)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if restarts == 0 {
+		t.Fatal("torture exercised no restarts")
+	}
+	assertIdentical(t, st, f.Store())
+
+	// And the lag accounting agrees: fully drained means zero behind.
+	if s := f.Stats(); s.BehindBytes != 0 {
+		t.Fatalf("drained follower reports BehindBytes=%d", s.BehindBytes)
+	}
+}

@@ -174,8 +174,20 @@ func Open(dir string, o Options) (*Store, error) {
 			d.floor[doc.Name] = doc.Version
 		}
 	}
+	env := replayEnv{
+		compile:  o.Compile,
+		method:   o.Method,
+		maxDepth: o.MaxDepth,
+		noteFloor: func(name string, version uint64) {
+			d.mu.Lock()
+			if _, ok := d.floor[name]; !ok || version == 1 {
+				d.floor[name] = version
+			}
+			d.mu.Unlock()
+		},
+	}
 	if err := log.Replay(afterSeq, func(rec wal.Record, pos wal.Pos) error {
-		return st.replayRecord(d, rec, pos)
+		return st.replayRecord(env, rec, pos)
 	}); err != nil {
 		log.Close()
 		return nil, err
@@ -249,6 +261,18 @@ func (st *Store) recoverPublish(name string, version uint64, root *tree.Node) {
 	ds.pushHist(snap)
 }
 
+// replayEnv is what replaying one log record needs from its caller —
+// shared by crash recovery (Open, which also tracks reconstruction
+// floors) and the replication applier (ApplyLogged, which does not).
+type replayEnv struct {
+	compile  func(src string) (*core.Compiled, error)
+	method   core.Method
+	maxDepth int
+	// noteFloor, when non-nil, is told about every replayed put so the
+	// caller can maintain per-document reconstruction floors.
+	noteFloor func(name string, version uint64)
+}
+
 // replayRecord applies one surviving log record to the recovering
 // store, verifying the version chain strictly: because checkpoints
 // capture state at exactly their segment cut (under the commit gate),
@@ -258,7 +282,11 @@ func (st *Store) recoverPublish(name string, version uint64, root *tree.Node) {
 // only a completed tombstone garbage collection can produce. Anything
 // else out of sequence is corruption, positioned at the record's
 // segment and offset.
-func (st *Store) replayRecord(d *durable, rec wal.Record, pos wal.Pos) error {
+//
+// The caller is the only goroutine advancing the store (recovery runs
+// before Open returns; a follower has one applier). Publication is a
+// plain atomic store, so concurrent lock-free readers are safe.
+func (st *Store) replayRecord(env replayEnv, rec wal.Record, pos wal.Pos) error {
 	chain := func(format string, args ...any) error {
 		return xerr.New(xerr.Corrupt, pos.String(), "store: "+format, args...)
 	}
@@ -288,17 +316,15 @@ func (st *Store) replayRecord(d *durable, rec wal.Record, pos wal.Pos) error {
 		case rec.Version != curV+1:
 			return chain("put of %q jumps version %d → %d", rec.Name, curV, rec.Version)
 		}
-		root, err := parseLogged(rec.Doc, d.opts.MaxDepth)
+		root, err := parseLogged(rec.Doc, env.maxDepth)
 		if err != nil {
 			return &xerr.Error{Kind: xerr.Corrupt, Pos: pos.String(),
 				Msg: fmt.Sprintf("store: logged document %q does not parse", rec.Name), Err: err}
 		}
 		st.recoverPublish(rec.Name, rec.Version, root)
-		d.mu.Lock()
-		if _, ok := d.floor[rec.Name]; !ok || rec.Version == 1 {
-			d.floor[rec.Name] = rec.Version
+		if env.noteFloor != nil {
+			env.noteFloor(rec.Name, rec.Version)
 		}
-		d.mu.Unlock()
 	case wal.KindUpdate:
 		if cur == nil {
 			return chain("update of unknown document %q", rec.Name)
@@ -309,19 +335,19 @@ func (st *Store) replayRecord(d *durable, rec wal.Record, pos wal.Pos) error {
 		if rec.Base != curV || rec.Version != curV+1 {
 			return chain("update of %q has base %d over current %d", rec.Name, rec.Base, curV)
 		}
-		c, err := d.opts.Compile(rec.Query)
+		c, err := env.compile(rec.Query)
 		if err != nil {
 			return &xerr.Error{Kind: xerr.Corrupt, Pos: pos.String(),
 				Msg: fmt.Sprintf("store: logged update of %q does not compile", rec.Name), Err: err}
 		}
-		out, err := c.EvalContext(context.Background(), cur.root, d.opts.Method)
+		out, err := c.EvalContext(context.Background(), cur.root, env.method)
 		if err != nil {
 			return &xerr.Error{Kind: xerr.Corrupt, Pos: pos.String(),
 				Msg: fmt.Sprintf("store: replaying update of %q failed", rec.Name), Err: err}
 		}
 		next := &Snapshot{name: rec.Name, version: rec.Version}
 		noop := out == cur.root
-		if !noop && d.opts.Method != core.MethodTopDown && d.opts.Method != core.MethodTwoPass {
+		if !noop && env.method != core.MethodTopDown && env.method != core.MethodTwoPass {
 			noop = tree.Equal(out, cur.root)
 		}
 		if noop {

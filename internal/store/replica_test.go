@@ -1,0 +1,191 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"xtq/internal/core"
+	"xtq/internal/wal"
+	"xtq/internal/xerr"
+)
+
+func putRec(t *testing.T, name string, version uint64, xml string) wal.Record {
+	t.Helper()
+	return wal.Record{Kind: wal.KindPut, Name: name, Version: version, Doc: []byte(xml)}
+}
+
+func TestFollowerRejectsWritesUntilPromoted(t *testing.T) {
+	st := NewFollower(0)
+	if !st.ReadOnly() {
+		t.Fatal("NewFollower store is not read-only")
+	}
+	if _, _, err := st.Put("d", parse(t, partsXML), true); kindOf(t, err) != xerr.Conflict {
+		t.Fatalf("follower Put error = %v, want Conflict", err)
+	}
+	if _, err := st.Remove("d"); kindOf(t, err) != xerr.Conflict {
+		t.Fatal("follower Remove must be Conflict")
+	}
+
+	// Replication still advances the store.
+	if err := st.ApplyLogged(putRec(t, "d", 1, partsXML), wal.Pos{Seq: 1}, ReplayOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	c := compile(t, `transform copy $a := doc("d") modify do delete $a//price return $a`)
+	if _, _, err := st.Apply(context.Background(), "d", c, core.MethodTopDown); kindOf(t, err) != xerr.Conflict {
+		t.Fatal("follower Apply must be Conflict")
+	}
+
+	st.Promote()
+	if st.ReadOnly() {
+		t.Fatal("promoted store still read-only")
+	}
+	snap, _, err := st.Apply(context.Background(), "d", c, core.MethodTopDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The chain continues from the replicated version — no gap, no reset.
+	if snap.Version() != 2 {
+		t.Fatalf("post-promotion commit version = %d, want 2", snap.Version())
+	}
+}
+
+func TestApplyLoggedVerifiesChains(t *testing.T) {
+	st := NewFollower(0)
+	opts := ReplayOptions{}
+	apply := func(rec wal.Record) error {
+		return st.ApplyLogged(rec, wal.Pos{Seq: 3, Offset: 77}, opts)
+	}
+
+	if err := apply(putRec(t, "d", 1, partsXML)); err != nil {
+		t.Fatal(err)
+	}
+	upd := wal.Record{Kind: wal.KindUpdate, Name: "d", Base: 1, Version: 2,
+		Query: `transform copy $a := doc("d") modify do delete $a//supplier return $a`}
+	if err := apply(upd); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := st.Snapshot("d")
+	if err != nil || snap.Version() != 2 {
+		t.Fatalf("replicated head = %v, %v", snap, err)
+	}
+	var got bytes.Buffer
+	if err := snap.WriteXML(&got); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(got.Bytes(), []byte("supplier")) {
+		t.Fatal("replayed update did not take effect")
+	}
+
+	// A version gap is divergence: typed Corrupt naming segment:offset.
+	gap := wal.Record{Kind: wal.KindUpdate, Name: "d", Base: 5, Version: 6, Query: upd.Query}
+	err = apply(gap)
+	if kindOf(t, err) != xerr.Corrupt {
+		t.Fatalf("chain gap error = %v, want Corrupt", err)
+	}
+	var xe *xerr.Error
+	if !asXerr(err, &xe) || xe.Pos != (wal.Pos{Seq: 3, Offset: 77}).String() {
+		t.Fatalf("divergence position = %v, want seg 3 offset 77", err)
+	}
+
+	// Remove then chain-restart put at version 1 is the one legal reset.
+	if err := apply(wal.Record{Kind: wal.KindRemove, Name: "d", Version: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := apply(putRec(t, "d", 1, `<db/>`)); err != nil {
+		t.Fatal(err)
+	}
+	if snap, err := st.Snapshot("d"); err != nil || snap.Version() != 1 {
+		t.Fatalf("restarted chain head = %v, %v", snap, err)
+	}
+}
+
+func asXerr(err error, xe **xerr.Error) bool {
+	e, ok := err.(*xerr.Error)
+	if ok {
+		*xe = e
+	}
+	return ok
+}
+
+func TestApplyLoggedRefusesDurableStores(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{Fsync: wal.FsyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.ApplyLogged(putRec(t, "d", 1, partsXML), wal.Pos{}, ReplayOptions{}); err == nil {
+		t.Fatal("ApplyLogged on a durable store must fail")
+	}
+}
+
+func TestCaptureAllAndResetToLoggedRoundTrip(t *testing.T) {
+	src := NewFollower(0)
+	if err := src.ApplyLogged(putRec(t, "a", 1, partsXML), wal.Pos{Seq: 1}, ReplayOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.ApplyLogged(putRec(t, "b", 1, `<b><x/></b>`), wal.Pos{Seq: 1}, ReplayOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.ApplyLogged(wal.Record{Kind: wal.KindRemove, Name: "b", Version: 2}, wal.Pos{Seq: 1}, ReplayOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	caps := src.CaptureAll()
+	if len(caps) != 2 {
+		t.Fatalf("CaptureAll = %d snapshots, want 2 (live + tombstone)", len(caps))
+	}
+	var docs []wal.CheckpointDoc
+	for _, s := range caps {
+		d := wal.CheckpointDoc{Name: s.Name(), Version: s.Version(), Removed: s.Deleted()}
+		if !s.Deleted() {
+			var buf bytes.Buffer
+			if err := s.WriteXML(&buf); err != nil {
+				t.Fatal(err)
+			}
+			d.XML = buf.Bytes()
+		}
+		docs = append(docs, d)
+	}
+
+	dst := NewFollower(0)
+	if err := dst.ResetToLogged(docs, "ckpt-test", ReplayOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 1 {
+		t.Fatalf("restored store Len = %d, want 1 (tombstone hidden)", dst.Len())
+	}
+	snap, err := dst.Snapshot("a")
+	if err != nil || snap.Version() != 1 {
+		t.Fatalf("restored a = %v, %v", snap, err)
+	}
+	if _, err := dst.Snapshot("b"); kindOf(t, err) != xerr.NotFound {
+		t.Fatal("restored tombstone must read as not-found")
+	}
+	// The tombstone still licenses only the legal transitions: replay
+	// resuming after the cut can re-ingest b by continuing its chain.
+	if err := dst.ApplyLogged(putRec(t, "b", 3, `<b/>`), wal.Pos{Seq: 2}, ReplayOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if snap, err := dst.Snapshot("b"); err != nil || snap.Version() != 3 {
+		t.Fatalf("re-ingested b = %v, %v", snap, err)
+	}
+
+	// Garbage bytes in a fetched checkpoint are corruption, typed.
+	bad := []wal.CheckpointDoc{{Name: "z", Version: 1, XML: []byte("<not..closed")}}
+	if err := dst.ResetToLogged(bad, "ckpt-bad", ReplayOptions{}); kindOf(t, err) != xerr.Corrupt {
+		t.Fatalf("garbled checkpoint error = %v, want Corrupt", err)
+	}
+}
+
+func TestReplPosRoundTrip(t *testing.T) {
+	st := NewFollower(0)
+	if _, ok := st.ReplPos(); ok {
+		t.Fatal("fresh follower reports a replay position")
+	}
+	st.SetReplPos(wal.Pos{Seq: 4, Offset: 99})
+	pos, ok := st.ReplPos()
+	if !ok || pos.Seq != 4 || pos.Offset != 99 {
+		t.Fatalf("ReplPos = %v %v", pos, ok)
+	}
+}

@@ -41,6 +41,7 @@ import (
 
 	"xtq/internal/core"
 	"xtq/internal/tree"
+	"xtq/internal/wal"
 	"xtq/internal/xerr"
 )
 
@@ -79,6 +80,11 @@ func (s *Snapshot) Index() *tree.Index { return s.ix }
 // form of Remove. Tombstones are never handed to readers: Snapshot and
 // SnapshotAt translate them to not-found errors.
 func (s *Snapshot) deleted() bool { return s.root == nil }
+
+// Deleted reports whether the snapshot is a tombstone. Replication
+// capture (CaptureAll) hands tombstones out so a follower checkpoint
+// can retain them; every reader-facing path still hides them.
+func (s *Snapshot) Deleted() bool { return s.deleted() }
 
 // Open serializes the snapshot, making *Snapshot a Source: the
 // streaming evaluator (which reads its input twice) can run over a
@@ -170,6 +176,14 @@ type Store struct {
 
 	histDepth int
 	dur       *durable // nil for a purely in-memory store
+
+	// follower marks a read-only replica: every write path fails typed
+	// until Promote clears it. The replication applier (ApplyLogged)
+	// bypasses the flag — it is how a follower's state advances.
+	follower atomic.Bool
+	// repl is the replica's replay position in the primary's log, for
+	// observability; maintained by the replication layer.
+	repl atomic.Pointer[wal.Pos]
 }
 
 // New returns an empty in-memory store retaining DefaultHistoryDepth
@@ -360,6 +374,9 @@ func (st *Store) Len() int {
 // checkpoint). Tombstones themselves are small and are garbage-collected
 // by the next checkpoint on durable stores.
 func (st *Store) Remove(name string) (bool, error) {
+	if st.follower.Load() {
+		return false, readOnly()
+	}
 	ds := st.lookup(name)
 	if ds == nil {
 		return false, nil
@@ -462,6 +479,9 @@ func (st *Store) Put(name string, doc *tree.Node, adopt bool) (*Snapshot, Commit
 	if doc == nil {
 		return nil, Commit{}, xerr.New(xerr.Eval, "", "store: nil document for %q", name)
 	}
+	if st.follower.Load() {
+		return nil, Commit{}, readOnly()
+	}
 	var (
 		root *tree.Node
 		ix   *tree.Index
@@ -531,6 +551,9 @@ func (st *Store) ApplyAt(ctx context.Context, name string, c *core.Compiled, m c
 }
 
 func (st *Store) apply(ctx context.Context, name string, c *core.Compiled, m core.Method, base uint64) (*Snapshot, Commit, error) {
+	if st.follower.Load() {
+		return nil, Commit{}, readOnly()
+	}
 	ds := st.lookup(name)
 	if ds == nil {
 		return nil, Commit{}, notFound(name)

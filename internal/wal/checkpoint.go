@@ -176,6 +176,35 @@ func ReadLatestCheckpoint(dir string) (*Checkpoint, error) {
 	return readCheckpoint(filepath.Join(dir, checkpointName(seq)))
 }
 
+// LatestCheckpointInfo reports the newest checkpoint file in dir
+// without loading it: its path and the segment cut it covers. ok is
+// false when the directory holds no checkpoint. The replication feed
+// uses it to serve the checkpoint file's raw bytes to a bootstrapping
+// follower.
+func LatestCheckpointInfo(dir string) (path string, seq uint64, ok bool, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return "", 0, false, nil
+		}
+		return "", 0, false, xerr.Wrap(xerr.IO, err)
+	}
+	for _, e := range ents {
+		if s, k := parseSeq(e.Name(), "ckpt-", ".ckpt"); k && (!ok || s > seq) {
+			seq, ok = s, true
+		}
+	}
+	if !ok {
+		return "", 0, false, nil
+	}
+	return filepath.Join(dir, checkpointName(seq)), seq, true, nil
+}
+
+// ReadCheckpointFile loads one checkpoint file by path — the loader
+// behind ReadLatestCheckpoint, exported for followers that fetch a
+// checkpoint over the wire and park it under their own name.
+func ReadCheckpointFile(path string) (*Checkpoint, error) { return readCheckpoint(path) }
+
 func readCheckpoint(path string) (*Checkpoint, error) {
 	r, err := openSegReader(path, 0)
 	if err != nil {

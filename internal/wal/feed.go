@@ -1,0 +1,77 @@
+package wal
+
+import "path/filepath"
+
+// This file is the log's tailing surface: what a replication feed needs
+// to stream a live log to followers. The contract rests on two existing
+// invariants — segSize only ever covers whole records (a failed partial
+// write poisons the log before segSize advances), and rotation freezes a
+// segment forever — so a reader that stays at or below the sizes
+// reported here never observes a torn frame.
+
+// SegmentInfo describes one live segment of the log.
+type SegmentInfo struct {
+	Seq    uint64
+	Size   int64 // bytes of complete records: the safe read prefix
+	Sealed bool  // frozen by rotation — immutable and fully fsynced
+}
+
+// bumpTail wakes every TailState waiter. Callers hold l.mu.
+func (l *Log) bumpTail() {
+	close(l.tail)
+	l.tail = make(chan struct{})
+}
+
+// TailState reports the position one past the last complete record —
+// the next byte a tailing reader should request — and a channel that is
+// closed the next time the tail advances (an append or a rotation).
+// Waiting on the channel and re-reading is the long-poll loop.
+func (l *Log) TailState() (Pos, <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Pos{Seq: l.seq, Offset: l.segSize}, l.tail
+}
+
+// TailPos reports the position one past the last complete record.
+func (l *Log) TailPos() Pos {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Pos{Seq: l.seq, Offset: l.segSize}
+}
+
+// AppendedRecords reports how many records have been appended since
+// Open. Followers use the delta between two readings to convert byte
+// lag into record lag.
+func (l *Log) AppendedRecords() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.records
+}
+
+// SegmentStatus reports every live segment in ascending order with its
+// safe read size. Exactly one entry — the last — is unsealed.
+func (l *Log) SegmentStatus() []SegmentInfo {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SegmentInfo, 0, len(l.segs))
+	for _, s := range l.segs {
+		if s == l.seq {
+			out = append(out, SegmentInfo{Seq: s, Size: l.segSize})
+		} else {
+			out = append(out, SegmentInfo{Seq: s, Size: l.sizes[s], Sealed: true})
+		}
+	}
+	return out
+}
+
+// SegmentPath returns the file path of segment seq inside dir.
+func SegmentPath(dir string, seq uint64) string {
+	return filepath.Join(dir, segmentName(seq))
+}
+
+// CheckpointPath returns the file path of the checkpoint keyed seq
+// inside dir. Followers key their local checkpoints by a private
+// counter rather than a segment cut; the naming is shared either way.
+func CheckpointPath(dir string, seq uint64) string {
+	return filepath.Join(dir, checkpointName(seq))
+}

@@ -1,0 +1,143 @@
+package wal
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+func TestTailStateAdvancesAndNotifies(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Fsync: FsyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	pos, ch := l.TailState()
+	if pos.Seq != 1 || pos.Offset != 0 {
+		t.Fatalf("fresh tail = %v, want seg 1 offset 0", pos)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		select {
+		case <-ch:
+		case <-time.After(5 * time.Second):
+			t.Error("tail channel never closed after append")
+		}
+	}()
+	if _, err := l.Append(&Record{Kind: KindRemove, Name: "a", Version: 1}); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	next, _ := l.TailState()
+	if next.Seq != 1 || next.Offset <= 0 {
+		t.Fatalf("tail after append = %v, want seg 1 offset > 0", next)
+	}
+	if got := l.AppendedRecords(); got != 1 {
+		t.Fatalf("AppendedRecords = %d, want 1", got)
+	}
+}
+
+func TestSegmentStatusTracksRotation(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Fsync: FsyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	if _, err := l.Append(&Record{Kind: KindRemove, Name: "a", Version: 1}); err != nil {
+		t.Fatal(err)
+	}
+	frozenSize := l.TailPos().Offset
+	frozen, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(&Record{Kind: KindRemove, Name: "b", Version: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	segs := l.SegmentStatus()
+	if len(segs) != 2 {
+		t.Fatalf("SegmentStatus = %v, want 2 segments", segs)
+	}
+	if s := segs[0]; s.Seq != frozen || !s.Sealed || s.Size != frozenSize {
+		t.Fatalf("sealed segment = %+v, want seq %d sealed size %d", s, frozen, frozenSize)
+	}
+	if s := segs[1]; s.Seq != frozen+1 || s.Sealed || s.Size <= 0 {
+		t.Fatalf("active segment = %+v, want seq %d unsealed with bytes", s, frozen+1)
+	}
+
+	// Tail notification fires on rotation too, so a long-poll parked on
+	// the frozen segment wakes and discovers the seal.
+	_, ch := l.TailState()
+	go l.Rotate()
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("tail channel never closed after rotation")
+	}
+}
+
+func TestSegmentStatusSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Fsync: FsyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(&Record{Kind: KindRemove, Name: "a", Version: 1}); err != nil {
+		t.Fatal(err)
+	}
+	size := l.TailPos().Offset
+	if _, err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{Fsync: FsyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	segs := l2.SegmentStatus()
+	if len(segs) != 2 || !segs[0].Sealed || segs[0].Size != size {
+		t.Fatalf("after reopen SegmentStatus = %+v, want sealed seg of %d bytes first", segs, size)
+	}
+}
+
+func TestSegmentPathAndLatestCheckpointInfo(t *testing.T) {
+	dir := t.TempDir()
+	if got, want := SegmentPath(dir, 7), dir+string(os.PathSeparator)+"seg-0000000000000007.wal"; got != want {
+		t.Fatalf("SegmentPath = %q, want %q", got, want)
+	}
+	if _, _, ok, err := LatestCheckpointInfo(dir); err != nil || ok {
+		t.Fatalf("empty dir LatestCheckpointInfo ok=%v err=%v, want none", ok, err)
+	}
+	if _, err := WriteCheckpoint(dir, 3, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteCheckpoint(dir, 9, []CheckpointDoc{{Name: "d", Version: 2, XML: []byte("<d/>")}}); err != nil {
+		t.Fatal(err)
+	}
+	path, seq, ok, err := LatestCheckpointInfo(dir)
+	if err != nil || !ok || seq != 9 {
+		t.Fatalf("LatestCheckpointInfo = %q seq=%d ok=%v err=%v, want seq 9", path, seq, ok, err)
+	}
+	ck, err := ReadCheckpointFile(path)
+	if err != nil || ck.Seq != 9 || len(ck.Docs) != 1 || ck.Docs[0].Name != "d" {
+		t.Fatalf("ReadCheckpointFile = %+v err=%v", ck, err)
+	}
+}
+
+func TestIsShortFrame(t *testing.T) {
+	_, _, err := DecodeRecord([]byte{1, 2, 3}, "x")
+	if !IsShortFrame(err) {
+		t.Fatalf("DecodeRecord on 3 bytes = %v, want short-frame signal", err)
+	}
+	if IsShortFrame(nil) || IsShortFrame(os.ErrNotExist) {
+		t.Fatal("IsShortFrame misfires on unrelated errors")
+	}
+}

@@ -129,7 +129,10 @@ type Log struct {
 	ckptSeq  uint64 // highest checkpoint cut found at Open (floor for seq)
 	segSize  int64  // bytes in the active segment
 	appended int64  // cumulative bytes appended across all segments
+	records  int64  // records appended since Open
 	segs     []uint64
+	sizes    map[uint64]int64 // complete-record bytes per sealed segment
+	tail     chan struct{}    // closed and replaced when the tail advances
 	scratch  []byte
 	err      error // sticky: a failed write poisons the log
 	closed   bool
@@ -160,7 +163,7 @@ func Open(dir string, o Options) (*Log, error) {
 	if err != nil {
 		return nil, err
 	}
-	l := &Log{dir: dir, opts: o, lock: lock}
+	l := &Log{dir: dir, opts: o, lock: lock, sizes: make(map[uint64]int64), tail: make(chan struct{})}
 	fail := func(err error) (*Log, error) {
 		if lock != nil {
 			lock.Close() // releases the flock
@@ -209,6 +212,7 @@ func (l *Log) scan() error {
 		if err != nil {
 			return err
 		}
+		l.sizes[seq] = valid
 		if last {
 			// A torn tail — a frame the crash cut short — is truncated so
 			// new appends continue from the last whole record.
@@ -298,6 +302,8 @@ func (l *Log) Append(rec *Record) (Pos, error) {
 	}
 	l.segSize += int64(n)
 	l.appended += int64(n)
+	l.records++
+	l.bumpTail()
 	lsn := l.appended
 	needRotate := l.segSize >= l.opts.SegmentBytes
 	l.mu.Unlock()
@@ -385,8 +391,10 @@ func (l *Log) Rotate() (uint64, error) {
 		return 0, l.err
 	}
 	l.f = f
+	l.sizes[frozen] = l.segSize
 	l.segSize = 0
 	l.segs = append(l.segs, l.seq)
+	l.bumpTail()
 	syncDir(l.dir)
 	return frozen, nil
 }
@@ -400,6 +408,7 @@ func (l *Log) RemoveThrough(seq uint64) (int, error) {
 	for _, s := range l.segs {
 		if s <= seq && s != l.seq {
 			drop = append(drop, s)
+			delete(l.sizes, s)
 		} else {
 			keep = append(keep, s)
 		}

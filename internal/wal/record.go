@@ -28,6 +28,7 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 
@@ -171,6 +172,11 @@ func DecodeRecord(b []byte, pos string) (Record, int, error) {
 // is an internal sentinel: readers translate it into either a clean EOF
 // or a torn-tail position.
 var errShortFrame = fmt.Errorf("wal: short frame")
+
+// IsShortFrame reports whether err is DecodeRecord's incomplete-frame
+// signal: the buffer ends before the frame does. Streaming readers use
+// it to distinguish "wait for more bytes" from corruption.
+func IsShortFrame(err error) bool { return errors.Is(err, errShortFrame) }
 
 func decodePayload(p []byte, pos string) (Record, error) {
 	var r Record
