@@ -48,6 +48,8 @@ func main() {
 	views := flag.Bool("views", false, "stacked-view sweep: single-pass vs sequential, per-layer stats")
 	storeSweep := flag.Bool("store", false, "store throughput sweep: concurrent readers + 1 update writer over snapshots")
 	walSweep := flag.Bool("wal", false, "durability sweep: commit latency/throughput across WAL fsync policies vs the in-memory store")
+	ivmSweep := flag.Bool("ivm", false,
+		"view-maintenance sweep: maintained hot-view reads vs recomposition, commit overhead by registry size, /watch fan-out; with -json the report replaces the standard sweep")
 	claims := flag.Bool("claims", false, "check the §7.1 textual claims")
 	jsonOut := flag.String("json", "", "write a machine-readable sweep (ns/op, allocs/op) to the given path ('-' for stdout)")
 	jsonFactor := flag.Float64("jsonfactor", 0.01, "XMark factor for the -json and -cluster sweeps")
@@ -102,6 +104,9 @@ func main() {
 	section(*storeSweep, r.Store)
 	section(*walSweep, r.WAL)
 	section(*claims, r.Claims)
+	if *ivmSweep && *jsonOut == "" {
+		section(true, r.IVM)
+	}
 	if *jsonOut != "" && ctx.Err() == nil {
 		w := os.Stdout
 		if *jsonOut != "-" {
@@ -116,6 +121,9 @@ func main() {
 		sweep := r.BenchJSON
 		if *cluster {
 			sweep = r.ClusterJSON
+		}
+		if *ivmSweep {
+			sweep = r.IVMJSON
 		}
 		if err := sweep(w, *jsonFactor); err != nil {
 			fmt.Fprintln(os.Stderr, "xbench:", err)

@@ -265,3 +265,47 @@ func TestRouterShardsDocumentsAcrossPrimaries(t *testing.T) {
 		}
 	}
 }
+
+// A follower serves /watch off its replication tail: commits written
+// through the primary surface as SSE events on the follower in order,
+// and the same stream keeps running — gapless — after the follower is
+// promoted and commits start landing locally.
+func TestFollowerWatchStreamsReplicatedCommitsAcrossPromote(t *testing.T) {
+	_, pts := startDurableServer(t)
+	if code, _, body := do(t, "PUT", pts.URL+"/docs/parts", testDoc, nil); code != http.StatusCreated {
+		t.Fatalf("ingest: %d %s", code, body)
+	}
+	_, fts := startFollowerServer(t, pts.URL, 3*time.Second)
+
+	// Subscribe on the follower having seen version 1; the floor makes
+	// this safe even if replication has not applied version 1 yet.
+	ch, cancel := sseSubscribe(t, fts.URL+"/docs/parts/watch?from=1")
+	defer cancel()
+
+	for i := 0; i < 3; i++ {
+		upd := `transform copy $a := doc("parts") modify do insert <mark/> into $a/db return $a`
+		if code, _, body := do(t, "POST", pts.URL+"/docs/parts/update", upd, nil); code != http.StatusOK {
+			t.Fatalf("primary update %d: %d %s", i, code, body)
+		}
+	}
+	for want := uint64(2); want <= 4; want++ {
+		ev := nextEvent(t, ch)
+		if ev.Type != "change" || ev.Ver != want {
+			t.Fatalf("replicated event: want change@%d, got %+v", want, ev)
+		}
+	}
+
+	// Promote the follower; local commits continue the same feed.
+	if code, _, _ := do(t, "POST", fts.URL+"/admin/promote", "", nil); code != http.StatusOK {
+		t.Fatal("promote")
+	}
+	code, _, body := do(t, "POST", fts.URL+"/docs/parts/update",
+		`transform copy $a := doc("parts") modify do insert <after-failover/> into $a/db return $a`, nil)
+	if code != http.StatusOK || jsonField(t, body, "version") != 5 {
+		t.Fatalf("post-promotion update: %d %s", code, body)
+	}
+	ev := nextEvent(t, ch)
+	if ev.Type != "change" || ev.Ver != 5 {
+		t.Fatalf("post-promotion event: %+v", ev)
+	}
+}

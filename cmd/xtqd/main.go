@@ -60,6 +60,8 @@ func main() {
 	followDir := flag.String("follow-dir", "", "follower state directory (local checkpoints + replay position; empty = in-memory)")
 	catchup := flag.Duration("catchup-wait", 500*time.Millisecond,
 		"follower mode: how long a read waits for replication to reach X-Xtq-Min-Version before redirecting to the primary")
+	heartbeat := flag.Duration("watch-heartbeat", 15*time.Second,
+		"keep-alive comment interval of /watch SSE streams")
 	route := flag.String("route", "",
 		`router mode: static node map "primary[|follower...][,primary[|follower...]...]" — shards documents across groups by name hash and proxies`)
 	flag.Parse()
@@ -104,7 +106,7 @@ func main() {
 			os.Exit(1)
 		}
 		closers = append(closers, fol.Close)
-		handler = newFollowerServer(fol, *timeout, *maxBody, *catchup)
+		handler = buildServer(fol.Store(), fol, *timeout, *maxBody, *catchup, *heartbeat)
 		log.Printf("xtqd: following %s (%d docs replicated)", *follow, fol.Store().Len())
 
 	default:
@@ -135,7 +137,7 @@ func main() {
 		} else {
 			st = xtq.NewStore(eng)
 		}
-		handler = newServer(st, *timeout, *maxBody)
+		handler = buildServer(st, nil, *timeout, *maxBody, 0, *heartbeat)
 		log.Printf("xtqd: serving (method=%s, timeout=%s)", m, *timeout)
 	}
 

@@ -32,7 +32,10 @@ type router struct {
 	shards []shard
 	names  []string // shard keys for rendezvous hashing (the primary URLs)
 	hc     *http.Client
-	rr     atomic.Uint64
+	// sc proxies /watch change feeds: no client timeout (the streams
+	// are standing subscriptions bounded only by the client hanging up).
+	sc *http.Client
+	rr atomic.Uint64
 }
 
 // parseShards parses the -route node map: comma-separated shards, nodes
@@ -74,17 +77,16 @@ func newRouter(shards []shard) *router {
 	for i, sh := range shards {
 		names[i] = sh.primary
 	}
+	noRedirect := func(req *http.Request, via []*http.Request) error {
+		// The router forwards redirects it does not handle itself back
+		// to the client instead of chasing them.
+		return http.ErrUseLastResponse
+	}
 	return &router{
 		shards: shards,
 		names:  names,
-		hc: &http.Client{
-			// The router forwards redirects it does not handle itself back
-			// to the client instead of chasing them.
-			CheckRedirect: func(req *http.Request, via []*http.Request) error {
-				return http.ErrUseLastResponse
-			},
-			Timeout: 60 * time.Second,
-		},
+		hc:     &http.Client{CheckRedirect: noRedirect, Timeout: 60 * time.Second},
+		sc:     &http.Client{CheckRedirect: noRedirect},
 	}
 }
 
@@ -293,7 +295,11 @@ func (rt *router) forwardTo(w http.ResponseWriter, r *http.Request, url string, 
 		}
 		req.Header[k] = vs
 	}
-	resp, err := rt.hc.Do(req)
+	hc := rt.hc
+	if strings.HasSuffix(req.URL.Path, "/watch") && req.Method == http.MethodGet {
+		hc = rt.sc
+	}
+	resp, err := hc.Do(req)
 	if err != nil {
 		writeJSON(w, http.StatusBadGateway, map[string]any{"error": err.Error()})
 		return nil, err
@@ -301,12 +307,32 @@ func (rt *router) forwardTo(w http.ResponseWriter, r *http.Request, url string, 
 	return resp, nil
 }
 
-// relay streams a proxied response back to the client.
+// relay streams a proxied response back to the client. Event streams
+// are flushed write-by-write so SSE subscribers behind the router see
+// events as they happen, not when a buffer fills.
 func relay(w http.ResponseWriter, resp *http.Response) {
 	defer resp.Body.Close()
 	for k, vs := range resp.Header {
 		w.Header()[k] = vs
 	}
 	w.WriteHeader(resp.StatusCode)
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream") {
+		fl, _ := w.(http.Flusher)
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			if n > 0 {
+				if _, werr := w.Write(buf[:n]); werr != nil {
+					return
+				}
+				if fl != nil {
+					fl.Flush()
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}
 	io.Copy(w, resp.Body)
 }

@@ -29,6 +29,8 @@ type server struct {
 	// replication before redirecting themselves.
 	fol     *xtq.Follower
 	catchup time.Duration
+	// heartbeat is the SSE keep-alive interval of /watch streams.
+	heartbeat time.Duration
 	// engines serves the ?method= override of the query endpoint: one
 	// long-lived engine per evaluation method, each with its own query
 	// cache, built up front so request handling never constructs one.
@@ -39,18 +41,19 @@ type server struct {
 // st is durable its WAL feed is mounted under /wal for followers to
 // tail.
 func newServer(st *xtq.Store, timeout time.Duration, maxBody int64) http.Handler {
-	return buildServer(st, nil, timeout, maxBody, 0)
+	return buildServer(st, nil, timeout, maxBody, 0, 0)
 }
 
 // newFollowerServer serves a follower replica: lock-free reads with
 // read-your-writes waiting (bounded by catchup), writes redirected to
 // the primary, and POST /admin/promote for failover.
 func newFollowerServer(fol *xtq.Follower, timeout time.Duration, maxBody int64, catchup time.Duration) http.Handler {
-	return buildServer(fol.Store(), fol, timeout, maxBody, catchup)
+	return buildServer(fol.Store(), fol, timeout, maxBody, catchup, 0)
 }
 
-func buildServer(st *xtq.Store, fol *xtq.Follower, timeout time.Duration, maxBody int64, catchup time.Duration) http.Handler {
-	s := &server{st: st, timeout: timeout, maxBody: maxBody, fol: fol, catchup: catchup, engines: make(map[string]*xtq.Engine)}
+func buildServer(st *xtq.Store, fol *xtq.Follower, timeout time.Duration, maxBody int64, catchup, heartbeat time.Duration) http.Handler {
+	s := &server{st: st, timeout: timeout, maxBody: maxBody, fol: fol, catchup: catchup,
+		heartbeat: heartbeat, engines: make(map[string]*xtq.Engine)}
 	for _, m := range xtq.Methods() {
 		if m == st.Engine().Method() {
 			s.engines[string(m)] = st.Engine()
@@ -74,6 +77,7 @@ func buildServer(st *xtq.Store, fol *xtq.Follower, timeout time.Duration, maxBod
 	mux.HandleFunc("POST /docs/{name}/query", s.handleQuery)
 	mux.HandleFunc("POST /docs/{name}/update", s.handleUpdate)
 	mux.HandleFunc("GET /docs/{name}/views/{view}", s.handleDocView)
+	mux.HandleFunc("GET /docs/{name}/watch", s.handleWatch)
 	mux.HandleFunc("GET /views", s.handleListViews)
 	mux.HandleFunc("PUT /views/{view}", s.handlePutView)
 	mux.HandleFunc("DELETE /views/{view}", s.handleDeleteView)
@@ -572,7 +576,10 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleDocView serves a registered view stack over the current
-// snapshot: materialized by default, or — with ?q= — answering a user
+// snapshot: the maintained materialization by default (served from the
+// incremental-view cache when current — X-Xtq-View-Source says which
+// path ran, ?stats=1 adds the full per-layer maintenance statistics as
+// the X-Xtq-View-Stats JSON header), or — with ?q= — answering a user
 // query composed with the stack in a single pass (no layer
 // materialized).
 func (s *server) handleDocView(w http.ResponseWriter, r *http.Request) {
@@ -586,14 +593,14 @@ func (s *server) handleDocView(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	v, err := s.st.LookupView(r.PathValue("view"))
-	if err != nil {
-		writeError(w, err)
-		return
-	}
 
 	var res *xtq.Node
 	if q := r.URL.Query().Get("q"); q != "" {
+		v, err := s.st.LookupView(r.PathValue("view"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
 		pv, err := v.Prepare(q)
 		if err != nil {
 			writeError(w, err)
@@ -607,10 +614,16 @@ func (s *server) handleDocView(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Xtq-Nodes-Visited", strconv.Itoa(stats.NodesVisited))
 		res = out
 	} else {
-		out, err := v.Materialize(ctx, snap)
+		out, stats, err := s.st.ViewAt(ctx, snap, r.PathValue("view"))
 		if err != nil {
 			writeError(w, err)
 			return
+		}
+		w.Header().Set("X-Xtq-View-Source", stats.Source)
+		if r.URL.Query().Get("stats") == "1" {
+			if b, err := json.Marshal(stats); err == nil {
+				w.Header().Set("X-Xtq-View-Stats", string(b))
+			}
 		}
 		res = out
 	}

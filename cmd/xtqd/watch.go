@@ -1,0 +1,122 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"xtq"
+)
+
+// defaultHeartbeat is the SSE keep-alive interval when -watch-heartbeat
+// is not set.
+const defaultHeartbeat = 15 * time.Second
+
+// handleWatch streams a document's change feed. Default is
+// Server-Sent Events: one "change" event per committed version (JSON
+// body with version, etag and the views the commit may have affected),
+// "views" events when the view registry mutates, "resync" events when
+// the subscriber has a gap and must re-read current state, and comment
+// heartbeats every -watch-heartbeat so intermediaries keep the
+// connection alive. ?from=N resumes after version N, replaying missed
+// versions from the feed's history ring (or resyncing when the ring no
+// longer reaches back). ?poll=1 long-polls instead: the response is
+// one JSON batch of events, empty if nothing happened within the
+// request timeout.
+//
+// The document does not have to exist yet — its first ingest is then
+// the first event — so a watcher can be attached before the writer.
+// On a follower the feed is driven by the replication tail: the same
+// events, in the same per-document order, as on the primary.
+func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var sub *xtq.Subscription
+	if f := r.URL.Query().Get("from"); f != "" {
+		from, err := strconv.ParseUint(f, 10, 64)
+		if err != nil {
+			writeError(w, &xtq.Error{Kind: xtq.KindParse, Msg: fmt.Sprintf("xtqd: bad from version %q", f)})
+			return
+		}
+		sub = s.st.WatchFrom(name, from)
+	} else {
+		sub = s.st.Watch(name)
+	}
+	defer sub.Close()
+
+	if r.URL.Query().Get("poll") == "1" {
+		s.servePoll(w, r, sub)
+		return
+	}
+	s.serveSSE(w, r, sub)
+}
+
+// servePoll answers one long-poll: the first pending batch of events,
+// or an empty batch when the request timeout elapses first.
+func (s *server) servePoll(w http.ResponseWriter, r *http.Request, sub *xtq.Subscription) {
+	ctx, cancel := s.ctx(r)
+	defer cancel()
+	evs, err := sub.Next(ctx)
+	if err != nil {
+		evs = []xtq.Event{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"events": evs})
+}
+
+// serveSSE streams events until the client disconnects. The stream is
+// not bounded by the per-request timeout — it is a standing
+// subscription; only the client going away (or server shutdown
+// draining connections) ends it.
+func (s *server) serveSSE(w http.ResponseWriter, r *http.Request, sub *xtq.Subscription) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, &xtq.Error{Kind: xtq.KindIO, Msg: "xtqd: response writer cannot stream"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	heartbeat := s.heartbeat
+	if heartbeat <= 0 {
+		heartbeat = defaultHeartbeat
+	}
+	for {
+		ctx, cancel := context.WithTimeout(r.Context(), heartbeat)
+		evs, err := sub.Next(ctx)
+		cancel()
+		if err != nil {
+			if r.Context().Err() != nil {
+				return // client gone
+			}
+			// Idle interval: emit a comment so proxies and clients know
+			// the stream is alive.
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+			continue
+		}
+		for _, ev := range evs {
+			typ := "change"
+			switch {
+			case ev.Resync:
+				typ = "resync"
+			case ev.ViewsChanged:
+				typ = "views"
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", typ, ev.Version, data); err != nil {
+				return
+			}
+		}
+		fl.Flush()
+	}
+}

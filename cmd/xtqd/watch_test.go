@@ -1,0 +1,290 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	Type string
+	Doc  string   `json:"doc"`
+	Ver  uint64   `json:"version"`
+	ETag string   `json:"etag"`
+	Aff  []string `json:"affectedViews"`
+	Del  bool     `json:"deleted"`
+	VC   bool     `json:"viewsChanged"`
+	RS   bool     `json:"resync"`
+}
+
+// sseSubscribe opens an SSE watch stream and delivers parsed events on
+// the returned channel until cancel is called or the stream ends.
+func sseSubscribe(t *testing.T, url string) (<-chan sseEvent, context.CancelFunc) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	if res.StatusCode != http.StatusOK || !strings.HasPrefix(res.Header.Get("Content-Type"), "text/event-stream") {
+		res.Body.Close()
+		cancel()
+		t.Fatalf("watch: %d %s", res.StatusCode, res.Header.Get("Content-Type"))
+	}
+	ch := make(chan sseEvent, 64)
+	go func() {
+		defer res.Body.Close()
+		defer close(ch)
+		sc := bufio.NewScanner(res.Body)
+		var cur sseEvent
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				cur = sseEvent{Type: strings.TrimPrefix(line, "event: ")}
+			case strings.HasPrefix(line, "data: "):
+				json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &cur)
+			case line == "" && cur.Type != "":
+				ch <- cur
+				cur = sseEvent{}
+			}
+		}
+	}()
+	return ch, cancel
+}
+
+// nextEvent waits for one event with a bound.
+func nextEvent(t *testing.T, ch <-chan sseEvent) sseEvent {
+	t.Helper()
+	select {
+	case ev, ok := <-ch:
+		if !ok {
+			t.Fatal("event stream closed")
+		}
+		return ev
+	case <-time.After(10 * time.Second):
+		t.Fatal("no event within 10s")
+	}
+	panic("unreachable")
+}
+
+func TestWatchSSEStreamsCommits(t *testing.T) {
+	ts := newTestServer(t)
+	do(t, "PUT", ts.URL+"/views/nosup",
+		`["transform copy $a := doc(\"d\") modify do delete $a//supplier return $a"]`, nil)
+
+	ch, cancel := sseSubscribe(t, ts.URL+"/docs/parts/watch")
+	defer cancel()
+
+	if code, _, body := do(t, "PUT", ts.URL+"/docs/parts", testDoc, nil); code != http.StatusCreated {
+		t.Fatalf("ingest: %d %s", code, body)
+	}
+	ev := nextEvent(t, ch)
+	if ev.Type != "change" || ev.Ver != 1 || ev.ETag != `"1"` {
+		t.Fatalf("put event: %+v", ev)
+	}
+	if len(ev.Aff) != 1 || ev.Aff[0] != "nosup" {
+		t.Fatalf("put affectedViews: %+v", ev)
+	}
+
+	// An update inside the view-deleted region: provably unaffected.
+	upd := `transform copy $a := doc("parts") modify do delete $a/db/part/supplier/price return $a`
+	if code, _, body := do(t, "POST", ts.URL+"/docs/parts/update", upd, nil); code != http.StatusOK {
+		t.Fatalf("update: %d %s", code, body)
+	}
+	ev = nextEvent(t, ch)
+	if ev.Type != "change" || ev.Ver != 2 || len(ev.Aff) != 0 {
+		t.Fatalf("unaffected update event: %+v", ev)
+	}
+
+	// Deleting the document is a change event too.
+	if code, _, _ := do(t, "DELETE", ts.URL+"/docs/parts", "", nil); code != http.StatusNoContent {
+		t.Fatal("delete")
+	}
+	ev = nextEvent(t, ch)
+	if ev.Type != "change" || ev.Ver != 3 || !ev.Del {
+		t.Fatalf("delete event: %+v", ev)
+	}
+}
+
+func TestWatchViewRegistryMutationEmitsEvent(t *testing.T) {
+	ts := newTestServer(t)
+	do(t, "PUT", ts.URL+"/docs/parts", testDoc, nil)
+
+	ch, cancel := sseSubscribe(t, ts.URL+"/docs/parts/watch")
+	defer cancel()
+
+	if code, _, body := do(t, "PUT", ts.URL+"/views/pub",
+		`["transform copy $a := doc(\"d\") modify do delete $a//price return $a"]`, nil); code != http.StatusCreated {
+		t.Fatalf("register view: %d %s", code, body)
+	}
+	ev := nextEvent(t, ch)
+	if ev.Type != "views" || !ev.VC || ev.Ver != 1 {
+		t.Fatalf("views event: %+v", ev)
+	}
+	if code, _, _ := do(t, "DELETE", ts.URL+"/views/pub", "", nil); code != http.StatusNoContent {
+		t.Fatal("remove view")
+	}
+	ev = nextEvent(t, ch)
+	if ev.Type != "views" || !ev.VC {
+		t.Fatalf("views removal event: %+v", ev)
+	}
+}
+
+func TestWatchFromReplaysAndLongPoll(t *testing.T) {
+	ts := newTestServer(t)
+	do(t, "PUT", ts.URL+"/docs/parts", testDoc, nil)
+	for i := 0; i < 3; i++ {
+		upd := `transform copy $a := doc("parts") modify do insert <mark/> into $a/db return $a`
+		if code, _, body := do(t, "POST", ts.URL+"/docs/parts/update", upd, nil); code != http.StatusOK {
+			t.Fatalf("update %d: %d %s", i, code, body)
+		}
+	}
+
+	// ?from=1 replays versions 2..4 before live delivery.
+	ch, cancel := sseSubscribe(t, ts.URL+"/docs/parts/watch?from=1")
+	defer cancel()
+	for want := uint64(2); want <= 4; want++ {
+		ev := nextEvent(t, ch)
+		if ev.Type != "change" || ev.Ver != want {
+			t.Fatalf("replay: want version %d, got %+v", want, ev)
+		}
+	}
+
+	// Long-poll with a satisfied from returns the same batch as JSON.
+	code, _, body := do(t, "GET", ts.URL+"/docs/parts/watch?from=2&poll=1", "", nil)
+	if code != http.StatusOK {
+		t.Fatalf("poll: %d %s", code, body)
+	}
+	var out struct {
+		Events []sseEvent `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("poll JSON: %v", err)
+	}
+	if len(out.Events) != 2 || out.Events[0].Ver != 3 || out.Events[1].Ver != 4 {
+		t.Fatalf("poll events: %s", body)
+	}
+
+	// A from far below the ring floor forces a resync event.
+	big := newTestServer(t)
+	do(t, "PUT", big.URL+"/docs/d", testDoc, nil)
+	for i := 0; i < 70; i++ { // overflow the 64-entry ring
+		upd := `transform copy $a := doc("d") modify do insert <mark/> into $a/db return $a`
+		do(t, "POST", big.URL+"/docs/d/update", upd, nil)
+	}
+	code, _, body = do(t, "GET", big.URL+"/docs/d/watch?from=1&poll=1", "", nil)
+	if code != http.StatusOK {
+		t.Fatalf("resync poll: %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil || len(out.Events) == 0 {
+		t.Fatalf("resync poll body: %s", body)
+	}
+	if !out.Events[0].RS || out.Events[0].Ver != 71 {
+		t.Fatalf("resync event: %s", body)
+	}
+}
+
+func TestViewStatsHeader(t *testing.T) {
+	ts := newTestServer(t)
+	do(t, "PUT", ts.URL+"/docs/parts", testDoc, nil)
+	do(t, "PUT", ts.URL+"/views/nosup",
+		`["transform copy $a := doc(\"d\") modify do delete $a//supplier return $a"]`, nil)
+
+	code, hdr, body := do(t, "GET", ts.URL+"/docs/parts/views/nosup?stats=1", "", nil)
+	if code != http.StatusOK {
+		t.Fatalf("view read: %d %s", code, body)
+	}
+	if src := hdr.Get("X-Xtq-View-Source"); src != "recompute" {
+		t.Fatalf("first read source = %q", src)
+	}
+	var stats struct {
+		Doc      string `json:"doc"`
+		View     string `json:"view"`
+		Version  uint64 `json:"version"`
+		Source   string `json:"source"`
+		CacheHit bool   `json:"cacheHit"`
+		Full     int    `json:"fullCommits"`
+	}
+	if err := json.Unmarshal([]byte(hdr.Get("X-Xtq-View-Stats")), &stats); err != nil {
+		t.Fatalf("stats header %q: %v", hdr.Get("X-Xtq-View-Stats"), err)
+	}
+	if stats.Doc != "parts" || stats.View != "nosup" || stats.Version != 1 || stats.Full != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if strings.Contains(body, "supplier") {
+		t.Fatal("view leaked suppliers")
+	}
+
+	code, hdr, _ = do(t, "GET", ts.URL+"/docs/parts/views/nosup?stats=1", "", nil)
+	if code != http.StatusOK || hdr.Get("X-Xtq-View-Source") != "cache" {
+		t.Fatalf("second read: %d source=%q", code, hdr.Get("X-Xtq-View-Source"))
+	}
+}
+
+// Torture: a writer streams commits while subscribers are killed and
+// resumed with ?from catch-up; each subscriber chain must observe every
+// version exactly once, with no gaps and no duplicates.
+func TestWatchTortureReconnects(t *testing.T) {
+	ts := newTestServer(t)
+	do(t, "PUT", ts.URL+"/docs/parts", testDoc, nil)
+
+	const commits = 60
+	var writerErr atomic.Value
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for i := 0; i < commits; i++ {
+			upd := `transform copy $a := doc("parts") modify do insert <mark/> into $a/db return $a`
+			if code, _, body := do(t, "POST", ts.URL+"/docs/parts/update", upd, nil); code != http.StatusOK {
+				writerErr.Store(fmt.Sprintf("commit %d: %d %s", i, code, body))
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	last := uint64(1) // the ingest
+	seen := map[uint64]int{}
+	for last < commits+1 {
+		ch, cancel := sseSubscribe(t, fmt.Sprintf("%s/docs/parts/watch?from=%d", ts.URL, last))
+		// Consume a few events, then kill the connection and resume.
+		for i := 0; i < 7 && last < commits+1; i++ {
+			ev := nextEvent(t, ch)
+			if ev.Type == "resync" {
+				t.Fatalf("unexpected resync at %d: %+v", last, ev)
+			}
+			if ev.Type != "change" {
+				continue
+			}
+			if ev.Ver != last+1 {
+				t.Fatalf("gap or duplicate: got %d after %d", ev.Ver, last)
+			}
+			seen[ev.Ver]++
+			last = ev.Ver
+		}
+		cancel()
+	}
+	<-writerDone
+	if msg := writerErr.Load(); msg != nil {
+		t.Fatal(msg)
+	}
+	for v := uint64(2); v <= commits+1; v++ {
+		if seen[v] != 1 {
+			t.Fatalf("version %d observed %d times", v, seen[v])
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"xtq/internal/core"
+	"xtq/internal/ivm"
 	"xtq/internal/sax"
 	"xtq/internal/store"
 )
@@ -19,6 +20,13 @@ const DefaultQueryCacheSize = 128
 // user query), so the steady state of a service answering a fixed set of
 // user queries over a fixed set of views never rebuilds a plan.
 const DefaultViewCacheSize = 64
+
+// DefaultVerdictCacheSize is the impact-verdict cache capacity of an
+// Engine built without WithVerdictCacheSize. Verdicts are keyed by the
+// canonical renderings of (view stack, update query), so a workload
+// with a fixed update vocabulary decides each (view, update) pair's
+// impact exactly once.
+const DefaultVerdictCacheSize = 512
 
 // Engine is the long-lived entry point of the package, in the mould of
 // database/sql.DB: construct one per process (or per configuration),
@@ -39,10 +47,12 @@ type Engine struct {
 	method   Method
 	maxDepth int
 
-	queryCap int
-	viewCap  int
-	queries  *lruCache // *core.Compiled values
-	plans    *lruCache // *compose.Plan values
+	queryCap   int
+	viewCap    int
+	verdictCap int
+	queries    *lruCache // *core.Compiled values
+	plans      *lruCache // *compose.Plan values
+	verdicts   *lruCache // ivm.Verdict values
 }
 
 // lruCache is a mutex-guarded LRU keyed by strings. The zero capacity
@@ -137,6 +147,18 @@ func WithViewCacheSize(n int) Option {
 	}
 }
 
+// WithVerdictCacheSize sets the capacity of the impact-verdict cache
+// maintained materialized views consult on every commit; zero disables
+// caching (every commit re-analyzes), negative values leave the default
+// in place.
+func WithVerdictCacheSize(n int) Option {
+	return func(e *Engine) {
+		if n >= 0 {
+			e.verdictCap = n
+		}
+	}
+}
+
 // WithMaxDepth bounds element nesting when the engine parses input
 // documents (Prepared.Eval over file/bytes/reader sources); zero, the
 // default, means no limit. Streaming evaluation is not affected: its
@@ -146,15 +168,17 @@ func WithMaxDepth(d int) Option { return func(e *Engine) { e.maxDepth = d } }
 // NewEngine builds an Engine from functional options.
 func NewEngine(opts ...Option) *Engine {
 	e := &Engine{
-		method:   MethodTopDown,
-		queryCap: DefaultQueryCacheSize,
-		viewCap:  DefaultViewCacheSize,
+		method:     MethodTopDown,
+		queryCap:   DefaultQueryCacheSize,
+		viewCap:    DefaultViewCacheSize,
+		verdictCap: DefaultVerdictCacheSize,
 	}
 	for _, o := range opts {
 		o(e)
 	}
 	e.queries = newLRUCache(e.queryCap)
 	e.plans = newLRUCache(e.viewCap)
+	e.verdicts = newLRUCache(e.verdictCap)
 	return e
 }
 
@@ -236,6 +260,26 @@ func (e *Engine) CacheStats() (hits, misses uint64, size int) {
 func (e *Engine) ViewCacheStats() (hits, misses uint64, size int) {
 	return e.plans.stats()
 }
+
+// VerdictCacheStats reports impact-verdict cache effectiveness: hits
+// and misses since the engine was built, and the current number of
+// cached (view stack, update) verdicts.
+func (e *Engine) VerdictCacheStats() (hits, misses uint64, size int) {
+	return e.verdicts.stats()
+}
+
+// verdictCache adapts the engine's LRU to the maintenance layer's
+// cache interface.
+type verdictCache struct{ c *lruCache }
+
+func (v verdictCache) Get(key string) (ivm.Verdict, bool) {
+	if x, ok := v.c.get(key); ok {
+		return x.(ivm.Verdict), true
+	}
+	return ivm.VerdictUnknown, false
+}
+
+func (v verdictCache) Add(key string, val ivm.Verdict) { v.c.add(key, val) }
 
 // parse reads one document from src applying the engine's parse options.
 // Cancelling ctx aborts the parse at SAX-event granularity, so a large

@@ -160,10 +160,12 @@ func Follow(primaryURL string, eng *Engine, options ...FollowOption) (*Follower,
 	if err != nil {
 		return nil, classify(err, KindIO)
 	}
-	return &Follower{
-		f:  f,
-		st: &Store{eng: eng, st: f.Store(), views: make(map[string]*View)},
-	}, nil
+	st := &Store{eng: eng, st: f.Store(), views: make(map[string]*View)}
+	// Followers serve /watch and materialized views off the replication
+	// tail: the single applier goroutine drives the same commit hook a
+	// primary's writers do, so events arrive in replayed-version order.
+	st.wireIVM()
+	return &Follower{f: f, st: st}, nil
 }
 
 // Store returns the replica's document store. It serves Snapshot /

@@ -1,0 +1,372 @@
+package compose
+
+import (
+	"context"
+
+	"xtq/internal/automaton"
+	"xtq/internal/core"
+	"xtq/internal/tree"
+	"xtq/internal/xerr"
+)
+
+// Stack is the incremental-maintenance evaluator of a transform stack:
+// a fused top-down pass that applies every layer during one traversal
+// of the source document and memoizes, per visited element, the state
+// of all layer automata together with the node's image in the final
+// view. The memo is what makes delta maintenance possible: after a
+// commit, subtrees the update provably did not touch can reuse their
+// memoized images without being traversed again (EvalDelta).
+//
+// Stacks are restricted to qualifier-free layers. Qualifiers make a
+// node's fate depend on content outside its root path, which breaks
+// the "same subtree + same automaton states ⇒ same image" rule the
+// memo relies on; NewStack rejects them and callers fall back to full
+// recomposition (Plan.Materialize).
+//
+// A Stack is immutable and safe for concurrent use; all evaluation
+// state lives in per-call values.
+type Stack struct {
+	layers []*core.Compiled
+	// empty holds one canonical empty state set per layer: the vector
+	// entries for layers that can no longer match (and for layers
+	// already applied when descending into a constant element).
+	empty []automaton.StateSet
+}
+
+// NewStack builds the fused evaluator for a transform stack. It fails
+// with a Compile error when the stack is empty or any layer's
+// selection path carries qualifiers.
+func NewStack(layers []*core.Compiled) (*Stack, error) {
+	if len(layers) == 0 {
+		return nil, xerr.New(xerr.Compile, "", "compose: view stack is empty")
+	}
+	s := &Stack{
+		layers: append([]*core.Compiled(nil), layers...),
+		empty:  make([]automaton.StateSet, len(layers)),
+	}
+	for i, l := range layers {
+		if l == nil {
+			return nil, xerr.New(xerr.Compile, "", "compose: nil transform at layer %d", i)
+		}
+		if l.NFA.HasQualifiers() {
+			return nil, xerr.New(xerr.Compile, "",
+				"compose: layer %d has qualifiers; delta maintenance needs qualifier-free paths", i)
+		}
+		s.empty[i] = l.NFA.NewSet()
+	}
+	return s, nil
+}
+
+// NumLayers returns the number of transform layers.
+func (s *Stack) NumLayers() int { return len(s.layers) }
+
+// Layer returns the compiled transform of layer i. Treat it as
+// read-only.
+func (s *Stack) Layer(i int) *core.Compiled { return s.layers[i] }
+
+// Memo is the per-evaluation memo of a Stack run: for every element
+// the traversal visited, the per-layer automaton state vector in force
+// when the element was entered and the element's image in the view
+// (nil when some layer deleted it). Entries are keyed by the source
+// document's node pointers, so a Memo is only meaningful against the
+// exact tree it was computed over — the store's snapshot-adoption
+// bridge (see store.CommitEvent.Bridge) is what carries keys from one
+// version to the next.
+type Memo struct {
+	m map[*tree.Node]*memoEntry
+}
+
+type memoEntry struct {
+	states []automaton.StateSet // per-layer sets entered at the node
+	image  *tree.Node           // image in the final view; nil = deleted
+}
+
+// Len reports the number of memoized elements.
+func (m *Memo) Len() int {
+	if m == nil {
+		return 0
+	}
+	return len(m.m)
+}
+
+// stackRun is the per-evaluation state of a Stack traversal.
+type stackRun struct {
+	s    *Stack
+	can  *core.Canceler
+	memo *Memo // being built
+	old  *Memo // previous version's memo (delta runs only)
+	// bad is set when the delta walk finds newDoc and bridge out of
+	// shape — a defensive bail-out; the caller falls back to a full
+	// recomposition.
+	bad   bool
+	stats ViewStats
+	// reused counts memo hits (subtrees spliced without traversal).
+	reused int
+}
+
+// Eval evaluates the stack over doc — a document node — and returns
+// the final view, the memo of the run and its statistics. The result
+// is byte-identical to Plan.Materialize over the same stack; unchanged
+// subtrees are shared with doc by pointer, and constant elements of
+// the layers may be aliased rather than copied, so the result must be
+// treated as strictly immutable (serve it, never index or mutate it).
+func (s *Stack) Eval(ctx context.Context, doc *tree.Node) (*tree.Node, *Memo, ViewStats, error) {
+	return s.run(ctx, doc, nil, nil)
+}
+
+// EvalDelta re-evaluates the stack over newDoc after a commit,
+// reusing oldMemo — the memo of the previous version's evaluation —
+// wherever the commit provably left a subtree untouched. bridge is the
+// update evaluator's output before snapshot adoption: it has exactly
+// newDoc's shape, but its unchanged subtrees are the previous
+// snapshot's node pointers, which is what connects newDoc's nodes to
+// oldMemo's keys. ok is false when the walk could not align the trees
+// (the caller should fall back to Eval); the other results are then
+// meaningless.
+func (s *Stack) EvalDelta(ctx context.Context, newDoc, bridge *tree.Node, oldMemo *Memo) (*tree.Node, *Memo, ViewStats, bool, error) {
+	if bridge == nil || oldMemo == nil {
+		return nil, nil, ViewStats{}, false, nil
+	}
+	view, memo, stats, err := s.run(ctx, newDoc, bridge, oldMemo)
+	if err != nil {
+		return nil, nil, stats, false, err
+	}
+	if view == nil { // bad shape
+		return nil, nil, stats, false, nil
+	}
+	return view, memo, stats, true, nil
+}
+
+func (s *Stack) run(ctx context.Context, doc, bridge *tree.Node, oldMemo *Memo) (*tree.Node, *Memo, ViewStats, error) {
+	if ctx != nil && ctx.Err() != nil {
+		return nil, nil, ViewStats{}, xerr.Wrap(xerr.Eval, ctx.Err())
+	}
+	r := &stackRun{
+		s:    s,
+		can:  core.NewCanceler(ctx),
+		memo: &Memo{m: make(map[*tree.Node]*memoEntry)},
+		old:  oldMemo,
+	}
+	r.stats.Layers = make([]Stats, len(s.layers))
+	init := make([]automaton.StateSet, len(s.layers))
+	for i, l := range s.layers {
+		init[i] = l.NFA.InitialSet()
+	}
+	if bridge != nil && (bridge.Kind != doc.Kind || len(bridge.Children) != len(doc.Children)) {
+		return nil, nil, r.stats, nil
+	}
+	result := tree.NewDocument(nil)
+	changed := false
+	for i, ch := range doc.Children {
+		if ch.Kind != tree.Element {
+			result.Children = append(result.Children, ch)
+			continue
+		}
+		var bch *tree.Node
+		if bridge != nil {
+			bch = bridge.Children[i]
+		}
+		out := r.eval(ch, bch, init, true)
+		if r.bad {
+			return nil, nil, r.stats, nil
+		}
+		if out == nil {
+			changed = true
+			continue
+		}
+		if out != ch {
+			changed = true
+		}
+		result.Children = append(result.Children, out)
+	}
+	if err := r.can.Err(); err != nil {
+		return nil, nil, r.stats, err
+	}
+	if !changed {
+		result = doc // identity: share the document node like topDown
+	}
+	r.stats.ReusedSubtrees = r.reused
+	return result, r.memo, r.stats, nil
+}
+
+// eval applies layers to element n, whose label has not been consumed
+// yet; states is the per-layer state vector in force at n (the sets
+// entered at n's parent). b is n's counterpart in the bridge tree (nil
+// outside delta runs and inside constants), memoize records the node
+// in the run's memo (false inside constant elements, whose nodes are
+// shared across evaluations and never looked up again). It returns
+// n's image in the final view, nil when a layer deletes it.
+func (r *stackRun) eval(n, b *tree.Node, states []automaton.StateSet, memoize bool) *tree.Node {
+	if r.bad || r.can.Stopped() {
+		return n
+	}
+	dead := true
+	for _, s := range states {
+		if !s.Empty() {
+			dead = false
+			break
+		}
+	}
+	if dead {
+		// No layer can match at or below n: the subtree passes through
+		// the whole stack unchanged.
+		if memoize {
+			r.memo.m[n] = &memoEntry{states: states, image: n}
+		}
+		return n
+	}
+	if b != nil {
+		if e := r.old.m[b]; e != nil && statesEqual(e.states, states) {
+			// b is in the old memo, so it is a node of the previous
+			// snapshot that the update returned unchanged — n's subtree
+			// is byte-identical to the one e.image was computed over,
+			// and the automata arrive in the same states: splice the
+			// old image without descending.
+			r.reused++
+			if memoize {
+				r.memo.m[n] = &memoEntry{states: states, image: e.image}
+			}
+			return e.image
+		}
+	}
+	r.stats.NodesVisited++
+
+	layers := r.s.layers
+	entered := make([]automaton.StateSet, len(layers))
+	label := n.Label
+	renamed := false
+	var pending []int // layers that matched n with Insert, in order
+	for i, l := range layers {
+		in := states[i]
+		if in.Empty() {
+			entered[i] = in
+			continue
+		}
+		r.stats.Layers[i].NodesVisited++
+		out := l.NFA.Step(in, label, nil)
+		entered[i] = out
+		if !l.NFA.Matches(out) {
+			continue
+		}
+		u := &l.Query.Update
+		switch u.Op {
+		case core.Delete:
+			if memoize {
+				r.memo.m[n] = &memoEntry{states: states, image: nil}
+			}
+			return nil
+		case core.Replace:
+			// The constant takes n's place, so the remaining layers
+			// step into it from their pre-n states.
+			img := r.evalConst(u.Elem, i, states)
+			if memoize {
+				r.memo.m[n] = &memoEntry{states: states, image: img}
+			}
+			return img
+		case core.Rename:
+			label = u.Label
+			renamed = true
+		case core.Insert:
+			pending = append(pending, i)
+		}
+	}
+
+	var newChildren []*tree.Node
+	changed := false
+	for i, ch := range n.Children {
+		if ch.Kind != tree.Element {
+			if changed {
+				newChildren = append(newChildren, ch)
+			}
+			continue
+		}
+		var bch *tree.Node
+		if b != nil {
+			if i >= len(b.Children) || b.Children[i].Kind != tree.Element {
+				r.bad = true
+				return n
+			}
+			bch = b.Children[i]
+		}
+		out := r.eval(ch, bch, entered, memoize)
+		if r.bad {
+			return n
+		}
+		if !changed && out != ch {
+			changed = true
+			newChildren = make([]*tree.Node, 0, len(n.Children)+len(pending))
+			newChildren = append(newChildren, n.Children[:i]...)
+		}
+		if changed && out != nil {
+			newChildren = append(newChildren, out)
+		}
+	}
+	for _, i := range pending {
+		// The inserted constant is a child of n in layer i's output,
+		// entered by the later layers from their post-n states.
+		img := r.evalConst(layers[i].Query.Update.Elem, i, entered)
+		if img == nil {
+			continue // a later layer deleted the inserted element
+		}
+		if !changed {
+			changed = true
+			newChildren = make([]*tree.Node, 0, len(n.Children)+len(pending))
+			newChildren = append(newChildren, n.Children...)
+		}
+		newChildren = append(newChildren, img)
+	}
+
+	if !changed && !renamed {
+		if memoize {
+			r.memo.m[n] = &memoEntry{states: states, image: n}
+		}
+		return n
+	}
+	if !changed {
+		// Relabel only: private child slice, as in topDown.
+		newChildren = append([]*tree.Node(nil), n.Children...)
+	}
+	out := &tree.Node{Kind: tree.Element, Sym: n.Sym, Label: label, Attrs: n.Attrs, Children: newChildren}
+	if renamed {
+		out.Sym = tree.NoSym
+	}
+	r.stats.Materialized++
+	if memoize {
+		r.memo.m[n] = &memoEntry{states: states, image: out}
+	}
+	return out
+}
+
+// evalConst evaluates the constant element of layer owner through the
+// layers after it: the vector restricts states to layers > owner
+// (earlier layers never see their own or earlier constants). Constant
+// subtrees that no later layer can touch are aliased, not copied —
+// view results are immutable and only ever serialized, so sharing the
+// compiled query's constant is safe.
+func (r *stackRun) evalConst(c *tree.Node, owner int, states []automaton.StateSet) *tree.Node {
+	restricted := make([]automaton.StateSet, len(states))
+	for j := range states {
+		if j <= owner {
+			restricted[j] = r.s.empty[j]
+		} else {
+			restricted[j] = states[j]
+		}
+	}
+	img := r.eval(c, nil, restricted, false)
+	if img != nil {
+		r.stats.Layers[owner].Materialized += img.Size()
+	}
+	return img
+}
+
+func statesEqual(a, b []automaton.StateSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}

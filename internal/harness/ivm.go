@@ -1,0 +1,353 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xtq/internal/compose"
+	"xtq/internal/core"
+	"xtq/internal/ivm"
+	"xtq/internal/store"
+	"xtq/internal/tree"
+	"xtq/internal/xpath"
+)
+
+// ivmFanoutSubscribers is how many concurrent watch subscribers the
+// fan-out measurement drains events through.
+const ivmFanoutSubscribers = 64
+
+// ivmFanoutEvents is how many versions the fan-out measurement
+// publishes; it stays below the subscriber buffer so no event collapses
+// into a resync and every delivery is counted.
+const ivmFanoutEvents = 5000
+
+// ivmCommitViews are the registry sizes of the commit-overhead cells:
+// the acceptance criterion compares the largest against the no-views
+// baseline.
+var ivmCommitViews = []int{0, 4, 16}
+
+// mapVerdicts is the sweep's verdict cache (the facade uses the engine
+// LRU; the harness only needs the steady-state hit behavior).
+type mapVerdicts struct {
+	mu sync.Mutex
+	m  map[string]ivm.Verdict
+}
+
+func newMapVerdicts() *mapVerdicts { return &mapVerdicts{m: make(map[string]ivm.Verdict)} }
+
+func (c *mapVerdicts) Get(key string) (ivm.Verdict, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[key]
+	return v, ok
+}
+
+func (c *mapVerdicts) Add(key string, v ivm.Verdict) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = v
+}
+
+func compileIVMUpdate(u core.Update) *core.Compiled {
+	c, err := (&core.Query{Var: "a", Doc: "d", Update: u}).Compile()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func ivmDelete(p string) *core.Compiled {
+	return compileIVMUpdate(core.Update{Op: core.Delete, Path: xpath.MustParse(p)})
+}
+
+func ivmRename(p, label string) *core.Compiled {
+	return compileIVMUpdate(core.Update{Op: core.Rename, Path: xpath.MustParse(p), Label: label})
+}
+
+// ivmHotLayers is the maintained view the read cells serve: two stacked
+// deletes that the alternating //item rename writer is NOT absorbed by,
+// so every commit delta-maintains the materialization.
+func ivmHotLayers() []*core.Compiled {
+	return []*core.Compiled{ivmDelete(`//annotation`), ivmDelete(`//increase`)}
+}
+
+// ivmAbsorbedLayers is a view whose first layer deletes the whole
+// region the writer renames under: impact analysis proves every commit
+// unaffected and maintenance is a version bump.
+func ivmAbsorbedLayers() []*core.Compiled {
+	return []*core.Compiled{ivmDelete(`/site/regions`), ivmRename(`/site/people`, "crowd")}
+}
+
+// newIVMStore builds a store with a wired maintenance manager over doc.
+func newIVMStore(doc *tree.Node) (*store.Store, *ivm.Manager) {
+	st := store.New()
+	mgr := ivm.NewManager(core.MethodTopDown, newMapVerdicts())
+	st.SetCommitHook(func(ev store.CommitEvent) { mgr.OnCommit(ev) })
+	if _, _, err := st.Put("d", doc.DeepCopy(), true); err != nil {
+		panic(err)
+	}
+	return st, mgr
+}
+
+// ivmWriter starts the alternating-rename commit loop and returns its
+// stop function.
+func (r *Runner) ivmWriter(st *store.Store) func() {
+	writeA, writeB, err := StoreWriteQueries()
+	r.check(err)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c := writeA
+			if i%2 == 1 {
+				c = writeB
+			}
+			_, _, err := st.Apply(r.opts.Context, "d", c, core.MethodTopDown)
+			r.check(err)
+			if err != nil {
+				return
+			}
+		}
+	}()
+	return func() { close(stop); wg.Wait() }
+}
+
+// ivmReadCells measures serving the hot view from the maintained cache
+// versus recomposing it from scratch, both while the writer commits.
+func (r *Runner) ivmReadCells(doc *tree.Node) (cached, recompute testing.BenchmarkResult) {
+	ctx := r.opts.Context
+	st, mgr := newIVMStore(doc)
+	mgr.SetView("hot", ivmHotLayers(), true)
+	snap, err := st.Snapshot("d")
+	r.check(err)
+	if _, _, err := mgr.Get(ctx, snap, "hot"); err != nil {
+		panic(err)
+	}
+	stack, err := compose.NewStack(ivmHotLayers())
+	r.check(err)
+
+	stopWriter := r.ivmWriter(st)
+	defer stopWriter()
+	cached = testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			snap, err := st.Snapshot("d")
+			r.check(err)
+			if _, _, err := mgr.Get(ctx, snap, "hot"); err != nil {
+				r.check(err)
+				return
+			}
+		}
+	})
+	recompute = testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			snap, err := st.Snapshot("d")
+			r.check(err)
+			if _, _, _, err := stack.Eval(ctx, snap.Root()); err != nil {
+				r.check(err)
+				return
+			}
+		}
+	})
+	return cached, recompute
+}
+
+// ivmCommitCell measures commit latency with n registered views, the
+// majority provably unaffected by the writer (eager, maintained as a
+// version bump) and the rest affected but lazy.
+func (r *Runner) ivmCommitCell(doc *tree.Node, n int) testing.BenchmarkResult {
+	ctx := r.opts.Context
+	st, mgr := newIVMStore(doc)
+	affected := n / 8
+	for i := 0; i < n-affected; i++ {
+		mgr.SetView(fmt.Sprintf("absorbed%d", i), ivmAbsorbedLayers(), true)
+	}
+	for i := 0; i < affected; i++ {
+		mgr.SetView(fmt.Sprintf("touched%d", i), []*core.Compiled{ivmDelete(`//annotation`)}, false)
+	}
+	// Prime the eager materializations so unaffected commits exercise
+	// the bump path rather than skipping absent entries.
+	snap, err := st.Snapshot("d")
+	r.check(err)
+	for i := 0; i < n-affected; i++ {
+		if _, _, err := mgr.Get(ctx, snap, fmt.Sprintf("absorbed%d", i)); err != nil {
+			panic(err)
+		}
+	}
+	writeA, writeB, err := StoreWriteQueries()
+	r.check(err)
+	return testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := writeA
+			if i%2 == 1 {
+				c = writeB
+			}
+			if _, _, err := st.Apply(ctx, "d", c, core.MethodTopDown); err != nil {
+				r.check(err)
+				return
+			}
+		}
+	})
+}
+
+// ivmFanout publishes versions through a hub while subscribers drain
+// them concurrently, returning total deliveries and the wall-clock rate.
+func (r *Runner) ivmFanout() (delivered int64, perSec float64) {
+	hub := ivm.NewHub(ivmFanoutEvents, ivmFanoutEvents+8)
+	ctx, cancel := context.WithCancel(r.opts.Context)
+	defer cancel()
+
+	var count atomic.Int64
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for i := 0; i < ivmFanoutSubscribers; i++ {
+		sub := hub.Subscribe("d", 0, false, 0)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer sub.Close()
+			for {
+				evs, err := sub.Next(ctx)
+				if err != nil {
+					return
+				}
+				if count.Add(int64(len(evs))) >= ivmFanoutSubscribers*ivmFanoutEvents {
+					select {
+					case done <- struct{}{}:
+					default:
+					}
+				}
+			}
+		}()
+	}
+	start := time.Now()
+	for v := uint64(1); v <= ivmFanoutEvents; v++ {
+		hub.Publish(ivm.Event{Doc: "d", Version: v, ETag: fmt.Sprintf("%q", "v")})
+	}
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+	case <-ctx.Done():
+	}
+	elapsed := time.Since(start).Seconds()
+	cancel()
+	wg.Wait()
+	return count.Load(), float64(count.Load()) / elapsed
+}
+
+// IVM prints the incremental-view-maintenance sweep (`xbench -ivm`):
+// maintained hot-view reads against from-scratch recomposition under an
+// alternating writer, commit latency as the view registry grows with
+// mostly statically-unaffected views, and change-feed fan-out.
+func (r *Runner) IVM() {
+	const factor = 0.01
+	doc := r.Doc(factor)
+	fmt.Fprintf(r.opts.Out, "IVM sweep: factor %.2f (%d nodes), write=alternating //item renames\n",
+		factor, doc.Size())
+
+	cached, recompute := r.ivmReadCells(doc)
+	if r.stopped() {
+		return
+	}
+	cns := float64(cached.T.Nanoseconds()) / float64(cached.N)
+	rns := float64(recompute.T.Nanoseconds()) / float64(recompute.N)
+	table(r.opts.Out, []string{"hot-view read", "ns/op", "speedup"}, [][]string{
+		{"maintained cache", fmt.Sprintf("%.0f", cns), fmt.Sprintf("%.1fx", rns/cns)},
+		{"full recomposition", fmt.Sprintf("%.0f", rns), "1.0x"},
+	})
+	fmt.Fprintln(r.opts.Out)
+
+	var rows [][]string
+	var base float64
+	for _, n := range ivmCommitViews {
+		if r.stopped() {
+			return
+		}
+		res := r.ivmCommitCell(doc, n)
+		ns := float64(res.T.Nanoseconds()) / float64(res.N)
+		if n == 0 {
+			base = ns
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.2f", ns/1e6),
+			fmt.Sprintf("%+.1f%%", (ns/base-1)*100),
+		})
+	}
+	table(r.opts.Out, []string{"views", "commit ms", "vs no views"}, rows)
+	fmt.Fprintln(r.opts.Out)
+
+	delivered, perSec := r.ivmFanout()
+	table(r.opts.Out, []string{"subscribers", "events delivered", "events/s"}, [][]string{
+		{fmt.Sprintf("%d", ivmFanoutSubscribers), fmt.Sprintf("%d", delivered), fmt.Sprintf("%.0f", perSec)},
+	})
+}
+
+// IVMJSON runs the IVM sweep and writes a BenchReport, the format of
+// the BENCH_PR*.json trajectory files.
+func (r *Runner) IVMJSON(w io.Writer, factor float64) error {
+	doc := r.Doc(factor)
+	report := &BenchReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Factor:    factor,
+		DocBytes:  len(r.XML(factor)),
+		DocNodes:  doc.Size(),
+	}
+
+	cached, recompute := r.ivmReadCells(doc)
+	if r.stopped() {
+		return r.opts.Context.Err()
+	}
+	cres := toResult("ivm/view-read/cached", cached)
+	rres := toResult("ivm/view-read/recompute", recompute)
+	cres.Extra = map[string]float64{"speedup_x": rres.NsPerOp / cres.NsPerOp}
+	report.Results = append(report.Results, cres, rres)
+
+	var base float64
+	for _, n := range ivmCommitViews {
+		if r.stopped() {
+			return r.opts.Context.Err()
+		}
+		res := toResult(fmt.Sprintf("ivm/commit/views-%d", n), r.ivmCommitCell(doc, n))
+		if n == 0 {
+			base = res.NsPerOp
+		} else {
+			res.Extra = map[string]float64{"overhead_vs_none_pct": (res.NsPerOp/base - 1) * 100}
+		}
+		report.Results = append(report.Results, res)
+	}
+
+	delivered, perSec := r.ivmFanout()
+	if r.stopped() {
+		return r.opts.Context.Err()
+	}
+	report.Results = append(report.Results, BenchResult{
+		Name: "ivm/watch/fanout",
+		N:    int(delivered),
+		Extra: map[string]float64{
+			"subscribers":    ivmFanoutSubscribers,
+			"events_per_sec": perSec,
+		},
+	})
+	if err := r.opts.Context.Err(); err != nil {
+		return fmt.Errorf("ivm sweep interrupted: %w", err)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

@@ -1,0 +1,231 @@
+package ivm
+
+import (
+	"context"
+	"sync"
+
+	"xtq/internal/xerr"
+)
+
+// Event is one change-feed entry of a document's watch stream.
+type Event struct {
+	// Doc is the document name.
+	Doc string `json:"doc"`
+	// Version is the committed version the event describes; for a
+	// resync event, the newest version the hub knows (the subscriber
+	// should re-read state and treat the stream as continuing from it).
+	Version uint64 `json:"version"`
+	// ETag is the strong entity tag of the version, exactly as the
+	// document endpoints serve it.
+	ETag string `json:"etag,omitempty"`
+	// AffectedViews lists the registered views the commit may have
+	// changed (statically affected or unknown); empty when every view
+	// was provably unaffected.
+	AffectedViews []string `json:"affectedViews,omitempty"`
+	// Deleted marks the commit as a removal (a tombstone version).
+	Deleted bool `json:"deleted,omitempty"`
+	// ViewsChanged marks a view-registry mutation: the document itself
+	// did not change (Version is its current head), but compositions
+	// over it may differ. Registry events are delivered live only,
+	// never replayed from the ring.
+	ViewsChanged bool `json:"viewsChanged,omitempty"`
+	// Resync tells the subscriber it missed events (slow consumer, ring
+	// too short for its ?from, or a replica bootstrap): re-read current
+	// state at Version, then continue consuming.
+	Resync bool `json:"resync,omitempty"`
+}
+
+// DefaultRing is the per-document event-history ring size: how far
+// back ?from catch-up can reach without a resync.
+const DefaultRing = 64
+
+// DefaultSubscriberBuffer bounds each subscriber's pending events;
+// overflow collapses the backlog into one resync event. Publishing
+// never blocks on slow consumers.
+const DefaultSubscriberBuffer = 256
+
+// Hub fans committed versions out to watch subscribers, one feed per
+// document. All methods are safe for concurrent use; Publish never
+// blocks (it runs inside commits).
+type Hub struct {
+	mu    sync.Mutex
+	feeds map[string]*feed
+	ring  int
+	buf   int
+}
+
+// feed is one document's event history and subscriber set.
+type feed struct {
+	// ring holds the most recent change events (ViewsChanged events are
+	// live-only), versions strictly ascending and contiguous.
+	ring []Event
+	subs map[*Subscriber]struct{}
+}
+
+// NewHub returns a hub with the given per-document history ring size
+// and per-subscriber buffer bound (zero or negative pick defaults).
+func NewHub(ring, buf int) *Hub {
+	if ring <= 0 {
+		ring = DefaultRing
+	}
+	if buf <= 0 {
+		buf = DefaultSubscriberBuffer
+	}
+	return &Hub{feeds: make(map[string]*feed), ring: ring, buf: buf}
+}
+
+func (h *Hub) feedOf(doc string, create bool) *feed {
+	f := h.feeds[doc]
+	if f == nil && create {
+		f = &feed{subs: make(map[*Subscriber]struct{})}
+		h.feeds[doc] = f
+	}
+	return f
+}
+
+// Publish delivers ev to the document's subscribers and, unless it is
+// a registry or resync signal, retains it in the catch-up ring.
+func (h *Hub) Publish(ev Event) {
+	h.mu.Lock()
+	f := h.feedOf(ev.Doc, true)
+	if !ev.ViewsChanged && !ev.Resync {
+		f.ring = append(f.ring, ev)
+		if len(f.ring) > h.ring {
+			f.ring = f.ring[len(f.ring)-h.ring:]
+		}
+	}
+	if ev.Resync {
+		// A wholesale state replacement invalidates the ring: versions
+		// may have been skipped.
+		f.ring = f.ring[:0]
+	}
+	subs := make([]*Subscriber, 0, len(f.subs))
+	for s := range f.subs {
+		subs = append(subs, s)
+	}
+	h.mu.Unlock()
+	for _, s := range subs {
+		s.push(ev)
+	}
+}
+
+// Subscribe registers a subscriber for doc's feed. With haveFrom, the
+// pending queue is atomically seeded from the catch-up ring with every
+// change event after version from; when the ring no longer covers
+// from+1 (or the hub has no history but the document head — as the
+// caller read it — is already past from), the queue starts with a
+// single resync event instead, so the subscriber knows it has a gap.
+// head is the document's current version as known to the caller; it is
+// only consulted when the ring is empty.
+func (h *Hub) Subscribe(doc string, from uint64, haveFrom bool, head uint64) *Subscriber {
+	s := &Subscriber{
+		hub:    h,
+		doc:    doc,
+		notify: make(chan struct{}, 1),
+		max:    h.buf,
+	}
+	if haveFrom {
+		// On a lagging replica the hub may publish versions at or below
+		// from after this subscriber attaches; the floor suppresses those
+		// so a resumed client never sees a version twice.
+		s.floor = from
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	f := h.feedOf(doc, true)
+	if haveFrom {
+		var replay []Event
+		for _, ev := range f.ring {
+			if ev.Version > from {
+				replay = append(replay, ev)
+			}
+		}
+		switch {
+		case len(replay) > 0 && replay[0].Version == from+1:
+			s.pending = replay
+		case len(replay) > 0:
+			s.pending = []Event{{Doc: doc, Version: replay[len(replay)-1].Version, Resync: true}}
+		case head > from:
+			s.pending = []Event{{Doc: doc, Version: head, Resync: true}}
+		}
+	}
+	f.subs[s] = struct{}{}
+	return s
+}
+
+// Subscriber is one watch connection's event queue.
+type Subscriber struct {
+	hub *Hub
+	doc string
+
+	mu      sync.Mutex
+	pending []Event
+	closed  bool
+	notify  chan struct{}
+	max     int
+	floor   uint64 // change events at or below this version are already seen
+}
+
+// Doc returns the watched document name.
+func (s *Subscriber) Doc() string { return s.doc }
+
+// push appends ev, collapsing the backlog into one resync event when
+// the buffer bound is hit. Never blocks.
+func (s *Subscriber) push(ev Event) {
+	s.mu.Lock()
+	if s.closed || (!ev.Resync && !ev.ViewsChanged && ev.Version <= s.floor) {
+		s.mu.Unlock()
+		return
+	}
+	if len(s.pending) >= s.max {
+		s.pending = append(s.pending[:0], Event{Doc: s.doc, Version: ev.Version, Resync: true})
+	} else {
+		s.pending = append(s.pending, ev)
+	}
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Next blocks until at least one event is pending and returns the
+// whole batch, or the context's error, or a typed NotFound error after
+// Close.
+func (s *Subscriber) Next(ctx context.Context) ([]Event, error) {
+	for {
+		s.mu.Lock()
+		if len(s.pending) > 0 {
+			evs := s.pending
+			s.pending = nil
+			s.mu.Unlock()
+			return evs, nil
+		}
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return nil, xerr.New(xerr.NotFound, "", "ivm: subscription closed")
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-s.notify:
+		}
+	}
+}
+
+// Close unregisters the subscriber and wakes any blocked Next.
+func (s *Subscriber) Close() {
+	s.hub.mu.Lock()
+	if f := s.hub.feedOf(s.doc, false); f != nil {
+		delete(f.subs, s)
+	}
+	s.hub.mu.Unlock()
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}

@@ -1,0 +1,252 @@
+package ivm
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func ev(doc string, v uint64) Event {
+	return Event{Doc: doc, Version: v, ETag: fmt.Sprintf("%q", fmt.Sprint(v))}
+}
+
+func TestHubLiveDelivery(t *testing.T) {
+	h := NewHub(0, 0)
+	s := h.Subscribe("T", 0, false, 0)
+	defer s.Close()
+	for v := uint64(1); v <= 3; v++ {
+		h.Publish(ev("T", v))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var got []Event
+	for len(got) < 3 {
+		evs, err := s.Next(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, evs...)
+	}
+	for i, e := range got {
+		if e.Version != uint64(i+1) || e.Resync {
+			t.Fatalf("event %d: %+v", i, e)
+		}
+	}
+}
+
+func TestHubCatchUpFromRing(t *testing.T) {
+	h := NewHub(0, 0)
+	for v := uint64(1); v <= 5; v++ {
+		h.Publish(ev("T", v))
+	}
+	s := h.Subscribe("T", 2, true, 5)
+	defer s.Close()
+	evs, err := s.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("replay: %+v", evs)
+	}
+	for i, e := range evs {
+		if e.Version != uint64(3+i) || e.Resync {
+			t.Fatalf("replay %d: %+v", i, e)
+		}
+	}
+}
+
+func TestHubGapForcesResync(t *testing.T) {
+	h := NewHub(2, 0)
+	for v := uint64(1); v <= 5; v++ {
+		h.Publish(ev("T", v))
+	}
+	// The ring only holds 4,5: a subscriber at 1 has a gap.
+	s := h.Subscribe("T", 1, true, 5)
+	defer s.Close()
+	evs, err := s.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || !evs[0].Resync || evs[0].Version != 5 {
+		t.Fatalf("expected resync at 5, got %+v", evs)
+	}
+}
+
+func TestHubResyncFromHeadWithoutHistory(t *testing.T) {
+	h := NewHub(0, 0)
+	s := h.Subscribe("T", 3, true, 7)
+	defer s.Close()
+	evs, err := s.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || !evs[0].Resync || evs[0].Version != 7 {
+		t.Fatalf("expected resync at 7, got %+v", evs)
+	}
+	// Caught up exactly: nothing pending.
+	s2 := h.Subscribe("T", 7, true, 7)
+	defer s2.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if evs, err := s2.Next(ctx); err == nil {
+		t.Fatalf("caught-up subscriber got events: %+v", evs)
+	}
+}
+
+func TestHubSlowSubscriberCollapsesToResync(t *testing.T) {
+	h := NewHub(0, 2)
+	s := h.Subscribe("T", 0, false, 0)
+	defer s.Close()
+	for v := uint64(1); v <= 10; v++ {
+		h.Publish(ev("T", v))
+	}
+	evs, err := s.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The backlog must have collapsed: far fewer events than published,
+	// starting with a resync, and gap-free after it.
+	if len(evs) > 2 || !evs[0].Resync {
+		t.Fatalf("expected a collapsed resync, got %+v", evs)
+	}
+	last := evs[0].Version
+	for _, e := range evs[1:] {
+		if e.Resync || e.Version != last+1 {
+			t.Fatalf("gap after collapse: %+v", evs)
+		}
+		last = e.Version
+	}
+	if last != 10 {
+		t.Fatalf("collapsed stream does not reach the head: %+v", evs)
+	}
+}
+
+func TestHubViewsChangedNotReplayed(t *testing.T) {
+	h := NewHub(0, 0)
+	h.Publish(ev("T", 1))
+	h.Publish(Event{Doc: "T", Version: 1, ViewsChanged: true})
+	s := h.Subscribe("T", 0, true, 1)
+	defer s.Close()
+	evs, err := s.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].ViewsChanged {
+		t.Fatalf("registry event replayed: %+v", evs)
+	}
+}
+
+func TestHubResetInvalidatesRing(t *testing.T) {
+	h := NewHub(0, 0)
+	for v := uint64(1); v <= 3; v++ {
+		h.Publish(ev("T", v))
+	}
+	h.Publish(Event{Doc: "T", Version: 9, Resync: true})
+	// After a reset the old ring must not satisfy catch-up: versions may
+	// have been skipped.
+	s := h.Subscribe("T", 1, true, 9)
+	defer s.Close()
+	evs, err := s.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || !evs[0].Resync {
+		t.Fatalf("stale ring replayed after reset: %+v", evs)
+	}
+}
+
+func TestHubCloseWakesNext(t *testing.T) {
+	h := NewHub(0, 0)
+	s := h.Subscribe("T", 0, false, 0)
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Next(context.Background())
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	s.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Next returned events after Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next did not wake on Close")
+	}
+}
+
+// Concurrency: a publisher racing many consumers; every consumer sees a
+// strictly increasing, gap-free version sequence or an explicit resync.
+func TestHubConcurrentGapless(t *testing.T) {
+	h := NewHub(0, 0)
+	const versions = 500
+	const readers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		s := h.Subscribe("T", 0, true, 0)
+		wg.Add(1)
+		go func(s *Subscriber) {
+			defer wg.Done()
+			defer s.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			last := uint64(0)
+			for last < versions {
+				evs, err := s.Next(ctx)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for _, e := range evs {
+					switch {
+					case e.Resync:
+						last = e.Version
+					case e.Version != last+1:
+						errs <- fmt.Errorf("gap: %d after %d", e.Version, last)
+						return
+					default:
+						last = e.Version
+					}
+				}
+			}
+		}(s)
+	}
+	for v := uint64(1); v <= versions; v++ {
+		h.Publish(ev("T", v))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestHubFloorSuppressesLateDuplicates(t *testing.T) {
+	h := NewHub(0, 0)
+	// A ?from=3 subscriber on a lagging replica: the hub then publishes
+	// versions 2..5 as replication applies them. Only 4 and 5 may reach
+	// the subscriber.
+	s := h.Subscribe("T", 3, true, 0)
+	defer s.Close()
+	for v := uint64(2); v <= 5; v++ {
+		h.Publish(ev("T", v))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	evs, err := s.Next(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 || evs[0].Version != 4 || evs[1].Version != 5 {
+		t.Fatalf("floored delivery: %+v", evs)
+	}
+	// Resync and registry events are never floored.
+	h.Publish(Event{Doc: "T", Version: 2, ViewsChanged: true})
+	evs, err = s.Next(ctx)
+	if err != nil || len(evs) != 1 || !evs[0].ViewsChanged {
+		t.Fatalf("views event floored: %+v %v", evs, err)
+	}
+}

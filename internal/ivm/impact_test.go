@@ -1,0 +1,214 @@
+package ivm
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"xtq/internal/core"
+	"xtq/internal/tree"
+	"xtq/internal/xmark"
+	"xtq/internal/xpath"
+)
+
+func compileUpdate(t *testing.T, src string) *core.Compiled {
+	t.Helper()
+	c, err := core.MustParseQuery(src).Compile()
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	return c
+}
+
+func q(body string) string {
+	return `transform copy $a := doc("T") modify do ` + body + ` return $a`
+}
+
+func TestAnalyze(t *testing.T) {
+	cases := []struct {
+		name string
+		view string
+		upd  string
+		want Verdict
+	}{
+		// Update under a view-deleted region: at-or-below coverage.
+		{"insert below deleted", q(`delete $a/site/people`),
+			q(`insert <x/> into $a/site/people/person`), VerdictUnaffected},
+		{"insert into deleted node itself", q(`delete $a/site/people`),
+			q(`insert <x/> into $a/site/people`), VerdictUnaffected},
+		{"delete below deleted", q(`delete $a/site/people`),
+			q(`delete $a/site/people/person`), VerdictUnaffected},
+		{"delete the deleted node itself", q(`delete $a/site/people`),
+			q(`delete $a/site/people`), VerdictUnaffected},
+		{"rename below deleted", q(`delete $a/site/people`),
+			q(`rename $a/site/people/person as x`), VerdictUnaffected},
+		{"replace below deleted", q(`delete $a/site/people`),
+			q(`replace $a/site/people/person with <x/>`), VerdictUnaffected},
+		// Rename/replace of the deleted node itself changes what the view
+		// matches: strict coverage required.
+		{"rename the deleted node", q(`delete $a/site/people`),
+			q(`rename $a/site/people as crowd`), VerdictAffected},
+		{"replace the deleted node", q(`delete $a/site/people`),
+			q(`replace $a/site/people with <x/>`), VerdictAffected},
+		// Insert whose element is itself deleted by the view: the label
+		// refinement.
+		{"inserted element deleted by view", q(`delete $a//mark`),
+			q(`insert <mark/> into $a/site/regions`), VerdictUnaffected},
+		{"inserted element not the deleted label", q(`delete $a//mark`),
+			q(`insert <name/> into $a/site/regions`), VerdictAffected},
+		// View Replace absorbs strictly-below inserts and deletes, but not
+		// changes to the replaced node itself.
+		{"insert below replaced", q(`replace $a/site/people with <people/>`),
+			q(`insert <x/> into $a/site/people/person`), VerdictUnaffected},
+		{"insert into replaced node", q(`replace $a/site/people with <people/>`),
+			q(`insert <x/> into $a/site/people`), VerdictUnaffected},
+		{"delete below replaced", q(`replace $a/site/people with <people/>`),
+			q(`delete $a/site/people/person`), VerdictUnaffected},
+		{"delete the replaced node", q(`replace $a/site/people with <people/>`),
+			q(`delete $a/site/people`), VerdictAffected},
+		// A view replacing the inserted element would add its constant to
+		// the output — no label refinement for Replace.
+		{"view would replace inserted element", q(`replace $a//mark with <x/>`),
+			q(`insert <mark/> into $a/site`), VerdictAffected},
+		// Descendant axes on either side.
+		{"descendant view covers descendant update", q(`delete $a//person`),
+			q(`delete $a//person/profile`), VerdictUnaffected},
+		{"unrelated paths", q(`delete $a/site/regions`),
+			q(`delete $a/site/people/person`), VerdictAffected},
+		// Insert/Rename first layers hide nothing.
+		{"insert view layer", q(`insert <x/> into $a/site/people`),
+			q(`delete $a/site/people/person`), VerdictAffected},
+		{"rename view layer", q(`rename $a/site/people as crowd`),
+			q(`delete $a/site/people/person`), VerdictAffected},
+		// Qualifiers on the view make the verdict unknown; on the update
+		// they are soundly ignored.
+		{"qualified view", q(`delete $a/site/people[person]`),
+			q(`delete $a/site/people/person`), VerdictUnknown},
+		{"qualified update", q(`delete $a/site/people`),
+			q(`delete $a/site/people/person[age = "1"]`), VerdictUnaffected},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			view := compileUpdate(t, tc.view)
+			upd := compileUpdate(t, tc.upd)
+			if got := Analyze([]*core.Compiled{view}, upd); got != tc.want {
+				t.Errorf("Analyze(%s | %s) = %s, want %s", tc.view, tc.upd, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestAnalyzeDegenerate(t *testing.T) {
+	upd := compileUpdate(t, q(`delete $a/site/people`))
+	if got := Analyze(nil, upd); got != VerdictAffected {
+		t.Errorf("empty stack: %s", got)
+	}
+	if got := Analyze([]*core.Compiled{upd}, nil); got != VerdictAffected {
+		t.Errorf("nil update: %s", got)
+	}
+}
+
+// xmarkCfg mirrors the compose package's XMark vocabulary so random
+// views and updates have non-trivial overlap on generated documents.
+func xmarkCfg() xpath.GenConfig {
+	return xpath.GenConfig{
+		Labels: []string{
+			"site", "regions", "africa", "asia", "item", "location",
+			"quantity", "name", "people", "person", "profile", "age",
+			"interest", "open_auctions", "open_auction", "initial",
+			"reserve", "bidder", "increase", "mark",
+		},
+		Values:   []string{"1", "10", "United States", "Japan", "yes"},
+		MaxSteps: 4,
+		MaxQual:  0,
+	}
+}
+
+func randomUpdate(r *rand.Rand, cfg xpath.GenConfig) core.Update {
+	u := core.Update{Path: xpath.RandomPath(r, cfg)}
+	switch r.Intn(4) {
+	case 0:
+		u.Op = core.Insert
+		u.Elem = tree.NewElement("mark", tree.NewElement("name", tree.NewText("yes")))
+	case 1:
+		u.Op = core.Delete
+	case 2:
+		u.Op = core.Replace
+		u.Elem = tree.NewElement("item", tree.NewText("redacted"))
+	case 3:
+		u.Op = core.Rename
+		u.Label = cfg.Labels[r.Intn(len(cfg.Labels))]
+	}
+	return u
+}
+
+// Property: VerdictUnaffected is a proof. Whenever Analyze clears a
+// random update against a random view stack, sequentially materializing
+// the stack over the updated document must be byte-identical to
+// materializing it over the original.
+func TestQuickAnalyzeSound(t *testing.T) {
+	cfg := xmarkCfg()
+	ctx := context.Background()
+	unaffected, affected := 0, 0
+	for seed := int64(0); seed < 120; seed++ {
+		rng := rand.New(rand.NewSource(9000 + seed))
+		doc, err := xmark.Generate(xmark.Config{
+			Factor: 0.0005 + rng.Float64()*0.002,
+			Seed:   rng.Int63(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		depth := 1 + rng.Intn(3)
+		layers := make([]*core.Compiled, 0, depth)
+		for len(layers) < depth {
+			c, err := (&core.Query{Var: "a", Doc: "gen", Update: randomUpdate(rng, cfg)}).Compile()
+			if err == nil {
+				layers = append(layers, c)
+			}
+		}
+		var upd *core.Compiled
+		for upd == nil {
+			c, err := (&core.Query{Var: "a", Doc: "gen", Update: randomUpdate(rng, cfg)}).Compile()
+			if err == nil {
+				upd = c
+			}
+		}
+		v := Analyze(layers, upd)
+		if v != VerdictUnaffected {
+			affected++
+			continue
+		}
+		unaffected++
+		updated, err := upd.EvalContext(ctx, doc, core.MethodTopDown)
+		if err != nil {
+			t.Fatalf("seed %d: update: %v", seed, err)
+		}
+		before, after := doc, updated
+		for _, l := range layers {
+			if before, err = l.EvalContext(ctx, before, core.MethodCopyUpdate); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if after, err = l.EvalContext(ctx, after, core.MethodCopyUpdate); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+		if !tree.Equal(before, after) {
+			t.Fatalf("seed %d: verdict unaffected but view changed\n view0: %s\n update: %s",
+				seed, layers[0].Query.Update.String("$a"), upd.Query.Update.String("$a"))
+		}
+	}
+	if unaffected == 0 {
+		t.Error("property run never produced an unaffected verdict")
+	}
+	if affected == 0 {
+		t.Error("property run never produced an affected verdict")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if VerdictUnaffected.String() != "unaffected" || VerdictAffected.String() != "affected" ||
+		VerdictUnknown.String() != "unknown" {
+		t.Error("verdict names")
+	}
+}

@@ -249,8 +249,9 @@ func parseLogged(xml []byte, maxDepth int) (*tree.Node, error) {
 }
 
 // recoverPublish installs root as the snapshot of name at exactly
-// version. Recovery is single-goroutine: no CAS, no logging.
-func (st *Store) recoverPublish(name string, version uint64, root *tree.Node) {
+// version, returning the published snapshot. Recovery is
+// single-goroutine: no CAS, no logging.
+func (st *Store) recoverPublish(name string, version uint64, root *tree.Node) *Snapshot {
 	ds := st.state(name)
 	snap := &Snapshot{name: name, version: version}
 	if root != nil {
@@ -259,6 +260,7 @@ func (st *Store) recoverPublish(name string, version uint64, root *tree.Node) {
 	}
 	ds.cur.Store(snap)
 	ds.pushHist(snap)
+	return snap
 }
 
 // replayEnv is what replaying one log record needs from its caller —
@@ -321,9 +323,12 @@ func (st *Store) replayRecord(env replayEnv, rec wal.Record, pos wal.Pos) error 
 			return &xerr.Error{Kind: xerr.Corrupt, Pos: pos.String(),
 				Msg: fmt.Sprintf("store: logged document %q does not parse", rec.Name), Err: err}
 		}
-		st.recoverPublish(rec.Name, rec.Version, root)
+		snap := st.recoverPublish(rec.Name, rec.Version, root)
 		if env.noteFloor != nil {
 			env.noteFloor(rec.Name, rec.Version)
+		}
+		if hook := st.hookFn(); hook != nil {
+			hook(CommitEvent{Name: rec.Name, Kind: CommitPut, Version: rec.Version, Prev: curV, Snap: snap, PrevSnap: cur})
 		}
 	case wal.KindUpdate:
 		if cur == nil {
@@ -357,6 +362,18 @@ func (st *Store) replayRecord(env replayEnv, rec wal.Record, pos wal.Pos) error 
 		}
 		ds.cur.Store(next)
 		ds.pushHist(next)
+		if hook := st.hookFn(); hook != nil {
+			ev := CommitEvent{
+				Name: rec.Name, Kind: CommitUpdate,
+				Version: next.version, Prev: cur.version,
+				Snap: next, PrevSnap: cur,
+				Update: c, NoOp: noop,
+			}
+			if !noop {
+				ev.Bridge = out
+			}
+			hook(ev)
+		}
 	case wal.KindRemove:
 		if cur == nil || cur.deleted() {
 			return chain("remove of %q which is not live", rec.Name)
@@ -364,7 +381,10 @@ func (st *Store) replayRecord(env replayEnv, rec wal.Record, pos wal.Pos) error 
 		if rec.Version != curV+1 {
 			return chain("remove of %q jumps version %d → %d", rec.Name, curV, rec.Version)
 		}
-		st.recoverPublish(rec.Name, rec.Version, nil)
+		snap := st.recoverPublish(rec.Name, rec.Version, nil)
+		if hook := st.hookFn(); hook != nil {
+			hook(CommitEvent{Name: rec.Name, Kind: CommitRemove, Version: rec.Version, Prev: curV, Snap: snap, PrevSnap: cur})
+		}
 	default:
 		return chain("%s record in a log segment", rec.Kind)
 	}

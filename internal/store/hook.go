@@ -1,0 +1,88 @@
+package store
+
+import (
+	"xtq/internal/core"
+	"xtq/internal/tree"
+)
+
+// CommitKind classifies a CommitEvent.
+type CommitKind uint8
+
+const (
+	// CommitPut is a full (re-)ingest of a document.
+	CommitPut CommitKind = iota
+	// CommitUpdate is a committed update query.
+	CommitUpdate
+	// CommitRemove is a committed removal (a tombstone version).
+	CommitRemove
+	// CommitReset is a wholesale state replacement — the follower
+	// bootstrap path (ResetToLogged). Subscribers must resynchronize:
+	// intermediate versions may have been skipped.
+	CommitReset
+)
+
+// String returns the kind name, for diagnostics.
+func (k CommitKind) String() string {
+	switch k {
+	case CommitPut:
+		return "put"
+	case CommitUpdate:
+		return "update"
+	case CommitRemove:
+		return "remove"
+	case CommitReset:
+		return "reset"
+	default:
+		return "invalid"
+	}
+}
+
+// CommitEvent describes one committed version change, delivered to the
+// store's commit hook after the new snapshot is published. Events for
+// one document are delivered in version order from under the
+// document's writer lock, so the hook must be fast on its unaffected
+// paths — it runs inside the commit.
+type CommitEvent struct {
+	Name string
+	Kind CommitKind
+	// Version is the committed version, Prev the one before it (0 when
+	// Kind is CommitPut creating the document, or CommitReset).
+	Version uint64
+	Prev    uint64
+	// Snap is the published snapshot (a tombstone for CommitRemove);
+	// PrevSnap the superseded one, nil when there was none.
+	Snap     *Snapshot
+	PrevSnap *Snapshot
+	// Update is the compiled update query of a CommitUpdate.
+	Update *core.Compiled
+	// Bridge is the update evaluator's output before snapshot adoption
+	// (CommitUpdate only, nil for no-ops): a tree of exactly Snap's
+	// shape whose unchanged subtrees are PrevSnap's node pointers —
+	// the correspondence incremental view maintenance keys on.
+	Bridge *tree.Node
+	// NoOp marks an update that matched nothing: Snap shares
+	// PrevSnap's whole tree.
+	NoOp bool
+}
+
+// SetCommitHook installs fn as the store's commit hook; nil removes
+// it. The hook is invoked synchronously after every committed version
+// change (puts, updates, removals, replica replays and resets), in
+// version order per document. Install the hook before accepting
+// writes: in-memory stores only serialize their publish path through
+// the per-document writer lock while a hook is present.
+func (st *Store) SetCommitHook(fn func(CommitEvent)) {
+	if fn == nil {
+		st.hook.Store(nil)
+		return
+	}
+	st.hook.Store(&fn)
+}
+
+// hookFn returns the installed commit hook, or nil.
+func (st *Store) hookFn() func(CommitEvent) {
+	if p := st.hook.Load(); p != nil {
+		return *p
+	}
+	return nil
+}

@@ -189,5 +189,14 @@ func (st *Store) ResetToLogged(docs []wal.CheckpointDoc, pos string, o ReplayOpt
 	st.mu.Lock()
 	st.docs = fresh
 	st.mu.Unlock()
+	if hook := st.hookFn(); hook != nil {
+		// The whole document set changed at once; tell the hook per
+		// document so change feeds can direct subscribers to resync.
+		for _, ds := range fresh {
+			if snap := ds.cur.Load(); snap != nil {
+				hook(CommitEvent{Name: snap.name, Kind: CommitReset, Version: snap.version, Snap: snap})
+			}
+		}
+	}
 	return nil
 }

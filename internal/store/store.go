@@ -184,6 +184,10 @@ type Store struct {
 	// repl is the replica's replay position in the primary's log, for
 	// observability; maintained by the replication layer.
 	repl atomic.Pointer[wal.Pos]
+
+	// hook is the commit hook (see SetCommitHook); nil when none is
+	// installed.
+	hook atomic.Pointer[func(CommitEvent)]
 }
 
 // New returns an empty in-memory store retaining DefaultHistoryDepth
@@ -391,6 +395,7 @@ func (st *Store) Remove(name string) (bool, error) {
 			return false, nil
 		}
 		next := &Snapshot{name: name, version: old.version + 1}
+		ev := CommitEvent{Name: name, Kind: CommitRemove, Version: next.version, Prev: old.version, Snap: next, PrevSnap: old}
 		if st.dur != nil {
 			err := st.commitDurable(ds, old, next, func() error {
 				return st.dur.appendRemove(name, next.version)
@@ -399,7 +404,21 @@ func (st *Store) Remove(name string) (bool, error) {
 				return false, err
 			}
 			ds.clearHist()
+			if hook := st.hookFn(); hook != nil {
+				hook(ev)
+			}
 			return true, nil
+		}
+		if hook := st.hookFn(); hook != nil {
+			ds.wmu.Lock()
+			if ds.cur.CompareAndSwap(old, next) {
+				ds.clearHist()
+				hook(ev)
+				ds.wmu.Unlock()
+				return true, nil
+			}
+			ds.wmu.Unlock()
+			continue
 		}
 		if ds.cur.CompareAndSwap(old, next) {
 			ds.clearHist()
@@ -511,6 +530,10 @@ func (st *Store) Put(name string, doc *tree.Node, adopt bool) (*Snapshot, Commit
 			next.version = old.version + 1
 		}
 		com := Commit{Version: next.version, CopiedNodes: cs.Nodes, CopiedBytes: cs.Bytes}
+		ev := CommitEvent{Name: name, Kind: CommitPut, Version: next.version, Snap: next, PrevSnap: old}
+		if old != nil {
+			ev.Prev = old.version
+		}
 		if st.dur != nil {
 			err := st.commitDurable(ds, old, next, func() error {
 				return st.dur.appendPut(name, next.version, root, old == nil)
@@ -518,7 +541,23 @@ func (st *Store) Put(name string, doc *tree.Node, adopt bool) (*Snapshot, Commit
 			if err != nil {
 				return nil, Commit{}, err
 			}
+			if hook := st.hookFn(); hook != nil {
+				hook(ev) // still under ds.wmu: events stay in version order
+			}
 			return next, com, nil
+		}
+		if hook := st.hookFn(); hook != nil {
+			// Publish under the writer lock so the hook observes commits
+			// in version order; losers unlock and retry on the new head.
+			ds.wmu.Lock()
+			if ds.cur.CompareAndSwap(old, next) {
+				ds.pushHist(next)
+				hook(ev)
+				ds.wmu.Unlock()
+				return next, com, nil
+			}
+			ds.wmu.Unlock()
+			continue
 		}
 		if ds.cur.CompareAndSwap(old, next) {
 			ds.pushHist(next)
@@ -600,6 +639,15 @@ func (st *Store) apply(ctx context.Context, name string, c *core.Compiled, m cor
 			com.SharedWithPrev = cs.SharedWithBase
 		}
 
+		ev := CommitEvent{
+			Name: name, Kind: CommitUpdate,
+			Version: next.version, Prev: snap.version,
+			Snap: next, PrevSnap: snap,
+			Update: c, NoOp: noop,
+		}
+		if !noop {
+			ev.Bridge = out
+		}
 		if st.dur != nil {
 			err := st.commitDurable(ds, snap, next, func() error {
 				return st.dur.appendUpdate(name, snap.version, next.version, c)
@@ -607,10 +655,26 @@ func (st *Store) apply(ctx context.Context, name string, c *core.Compiled, m cor
 			if err != nil {
 				return nil, Commit{}, err
 			}
+			if hook := st.hookFn(); hook != nil {
+				hook(ev) // still under ds.wmu: events stay in version order
+			}
 			return next, com, nil
 		}
 
-		if !ds.cur.CompareAndSwap(snap, next) {
+		swapped := false
+		if hook := st.hookFn(); hook != nil {
+			// Publish under the writer lock so the hook observes commits
+			// in version order; evaluation stayed outside the lock.
+			ds.wmu.Lock()
+			if swapped = ds.cur.CompareAndSwap(snap, next); swapped {
+				ds.pushHist(next)
+				hook(ev)
+			}
+			ds.wmu.Unlock()
+		} else if swapped = ds.cur.CompareAndSwap(snap, next); swapped {
+			ds.pushHist(next)
+		}
+		if !swapped {
 			// Another writer committed first (in-memory stores only: a
 			// durable commit holds the writer lock). With CAS semantics
 			// that is the caller's conflict; without, re-evaluate on the
@@ -625,7 +689,6 @@ func (st *Store) apply(ctx context.Context, name string, c *core.Compiled, m cor
 			}
 			continue
 		}
-		ds.pushHist(next)
 		return next, com, nil
 	}
 }

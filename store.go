@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"xtq/internal/core"
+	"xtq/internal/ivm"
 	"xtq/internal/store"
 	"xtq/internal/wal"
 )
@@ -86,6 +87,12 @@ type Store struct {
 	eng *Engine
 	st  *store.Store
 
+	// mgr maintains materializations of registered views across
+	// commits; hub fans commits out to Watch subscribers. Both are
+	// driven by the store's commit hook (see wireIVM).
+	mgr *ivm.Manager
+	hub *ivm.Hub
+
 	vmu   sync.RWMutex
 	views map[string]*View
 }
@@ -98,7 +105,9 @@ func NewStore(eng *Engine) *Store {
 	if eng == nil {
 		eng = NewEngine()
 	}
-	return &Store{eng: eng, st: store.New(), views: make(map[string]*View)}
+	s := &Store{eng: eng, st: store.New(), views: make(map[string]*View)}
+	s.wireIVM()
+	return s
 }
 
 // storeConfig collects the OpenStore options.
@@ -175,7 +184,11 @@ func OpenStore(dir string, eng *Engine, options ...StoreOption) (*Store, error) 
 	if err != nil {
 		return nil, classify(err, KindIO)
 	}
-	return &Store{eng: eng, st: st, views: make(map[string]*View)}, nil
+	s := &Store{eng: eng, st: st, views: make(map[string]*View)}
+	// Recovery already ran hook-free; materializations build lazily on
+	// first read, so replay pays no view-maintenance cost.
+	s.wireIVM()
+	return s, nil
 }
 
 // Durable reports whether the store is backed by a write-ahead log.
@@ -308,15 +321,53 @@ func (s *Store) Len() int { return s.st.Len() }
 // first, as Engine.View) servable over any stored document —
 // per-principal security views over one shared corpus. Re-registering a
 // name replaces the stack. The returned View is also usable directly.
+//
+// The view is maintained lazily: its materialization builds on the
+// first ViewDocument read and is then kept current across commits —
+// delta-updated when possible, version-bumped for free when impact
+// analysis proves a commit cannot affect it. RegisterMaterializedView
+// maintains eagerly instead.
 func (s *Store) RegisterView(name string, transformSrcs ...string) (*View, error) {
+	return s.registerView(name, false, transformSrcs...)
+}
+
+// RegisterMaterializedView is RegisterView with eager maintenance: the
+// materialization is (re)built on every commit that may affect it, so
+// reads always hit. Prefer it for hot views; lazy registration avoids
+// the commit-path work for views that are rarely read.
+func (s *Store) RegisterMaterializedView(name string, transformSrcs ...string) (*View, error) {
+	return s.registerView(name, true, transformSrcs...)
+}
+
+func (s *Store) registerView(name string, eager bool, transformSrcs ...string) (*View, error) {
 	v, err := s.eng.View(transformSrcs...)
 	if err != nil {
 		return nil, err
 	}
+	layers := make([]*core.Compiled, len(v.stack))
+	for i, p := range v.stack {
+		layers[i] = p.compiled
+	}
 	s.vmu.Lock()
 	s.views[name] = v
+	// The registry update and the invalidation of existing
+	// materializations are atomic under the view lock: no reader can
+	// observe the new definition served from a stale tree.
+	s.mgr.SetView(name, layers, eager)
 	s.vmu.Unlock()
+	s.publishViewsChanged()
 	return v, nil
+}
+
+// publishViewsChanged tells every document's change feed that the view
+// registry mutated: the documents themselves are unchanged (the event
+// carries the current version), but compositions over them may differ.
+func (s *Store) publishViewsChanged() {
+	for _, name := range s.st.Names() {
+		if v, ok := s.st.HeadVersion(name); ok {
+			s.hub.Publish(Event{Doc: name, Version: v, ETag: eventETag(v), ViewsChanged: true})
+		}
+	}
 }
 
 // LookupView returns the registered view stack named name, or a
@@ -331,12 +382,18 @@ func (s *Store) LookupView(name string) (*View, error) {
 	return v, nil
 }
 
-// RemoveView unregisters name, reporting whether it existed.
+// RemoveView unregisters name, reporting whether it existed. Its
+// materializations are dropped atomically with the registry update and
+// every document's change feed receives a ViewsChanged event.
 func (s *Store) RemoveView(name string) bool {
 	s.vmu.Lock()
 	_, ok := s.views[name]
 	delete(s.views, name)
+	s.mgr.RemoveView(name)
 	s.vmu.Unlock()
+	if ok {
+		s.publishViewsChanged()
+	}
 	return ok
 }
 
