@@ -50,6 +50,10 @@ func main() {
 	walSweep := flag.Bool("wal", false, "durability sweep: commit latency/throughput across WAL fsync policies vs the in-memory store")
 	ivmSweep := flag.Bool("ivm", false,
 		"view-maintenance sweep: maintained hot-view reads vs recomposition, commit overhead by registry size, /watch fan-out; with -json the report replaces the standard sweep")
+	soaSweep := flag.Bool("soa", false,
+		"structure-of-arrays sweep: sealed-snapshot read latency + path-copy commit copy volume at factors 0.01 and 0.1; with -json the report replaces the standard sweep")
+	soaSmoke := flag.Bool("soasmoke", false,
+		"CI copy-tax check: fail unless copied bytes per commit stay below 10% of the document size on the alternating-rename workload")
 	claims := flag.Bool("claims", false, "check the §7.1 textual claims")
 	jsonOut := flag.String("json", "", "write a machine-readable sweep (ns/op, allocs/op) to the given path ('-' for stdout)")
 	jsonFactor := flag.Float64("jsonfactor", 0.01, "XMark factor for the -json and -cluster sweeps")
@@ -107,6 +111,16 @@ func main() {
 	if *ivmSweep && *jsonOut == "" {
 		section(true, r.IVM)
 	}
+	if *soaSweep && *jsonOut == "" {
+		section(true, r.SoA)
+	}
+	if *soaSmoke && ctx.Err() == nil {
+		if _, err := r.SoASmoke(0.10); err != nil {
+			fmt.Fprintln(os.Stderr, "xbench:", err)
+			os.Exit(1)
+		}
+		ran = true
+	}
 	if *jsonOut != "" && ctx.Err() == nil {
 		w := os.Stdout
 		if *jsonOut != "-" {
@@ -124,6 +138,9 @@ func main() {
 		}
 		if *ivmSweep {
 			sweep = r.IVMJSON
+		}
+		if *soaSweep {
+			sweep = r.SoAJSON
 		}
 		if err := sweep(w, *jsonFactor); err != nil {
 			fmt.Fprintln(os.Stderr, "xbench:", err)

@@ -131,6 +131,9 @@ func TestIngestQueryUpdateRoundTrip(t *testing.T) {
 	if jsonField(t, ub, "copied_nodes") == 0 {
 		t.Fatal("copy-on-write commit reported no copied nodes")
 	}
+	if jsonField(t, ub, "shared_with_prev") == 0 {
+		t.Fatal("path-copy commit shared nothing with the previous version")
+	}
 	if hdr.Get("ETag") != `"2"` {
 		t.Fatalf("update ETag = %q", hdr.Get("ETag"))
 	}

@@ -108,6 +108,11 @@ type commitMeta struct {
 	CopiedNodes    int   `json:"copied_nodes"`
 	CopiedBytes    int64 `json:"copied_bytes"`
 	SharedWithPrev int   `json:"shared_with_prev,omitempty"`
+	// Chunk-level sharing of the column store: a path-copy commit copies
+	// the chunks its spine touches and shares the rest with the previous
+	// version by reference.
+	CopiedChunks int `json:"copied_chunks,omitempty"`
+	SharedChunks int `json:"shared_chunks,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -330,9 +335,11 @@ func (s *server) handlePutDoc(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusOK
 	}
 	writeJSON(w, status, commitMeta{
-		docMeta:     docMeta{Name: name, Version: com.Version, Nodes: snap.NumNodes()},
-		CopiedNodes: com.CopiedNodes,
-		CopiedBytes: com.CopiedBytes,
+		docMeta:      docMeta{Name: name, Version: com.Version, Nodes: snap.NumNodes()},
+		CopiedNodes:  com.CopiedNodes,
+		CopiedBytes:  com.CopiedBytes,
+		CopiedChunks: com.CopiedChunks,
+		SharedChunks: com.SharedChunks,
 	})
 }
 
@@ -572,6 +579,8 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		CopiedNodes:    com.CopiedNodes,
 		CopiedBytes:    com.CopiedBytes,
 		SharedWithPrev: com.SharedWithPrev,
+		CopiedChunks:   com.CopiedChunks,
+		SharedChunks:   com.SharedChunks,
 	})
 }
 

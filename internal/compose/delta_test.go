@@ -89,7 +89,7 @@ func TestQuickStackEvalMatchesOracle(t *testing.T) {
 // Property: delta re-evaluation through the snapshot-adoption bridge is
 // byte-identical to full recomposition at every version of a random
 // update sequence, exactly as the store produces them (topDown output
-// adopted via SnapshotCopy).
+// adopted via Freeze).
 func TestQuickStackEvalDeltaMatchesOracle(t *testing.T) {
 	cfg := qualFreeConfig()
 	totalReused := 0
@@ -102,7 +102,7 @@ func TestQuickStackEvalDeltaMatchesOracle(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		cur, curIx, _ := tree.SnapshotCopy(gen, nil)
+		cur, curIx, _ := tree.Freeze(gen, nil)
 		s, layers := randomStack(t, rng, cfg, 1+rng.Intn(3))
 		_, memo, _, err := s.Eval(context.Background(), cur)
 		if err != nil {
@@ -121,7 +121,7 @@ func TestQuickStackEvalDeltaMatchesOracle(t *testing.T) {
 			if err != nil {
 				t.Fatalf("seed %d step %d: update: %v", seed, step, err)
 			}
-			next, nextIx, _ := tree.SnapshotCopy(bridge, curIx)
+			next, nextIx, _ := tree.Freeze(bridge, curIx)
 			got, nextMemo, stats, ok, err := s.EvalDelta(context.Background(), next, bridge, memo)
 			if err != nil {
 				t.Fatalf("seed %d step %d: delta: %v", seed, step, err)
@@ -163,7 +163,7 @@ func TestNewStackRejectsQualifiers(t *testing.T) {
 
 func TestStackDeltaFallsBackOnBadBridge(t *testing.T) {
 	doc := tree.NewDocument(tree.NewElement("site", tree.NewElement("item")))
-	cur, _, _ := tree.SnapshotCopy(doc, nil)
+	cur, _, _ := tree.Freeze(doc, nil)
 	c, err := core.MustParseQuery(
 		`transform copy $a := doc("T") modify do delete $a//item return $a`).Compile()
 	if err != nil {

@@ -468,7 +468,7 @@ func TestSharedSubtreeReindexSafety(t *testing.T) {
 // lock-free readers and silently degrading them by dropping the index.
 func TestApplySealedSnapshotFailsFast(t *testing.T) {
 	d := doc(t)
-	snapRoot, _, _ := tree.SnapshotCopy(d, nil)
+	snapRoot, _, _ := tree.Freeze(d, nil)
 	snapXML := snapRoot.String()
 
 	u := &Update{Op: Delete, Path: xpath.MustParse(`//price`)}
@@ -522,7 +522,7 @@ func TestApplySealedSnapshotFailsFast(t *testing.T) {
 // ordinals.
 func TestEvalOverSealedSharingTree(t *testing.T) {
 	d := doc(t)
-	snapRoot, _, _ := tree.SnapshotCopy(d, nil)
+	snapRoot, _, _ := tree.Freeze(d, nil)
 
 	c := compile(t, `transform copy $a := doc("foo") modify do delete $a//supplier[country = "A"]/price return $a`)
 	shared, err := c.Eval(snapRoot, MethodTopDown)

@@ -4,6 +4,13 @@
 // al.), maintained materializations that are delta-updated or kept
 // verbatim across commits, and a change-feed hub that turns commits
 // into subscriber events for the /watch endpoint.
+//
+// Store commits are persistent path copies (tree.PathCopy): subtrees
+// an update does not touch keep their node pointers and ordinals
+// across versions of a snapshot chain. Maintenance code that caches
+// per-node state across commits must follow the tree.NodeRef identity
+// rules (see internal/tree and the README's Architecture section) —
+// in particular, refs die when a chain compacts and renumbers.
 package ivm
 
 import (

@@ -358,7 +358,7 @@ func (st *Store) replayRecord(env replayEnv, rec wal.Record, pos wal.Pos) error 
 		if noop {
 			next.root, next.ix = cur.root, cur.ix
 		} else {
-			next.root, next.ix, _ = tree.SnapshotCopy(out, cur.ix)
+			next.root, next.ix, _ = tree.PathCopy(out, cur.ix)
 		}
 		ds.cur.Store(next)
 		ds.pushHist(next)
@@ -749,6 +749,6 @@ func (d *durable) reconstruct(ctx context.Context, name string, version uint64) 
 	if bestRemoved {
 		return nil, removedAt(name, version)
 	}
-	root, ix, _ := tree.SnapshotCopy(best, nil)
+	root, ix, _ := tree.Freeze(best, nil)
 	return &Snapshot{name: name, version: version, root: root, ix: ix}, nil
 }

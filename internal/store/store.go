@@ -5,17 +5,20 @@
 // on).
 //
 // Named documents are held as immutable, indexed, sealed snapshots
-// (tree.SnapshotCopy / tree.Seal). Readers obtain a *Snapshot via an
-// atomic pointer load and evaluate compiled queries and composition
-// plans against it with zero locking on the hot path: a sealed index is
-// served by tree.EnsureIndex without the package mutex, and nothing ever
-// mutates or re-stamps a sealed tree. Writers commit XQU updates
-// copy-on-write: the update's transform query is evaluated over the
-// current snapshot (structural sharing, input untouched), the result is
-// adopted into a fresh sealed snapshot, and the new snapshot is
-// published with a compare-and-swap on the per-document version chain —
-// optimistic concurrency whose losers either retry (Apply) or surface a
-// typed conflict error (ApplyAt).
+// (tree.Freeze / tree.Seal) backed by a structure-of-arrays core.
+// Readers obtain a *Snapshot via an atomic pointer load and evaluate
+// compiled queries and composition plans against it with zero locking
+// on the hot path: a sealed index is served by tree.EnsureIndex without
+// the package mutex, and nothing ever mutates or re-stamps a sealed
+// tree. Writers commit XQU updates persistently (shared structure): the
+// update's transform query is evaluated over the current snapshot
+// (structural sharing, input untouched), the result is adopted into the
+// next version of the chain with tree.PathCopy — copying only the spine
+// from each change to the root, aliasing every untouched subtree and
+// column chunk — and the new snapshot is published with a
+// compare-and-swap on the per-document version chain — optimistic
+// concurrency whose losers either retry (Apply) or surface a typed
+// conflict error (ApplyAt).
 //
 // Removal is itself a committed version: Remove publishes a tombstone
 // snapshot, so a commit racing with a removal loses the CAS and
@@ -92,33 +95,53 @@ func (s *Snapshot) Deleted() bool { return s.deleted() }
 // Open — the engine unwraps the tree directly.
 func (s *Snapshot) Open() (io.ReadCloser, error) { return s.root.Open() }
 
-// WriteXML serializes the snapshot to w.
-func (s *Snapshot) WriteXML(w io.Writer) error { return s.root.WriteXML(w) }
+// WriteXML serializes the snapshot to w, streaming straight from the
+// structure-of-arrays columns when the snapshot carries them.
+func (s *Snapshot) WriteXML(w io.Writer) error {
+	if s.ix != nil && s.ix.Cols() != nil {
+		return s.ix.WriteXML(w)
+	}
+	return s.root.WriteXML(w)
+}
 
-// NumNodes returns the number of nodes in the snapshot.
+// NumNodes returns the number of live nodes in the snapshot — the count
+// reachable from its root. Along a path-copied version chain this is
+// smaller than the chain's ordinal-space width (replaced nodes leave
+// holes until compaction renumbers).
 func (s *Snapshot) NumNodes() int {
 	if s.ix == nil {
 		return 0
+	}
+	if s.ix.Live > 0 {
+		return s.ix.Live
 	}
 	return s.ix.NumNodes
 }
 
 // Commit describes one successful write: the snapshot it produced and
-// what the copy-on-write adoption cost.
+// what the persistent (shared-structure) adoption cost.
 type Commit struct {
 	// Version of the snapshot the write produced.
 	Version uint64
-	// CopiedNodes and CopiedBytes are the size of the snapshot copy the
-	// commit performed — zero for a no-op update (nothing matched: the
-	// new version shares the predecessor's whole tree) and for adopted
-	// ingests.
+	// CopiedNodes and CopiedBytes are the materialization cost of the
+	// commit: the nodes newly copied (for a path-copied update, only
+	// the spine from each change to the root plus inserted content) and
+	// the heap bytes they retain together with the column chunks copied
+	// for the new version. Zero for a no-op update (nothing matched:
+	// the new version shares the predecessor's whole tree) and for
+	// adopted ingests.
 	CopiedNodes int
 	CopiedBytes int64
-	// SharedWithPrev counts result nodes the update's evaluation reused
-	// from the previous snapshot before adoption copied them — the
-	// "touches only the relevant region" number: the copy-on-write
-	// evaluation only built the difference.
+	// SharedWithPrev counts result nodes the new version kept from the
+	// previous snapshot by reference — the "touches only the relevant
+	// region" number. A no-op update shares the whole tree.
 	SharedWithPrev int
+	// CopiedChunks and SharedChunks report chunk-level structure
+	// sharing between the new version's columns and the previous
+	// snapshot's: how many chunks the commit allocated or rewrote
+	// versus aliased untouched. A no-op update shares every chunk.
+	CopiedChunks int
+	SharedChunks int
 }
 
 // docState is the per-name version chain head plus the recent-history
@@ -516,7 +539,7 @@ func (st *Store) Put(name string, doc *tree.Node, adopt bool) (*Snapshot, Commit
 		// copy in both cases. A sealed owner (e.g. re-ingesting another
 		// snapshot) seeds the symbol table, so its labels keep their ids
 		// and the copy walk skips the intern lookups.
-		root, ix, cs = tree.SnapshotCopy(doc, owner)
+		root, ix, cs = tree.Freeze(doc, owner)
 	}
 	ds := st.state(name)
 	if st.dur != nil {
@@ -529,7 +552,10 @@ func (st *Store) Put(name string, doc *tree.Node, adopt bool) (*Snapshot, Commit
 		if old != nil {
 			next.version = old.version + 1
 		}
-		com := Commit{Version: next.version, CopiedNodes: cs.Nodes, CopiedBytes: cs.Bytes}
+		com := Commit{
+			Version: next.version, CopiedNodes: cs.Nodes, CopiedBytes: cs.Bytes,
+			CopiedChunks: cs.CopiedChunks, SharedChunks: cs.SharedChunks,
+		}
 		ev := CommitEvent{Name: name, Kind: CommitPut, Version: next.version, Snap: next, PrevSnap: old}
 		if old != nil {
 			ev.Prev = old.version
@@ -632,11 +658,18 @@ func (st *Store) apply(ctx context.Context, name string, c *core.Compiled, m cor
 		}
 		if noop {
 			next.root, next.ix = snap.root, snap.ix
+			// Nothing was copied; the stats still say what was shared —
+			// the whole previous tree, every chunk.
+			com.SharedWithPrev = snap.NumNodes()
+			if cols := snap.ix.Cols(); cols != nil {
+				com.SharedChunks = cols.NumChunks()
+			}
 		} else {
 			var cs tree.CopyStats
-			next.root, next.ix, cs = tree.SnapshotCopy(out, snap.ix)
+			next.root, next.ix, cs = tree.PathCopy(out, snap.ix)
 			com.CopiedNodes, com.CopiedBytes = cs.Nodes, cs.Bytes
 			com.SharedWithPrev = cs.SharedWithBase
+			com.CopiedChunks, com.SharedChunks = cs.CopiedChunks, cs.SharedChunks
 		}
 
 		ev := CommitEvent{

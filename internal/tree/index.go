@@ -20,7 +20,7 @@ import "sync"
 // reading another document's ordinals. Do not index a tree concurrently
 // with evaluations over another tree that shares nodes with it.
 //
-// A sealed Index (see Seal and SnapshotCopy) is the exception to the
+// A sealed Index (see Seal, Freeze and PathCopy) is the exception to the
 // stealing rule: its nodes are permanently owned — indexing a tree that
 // shares subtrees with a sealed document skips those subtrees instead of
 // stealing them, and DropIndex is a no-op. Sealing is what makes
@@ -33,16 +33,44 @@ type Index struct {
 	// (plus any symbols interned by the builder before the freeze). It is
 	// frozen: treat as read-only.
 	Syms *Symbols
-	// NumNodes is the number of nodes numbered: ordinals are
-	// 0..NumNodes-1, with the document node at 0.
+	// NumNodes is the width of the ordinal space: every ordinal the
+	// index can hand out is in 0..NumNodes-1, which is what sizes the
+	// evaluators' per-ordinal annotation arrays. For a freshly indexed
+	// or frozen document ordinals are a dense preorder numbering with
+	// the document node at 0; for later versions of a path-copied chain
+	// the numbering keeps preorder density per version's new nodes only
+	// — replaced ordinals become holes, new nodes append at the tail —
+	// so NumNodes can exceed the live node count (see Live).
 	NumNodes int
+	// Live is the number of nodes actually reachable from Root. Equal
+	// to NumNodes for freshly indexed documents; after path copies it
+	// lags NumNodes by the dead (replaced) ordinals still occupying the
+	// numbering. Zero for indexes built before sealing (use NumNodes).
+	Live int
 	// sealed marks the index (and every node it owns) immutable: the
 	// nodes can never be re-stamped by a later indexing and the index can
 	// never be dropped. It is written only before the tree is published
 	// to other goroutines (Seal's contract), so the lock-free fast paths
 	// may read it without synchronization.
 	sealed bool
+	// cols is the structure-of-arrays view of a sealed snapshot (nil for
+	// plain evaluation indexes and for sealed trees containing foreign
+	// sealed subtrees, which keep the pointer-walk paths).
+	cols *Cols
+	// chain identifies the persistent version chain this sealed snapshot
+	// belongs to: every version produced from it by PathCopy shares the
+	// same chain pointer, and epoch counts the version's distance from
+	// the chain's freeze. Membership (OrdOf) accepts nodes stamped by
+	// any ancestor version — the aliased, unchanged subtrees a path copy
+	// shares by reference — because their ordinals and symbols are
+	// stable across the chain. nil for non-chain indexes.
+	chain *chainID
+	epoch int32
 }
+
+// chainID is an identity token shared by every version of one
+// path-copied document chain; only its pointer matters.
+type chainID struct{ _ byte }
 
 // Sealed reports whether the index is sealed — owned by an immutable
 // snapshot whose nodes can never be stolen or mutated.
@@ -169,6 +197,21 @@ func Seal(doc *Node) *Index {
 		ix = indexWithLocked(doc, NewSymbols())
 	}
 	ix.sealed = true
+	if ix.Live == 0 {
+		ix.Live = ix.NumNodes
+	}
+	// Adopt the tree into the structure-of-arrays core: one array-fill
+	// walk reusing the stamped ordinals turns the sealed snapshot into
+	// the chunked columnar form that path-copy commits share structure
+	// with. Trees containing foreign sealed subtrees are not fully
+	// stamped and stay pointer-only (cols nil); PathCopy falls back to a
+	// Freeze for them.
+	if ix.cols == nil {
+		ix.cols = buildCols(ix)
+	}
+	if ix.chain == nil && ix.cols != nil {
+		ix.chain = &chainID{}
+	}
 	return ix
 }
 
@@ -244,24 +287,45 @@ func DropIndex(doc *Node) {
 // index. Nodes of other documents — including nodes this document shares
 // with a more recently indexed tree — report false, which the evaluators
 // treat as "use the slow path".
+//
+// For a path-copied version chain, nodes stamped by an ancestor version
+// are members too: a path copy aliases every untouched subtree from the
+// previous snapshot, and those nodes keep their ordinal (the chain's
+// numbering is shared) and their symbol ids (the chain's table only
+// grows). Nodes stamped by a *later* version are not members — they do
+// not exist in this version's tree.
 func (ix *Index) OrdOf(n *Node) (int32, bool) {
-	if n.idx.Load() == ix {
+	o := n.idx.Load()
+	if o == ix {
+		return n.ord, true
+	}
+	if o != nil && ix.chain != nil && o.chain == ix.chain && o.epoch <= ix.epoch {
 		return n.ord, true
 	}
 	return 0, false
 }
 
-// Contains reports membership of n in this index.
-func (ix *Index) Contains(n *Node) bool { return n.idx.Load() == ix }
+// Contains reports membership of n in this index (chain-aware, like
+// OrdOf).
+func (ix *Index) Contains(n *Node) bool {
+	o := n.idx.Load()
+	if o == ix {
+		return true
+	}
+	return o != nil && ix.chain != nil && o.chain == ix.chain && o.epoch <= ix.epoch
+}
 
-// SymOf returns n's label symbol in this index's table. For members the
-// stamped Sym is trusted; foreign nodes (shared subtrees stolen by a more
-// recent indexing, whose Sym fields point into another table) are
+// SymOf returns n's label symbol in this index's table. For members —
+// including nodes stamped by an ancestor version of the same chain,
+// whose ids are stable because the chain's table only grows — the
+// stamped Sym is trusted; foreign nodes (shared subtrees stolen by a
+// more recent indexing, whose Sym fields point into another table) are
 // resolved by name — NoSym when this table has never seen the label.
 // Evaluators must use this, never a raw n.Sym, when stepping automata
 // bound to ix.Syms: symbol ids are only comparable within one table.
 func (ix *Index) SymOf(n *Node) SymID {
-	if n.idx.Load() == ix {
+	o := n.idx.Load()
+	if o == ix || (o != nil && ix.chain != nil && o.chain == ix.chain && o.epoch <= ix.epoch) {
 		return n.Sym
 	}
 	return ix.Syms.Lookup(n.Label)

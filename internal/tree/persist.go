@@ -1,0 +1,201 @@
+package tree
+
+// PathCopy is the persistent (shared-structure) commit path of the
+// versioned store: given the result of evaluating an update over a
+// sealed snapshot — a tree whose untouched subtrees are the previous
+// version's own nodes, shared by reference — it adopts only the new
+// nodes (the spine from each change to the root, plus inserted
+// content) into the next version of the chain, aliasing everything
+// else. The new version shares the previous version's column chunks,
+// node arenas, and symbol table; commit cost is O(|delta|) instead of
+// the Θ(|T|) a full Freeze pays.
+//
+// How a version is built:
+//
+//   - Nodes of out that prev owns (chain membership, OrdOf) are kept by
+//     reference: their subtree, ordinals, and column rows carry over
+//     untouched. The four update operations never duplicate or move a
+//     source subtree, so a member node appears at most once in out and
+//     its links are unambiguous.
+//   - Every other node is copied into the version's arena and appended
+//     at the tail of the chain's ordinal space. Copying (rather than
+//     stamping out's nodes in place) matters: evaluators alias query
+//     constants (the insert/replace element) into their output, and
+//     those may be shared across commits.
+//   - Aliased children of new nodes get link fixups: their parent
+//     ordinal (the parent was re-created) and, where siblings changed
+//     around them, their next-sibling ordinal. Fixups copy only the
+//     touched link-column chunks (~1KB each).
+//
+// Replaced ordinals become holes: NumNodes (the width the evaluators
+// size their annotation arrays by) only grows along a chain, while Live
+// tracks the reachable count. When the width exceeds compactMinWidth
+// and twice the live count, PathCopy falls back to a full Freeze that
+// starts a fresh, dense chain — bounding both ordinal-space growth and
+// the retention of dead nodes pinned by shared chunks.
+//
+// prev must be a sealed columnar snapshot (Freeze, or Seal over a fully
+// owned tree); anything else falls back to Freeze.
+func PathCopy(out *Node, prev *Index) (*Node, *Index, CopyStats) {
+	if prev == nil || !prev.sealed || prev.cols == nil || prev.chain == nil {
+		return Freeze(out, prev)
+	}
+	if _, ok := prev.OrdOf(out); ok {
+		// The evaluation returned the previous root itself: nothing
+		// changed, the "new" version is the old one in full.
+		return out, prev, CopyStats{
+			SharedWithBase: prev.Live,
+			SharedChunks:   prev.cols.NumChunks(),
+		}
+	}
+
+	ix := &Index{
+		Root:   nil, // set below
+		sealed: true,
+		chain:  prev.chain,
+		epoch:  prev.epoch + 1,
+	}
+	// The chain's symbol table is reused by pointer while the commit
+	// introduces no new labels or attribute names, so symbol ids stay
+	// comparable across every version of the chain; the first genuinely
+	// new name clones it (ids of existing symbols are preserved).
+	syms := prev.Syms
+	cloned := false
+	intern := func(name string) SymID {
+		if id := syms.Lookup(name); id != NoSym {
+			return id
+		}
+		if !cloned {
+			syms = prev.Syms.Clone()
+			cloned = true
+		}
+		return syms.Intern(name)
+	}
+
+	b := newColsBuilder(prev.cols)
+	ar := &arena{}
+	start := int32(prev.NumNodes)
+	next := start
+	var stats CopyStats
+
+	// Per-new-node records for the post-walk subtree-size accumulation:
+	// parent ordinal and size, indexed by ord-start.
+	var parents, sizes []int32
+
+	alloc := func(src *Node) (*Node, int32) {
+		dst := ar.alloc(src)
+		ord := next
+		next++
+		b.grow(next)
+		stats.Nodes++
+		stats.Bytes += nodeBytes + int64(len(dst.Attrs))*attrBytes
+		if dst.Kind == Element {
+			if !syms.covers(dst.Sym, dst.Label) {
+				dst.Sym = intern(dst.Label)
+			}
+			for i := range dst.Attrs {
+				intern(dst.Attrs[i].Name)
+			}
+		}
+		dst.ord = ord
+		dst.idx.Store(ix)
+		parents = append(parents, NilOrd)
+		sizes = append(sizes, 1)
+		return dst, ord
+	}
+
+	type frame struct {
+		src       *Node // node in out (not a member of prev)
+		dst       *Node // its arena copy
+		ord       int32
+		parentOrd int32
+		nextOrd   int32 // next-sibling ordinal (NilOrd for last child)
+	}
+
+	root, rootOrd := alloc(out)
+	stack := []frame{{out, root, rootOrd, NilOrd, NilOrd}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		parents[f.ord-start] = f.parentOrd
+
+		nc := len(f.src.Children)
+		first := NilOrd
+		if nc > 0 {
+			f.dst.Children = make([]*Node, nc)
+			stats.Bytes += int64(nc) * ptrBytes
+			// First pass: resolve every child to (node, ordinal), so
+			// sibling links are known before any row is written.
+			ords := make([]int32, nc)
+			for i, ch := range f.src.Children {
+				if co, ok := prev.OrdOf(ch); ok {
+					f.dst.Children[i] = ch
+					ords[i] = co
+					csz := prev.cols.sizeAt(co)
+					sizes[f.ord-start] += csz
+					stats.SharedWithBase += int(csz)
+					continue
+				}
+				cd, co := alloc(ch)
+				f.dst.Children[i] = cd
+				ords[i] = co
+			}
+			first = ords[0]
+			// Second pass: aliased children get their (changed) parent
+			// and sibling links rewritten in place in the columns; new
+			// children get frames carrying theirs.
+			for i := nc - 1; i >= 0; i-- {
+				sib := NilOrd
+				if i+1 < nc {
+					sib = ords[i+1]
+				}
+				ch := f.dst.Children[i]
+				if ords[i] < start {
+					b.setParent(ords[i], f.ord)
+					b.setNext(ords[i], sib)
+					continue
+				}
+				stack = append(stack, frame{f.src.Children[i], ch, ords[i], f.ord, sib})
+			}
+		}
+		b.setRow(f.ord, f.dst, f.parentOrd, first, f.nextOrd, 1)
+	}
+
+	// Sizes bottom-up: a new node's ordinal is always larger than its
+	// new parent's (children are allocated while their parent's frame is
+	// processed), so a reverse scan accumulates each subtree before its
+	// parent. All new rows sit in fresh tail chunks — in-place writes.
+	c := b.c
+	for i := int32(len(sizes)) - 1; i >= 0; i-- {
+		if p := parents[i]; p >= start {
+			sizes[p-start] += sizes[i]
+		}
+		ord := start + i
+		c.size[ord>>ChunkShift][ord&chunkMask] = sizes[i]
+	}
+
+	live := int(sizes[0])
+	width := int(next)
+	if width > compactMinWidth && width > 2*live {
+		// The chain's ordinal space has outgrown its live tree: dead
+		// ordinals dominate, which bloats every per-ordinal evaluator
+		// array and pins dead nodes via shared chunks. Renumber into a
+		// fresh, dense chain. The arena copies built above become
+		// garbage; correctness is unaffected (out was never stamped).
+		return Freeze(out, prev)
+	}
+
+	ix.Root = root
+	ix.Syms = syms
+	ix.NumNodes = width
+	ix.Live = live
+	ix.cols = b.finish()
+	stats.Bytes += b.bytes
+	stats.CopiedChunks, stats.SharedChunks = b.chunkStats()
+	return root, ix, stats
+}
+
+// compactMinWidth is the ordinal-space width below which PathCopy never
+// compacts: small documents can tolerate any dead ratio, and the
+// threshold keeps commit cost stable for them.
+const compactMinWidth = 4096

@@ -1,0 +1,361 @@
+package tree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// rebuild returns a tree that shares every subtree of n except the
+// spine down to target, which is re-created with fresh (unstamped)
+// nodes — exactly the shape the topDown evaluator's output has for a
+// single-site update. f maps the target to its replacement; returning
+// nil deletes it.
+func rebuild(n, target *Node, f func(*Node) *Node) (*Node, bool) {
+	if n == target {
+		return f(n), true
+	}
+	for i, c := range n.Children {
+		r, hit := rebuild(c, target, f)
+		if !hit {
+			continue
+		}
+		cp := shallowCopy(n)
+		cp.Children = make([]*Node, len(n.Children))
+		copy(cp.Children, n.Children)
+		if r == nil {
+			cp.Children = append(cp.Children[:i], cp.Children[i+1:]...)
+		} else {
+			cp.Children[i] = r
+		}
+		return cp, true
+	}
+	return n, false
+}
+
+// rename returns the single-site rename output over root.
+func renameOut(t *testing.T, root, target *Node, label string) *Node {
+	t.Helper()
+	out, hit := rebuild(root, target, func(n *Node) *Node {
+		cp := shallowCopy(n)
+		cp.Label = label
+		cp.Sym = NoSym
+		cp.Children = n.Children
+		return cp
+	})
+	if !hit {
+		t.Fatal("rename target not under root")
+	}
+	return out
+}
+
+func serialize(t *testing.T, ix *Index) string {
+	t.Helper()
+	var b strings.Builder
+	if err := ix.WriteXML(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestPathCopySharesUntouchedSubtrees(t *testing.T) {
+	root, prev, _ := Freeze(buildTestDoc(), nil)
+	prevXML := root.String()
+
+	// Rename the second <part> — the first part's subtree must survive
+	// by reference, not by copy.
+	target := root.Root().Children[1]
+	out := renameOut(t, root, target, "spare")
+
+	newRoot, ix, stats := PathCopy(out, prev)
+	want := strings.Replace(prevXML, "<part><pname>gadget</pname></part>",
+		"<spare><pname>gadget</pname></spare>", 1)
+	if newRoot.String() != want {
+		t.Fatalf("unexpected result: %s, want %s", newRoot, want)
+	}
+	// Previous snapshot untouched, bytes and structure.
+	if root.String() != prevXML || serialize(t, prev) != prevXML {
+		t.Fatal("path copy disturbed the previous snapshot")
+	}
+	// The untouched first part is the same pointer in both versions.
+	if newRoot.Root().Children[0] != root.Root().Children[0] {
+		t.Fatal("untouched subtree was copied instead of aliased")
+	}
+	if shared := SharedNodes(root, newRoot); shared == 0 {
+		t.Fatal("no structural sharing between versions")
+	}
+	// Copied: document, db, renamed part (+ its aliased children stay).
+	if stats.Nodes != 3 {
+		t.Fatalf("CopyStats.Nodes = %d, want 3 (spine only)", stats.Nodes)
+	}
+	if stats.SharedWithBase == 0 {
+		t.Fatal("no shared-with-base accounting")
+	}
+	// Chain bookkeeping: width grew by the spine, live count unchanged.
+	if ix.Live != prev.Live {
+		t.Fatalf("Live = %d, want %d", ix.Live, prev.Live)
+	}
+	if ix.NumNodes != prev.NumNodes+3 {
+		t.Fatalf("NumNodes = %d, want %d", ix.NumNodes, prev.NumNodes+3)
+	}
+	// The SoA serialization of the new version matches the pointer walk.
+	if serialize(t, ix) != newRoot.String() {
+		t.Fatal("column serialization diverges from pointer serialization")
+	}
+}
+
+func TestPathCopyChainMembership(t *testing.T) {
+	root, prev, _ := Freeze(buildTestDoc(), nil)
+	target := root.Root().Children[0]
+	out := renameOut(t, root, target, "renamed")
+	newRoot, ix, _ := PathCopy(out, prev)
+
+	// Aliased nodes are members of both versions with the same ordinal.
+	kept := newRoot.Root().Children[1]
+	o1, ok1 := prev.OrdOf(kept)
+	o2, ok2 := ix.OrdOf(kept)
+	if !ok1 || !ok2 || o1 != o2 {
+		t.Fatalf("aliased node membership: prev (%d,%v) new (%d,%v)", o1, ok1, o2, ok2)
+	}
+	// New nodes are members of the new version only.
+	if _, ok := prev.OrdOf(newRoot); ok {
+		t.Fatal("previous version claims the new root")
+	}
+	if _, ok := ix.OrdOf(newRoot); !ok {
+		t.Fatal("new version does not own its root")
+	}
+	// Labels unchanged in the chain keep their symbol ids; the rename
+	// interned a new label without touching the previous table.
+	if prev.Syms.Lookup("renamed") != NoSym {
+		t.Fatal("path copy interned into the frozen previous table")
+	}
+	if ix.Syms.Lookup("renamed") == NoSym {
+		t.Fatal("new label not interned")
+	}
+	if got, want := ix.Syms.Lookup("pname"), prev.Syms.Lookup("pname"); got != want {
+		t.Fatalf("stable symbol drifted: %d != %d", got, want)
+	}
+	// SymOf on an aliased node against the new index trusts the stamp.
+	pn := kept.Children[0]
+	if ix.SymOf(pn) != ix.Syms.Lookup("pname") {
+		t.Fatal("SymOf wrong for aliased chain member")
+	}
+
+	// A commit with no new names reuses the previous table by pointer.
+	out2 := renameOut(t, newRoot, newRoot.Root().Children[1], "renamed")
+	_, ix2, _ := PathCopy(out2, ix)
+	if ix2.Syms != ix.Syms {
+		t.Fatal("table cloned although no new symbols were interned")
+	}
+}
+
+func TestPathCopyLinkFixups(t *testing.T) {
+	root, prev, _ := Freeze(buildTestDoc(), nil)
+	// Delete the first <part>: the second part stays aliased but its
+	// parent (db) is new, and it becomes db's first child.
+	target := root.Root().Children[0]
+	out, hit := rebuild(root, target, func(*Node) *Node { return nil })
+	if !hit {
+		t.Fatal("delete target not found")
+	}
+	newRoot, ix, _ := PathCopy(out, prev)
+
+	kept := newRoot.Root().Children[0]
+	po, ok := ix.ParentOf(kept)
+	if !ok {
+		t.Fatal("kept node has no parent link")
+	}
+	dbOrd, _ := ix.OrdOf(newRoot.Root())
+	if po != dbOrd {
+		t.Fatalf("parent link = %d, want new db ordinal %d", po, dbOrd)
+	}
+	// The previous version's links are untouched: its db still has the
+	// deleted part as first child.
+	if serialize(t, prev) != root.String() {
+		t.Fatal("previous version serialization changed")
+	}
+	if serialize(t, ix) != newRoot.String() {
+		t.Fatal("column serialization diverges after delete")
+	}
+	// Live shrank by the deleted subtree.
+	if want := root.Size() - target.Size(); ix.Live != want {
+		t.Fatalf("Live = %d, want %d", ix.Live, want)
+	}
+}
+
+func TestPathCopyNoopReturnsPrev(t *testing.T) {
+	root, prev, _ := Freeze(buildTestDoc(), nil)
+	r, ix, stats := PathCopy(root, prev)
+	if r != root || ix != prev {
+		t.Fatal("no-op path copy built a new version")
+	}
+	if stats.Nodes != 0 || stats.CopiedChunks != 0 || stats.SharedChunks == 0 {
+		t.Fatalf("no-op stats: %+v", stats)
+	}
+}
+
+func TestPathCopyCompaction(t *testing.T) {
+	// Grow a document past compactMinWidth, then repeatedly replace its
+	// bulk subtree: the ordinal space fills with dead nodes until the
+	// width exceeds twice the live count and PathCopy renumbers into a
+	// fresh chain.
+	bulk := NewElement("bulk")
+	for i := 0; i < compactMinWidth; i++ {
+		bulk.Append(NewElement("x"))
+	}
+	doc := NewDocument(NewElement("db", bulk, NewElement("tag")))
+	root, ix, _ := Freeze(doc, nil)
+	chain0 := ix.chain
+
+	compacted := false
+	for i := 0; i < 4 && !compacted; i++ {
+		// Replace the bulk subtree wholesale (fresh nodes).
+		nb := NewElement("bulk")
+		for j := 0; j < compactMinWidth; j++ {
+			nb.Append(NewElement("y"))
+		}
+		out, hit := rebuild(root, root.Root().Children[0], func(*Node) *Node { return nb })
+		if !hit {
+			t.Fatal("bulk not found")
+		}
+		var stats CopyStats
+		root, ix, stats = PathCopy(out, ix)
+		if ix.NumNodes < ix.Live {
+			t.Fatalf("width %d below live %d", ix.NumNodes, ix.Live)
+		}
+		if ix.chain != chain0 {
+			compacted = true
+			if ix.NumNodes != ix.Live {
+				t.Fatalf("compacted chain not dense: width %d live %d", ix.NumNodes, ix.Live)
+			}
+			if stats.SharedChunks != 0 {
+				t.Fatal("compaction claims chunk sharing")
+			}
+		}
+		if serialize(t, ix) != root.String() {
+			t.Fatalf("round %d: column serialization diverges", i)
+		}
+	}
+	if !compacted {
+		t.Fatal("compaction never triggered")
+	}
+}
+
+// TestPathCopyRandomEdits drives a long chain of random single-site
+// renames, deletes and subtree insertions, checking after every commit
+// that the column serialization matches the pointer walk, the previous
+// version is byte-stable, and live counts agree with a full recount.
+func TestPathCopyRandomEdits(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	doc := Generate(rng, DefaultGenOptions())
+	root, ix, _ := Freeze(doc, nil)
+
+	collect := func(n *Node) []*Node {
+		var all []*Node
+		stack := []*Node{n}
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			all = append(all, x)
+			stack = append(stack, x.Children...)
+		}
+		return all
+	}
+
+	for i := 0; i < 60; i++ {
+		prevXML := root.String()
+		all := collect(root)
+		target := all[rng.Intn(len(all))]
+		if target == root {
+			continue
+		}
+		var out *Node
+		var hit bool
+		switch rng.Intn(3) {
+		case 0: // rename (elements only)
+			if target.Kind != Element {
+				continue
+			}
+			out = renameOut(t, root, target, "r"+string(rune('a'+rng.Intn(26))))
+			hit = true
+		case 1: // delete
+			out, hit = rebuild(root, target, func(*Node) *Node { return nil })
+		case 2: // insert a small fresh subtree as last child
+			if target.Kind == Text {
+				continue
+			}
+			out, hit = rebuild(root, target, func(n *Node) *Node {
+				cp := shallowCopy(n)
+				cp.Children = make([]*Node, len(n.Children), len(n.Children)+1)
+				copy(cp.Children, n.Children)
+				cp.Children = append(cp.Children, NewElement("ins", NewText("v")))
+				return cp
+			})
+		}
+		if !hit {
+			continue
+		}
+		prevIx := ix
+		var newRoot *Node
+		newRoot, ix, _ = PathCopy(out, ix)
+		if serialize(t, prevIx) != prevXML {
+			t.Fatalf("commit %d: previous version changed", i)
+		}
+		if got := serialize(t, ix); got != newRoot.String() {
+			t.Fatalf("commit %d: columns %q != pointers %q", i, got, newRoot.String())
+		}
+		if ix.Live != newRoot.Size() {
+			t.Fatalf("commit %d: Live %d != recount %d", i, ix.Live, newRoot.Size())
+		}
+		root = newRoot
+	}
+}
+
+func TestFreezeBuildsColumns(t *testing.T) {
+	root, ix, stats := Freeze(buildTestDoc(), nil)
+	cols := ix.Cols()
+	if cols == nil {
+		t.Fatal("freeze built no columns")
+	}
+	if int(cols.Width()) != ix.NumNodes {
+		t.Fatalf("width %d != NumNodes %d", cols.Width(), ix.NumNodes)
+	}
+	if stats.CopiedChunks != cols.NumChunks() || stats.SharedChunks != 0 {
+		t.Fatalf("freeze chunk stats: %+v", stats)
+	}
+	// NodeAt inverts OrdOf for every node.
+	stack := []*Node{root}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		ord, ok := ix.OrdOf(n)
+		if !ok || ix.NodeAt(ord) != n {
+			t.Fatalf("NodeAt(%d) does not invert OrdOf", ord)
+		}
+		ref, ok := ix.Ref(n)
+		if !ok || ref.Node() != n {
+			t.Fatal("NodeRef round trip failed")
+		}
+		if sz, ok := ix.SizeOf(n); !ok || int(sz) != n.Size() {
+			t.Fatalf("SizeOf = %d, want %d", sz, n.Size())
+		}
+		stack = append(stack, n.Children...)
+	}
+	if serialize(t, ix) != root.String() {
+		t.Fatal("column serialization diverges from pointer serialization")
+	}
+}
+
+func TestSealBuildsColumns(t *testing.T) {
+	doc := buildTestDoc()
+	ix := Seal(doc)
+	if ix.Cols() == nil {
+		t.Fatal("Seal did not build columns for a fully owned tree")
+	}
+	if ix.Live != ix.NumNodes {
+		t.Fatalf("Live = %d, want %d", ix.Live, ix.NumNodes)
+	}
+	if serialize(t, ix) != doc.String() {
+		t.Fatal("sealed column serialization diverges")
+	}
+}

@@ -2,31 +2,43 @@ package tree
 
 import "unsafe"
 
-// This file holds the copy-on-write helpers behind the versioned
-// document store: committing an update evaluates the transform over the
-// current snapshot (structural sharing, never mutating), then adopts the
-// result into a fresh, fully-owned, sealed snapshot with SnapshotCopy.
-// The shared subtrees must be copied — they are owned by the previous
-// snapshot's sealed index, which live lock-free readers are using — and
-// the copy is where a commit pays its Θ(|T|); CopyStats makes that cost
-// observable (the store's commit metrics and the xbench -store sweep
-// report it).
+// This file holds the freeze half of the versioned document store's
+// snapshot machinery: adopting an arbitrary tree into a fresh, fully
+// owned, sealed, columnar snapshot that starts a new version chain.
+// Commits against an existing chain take the cheap path instead —
+// PathCopy (persist.go) copies only the spine the update touched and
+// shares every other chunk with the previous version. Freeze remains
+// the Θ(|T|) entry point: first ingestion of a document, adoption of
+// trees that share nodes with other sealed snapshots, and the
+// compaction fallback that renumbers a chain whose ordinal space has
+// grown past twice its live size.
 
-// CopyStats reports the work of one SnapshotCopy.
+// CopyStats reports the work of one Freeze or PathCopy.
 type CopyStats struct {
-	// Nodes is the number of nodes copied (every node of the new
-	// snapshot: snapshots never share nodes with their predecessors).
+	// Nodes is the number of nodes copied: every node of the new
+	// snapshot for a Freeze, only the new (spine and inserted) nodes
+	// for a PathCopy.
 	Nodes int
-	// Bytes approximates the heap bytes retained by the copy: the node
-	// structs plus attribute slices. Label and character-data strings
-	// are shared with the source (Go strings are immutable), so they are
-	// not counted.
+	// Bytes approximates the heap bytes newly retained by the copy: the
+	// node structs, attribute and child slices, and the column chunks
+	// allocated or copy-on-write-copied for the new version. Label and
+	// character-data strings are shared with the source (Go strings are
+	// immutable), so they are not counted.
 	Bytes int64
-	// SharedWithBase counts source nodes owned by the base index — for a
-	// commit, how much of the update's result the copy-on-write
-	// evaluation reused from the previous snapshot. Zero when no base
-	// was given.
+	// SharedWithBase counts source nodes reused from the base index by
+	// reference — for a commit, how much of the update's result the
+	// copy-on-write evaluation kept of the previous snapshot. A Freeze
+	// copies those nodes anyway (it only counts them); a PathCopy
+	// aliases them.
 	SharedWithBase int
+	// CopiedChunks and SharedChunks report chunk-level sharing of the
+	// structure-of-arrays columns with the previous version: of the new
+	// snapshot's chunks, how many this construction allocated or wrote
+	// (CopiedChunks) versus aliased untouched from the base
+	// (SharedChunks). A Freeze shares nothing; a no-op path copy shares
+	// everything.
+	CopiedChunks int
+	SharedChunks int
 }
 
 // nodeBytes is the approximate retained size of one copied node.
@@ -35,15 +47,48 @@ const nodeBytes = int64(unsafe.Sizeof(Node{}))
 // attrBytes is the approximate retained size of one copied attribute.
 const attrBytes = int64(unsafe.Sizeof(Attr{}))
 
-// SnapshotCopy deep-copies the subtree rooted at src into a fresh tree
-// that shares no nodes with any other document, indexing and sealing it
-// in the same walk: every copied node is stamped with its preorder
-// ordinal, labels and attribute names are interned, and the resulting
-// index is sealed before it is returned — ready to be published (via an
-// atomic pointer) to lock-free readers.
+// ptrBytes is the retained size of one child-slice entry.
+const ptrBytes = int64(unsafe.Sizeof((*Node)(nil)))
+
+// arena allocates the nodes of one snapshot version in ChunkSize runs,
+// so a version's new nodes are contiguous in memory (cache-friendly
+// scans) and a node's identity is its slot in a chunk — stable for as
+// long as any later version aliases it. The atomic idx field of each
+// node is written exactly once, before the snapshot is published.
+type arena struct {
+	chunks [][]Node
+	n      int
+}
+
+// alloc copies src's payload (kind, label, data, attributes — never the
+// children or the index stamp) into the next arena slot.
+func (a *arena) alloc(src *Node) *Node {
+	if a.n&chunkMask == 0 {
+		a.chunks = append(a.chunks, make([]Node, ChunkSize))
+	}
+	dst := &a.chunks[len(a.chunks)-1][a.n&chunkMask]
+	a.n++
+	dst.Kind = src.Kind
+	dst.Sym = src.Sym
+	dst.Label = src.Label
+	dst.Data = src.Data
+	if len(src.Attrs) > 0 {
+		dst.Attrs = make([]Attr, len(src.Attrs))
+		copy(dst.Attrs, src.Attrs)
+	}
+	return dst
+}
+
+// Freeze deep-copies the subtree rooted at src into a fresh, arena-
+// backed tree that shares no nodes with any other document, indexing
+// and sealing it in the same pass: every copied node is stamped with
+// its preorder ordinal, labels and attribute names are interned, the
+// structure-of-arrays columns are built, and the resulting index starts
+// a new version chain — ready to be published (via an atomic pointer)
+// to lock-free readers and to serve as the base of PathCopy commits.
 //
 // base, when non-nil, is the index of the document src derives from
-// (for a commit, the previous snapshot): its frozen symbol table is
+// (for a compaction, the previous snapshot): its frozen symbol table is
 // cloned so symbols stamped on nodes copied from it keep their ids and
 // the walk skips the intern lookup for them, and the same pass counts
 // how many source nodes base owns (CopyStats.SharedWithBase).
@@ -51,13 +96,14 @@ const attrBytes = int64(unsafe.Sizeof(Attr{}))
 // src itself is only read, never written, so it may share subtrees with
 // a live sealed snapshot (the intended input is exactly the structurally
 // sharing result of evaluating an update over one).
-func SnapshotCopy(src *Node, base *Index) (*Node, *Index, CopyStats) {
+func Freeze(src *Node, base *Index) (*Node, *Index, CopyStats) {
 	syms := NewSymbols()
 	if base != nil {
 		syms = base.Syms.Clone()
 	}
 	var stats CopyStats
-	ix := &Index{Syms: syms, sealed: true}
+	ix := &Index{Syms: syms, sealed: true, chain: &chainID{}}
+	ar := &arena{}
 	ord := int32(0)
 	stamp := func(n *Node) {
 		n.ord = ord
@@ -75,34 +121,40 @@ func SnapshotCopy(src *Node, base *Index) (*Node, *Index, CopyStats) {
 		}
 	}
 
-	root := shallowCopy(src)
-	// Iterative walk mirroring DeepCopy, stamping each copy as it is
-	// popped with children pushed in reverse, so ordinals are assigned in
-	// strict preorder (document order) — the evaluators' ordinal-based
-	// anchoring and dedup rely on that order, not just on density.
+	root := ar.alloc(src)
+	// Iterative walk stamping each copy as it is popped with children
+	// pushed in reverse, so ordinals are assigned in strict preorder
+	// (document order) — the evaluators' ordinal-based anchoring and
+	// dedup rely on that order, not just on density.
 	type frame struct{ src, dst *Node }
 	stack := []frame{{src, root}}
 	for len(stack) > 0 {
 		f := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		stamp(f.dst)
-		if base != nil && f.src.idx.Load() == base {
+		if base != nil && base.Contains(f.src) {
 			stats.SharedWithBase++
 		}
 		if len(f.src.Children) == 0 {
 			continue
 		}
 		f.dst.Children = make([]*Node, len(f.src.Children))
-		stats.Bytes += int64(len(f.src.Children)) * int64(unsafe.Sizeof((*Node)(nil)))
+		stats.Bytes += int64(len(f.src.Children)) * ptrBytes
 		for i := len(f.src.Children) - 1; i >= 0; i-- {
 			ch := f.src.Children[i]
-			c := shallowCopy(ch)
+			c := ar.alloc(ch)
 			f.dst.Children[i] = c
 			stack = append(stack, frame{ch, c})
 		}
 	}
 	ix.Root = root
 	ix.NumNodes = int(ord)
+	ix.Live = int(ord)
+	ix.cols = buildCols(ix)
+	if ix.cols != nil {
+		stats.CopiedChunks = ix.cols.NumChunks()
+		stats.Bytes += int64(stats.CopiedChunks) * colsChunkBytes
+	}
 	return root, ix, stats
 }
 

@@ -21,11 +21,11 @@ func buildTestDoc() *Node {
 	)
 }
 
-func TestSnapshotCopyStructureAndIndependence(t *testing.T) {
+func TestFreezeStructureAndIndependence(t *testing.T) {
 	src := buildTestDoc()
 	EnsureIndex(src)
 
-	root, ix, stats := SnapshotCopy(src, nil)
+	root, ix, stats := Freeze(src, nil)
 	if !Equal(src, root) {
 		t.Fatalf("copy differs: got %s want %s", root, src)
 	}
@@ -50,16 +50,16 @@ func TestSnapshotCopyStructureAndIndependence(t *testing.T) {
 	}
 	// The source document's own index is untouched.
 	if got := IndexOf(src); got == nil || got == ix {
-		t.Fatal("source index was disturbed by SnapshotCopy")
+		t.Fatal("source index was disturbed by Freeze")
 	}
 }
 
-// TestSnapshotCopyPreorderOrdinals pins that ordinals are assigned in
+// TestFreezePreorderOrdinals pins that ordinals are assigned in
 // strict document order: compose's anchoring and dedup rely on ordinal
 // comparisons meaning document-order comparisons.
-func TestSnapshotCopyPreorderOrdinals(t *testing.T) {
+func TestFreezePreorderOrdinals(t *testing.T) {
 	src := buildTestDoc()
-	root, ix, _ := SnapshotCopy(src, nil)
+	root, ix, _ := Freeze(src, nil)
 	want := int32(0)
 	var walk func(n *Node)
 	var fail bool
@@ -79,10 +79,10 @@ func TestSnapshotCopyPreorderOrdinals(t *testing.T) {
 	}
 }
 
-func TestSnapshotCopyClonesBaseSymbols(t *testing.T) {
+func TestFreezeClonesBaseSymbols(t *testing.T) {
 	src := buildTestDoc()
 	baseIx := EnsureIndex(src)
-	root, ix, stats := SnapshotCopy(src, baseIx)
+	root, ix, stats := Freeze(src, baseIx)
 	if stats.SharedWithBase != src.Size() {
 		t.Fatalf("SharedWithBase = %d, want %d (every source node is base-owned)",
 			stats.SharedWithBase, src.Size())
@@ -110,7 +110,7 @@ func TestSnapshotCopyClonesBaseSymbols(t *testing.T) {
 // nodes owned by the snapshot and simply does not cover them.
 func TestIndexingSkipsSealedSubtrees(t *testing.T) {
 	src := buildTestDoc()
-	snapRoot, snapIx, _ := SnapshotCopy(src, nil)
+	snapRoot, snapIx, _ := Freeze(src, nil)
 
 	// Build a tree that shares the snapshot's first <part> subtree.
 	sharedPart := snapRoot.Root().Children[0]
@@ -140,7 +140,7 @@ func TestIndexingSkipsSealedSubtrees(t *testing.T) {
 
 func TestEnsureIndexOnSealedInteriorReturnsOwner(t *testing.T) {
 	src := buildTestDoc()
-	snapRoot, snapIx, _ := SnapshotCopy(src, nil)
+	snapRoot, snapIx, _ := Freeze(src, nil)
 	part := snapRoot.Root().Children[0]
 	if got := EnsureIndex(part); got != snapIx {
 		t.Fatalf("EnsureIndex(interior) = %p, want owner %p", got, snapIx)
@@ -149,7 +149,7 @@ func TestEnsureIndexOnSealedInteriorReturnsOwner(t *testing.T) {
 
 func TestDropIndexIsNoOpOnSealed(t *testing.T) {
 	src := buildTestDoc()
-	root, ix, _ := SnapshotCopy(src, nil)
+	root, ix, _ := Freeze(src, nil)
 	DropIndex(root)
 	if got := IndexOf(root); got != ix {
 		t.Fatal("DropIndex removed a sealed index")
@@ -187,7 +187,7 @@ func TestSealedOwner(t *testing.T) {
 	}
 
 	src := buildTestDoc()
-	snapRoot, snapIx, _ := SnapshotCopy(src, nil)
+	snapRoot, snapIx, _ := Freeze(src, nil)
 	if SealedOwner(snapRoot) != snapIx {
 		t.Fatal("sealed root not detected")
 	}
@@ -205,7 +205,7 @@ func TestSealedOwner(t *testing.T) {
 // field) this test fails under -race.
 func TestSealedConcurrentEnsureWhileIndexingSharingTree(t *testing.T) {
 	src := buildTestDoc()
-	snapRoot, snapIx, _ := SnapshotCopy(src, nil)
+	snapRoot, snapIx, _ := Freeze(src, nil)
 	part := snapRoot.Root().Children[0]
 
 	var wg sync.WaitGroup
@@ -238,14 +238,14 @@ func TestSealedConcurrentEnsureWhileIndexingSharingTree(t *testing.T) {
 	wg.Wait()
 }
 
-func TestSnapshotCopyDeepChain(t *testing.T) {
+func TestFreezeDeepChain(t *testing.T) {
 	// A deep chain must not overflow the stack (iterative walk).
 	n := NewElement("leaf")
 	for i := 0; i < 100_000; i++ {
 		n = NewElement("e", n)
 	}
 	doc := NewDocument(n)
-	root, ix, stats := SnapshotCopy(doc, nil)
+	root, ix, stats := Freeze(doc, nil)
 	if ix.NumNodes != doc.Size() || stats.Nodes != ix.NumNodes {
 		t.Fatalf("NumNodes=%d size=%d", ix.NumNodes, doc.Size())
 	}

@@ -55,6 +55,11 @@ func escapeAttr(w *bufio.Writer, s string) {
 // WriteXML serializes the subtree rooted at n to w as XML. Text is escaped;
 // no whitespace is introduced, so parsing the output yields a tree Equal to
 // n (see sax.Parse).
+//
+// Index.WriteXML serializes sealed documents from the column store and
+// must stay byte-identical to this pointer walk — FuzzSoARoundTrip and
+// the persist tests pin the equivalence, so any format change here must
+// land in writeOrd (soa.go) too.
 func (n *Node) WriteXML(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	writeNode(bw, n)
