@@ -15,6 +15,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strconv"
@@ -54,6 +55,10 @@ func main() {
 		"structure-of-arrays sweep: sealed-snapshot read latency + path-copy commit copy volume at factors 0.01 and 0.1; with -json the report replaces the standard sweep")
 	soaSmoke := flag.Bool("soasmoke", false,
 		"CI copy-tax check: fail unless copied bytes per commit stay below 10% of the document size on the alternating-rename workload")
+	obsSweep := flag.Bool("obs", false,
+		"observability overhead sweep: hot read and commit latency with the metrics registry enabled vs killed; with -json the report replaces the standard sweep")
+	obsSmoke := flag.Bool("obssmoke", false,
+		"CI observability check: fail unless registry overhead on the hot read path stays below 2%")
 	claims := flag.Bool("claims", false, "check the §7.1 textual claims")
 	jsonOut := flag.String("json", "", "write a machine-readable sweep (ns/op, allocs/op) to the given path ('-' for stdout)")
 	jsonFactor := flag.Float64("jsonfactor", 0.01, "XMark factor for the -json and -cluster sweeps")
@@ -121,6 +126,21 @@ func main() {
 		}
 		ran = true
 	}
+	if *obsSweep && *jsonOut == "" {
+		section(true, func() {
+			if err := runObsTable(ctx, r, os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "xbench:", err)
+				os.Exit(1)
+			}
+		})
+	}
+	if *obsSmoke && ctx.Err() == nil {
+		if err := runObsSmoke(ctx, r, os.Stdout, 0.02); err != nil {
+			fmt.Fprintln(os.Stderr, "xbench:", err)
+			os.Exit(1)
+		}
+		ran = true
+	}
 	if *jsonOut != "" && ctx.Err() == nil {
 		w := os.Stdout
 		if *jsonOut != "-" {
@@ -141,6 +161,9 @@ func main() {
 		}
 		if *soaSweep {
 			sweep = r.SoAJSON
+		}
+		if *obsSweep {
+			sweep = func(w io.Writer, _ float64) error { return writeObsJSON(ctx, r, w) }
 		}
 		if err := sweep(w, *jsonFactor); err != nil {
 			fmt.Fprintln(os.Stderr, "xbench:", err)

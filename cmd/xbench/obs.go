@@ -1,0 +1,257 @@
+// Observability overhead measurements (`xbench -obs`, `-obssmoke`):
+// the same hot read and commit workload as the store sweep, driven
+// through the public facade (so every instrumented layer is on the
+// path), measured with the metrics registry enabled and killed. These
+// live in the command, not internal/harness: the harness cannot import
+// the root package (the root's in-package benchmarks import the
+// harness), and only the facade threads the registry everywhere.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"xtq"
+	"xtq/internal/harness"
+	"xtq/internal/obs"
+)
+
+const (
+	obsFactor = 0.01
+	// obsReadQuery mirrors store/read/U2 of the -json sweep: the U2
+	// insert transform evaluated over the current snapshot.
+	obsReadQuery = `transform copy $a := doc("d") modify do insert <newnode><info>inserted</info></newnode> into $a/site/people/person[@id = "person10"] return $a`
+	// The alternating rename pair of the store commit workload.
+	obsRenameFwd  = `transform copy $a := doc("d") modify do rename $a/site/regions//item as item_ return $a`
+	obsRenameBack = `transform copy $a := doc("d") modify do rename $a/site/regions//item_ as item return $a`
+)
+
+// obsBench is the facade-level workload pair of the overhead check.
+type obsBench struct {
+	ctx context.Context
+	st  *xtq.Store
+	p   *xtq.Prepared
+	i   int
+}
+
+func newObsBench(ctx context.Context, r *harness.Runner) (*obsBench, error) {
+	eng := xtq.NewEngine()
+	st := xtq.NewStore(eng)
+	if _, _, err := st.Put(ctx, "d", xtq.FromString(string(r.XML(obsFactor)))); err != nil {
+		return nil, err
+	}
+	p, err := eng.Prepare(obsReadQuery)
+	if err != nil {
+		return nil, err
+	}
+	return &obsBench{ctx: ctx, st: st, p: p}, nil
+}
+
+// read is one hot-path read: lock-free snapshot plus an in-memory
+// evaluation through the instrumented engine path.
+func (o *obsBench) read() error {
+	snap, err := o.st.Snapshot("d")
+	if err != nil {
+		return err
+	}
+	_, err = o.p.Eval(o.ctx, snap)
+	return err
+}
+
+// commit is one alternating-rename commit through the instrumented
+// store apply path.
+func (o *obsBench) commit() error {
+	q := obsRenameFwd
+	if o.i%2 == 1 {
+		q = obsRenameBack
+	}
+	o.i++
+	_, _, err := o.st.Apply(o.ctx, "d", q)
+	return err
+}
+
+// timeNs runs fn iters times and returns the mean ns per call.
+func timeNs(fn func() error, iters int) (float64, error) {
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := fn(); err != nil {
+			return 0, err
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters), nil
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// obsOverhead measures the enabled/disabled ns-per-op ratio of fn:
+// rounds alternate enabled and disabled back to back (so frequency
+// scaling and cache state hit both sides alike), the per-mode medians
+// make one trial, and the minimum overhead across trials is returned —
+// the estimate least inflated by unrelated machine noise. CI asserts an
+// upper bound, so the minimum is the robust choice: a single quiet
+// trial proves the instrumentation itself is cheap.
+func obsOverhead(fn func() error, trials, rounds, iters int) (minFrac, medFrac float64, enNs, disNs float64, err error) {
+	defer obs.SetEnabled(true)
+	// Warm-up: page in the corpus, fill the query cache, steady-state
+	// the allocator before anything is timed.
+	if _, err = timeNs(fn, iters); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	best := math.Inf(1)
+	var ratios []float64
+	for t := 0; t < trials; t++ {
+		var en, dis []float64
+		for round := 0; round < rounds; round++ {
+			obs.SetEnabled(true)
+			e, err := timeNs(fn, iters)
+			if err != nil {
+				return 0, 0, 0, 0, err
+			}
+			obs.SetEnabled(false)
+			d, err := timeNs(fn, iters)
+			if err != nil {
+				return 0, 0, 0, 0, err
+			}
+			en = append(en, e)
+			dis = append(dis, d)
+		}
+		me, md := median(en), median(dis)
+		ratio := me/md - 1
+		ratios = append(ratios, ratio)
+		if ratio < best {
+			best, enNs, disNs = ratio, me, md
+		}
+	}
+	return best, median(ratios), enNs, disNs, nil
+}
+
+// runObsTable is the human-readable `-obs` sweep.
+func runObsTable(ctx context.Context, r *harness.Runner, out io.Writer) error {
+	o, err := newObsBench(ctx, r)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "observability overhead: registry enabled vs killed (factor %g, min of 3 trials)\n", obsFactor)
+	for _, row := range []struct {
+		name  string
+		fn    func() error
+		iters int
+	}{
+		{"read/U2", o.read, 30},
+		{"commit/rename-items", o.commit, 20},
+	} {
+		frac, med, en, dis, err := obsOverhead(row.fn, 3, 6, row.iters)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  %-20s enabled %8.1f us/op   disabled %8.1f us/op   overhead min %+.2f%% / median %+.2f%%\n",
+			row.name, en/1e3, dis/1e3, 100*frac, 100*med)
+	}
+	return nil
+}
+
+// runObsSmoke is the CI gate (`-obssmoke`): the hot read path must not
+// slow down by more than maxFrac with the registry enabled.
+func runObsSmoke(ctx context.Context, r *harness.Runner, out io.Writer, maxFrac float64) error {
+	o, err := newObsBench(ctx, r)
+	if err != nil {
+		return err
+	}
+	frac, med, en, dis, err := obsOverhead(o.read, 5, 6, 30)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "obs smoke: hot-read %0.1f us/op instrumented vs %0.1f us/op disabled — overhead min %+.2f%% / median %+.2f%% (limit %.0f%%)\n",
+		en/1e3, dis/1e3, 100*frac, 100*med, 100*maxFrac)
+	if frac > maxFrac {
+		return fmt.Errorf("observability overhead regression: hot read path %.2f%% slower with the registry enabled (limit %.0f%%)",
+			100*frac, 100*maxFrac)
+	}
+	return nil
+}
+
+// writeObsJSON emits the machine-readable overhead report, the format
+// of BENCH_PR9.json: testing.Benchmark rows for the read and commit
+// workloads in both modes, with the min-of-trials overhead fraction on
+// the instrumented rows.
+func writeObsJSON(ctx context.Context, r *harness.Runner, w io.Writer) error {
+	o, err := newObsBench(ctx, r)
+	if err != nil {
+		return err
+	}
+	xml := r.XML(obsFactor)
+	report := &harness.BenchReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Factor:    obsFactor,
+		DocBytes:  len(xml),
+		DocNodes:  r.Doc(obsFactor).Size(),
+	}
+	bench := func(name string, enabled bool, fn func() error) harness.BenchResult {
+		obs.SetEnabled(enabled)
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := fn(); err != nil {
+					panic(err)
+				}
+			}
+		})
+		obs.SetEnabled(true)
+		return harness.BenchResult{
+			Name:        name,
+			N:           res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+	}
+	for _, row := range []struct {
+		name  string
+		fn    func() error
+		iters int
+	}{
+		{"obs/read/U2", o.read, 30},
+		{"obs/commit/rename-items", o.commit, 20},
+	} {
+		frac, med, _, _, err := obsOverhead(row.fn, 3, 6, row.iters)
+		if err != nil {
+			return err
+		}
+		en := bench(row.name+"/instrumented", true, row.fn)
+		en.Extra = map[string]float64{
+			// The interleaved enabled/disabled comparison; the plain
+			// ns_per_op of the two rows ran minutes apart and carries
+			// machine drift the interleaving cancels.
+			"overhead_pct_min":    100 * frac,
+			"overhead_pct_median": 100 * med,
+		}
+		dis := bench(row.name+"/disabled", false, row.fn)
+		report.Results = append(report.Results, en, dis)
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("obs sweep interrupted: %w", err)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

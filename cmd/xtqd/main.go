@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served by -debug-addr
 	"os"
 	"os/signal"
 	"strings"
@@ -64,7 +65,12 @@ func main() {
 		"keep-alive comment interval of /watch SSE streams")
 	route := flag.String("route", "",
 		`router mode: static node map "primary[|follower...][,primary[|follower...]...]" — shards documents across groups by name hash and proxies`)
+	slowMS := flag.Int64("slow-query-ms", 0,
+		"log evaluating requests (query, update, view reads) slower than this many milliseconds as structured slow-query lines (0 = off)")
+	debugAddr := flag.String("debug-addr", "",
+		"separate listen address for the net/http/pprof debug endpoints (empty = off)")
 	flag.Parse()
+	slow := time.Duration(*slowMS) * time.Millisecond
 
 	if *route != "" && *follow != "" {
 		fmt.Fprintln(os.Stderr, "xtqd: -route and -follow are mutually exclusive")
@@ -87,7 +93,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "xtqd: -route:", err)
 			os.Exit(2)
 		}
-		handler = newRouter(shards)
+		rt := newRouter(shards)
+		// The router gets the same observability surface as a data node:
+		// /metrics with role="router" and instrumented proxy routes (one
+		// coarse label per proxy family — the patterns are the router's,
+		// not the data nodes').
+		rmux := http.NewServeMux()
+		rmux.HandleFunc("GET /metrics", serveMetrics(func() string { return "router" }))
+		rmux.Handle("/", instrument("proxy", slow, rt))
+		handler = rmux
 		log.Printf("xtqd: routing %d shard(s)", len(shards))
 
 	case *follow != "":
@@ -106,7 +120,7 @@ func main() {
 			os.Exit(1)
 		}
 		closers = append(closers, fol.Close)
-		handler = buildServer(fol.Store(), fol, *timeout, *maxBody, *catchup, *heartbeat)
+		handler = buildServer(fol.Store(), fol, *timeout, *maxBody, *catchup, *heartbeat, slow)
 		log.Printf("xtqd: following %s (%d docs replicated)", *follow, fol.Store().Len())
 
 	default:
@@ -137,8 +151,22 @@ func main() {
 		} else {
 			st = xtq.NewStore(eng)
 		}
-		handler = buildServer(st, nil, *timeout, *maxBody, 0, *heartbeat)
+		handler = buildServer(st, nil, *timeout, *maxBody, 0, *heartbeat, slow)
 		log.Printf("xtqd: serving (method=%s, timeout=%s)", m, *timeout)
+	}
+
+	if *debugAddr != "" {
+		// pprof rides its own listener so profiling endpoints are never
+		// exposed on the service address.
+		dsrv := &http.Server{Addr: *debugAddr, Handler: http.DefaultServeMux,
+			ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			log.Printf("xtqd: pprof debug listener on %s", *debugAddr)
+			if err := dsrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("xtqd: debug listener: %v", err)
+			}
+		}()
+		closers = append(closers, dsrv.Close)
 	}
 
 	srv := &http.Server{

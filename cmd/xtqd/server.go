@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"xtq"
+	"xtq/internal/obs"
 	"xtq/internal/sax"
 )
 
@@ -31,29 +32,41 @@ type server struct {
 	catchup time.Duration
 	// heartbeat is the SSE keep-alive interval of /watch streams.
 	heartbeat time.Duration
+	// slow is the -slow-query-ms threshold; zero disables the
+	// slow-query log.
+	slow time.Duration
 	// engines serves the ?method= override of the query endpoint: one
 	// long-lived engine per evaluation method, each with its own query
 	// cache, built up front so request handling never constructs one.
 	engines map[string]*xtq.Engine
 }
 
+// role reports the node's current role for /metrics and /healthz: a
+// follower flips to primary when promoted.
+func (s *server) role() string {
+	if s.fol != nil && !s.fol.Stats().Promoted {
+		return "follower"
+	}
+	return "primary"
+}
+
 // newServer serves st as a standalone node or replication primary: when
 // st is durable its WAL feed is mounted under /wal for followers to
 // tail.
 func newServer(st *xtq.Store, timeout time.Duration, maxBody int64) http.Handler {
-	return buildServer(st, nil, timeout, maxBody, 0, 0)
+	return buildServer(st, nil, timeout, maxBody, 0, 0, 0)
 }
 
 // newFollowerServer serves a follower replica: lock-free reads with
 // read-your-writes waiting (bounded by catchup), writes redirected to
 // the primary, and POST /admin/promote for failover.
 func newFollowerServer(fol *xtq.Follower, timeout time.Duration, maxBody int64, catchup time.Duration) http.Handler {
-	return buildServer(fol.Store(), fol, timeout, maxBody, catchup, 0)
+	return buildServer(fol.Store(), fol, timeout, maxBody, catchup, 0, 0)
 }
 
-func buildServer(st *xtq.Store, fol *xtq.Follower, timeout time.Duration, maxBody int64, catchup, heartbeat time.Duration) http.Handler {
+func buildServer(st *xtq.Store, fol *xtq.Follower, timeout time.Duration, maxBody int64, catchup, heartbeat, slow time.Duration) http.Handler {
 	s := &server{st: st, timeout: timeout, maxBody: maxBody, fol: fol, catchup: catchup,
-		heartbeat: heartbeat, engines: make(map[string]*xtq.Engine)}
+		heartbeat: heartbeat, slow: slow, engines: make(map[string]*xtq.Engine)}
 	for _, m := range xtq.Methods() {
 		if m == st.Engine().Method() {
 			s.engines[string(m)] = st.Engine()
@@ -62,25 +75,33 @@ func buildServer(st *xtq.Store, fol *xtq.Follower, timeout time.Duration, maxBod
 		}
 	}
 	mux := http.NewServeMux()
+	// handle registers a route behind the metrics middleware; the
+	// pattern doubles as the route label of the request metrics.
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, instrument(pattern, s.slow, h))
+	}
 	if h := st.ReplicationHandler(); h != nil {
-		mux.Handle("/wal/", http.StripPrefix("/wal", h))
+		mux.Handle("/wal/", instrument("/wal/", 0, http.StripPrefix("/wal", h)))
 	}
 	if fol != nil {
-		mux.HandleFunc("POST /admin/promote", s.handlePromote)
+		handle("POST /admin/promote", s.handlePromote)
 	}
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /docs", s.handleListDocs)
-	mux.HandleFunc("PUT /docs/{name}", s.handlePutDoc)
-	mux.HandleFunc("GET /docs/{name}", s.handleGetDoc)
-	mux.HandleFunc("GET /docs/{name}/history", s.handleHistory)
-	mux.HandleFunc("DELETE /docs/{name}", s.handleDeleteDoc)
-	mux.HandleFunc("POST /docs/{name}/query", s.handleQuery)
-	mux.HandleFunc("POST /docs/{name}/update", s.handleUpdate)
-	mux.HandleFunc("GET /docs/{name}/views/{view}", s.handleDocView)
-	mux.HandleFunc("GET /docs/{name}/watch", s.handleWatch)
-	mux.HandleFunc("GET /views", s.handleListViews)
-	mux.HandleFunc("PUT /views/{view}", s.handlePutView)
-	mux.HandleFunc("DELETE /views/{view}", s.handleDeleteView)
+	// /metrics stays outside the middleware: scrapes should not show up
+	// in the request metrics they read.
+	mux.HandleFunc("GET /metrics", serveMetrics(s.role))
+	handle("GET /healthz", s.handleHealth)
+	handle("GET /docs", s.handleListDocs)
+	handle("PUT /docs/{name}", s.handlePutDoc)
+	handle("GET /docs/{name}", s.handleGetDoc)
+	handle("GET /docs/{name}/history", s.handleHistory)
+	handle("DELETE /docs/{name}", s.handleDeleteDoc)
+	handle("POST /docs/{name}/query", s.handleQuery)
+	handle("POST /docs/{name}/update", s.handleUpdate)
+	handle("GET /docs/{name}/views/{view}", s.handleDocView)
+	handle("GET /docs/{name}/watch", s.handleWatch)
+	handle("GET /views", s.handleListViews)
+	handle("PUT /views/{view}", s.handlePutView)
+	handle("DELETE /views/{view}", s.handleDeleteView)
 	return mux
 }
 
@@ -113,6 +134,33 @@ type commitMeta struct {
 	// version by reference.
 	CopiedChunks int `json:"copied_chunks,omitempty"`
 	SharedChunks int `json:"shared_chunks,omitempty"`
+}
+
+// commitJSON builds the write-response body from the request trace's
+// commit section — the store's apply path fills it, and the put handler
+// seeds it from the Commit value — falling back to the Commit value
+// directly for writes outside a traced context. The trace is the one
+// source the response JSON, EXPLAIN and the slow-query log all read.
+func commitJSON(ctx context.Context, name string, snap *xtq.Snapshot, com xtq.Commit) commitMeta {
+	meta := commitMeta{
+		docMeta:        docMeta{Name: name, Version: com.Version, Nodes: snap.NumNodes()},
+		CopiedNodes:    com.CopiedNodes,
+		CopiedBytes:    com.CopiedBytes,
+		SharedWithPrev: com.SharedWithPrev,
+		CopiedChunks:   com.CopiedChunks,
+		SharedChunks:   com.SharedChunks,
+	}
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		if ct := tr.Commit(); ct != nil {
+			meta.Version = ct.Version
+			meta.CopiedNodes = ct.CopiedNodes
+			meta.CopiedBytes = ct.CopiedBytes
+			meta.SharedWithPrev = ct.SharedWithPrev
+			meta.CopiedChunks = ct.CopiedChunks
+			meta.SharedChunks = ct.SharedChunks
+		}
+	}
+	return meta
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -282,7 +330,16 @@ func (s *server) handlePromote(w http.ResponseWriter, r *http.Request) {
 // lag in bytes and versions, and plain document counts everywhere —
 // what the cluster smoke test and an operator's first curl both read.
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	out := map[string]any{"ok": true, "docs": s.st.Len()}
+	out := map[string]any{
+		"ok":   true,
+		"docs": s.st.Len(),
+		// Observability vitals: process uptime, the metrics registry's
+		// snapshot version (bumps whenever a new series appears), and the
+		// slow-query count so "is it slow?" is one curl away.
+		"uptime_seconds":  int64(obs.Default.Uptime().Seconds()),
+		"metrics_version": obs.Default.Version(),
+		"slow_queries":    mSlowQueries.Value(),
+	}
 	switch {
 	case s.fol != nil:
 		out["role"] = "follower"
@@ -329,18 +386,21 @@ func (s *server) handlePutDoc(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	// The store's put path has no request context below the facade, so
+	// the handler seeds the trace's commit section itself.
+	if tr := obs.TraceFrom(ctx); tr != nil && tr.Commit() == nil {
+		tr.SetCommit(&obs.CommitTrace{
+			Kind: "put", Version: com.Version,
+			CopiedNodes: com.CopiedNodes, CopiedBytes: com.CopiedBytes,
+			CopiedChunks: com.CopiedChunks, SharedChunks: com.SharedChunks,
+		})
+	}
 	versionHeaders(w, snap)
 	status := http.StatusCreated
 	if com.Version > 1 {
 		status = http.StatusOK
 	}
-	writeJSON(w, status, commitMeta{
-		docMeta:      docMeta{Name: name, Version: com.Version, Nodes: snap.NumNodes()},
-		CopiedNodes:  com.CopiedNodes,
-		CopiedBytes:  com.CopiedBytes,
-		CopiedChunks: com.CopiedChunks,
-		SharedChunks: com.SharedChunks,
-	})
+	writeJSON(w, status, commitJSON(ctx, name, snap, com))
 }
 
 // handleGetDoc serves the current snapshot, or — with ?version=N — a
@@ -449,6 +509,19 @@ func (s *server) handleDeleteDoc(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.ctx(r)
 	defer cancel()
+	explain := explainRequested(r)
+	if explain {
+		if r.URL.Query().Get("stream") == "1" {
+			// Streaming never materializes the result, so there is no
+			// point in the stream an explain body could replace.
+			writeError(w, &xtq.Error{Kind: xtq.KindParse,
+				Msg: "xtqd: explain=1 cannot be combined with stream=1"})
+			return
+		}
+		if obs.TraceFrom(ctx) == nil {
+			ctx = obs.WithTrace(ctx, obs.NewTrace())
+		}
+	}
 	src, err := s.readBody(w, r)
 	if err != nil {
 		writeError(w, err)
@@ -490,7 +563,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		eng = s.engines[m]
 	}
-	p, err := eng.Prepare(src)
+	p, err := eng.PrepareContext(ctx, src)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -517,6 +590,15 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	res, err := p.Eval(ctx, snap)
 	if err != nil {
 		writeError(w, err)
+		return
+	}
+	if explain {
+		out := explainFrom(obs.TraceFrom(ctx))
+		out.Doc = r.PathValue("name")
+		out.Version = snap.Version()
+		out.ResultNodes = res.Size()
+		versionHeaders(w, snap)
+		writeJSON(w, http.StatusOK, out)
 		return
 	}
 	writeResult(w, snap, res)
@@ -574,14 +656,7 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	versionHeaders(w, snap)
-	writeJSON(w, http.StatusOK, commitMeta{
-		docMeta:        docMeta{Name: name, Version: com.Version, Nodes: snap.NumNodes()},
-		CopiedNodes:    com.CopiedNodes,
-		CopiedBytes:    com.CopiedBytes,
-		SharedWithPrev: com.SharedWithPrev,
-		CopiedChunks:   com.CopiedChunks,
-		SharedChunks:   com.SharedChunks,
-	})
+	writeJSON(w, http.StatusOK, commitJSON(ctx, name, snap, com))
 }
 
 // handleDocView serves a registered view stack over the current
@@ -597,13 +672,23 @@ func (s *server) handleDocView(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.ctx(r)
 	defer cancel()
+	explain := explainRequested(r)
+	if explain && obs.TraceFrom(ctx) == nil {
+		ctx = obs.WithTrace(ctx, obs.NewTrace())
+	}
 	snap, err := s.st.Snapshot(r.PathValue("name"))
 	if err != nil {
 		writeError(w, err)
 		return
 	}
 
-	var res *xtq.Node
+	var (
+		res *xtq.Node
+		// composedVisited carries the single-pass composition's own node
+		// count into the explain body (its evaluator predates the trace's
+		// visit counters).
+		composedVisited int
+	)
 	if q := r.URL.Query().Get("q"); q != "" {
 		v, err := s.st.LookupView(r.PathValue("view"))
 		if err != nil {
@@ -621,6 +706,10 @@ func (s *server) handleDocView(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		w.Header().Set("X-Xtq-Nodes-Visited", strconv.Itoa(stats.NodesVisited))
+		if tr := obs.TraceFrom(ctx); tr != nil && tr.Method() == "" {
+			tr.SetMethod("composed")
+		}
+		composedVisited = stats.NodesVisited
 		res = out
 	} else {
 		out, stats, err := s.st.ViewAt(ctx, snap, r.PathValue("view"))
@@ -630,11 +719,31 @@ func (s *server) handleDocView(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set("X-Xtq-View-Source", stats.Source)
 		if r.URL.Query().Get("stats") == "1" {
-			if b, err := json.Marshal(stats); err == nil {
+			// The header serializes the trace's view section (the ivm
+			// layer fills it; ViewTrace's JSON shape matches the historical
+			// ivm.Stats marshaling), falling back to the returned stats for
+			// requests outside a traced context.
+			var payload any = stats
+			if tr := obs.TraceFrom(ctx); tr != nil && tr.View() != nil {
+				payload = tr.View()
+			}
+			if b, err := json.Marshal(payload); err == nil {
 				w.Header().Set("X-Xtq-View-Stats", string(b))
 			}
 		}
 		res = out
+	}
+	if explain {
+		out := explainFrom(obs.TraceFrom(ctx))
+		out.Doc = r.PathValue("name")
+		out.Version = snap.Version()
+		out.ResultNodes = res.Size()
+		if out.NodesVisited == 0 {
+			out.NodesVisited = composedVisited
+		}
+		versionHeaders(w, snap)
+		writeJSON(w, http.StatusOK, out)
+		return
 	}
 	writeResult(w, snap, res)
 }

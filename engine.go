@@ -4,9 +4,11 @@ import (
 	"container/list"
 	"context"
 	"sync"
+	"time"
 
 	"xtq/internal/core"
 	"xtq/internal/ivm"
+	"xtq/internal/obs"
 	"xtq/internal/sax"
 	"xtq/internal/store"
 )
@@ -65,6 +67,11 @@ type lruCache struct {
 	byKey  map[string]*list.Element
 	hits   uint64
 	misses uint64
+
+	// mHits/mMisses mirror the per-cache counters onto the process-wide
+	// obs registry; the local uint64s stay authoritative for CacheStats.
+	mHits   *obs.Counter
+	mMisses *obs.Counter
 }
 
 type lruEntry struct {
@@ -72,8 +79,14 @@ type lruEntry struct {
 	value any
 }
 
-func newLRUCache(capacity int) *lruCache {
-	return &lruCache{cap: capacity, ll: list.New(), byKey: make(map[string]*list.Element)}
+func newLRUCache(capacity int, name string) *lruCache {
+	return &lruCache{
+		cap:     capacity,
+		ll:      list.New(),
+		byKey:   make(map[string]*list.Element),
+		mHits:   mCacheHits.With(name),
+		mMisses: mCacheMisses.With(name),
+	}
 }
 
 // get returns the cached value for key, marking it most recently used.
@@ -86,9 +99,11 @@ func (c *lruCache) get(key string) (any, bool) {
 	if el, ok := c.byKey[key]; ok {
 		c.ll.MoveToFront(el)
 		c.hits++
+		c.mHits.Inc()
 		return el.Value.(*lruEntry).value, true
 	}
 	c.misses++
+	c.mMisses.Inc()
 	return nil, false
 }
 
@@ -176,9 +191,9 @@ func NewEngine(opts ...Option) *Engine {
 	for _, o := range opts {
 		o(e)
 	}
-	e.queries = newLRUCache(e.queryCap)
-	e.plans = newLRUCache(e.viewCap)
-	e.verdicts = newLRUCache(e.verdictCap)
+	e.queries = newLRUCache(e.queryCap, "query")
+	e.plans = newLRUCache(e.viewCap, "plan")
+	e.verdicts = newLRUCache(e.verdictCap, "verdict")
 	return e
 }
 
@@ -189,10 +204,19 @@ func (e *Engine) Method() Method { return e.method }
 // compiled form from the engine's cache. The returned Prepared is
 // immutable and safe for concurrent use.
 func (e *Engine) Prepare(src string) (*Prepared, error) {
+	return e.PrepareContext(context.Background(), src)
+}
+
+// PrepareContext is Prepare with a context: when ctx carries an
+// obs.Trace (a request being explained), the trace records whether the
+// compiled query came from the engine's cache and how long a cache-miss
+// compile took. The context does not bound the compile itself — parsing
+// and automaton construction are O(|query|) and not worth aborting.
+func (e *Engine) PrepareContext(ctx context.Context, src string) (*Prepared, error) {
 	if err := e.validateMethod(); err != nil {
 		return nil, err
 	}
-	return e.prepare(src, func() (*core.Compiled, error) {
+	return e.prepare(ctx, src, func() (*core.Compiled, error) {
 		q, err := core.ParseQuery(src)
 		if err != nil {
 			return nil, err
@@ -228,7 +252,7 @@ func (e *Engine) PrepareQuery(q *Query) (*Prepared, error) {
 		}
 		return &Prepared{eng: e, src: key, compiled: c}, nil
 	}
-	return e.prepare(key, own.Compile)
+	return e.prepare(context.Background(), key, own.Compile)
 }
 
 func (e *Engine) validateMethod() error {
@@ -236,13 +260,26 @@ func (e *Engine) validateMethod() error {
 	return err
 }
 
-func (e *Engine) prepare(key string, compile func() (*core.Compiled, error)) (*Prepared, error) {
+func (e *Engine) prepare(ctx context.Context, key string, compile func() (*core.Compiled, error)) (*Prepared, error) {
+	tr := obs.TraceFrom(ctx)
 	if v, ok := e.queries.get(key); ok {
+		if tr != nil {
+			tr.SetCacheHit(true)
+		}
 		return &Prepared{eng: e, src: key, compiled: v.(*core.Compiled)}, nil
 	}
+	if tr != nil {
+		tr.SetCacheHit(false)
+	}
+	start := time.Now()
 	c, err := compile()
 	if err != nil {
 		return nil, classify(err, KindCompile)
+	}
+	d := time.Since(start)
+	mCompileSeconds.Observe(d)
+	if tr != nil {
+		tr.AddCompile(d)
 	}
 	e.queries.add(key, c)
 	return &Prepared{eng: e, src: key, compiled: c}, nil

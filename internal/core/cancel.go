@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 
+	"xtq/internal/obs"
 	"xtq/internal/xerr"
 )
 
@@ -25,12 +26,26 @@ type Canceler struct {
 }
 
 // NewCanceler returns a Canceler for ctx, or nil when ctx can never be
-// cancelled.
+// cancelled and no trace rides it. The canceler's poll counter
+// increments once per Stopped call — once per visited node in every
+// evaluator — so when ctx carries an obs.Trace the counter doubles as
+// the trace's nodes-visited figure: the trace registers it here and
+// sums after the evaluation returns, costing the hot loop nothing it
+// didn't already pay for cancellation. With a non-cancellable context
+// the done channel is nil and the poll's select never fires.
 func NewCanceler(ctx context.Context) *Canceler {
-	if ctx == nil || ctx.Done() == nil {
+	if ctx == nil {
 		return nil
 	}
-	return &Canceler{done: ctx.Done(), ctx: ctx}
+	tr := obs.TraceFrom(ctx)
+	if ctx.Done() == nil && tr == nil {
+		return nil
+	}
+	c := &Canceler{done: ctx.Done(), ctx: ctx}
+	if tr != nil {
+		tr.AddVisitCounter(&c.n)
+	}
+	return c
 }
 
 // Stopped reports whether evaluation must abort. Once it returns true it

@@ -150,6 +150,7 @@ func (h *Hub) Subscribe(doc string, from uint64, haveFrom bool, head uint64) *Su
 		}
 	}
 	f.subs[s] = struct{}{}
+	mSubscribers.Inc()
 	return s
 }
 
@@ -179,6 +180,7 @@ func (s *Subscriber) push(ev Event) {
 	}
 	if len(s.pending) >= s.max {
 		s.pending = append(s.pending[:0], Event{Doc: s.doc, Version: ev.Version, Resync: true})
+		mHubResyncs.Inc()
 	} else {
 		s.pending = append(s.pending, ev)
 	}
@@ -218,7 +220,10 @@ func (s *Subscriber) Next(ctx context.Context) ([]Event, error) {
 func (s *Subscriber) Close() {
 	s.hub.mu.Lock()
 	if f := s.hub.feedOf(s.doc, false); f != nil {
-		delete(f.subs, s)
+		if _, ok := f.subs[s]; ok {
+			delete(f.subs, s)
+			mSubscribers.Dec()
+		}
 	}
 	s.hub.mu.Unlock()
 	s.mu.Lock()

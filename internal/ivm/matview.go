@@ -244,6 +244,7 @@ func (m *Manager) OnCommit(ev store.CommitEvent) []string {
 						e.memoVersion = ev.Version
 					}
 					e.unaffected++
+					mMaintained.With("unaffected").Inc()
 				}
 				e.mu.Unlock()
 			}
@@ -256,6 +257,9 @@ func (m *Manager) OnCommit(ev store.CommitEvent) []string {
 		if ev.Kind == store.CommitUpdate {
 			v = m.verdict(def, ev.Update)
 		}
+		if v == VerdictUnknown {
+			mUnknownVerdicts.Inc()
+		}
 		if v == VerdictUnaffected {
 			// Zero-work path: the new version serves the same bytes. The
 			// memo stays at its old version — nodes of the new snapshot
@@ -265,6 +269,7 @@ func (m *Manager) OnCommit(ev store.CommitEvent) []string {
 				if e.version == ev.Prev {
 					e.version = ev.Version
 					e.unaffected++
+					mMaintained.With("unaffected").Inc()
 				}
 				e.mu.Unlock()
 			}
@@ -290,6 +295,7 @@ func (m *Manager) OnCommit(ev store.CommitEvent) []string {
 				e.tree, e.memo = out, memo
 				e.version, e.memoVersion = ev.Version, ev.Version
 				e.deltaCommits++
+				mMaintained.With("delta").Inc()
 				if v == VerdictUnknown {
 					e.unknown++
 				}
@@ -304,8 +310,11 @@ func (m *Manager) OnCommit(ev store.CommitEvent) []string {
 				m.mu.Lock()
 				delete(m.mats, matKey(ev.Name, def.name))
 				m.mu.Unlock()
-			} else if v == VerdictUnknown {
-				e.unknown++
+			} else {
+				mMaintained.With("full").Inc()
+				if v == VerdictUnknown {
+					e.unknown++
+				}
 			}
 		}
 		e.mu.Unlock()
@@ -368,6 +377,7 @@ func (m *Manager) Get(ctx context.Context, snap *store.Snapshot, view string) (*
 			out := e.tree
 			fillStats(&st, e, true)
 			e.mu.Unlock()
+			noteRead(ctx, st)
 			return out, st, nil
 		}
 		if snap.Version() < e.version {
@@ -380,6 +390,7 @@ func (m *Manager) Get(ctx context.Context, snap *store.Snapshot, view string) (*
 			}
 			st.Source, st.CacheHit = "recompute", false
 			statsFromEval(&st, vs)
+			noteRead(ctx, st)
 			return out, st, nil
 		}
 		e.mu.Unlock()
@@ -406,6 +417,7 @@ func (m *Manager) Get(ctx context.Context, snap *store.Snapshot, view string) (*
 	fillStats(&st, e, false)
 	e.mu.Unlock()
 	st.Version = snap.Version()
+	noteRead(ctx, st)
 	return out, st, nil
 }
 

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Label is one constant label applied to every sample of an exposition
+// — the role label ("primary", "follower", "router") cmd/xtqd stamps on
+// /metrics.
+type Label struct {
+	Name, Value string
+}
+
+// WriteTo writes the registry in the Prometheus text exposition format
+// (version 0.0.4): every family with its HELP and TYPE lines, samples
+// sorted by family name then label values, durations in seconds.
+// constLabels are merged into every sample. Concurrent instrument
+// updates during a scrape are fine — each value is one atomic load.
+func (r *Registry) WriteTo(w io.Writer, constLabels ...Label) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.families() {
+		f.mu.Lock()
+		children := append([]*child(nil), f.children...)
+		f.mu.Unlock()
+		if len(children) == 0 {
+			continue
+		}
+		sort.Slice(children, func(i, j int) bool {
+			return labelKey(children[i].labelValues) < labelKey(children[j].labelValues)
+		})
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, c := range children {
+			base := labelPairs(constLabels, f.labels, c.labelValues)
+			switch f.kind {
+			case kindCounter:
+				writeSample(bw, f.name, base, "", formatUint(c.counter.Value()))
+			case kindGauge:
+				if c.gaugeFn != nil {
+					writeSample(bw, f.name, base, "", formatFloat(c.gaugeFn()))
+				} else {
+					writeSample(bw, f.name, base, "", strconv.FormatInt(c.gauge.Value(), 10))
+				}
+			case kindHistogram:
+				writeHistogram(bw, f.name, base, c.hist)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram emits the cumulative _bucket series plus _sum and
+// _count. Bucket counts are read low-to-high and accumulated, so a
+// concurrent Observe can at worst land in a higher bucket than the
+// running total — cumulative counts stay monotonic within one scrape.
+func writeHistogram(bw *bufio.Writer, name string, base string, h *Histogram) {
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(seconds(h.bounds[i]))
+		}
+		writeSample(bw, name+"_bucket", base, `le="`+le+`"`, formatUint(cum))
+	}
+	writeSample(bw, name+"_sum", base, "", formatFloat(seconds(h.Sum())))
+	writeSample(bw, name+"_count", base, "", formatUint(cum))
+}
+
+// writeSample emits one `name{labels} value` line; extra is an
+// additional pre-rendered pair (the histogram le).
+func writeSample(bw *bufio.Writer, name, base, extra, value string) {
+	bw.WriteString(name)
+	if base != "" || extra != "" {
+		bw.WriteByte('{')
+		bw.WriteString(base)
+		if base != "" && extra != "" {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(extra)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+// labelPairs renders const labels plus the family's own, sorted by
+// label name for a stable exposition.
+func labelPairs(consts []Label, names, values []string) string {
+	n := len(consts) + len(names)
+	if n == 0 {
+		return ""
+	}
+	pairs := make([]Label, 0, n)
+	pairs = append(pairs, consts...)
+	for i, name := range names {
+		pairs = append(pairs, Label{Name: name, Value: values[i]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Name < pairs[j].Name })
+	var b strings.Builder
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func labelKey(values []string) string { return strings.Join(values, "\x1f") }
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// escapeHelp escapes a HELP line per the exposition format.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips.
+func formatFloat(v float64) string {
+	if isInf(v) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Uptime returns the seconds since the registry was created, as a
+// GaugeFunc-friendly reading.
+func (r *Registry) Uptime() time.Duration { return time.Since(r.start) }

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"xtq/internal/obs/obstest"
+)
+
+// TestExpositionGolden pins the exact text exposition of a small
+// registry: format drift (spacing, ordering, escaping, le rendering)
+// fails here before any scraper sees it.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterVec("app_requests_total", "Requests served.", "route", "code")
+	c.With("/docs", "200").Add(3)
+	c.With("/docs", "500").Inc()
+	g := r.Gauge("app_in_flight", "In-flight requests.")
+	g.Set(2)
+	r.GaugeFunc("app_answer", "The answer.", func() float64 { return 42 })
+
+	var sb strings.Builder
+	if err := r.WriteTo(&sb, Label{Name: "role", Value: "primary"}); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# HELP app_answer The answer.`,
+		`# TYPE app_answer gauge`,
+		`app_answer{role="primary"} 42`,
+		`# HELP app_in_flight In-flight requests.`,
+		`# TYPE app_in_flight gauge`,
+		`app_in_flight{role="primary"} 2`,
+		`# HELP app_requests_total Requests served.`,
+		`# TYPE app_requests_total counter`,
+		`app_requests_total{code="200",role="primary",route="/docs"} 3`,
+		`app_requests_total{code="500",role="primary",route="/docs"} 1`,
+		``,
+	}, "\n")
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestExpositionHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("app_lat_seconds", "Latency.")
+	h.Observe(3 * time.Microsecond) // lands in the 4µs bucket
+	var sb strings.Builder
+	if err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`# TYPE app_lat_seconds histogram`,
+		`app_lat_seconds_bucket{le="1e-06"} 0`,
+		`app_lat_seconds_bucket{le="4e-06"} 1`,
+		`app_lat_seconds_bucket{le="+Inf"} 1`,
+		`app_lat_seconds_sum 3e-06`,
+		`app_lat_seconds_count 1`,
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestExpositionEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("app_esc_total", "Help with \\ and\nnewline.", "q").
+		With("a\"b\\c\nd").Inc()
+	var sb strings.Builder
+	if err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if !strings.Contains(text, `# HELP app_esc_total Help with \\ and\nnewline.`) {
+		t.Fatalf("HELP not escaped:\n%s", text)
+	}
+	if !strings.Contains(text, `app_esc_total{q="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label value not escaped:\n%s", text)
+	}
+}
+
+// TestLintExposition runs the shared exposition lint (obstest.Lint)
+// over a registry exercising every instrument type — the golden lint
+// the serving layer's /metrics test repeats over the full production
+// family set.
+func TestLintExposition(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("app_ops_total", "Ops.", "kind").With("read").Add(7)
+	r.Gauge("app_subscribers", "Subscribers.").Set(3)
+	h := r.HistogramVec("app_commit_seconds", "Commit latency.", "kind")
+	h.With("update").Observe(time.Millisecond)
+	h.With("put").Observe(3 * time.Second)
+	var sb strings.Builder
+	if err := r.WriteTo(&sb, Label{Name: "role", Value: "primary"}); err != nil {
+		t.Fatal(err)
+	}
+	fams := obstest.Lint(t, sb.String())
+	for _, want := range []string{"app_ops_total", "app_subscribers", "app_commit_seconds"} {
+		if _, ok := fams[want]; !ok {
+			t.Fatalf("lint lost family %q", want)
+		}
+	}
+}

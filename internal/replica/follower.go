@@ -375,6 +375,11 @@ func (f *Follower) run() {
 		f.mu.Lock()
 		f.stats.Connected = connected
 		f.mu.Unlock()
+		if connected {
+			mConnected.Set(1)
+		} else {
+			mConnected.Set(0)
+		}
 	}
 	for {
 		if f.ctx.Err() != nil {
@@ -396,6 +401,7 @@ func (f *Follower) run() {
 			// checkpoint compacted it away while we were behind (or down).
 			// Start over from the checkpoint.
 			note(true)
+			mRebootstraps.Inc()
 			f.o.Logf("replica: position %s compacted on primary; re-bootstrapping", pos)
 			if err := f.bootstrap(f.ctx); err != nil {
 				if f.ctx.Err() != nil {
@@ -470,6 +476,8 @@ func (f *Follower) consume(pos wal.Pos, ck chunk) bool {
 	}
 	f.trackRecordLag(ck)
 	end := f.pos
+	mBehindBytes.Set(f.stats.BehindBytes)
+	mBehindRecords.Set(f.stats.BehindRecords)
 	f.mu.Unlock()
 
 	// Finished a sealed segment: continue at the next one.
@@ -488,6 +496,7 @@ func (f *Follower) consume(pos wal.Pos, ck chunk) bool {
 }
 
 func (f *Follower) noteApplied(endOffset, n int64) {
+	mAppliedRecords.Inc()
 	f.mu.Lock()
 	f.pos.Offset = endOffset
 	f.stats.Applied++

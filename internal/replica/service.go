@@ -250,6 +250,7 @@ func (s *LogService) serveSegment(w http.ResponseWriter, r *http.Request, seq ui
 		select {
 		case <-ch:
 			t.Stop()
+			mLongpollWakeups.Inc()
 		case <-t.C:
 		case <-r.Context().Done():
 			t.Stop()

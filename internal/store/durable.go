@@ -595,6 +595,7 @@ func (st *Store) Checkpoint(ctx context.Context) (CheckpointStats, error) {
 	d.stats.LastDocs = liveDocs
 	d.stats.LastBytes = bytesOut
 	d.stats.LastDuration = time.Since(start)
+	mCheckpointSeconds.Observe(d.stats.LastDuration)
 	d.stats.SegmentsRemoved += removed
 	d.stats.TombstonesGCd += len(gcdNames)
 	d.lastSize = d.log.Size()

@@ -41,8 +41,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"xtq/internal/core"
+	"xtq/internal/obs"
 	"xtq/internal/tree"
 	"xtq/internal/wal"
 	"xtq/internal/xerr"
@@ -412,6 +414,7 @@ func (st *Store) Remove(name string) (bool, error) {
 		ds = st.lockWriter(name, ds)
 		defer ds.wmu.Unlock()
 	}
+	start := time.Now()
 	for {
 		old := ds.cur.Load()
 		if old == nil || old.deleted() {
@@ -430,6 +433,7 @@ func (st *Store) Remove(name string) (bool, error) {
 			if hook := st.hookFn(); hook != nil {
 				hook(ev)
 			}
+			observeCommit("remove", time.Since(start), Commit{Version: next.version})
 			return true, nil
 		}
 		if hook := st.hookFn(); hook != nil {
@@ -438,15 +442,19 @@ func (st *Store) Remove(name string) (bool, error) {
 				ds.clearHist()
 				hook(ev)
 				ds.wmu.Unlock()
+				observeCommit("remove", time.Since(start), Commit{Version: next.version})
 				return true, nil
 			}
 			ds.wmu.Unlock()
+			mCASRetries.Inc()
 			continue
 		}
 		if ds.cur.CompareAndSwap(old, next) {
 			ds.clearHist()
+			observeCommit("remove", time.Since(start), Commit{Version: next.version})
 			return true, nil
 		}
+		mCASRetries.Inc()
 	}
 }
 
@@ -524,6 +532,7 @@ func (st *Store) Put(name string, doc *tree.Node, adopt bool) (*Snapshot, Commit
 	if st.follower.Load() {
 		return nil, Commit{}, readOnly()
 	}
+	start := time.Now()
 	var (
 		root *tree.Node
 		ix   *tree.Index
@@ -570,6 +579,7 @@ func (st *Store) Put(name string, doc *tree.Node, adopt bool) (*Snapshot, Commit
 			if hook := st.hookFn(); hook != nil {
 				hook(ev) // still under ds.wmu: events stay in version order
 			}
+			observeCommit("put", time.Since(start), com)
 			return next, com, nil
 		}
 		if hook := st.hookFn(); hook != nil {
@@ -580,15 +590,19 @@ func (st *Store) Put(name string, doc *tree.Node, adopt bool) (*Snapshot, Commit
 				ds.pushHist(next)
 				hook(ev)
 				ds.wmu.Unlock()
+				observeCommit("put", time.Since(start), com)
 				return next, com, nil
 			}
 			ds.wmu.Unlock()
+			mCASRetries.Inc()
 			continue
 		}
 		if ds.cur.CompareAndSwap(old, next) {
 			ds.pushHist(next)
+			observeCommit("put", time.Since(start), com)
 			return next, com, nil
 		}
+		mCASRetries.Inc()
 	}
 }
 
@@ -626,6 +640,23 @@ func (st *Store) apply(ctx context.Context, name string, c *core.Compiled, m cor
 	if st.dur != nil {
 		ds = st.lockWriter(name, ds)
 		defer ds.wmu.Unlock()
+	}
+	start := time.Now()
+	retries := 0
+	// done records the successful commit on the registry and, when the
+	// request carries a trace, fills its commit section — the one source
+	// the serving layer's commit JSON and EXPLAIN both read.
+	done := func(com Commit, noop bool) {
+		observeCommit("update", time.Since(start), com)
+		if tr := obs.TraceFrom(ctx); tr != nil {
+			tr.SetCommit(&obs.CommitTrace{
+				Kind: "update", Version: com.Version, NoOp: noop,
+				CopiedNodes: com.CopiedNodes, CopiedBytes: com.CopiedBytes,
+				SharedWithPrev: com.SharedWithPrev,
+				CopiedChunks:   com.CopiedChunks, SharedChunks: com.SharedChunks,
+				Retries: retries,
+			})
+		}
 	}
 	for {
 		snap := ds.cur.Load()
@@ -691,6 +722,7 @@ func (st *Store) apply(ctx context.Context, name string, c *core.Compiled, m cor
 			if hook := st.hookFn(); hook != nil {
 				hook(ev) // still under ds.wmu: events stay in version order
 			}
+			done(com, noop)
 			return next, com, nil
 		}
 
@@ -720,8 +752,11 @@ func (st *Store) apply(ctx context.Context, name string, c *core.Compiled, m cor
 				}
 				return nil, Commit{}, conflict(name, base, curV)
 			}
+			retries++
+			mCASRetries.Inc()
 			continue
 		}
+		done(com, noop)
 		return next, com, nil
 	}
 }

@@ -303,6 +303,8 @@ func (l *Log) Append(rec *Record) (Pos, error) {
 	l.segSize += int64(n)
 	l.appended += int64(n)
 	l.records++
+	mAppendedBytes.Add(uint64(n))
+	mRecords.Inc()
 	l.bumpTail()
 	lsn := l.appended
 	needRotate := l.segSize >= l.opts.SegmentBytes
@@ -341,7 +343,10 @@ func (l *Log) syncTo(lsn int64) error {
 	if f == nil || l.synced >= target {
 		return nil
 	}
-	if err := f.Sync(); err != nil {
+	start := time.Now()
+	err = f.Sync()
+	mFsyncSeconds.With(l.opts.Fsync.String()).Observe(time.Since(start))
+	if err != nil {
 		l.mu.Lock()
 		if l.err == nil {
 			l.err = xerr.Wrap(xerr.IO, err)
@@ -396,6 +401,7 @@ func (l *Log) Rotate() (uint64, error) {
 	l.segs = append(l.segs, l.seq)
 	l.bumpTail()
 	syncDir(l.dir)
+	mRotations.Inc()
 	return frozen, nil
 }
 

@@ -1,0 +1,18 @@
+package wal
+
+import "xtq/internal/obs"
+
+// Log instruments on the process-wide obs registry. Fsync latency is
+// labeled by the policy in force so an FsyncAlways deployment's
+// per-commit sync cost and an FsyncInterval deployment's background
+// ticks chart as separate series.
+var (
+	mFsyncSeconds = obs.Default.HistogramVec("xtq_wal_fsync_seconds",
+		"WAL fsync latency by fsync policy.", "policy")
+	mRotations = obs.Default.Counter("xtq_wal_segment_rotations_total",
+		"WAL segment rotations (size-triggered and checkpoint cuts).")
+	mAppendedBytes = obs.Default.Counter("xtq_wal_appended_bytes_total",
+		"Bytes appended to the WAL, including frame headers.")
+	mRecords = obs.Default.Counter("xtq_wal_records_total",
+		"Records appended to the WAL.")
+)

@@ -2,9 +2,11 @@ package xtq
 
 import (
 	"context"
+	"time"
 
 	"xtq/internal/compose"
 	"xtq/internal/core"
+	"xtq/internal/obs"
 	"xtq/internal/saxeval"
 )
 
@@ -55,7 +57,20 @@ func (p *Prepared) evalMethod(ctx context.Context, src Source, m Method) (*Node,
 	if err != nil {
 		return nil, err
 	}
+	tr := obs.TraceFrom(ctx)
+	if tr != nil {
+		// Deferred: only a trace that is actually rendered (?explain=1,
+		// a slow-query line) pays for the O(n) document count.
+		tr.SetMethod(string(m))
+		tr.SetDocNodesFunc(doc.Size)
+	}
+	start := time.Now()
 	out, err := p.compiled.EvalContext(ctx, doc, m)
+	d := time.Since(start)
+	mEvalSeconds.With(string(m)).Observe(d)
+	if tr != nil {
+		tr.AddEval(d)
+	}
 	if err != nil {
 		return nil, classify(err, KindEval)
 	}
