@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+
+	"xtq/internal/obs"
 )
 
 // TestPreparedEvalAllocs pins the steady-state allocation count of
@@ -98,6 +100,55 @@ func TestSealedEvalAllocs(t *testing.T) {
 		}
 	}); got > maxAllocs {
 		t.Errorf("Prepared.Eval over sealed doc allocates %.1f times per run, want <= %d", got, maxAllocs)
+	}
+}
+
+// TestTracedEvalDocNodesAllocs pins the explain path's document-size
+// accounting over a sealed snapshot: the doc-node count is served from
+// the index's live count in O(1), and the whole traced evaluation —
+// trace bookkeeping, the planner section, reading DocNodes back — may
+// add only a constant number of allocations over the untraced pin.
+// A regression that reintroduces the O(n) subtree walk (or any other
+// per-node work on the trace path) shows up as document-proportional
+// extra allocations here.
+func TestTracedEvalDocNodesAllocs(t *testing.T) {
+	ctx := context.Background()
+	st := NewStore(nil)
+	if _, _, err := st.Put(ctx, "d", FromString(doc640())); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := st.Snapshot("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed := snap.Root()
+	p, err := st.Engine().Prepare(`transform copy $a := doc("d") modify do delete $a//item[@id = "3"] return $a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTrace()
+	tctx := obs.WithTrace(ctx, tr)
+	if _, err := p.Eval(tctx, sealed); err != nil { // warm up both paths
+		t.Fatal(err)
+	}
+	if got, want := tr.DocNodes(), snap.NumNodes(); got != want {
+		t.Fatalf("traced DocNodes = %d, want the snapshot's live count %d", got, want)
+	}
+	base := testing.AllocsPerRun(100, func() {
+		if _, err := p.Eval(ctx, sealed); err != nil {
+			t.Fatal(err)
+		}
+	})
+	traced := testing.AllocsPerRun(100, func() {
+		if _, err := p.Eval(tctx, sealed); err != nil {
+			t.Fatal(err)
+		}
+		_ = tr.DocNodes()
+	})
+	const maxExtra = 40
+	if traced > base+maxExtra {
+		t.Errorf("traced eval allocates %.1f vs %.1f untraced; want <= %.1f extra allocations",
+			traced, base, float64(maxExtra))
 	}
 }
 

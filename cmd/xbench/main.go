@@ -55,6 +55,10 @@ func main() {
 		"structure-of-arrays sweep: sealed-snapshot read latency + path-copy commit copy volume at factors 0.01 and 0.1; with -json the report replaces the standard sweep")
 	soaSmoke := flag.Bool("soasmoke", false,
 		"CI copy-tax check: fail unless copied bytes per commit stay below 10% of the document size on the alternating-rename workload")
+	planSweep := flag.Bool("plan", false,
+		"planner sweep: cost-based method choice vs every static method per embedded query, with estimated-vs-actual visits; with -json the report replaces the standard sweep")
+	planSmoke := flag.Bool("plansmoke", false,
+		"CI planner check: fail unless planning per evaluation stays within 25% of the best static method on every embedded query")
 	obsSweep := flag.Bool("obs", false,
 		"observability overhead sweep: hot read and commit latency with the metrics registry enabled vs killed; with -json the report replaces the standard sweep")
 	obsSmoke := flag.Bool("obssmoke", false,
@@ -126,6 +130,16 @@ func main() {
 		}
 		ran = true
 	}
+	if *planSweep && *jsonOut == "" {
+		section(true, r.Plan)
+	}
+	if *planSmoke && ctx.Err() == nil {
+		if err := r.PlanSmoke(0.25); err != nil {
+			fmt.Fprintln(os.Stderr, "xbench:", err)
+			os.Exit(1)
+		}
+		ran = true
+	}
 	if *obsSweep && *jsonOut == "" {
 		section(true, func() {
 			if err := runObsTable(ctx, r, os.Stdout); err != nil {
@@ -161,6 +175,9 @@ func main() {
 		}
 		if *soaSweep {
 			sweep = r.SoAJSON
+		}
+		if *planSweep {
+			sweep = r.PlanJSON
 		}
 		if *obsSweep {
 			sweep = func(w io.Writer, _ float64) error { return writeObsJSON(ctx, r, w) }

@@ -53,8 +53,8 @@ func validateMethod(s string) error {
 		return nil
 	}
 	if _, err := xtq.ParseMethod(s); err != nil {
-		return fmt.Errorf("invalid -method %q (valid: %s, %s)",
-			s, strings.Join(xtq.MethodNames(), ", "), methodSAX)
+		return fmt.Errorf("invalid -method %q (valid: %s, %s, %s)",
+			s, strings.Join(xtq.MethodNames(), ", "), xtq.MethodAuto, methodSAX)
 	}
 	return nil
 }
@@ -63,7 +63,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("xtq", flag.ContinueOnError)
 	in := fs.String("in", "", "input XML document (required)")
 	querySrc := fs.String("query", "", "transform query text, or @file to read it from a file (required)")
-	method := fs.String("method", "topdown", "evaluation method: naive|topdown|twopass|copyupdate|sax")
+	method := fs.String("method", "topdown", "evaluation method: naive|topdown|twopass|copyupdate|auto|sax (auto = cost-based planner)")
 	user := fs.String("user", "", "user query composed over the transform's virtual view, e.g. 'for $x in /db/part return $x'")
 	out := fs.String("out", "", "output file (default: stdout)")
 	indent := fs.Bool("indent", false, "pretty-print the result (in-memory methods only)")

@@ -105,6 +105,7 @@ type slowQueryLine struct {
 	EvalMS       float64          `json:"eval_ms,omitempty"`
 	DocNodes     int              `json:"doc_nodes,omitempty"`
 	NodesVisited int              `json:"nodes_visited,omitempty"`
+	Plan         *obs.PlanTrace   `json:"plan,omitempty"`
 	View         *obs.ViewTrace   `json:"view,omitempty"`
 	Commit       *obs.CommitTrace `json:"commit,omitempty"`
 }
@@ -120,6 +121,7 @@ func logSlowQuery(pattern string, r *http.Request, tr *obs.Trace, status int, d 
 		EvalMS:       ms(tr.Eval()),
 		DocNodes:     tr.DocNodes(),
 		NodesVisited: tr.NodesVisited(),
+		Plan:         tr.Plan(),
 		View:         tr.View(),
 		Commit:       tr.Commit(),
 	}
@@ -168,6 +170,15 @@ type explainMeta struct {
 	DocNodes     int   `json:"doc_nodes,omitempty"`
 	NodesVisited int   `json:"nodes_visited"`
 	ResultNodes  int   `json:"result_nodes,omitempty"`
+	// Plan is the planner section: the decision (method, estimated
+	// nodes/cost, reason) when the planner picked the method, or the
+	// would-have-been decision and the forced method's estimate when
+	// ?method= overrode it (plan.auto is false then, and PlannedMethod
+	// below names the planner's choice).
+	Plan *obs.PlanTrace `json:"plan,omitempty"`
+	// PlannedMethod is set only when a forced ?method= overrode the
+	// planner: the method the planner would have chosen.
+	PlannedMethod string `json:"planned_method,omitempty"`
 	// View is the materialized-view section when the request read one.
 	View *obs.ViewTrace `json:"view,omitempty"`
 	// Commit is the write-cost section when the request committed.
@@ -184,8 +195,12 @@ func explainFrom(tr *obs.Trace) explainMeta {
 		WallNS:       tr.Elapsed().Nanoseconds(),
 		DocNodes:     tr.DocNodes(),
 		NodesVisited: tr.NodesVisited(),
+		Plan:         tr.Plan(),
 		View:         tr.View(),
 		Commit:       tr.Commit(),
+	}
+	if p := out.Plan; p != nil && !p.Auto && p.Method != "" {
+		out.PlannedMethod = p.Method
 	}
 	if hit, known := tr.CacheHit(); known {
 		out.QueryCacheHit = &hit

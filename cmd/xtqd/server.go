@@ -67,7 +67,10 @@ func newFollowerServer(fol *xtq.Follower, timeout time.Duration, maxBody int64, 
 func buildServer(st *xtq.Store, fol *xtq.Follower, timeout time.Duration, maxBody int64, catchup, heartbeat, slow time.Duration) http.Handler {
 	s := &server{st: st, timeout: timeout, maxBody: maxBody, fol: fol, catchup: catchup,
 		heartbeat: heartbeat, slow: slow, engines: make(map[string]*xtq.Engine)}
-	for _, m := range xtq.Methods() {
+	// One engine per requestable method (?method= swaps engines, so a
+	// forced method never disturbs the serving engine's caches), plus
+	// the planner's auto.
+	for _, m := range append(xtq.Methods(), xtq.MethodAuto) {
 		if m == st.Engine().Method() {
 			s.engines[string(m)] = st.Engine()
 		} else {
@@ -656,6 +659,16 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	versionHeaders(w, snap)
+	if tr := obs.TraceFrom(ctx); tr != nil && explainRequested(r) {
+		// ?explain=1 on a write swaps the bare commit body for the full
+		// trace rendering: method (planner-resolved under Auto), plan
+		// section and commit cost side by side.
+		out := explainFrom(tr)
+		out.Doc = name
+		out.Version = snap.Version()
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
 	writeJSON(w, http.StatusOK, commitJSON(ctx, name, snap, com))
 }
 

@@ -24,6 +24,13 @@ const (
 	// MethodCopyUpdate is the snapshot-and-update baseline
 	// ("GalaXUpdate").
 	MethodCopyUpdate Method = "copyupdate"
+	// MethodAuto is not an algorithm but a directive: let the
+	// cost-based planner (internal/plan) pick one of the concrete
+	// methods per (query, document version). Layers that hold document
+	// statistics (the engine facade, the store) resolve it before
+	// evaluation; EvalContext itself rejects it — by the time an
+	// evaluator runs, a concrete method must have been chosen.
+	MethodAuto Method = "auto"
 )
 
 // Methods lists the in-memory evaluation methods in the order the paper's
@@ -48,6 +55,9 @@ func MethodNames() []string {
 // naming the valid methods when it is unknown. Use it to reject a bad
 // method before any input document is read.
 func ParseMethod(s string) (Method, error) {
+	if s == string(MethodAuto) {
+		return MethodAuto, nil
+	}
 	for _, m := range Methods() {
 		if string(m) == s {
 			return m, nil
@@ -58,7 +68,7 @@ func ParseMethod(s string) (Method, error) {
 
 func unknownMethodErr(m Method) error {
 	return xerr.New(xerr.Eval, "", "core: unknown method %q (valid: %s)",
-		string(m), strings.Join(MethodNames(), ", "))
+		string(m), strings.Join(append(MethodNames(), string(MethodAuto)), ", "))
 }
 
 // EvalContext evaluates the compiled transform query on doc with the given
@@ -82,6 +92,9 @@ func (c *Compiled) EvalContext(ctx context.Context, doc *tree.Node, m Method) (*
 		return EvalTwoPass(ctx, c, doc)
 	case MethodCopyUpdate:
 		return EvalCopyUpdate(ctx, c, doc)
+	case MethodAuto:
+		return nil, xerr.New(xerr.Eval, "",
+			"core: method auto must be resolved by the planner before evaluation")
 	default:
 		return nil, unknownMethodErr(m)
 	}

@@ -1,0 +1,262 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+
+	"xtq/internal/core"
+	"xtq/internal/obs"
+	"xtq/internal/plan"
+	"xtq/internal/queries"
+	"xtq/internal/stats"
+	"xtq/internal/tree"
+)
+
+// planTrials is the per-(query, method) repetition count of the
+// planner sweeps; the minimum over trials filters scheduler noise so
+// the smoke gate measures the method choice, not the machine.
+const planTrials = 5
+
+// planSlack absorbs constant per-evaluation overhead (the planner
+// consultation itself, trace-free evaluation setup) so the regression
+// bound stays meaningful on sub-millisecond documents.
+const planSlack = time.Millisecond
+
+// planCell is one (query, document) measurement of the planner sweep.
+type planCell struct {
+	dec    plan.Decision
+	actual int // nodes the planned method actually visited
+	// static holds the best-of-trials evaluation time per concrete
+	// method, in methodLabels order; auto is the same measurement with
+	// the planner consulted per evaluation.
+	static []time.Duration
+	auto   time.Duration
+}
+
+// planIndex freezes the cached document for a factor: the planner reads
+// statistics off sealed snapshots, which is where the store consults it.
+func (r *Runner) planIndex(factor float64) *tree.Index {
+	_, ix, _ := tree.Freeze(r.Doc(factor), nil)
+	return ix
+}
+
+// bestOf runs fn planTrials times and returns the fastest run — the
+// estimator of choice for a regression gate, where one slow outlier
+// must not fail the build.
+func (r *Runner) bestOf(fn func()) time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < planTrials; i++ {
+		start := time.Now()
+		fn()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func (r *Runner) measurePlanCell(c *core.Compiled, ix *tree.Index) planCell {
+	cell := planCell{dec: plan.WouldChoose(c, ix)}
+	for _, m := range methodLabels {
+		cell.static = append(cell.static, r.bestOf(func() {
+			_, err := c.EvalContext(r.opts.Context, ix.Root, m.method)
+			r.check(err)
+		}))
+	}
+	// Auto pays the planner consultation inside the measured region —
+	// the engine amortizes it behind a decision cache, so charging the
+	// full WouldChoose per evaluation here is the conservative bound.
+	cell.auto = r.bestOf(func() {
+		d := plan.WouldChoose(c, ix)
+		_, err := c.EvalContext(r.opts.Context, ix.Root, d.Method)
+		r.check(err)
+	})
+	tr := obs.NewTrace()
+	_, err := c.EvalContext(obs.WithTrace(r.opts.Context, tr), ix.Root, cell.dec.Method)
+	r.check(err)
+	cell.actual = tr.NodesVisited()
+	return cell
+}
+
+// planFactors are the XMark scales of the planner sweep — the scales of
+// the planner property test, bridging the tiny-document regime (where
+// whole-pass methods are nearly free) and the paper's measurement range.
+var planFactors = []float64{0.005, 0.02}
+
+// Plan prints the planner sweep: for each factor and embedded query,
+// the planner's decision with its estimated-vs-actual visit counts next
+// to the measured runtime of every static method and of planning per
+// evaluation ("auto"). The auto column tracking the per-row minimum is
+// the sweep's whole point.
+func (r *Runner) Plan() {
+	for _, f := range planFactors {
+		ix := r.planIndex(f)
+		n := stats.Of(ix).Nodes()
+		fmt.Fprintf(r.opts.Out, "Planner: method choice vs static methods (best-of-%d ms), factor %g (%d nodes)\n",
+			planTrials, f, n)
+		header := []string{"query", "decision", "est", "actual", "GalaXUpdate", "NAIVE", "TD-BU", "GENTOP", "auto"}
+		var rows [][]string
+		for i := 1; i <= 10; i++ {
+			c, err := queries.Compile(i)
+			if err != nil {
+				panic(err)
+			}
+			cell := r.measurePlanCell(c, ix)
+			if r.stopped() {
+				break
+			}
+			row := []string{fmt.Sprintf("U%d", i), string(cell.dec.Method),
+				fmt.Sprintf("%d", cell.dec.EstNodes), fmt.Sprintf("%d", cell.actual)}
+			for _, d := range cell.static {
+				row = append(row, ms(d))
+			}
+			row = append(row, ms(cell.auto))
+			rows = append(rows, row)
+		}
+		table(r.opts.Out, header, rows)
+		fmt.Fprintln(r.opts.Out)
+		if r.stopped() {
+			return
+		}
+	}
+}
+
+// PlanJSON writes the machine-readable planner sweep (`xbench -plan
+// -json`), the format of BENCH_PR10.json: for every embedded query at
+// the given factor, one exact testing.Benchmark row per static method
+// plus the "auto" row (planner consulted per evaluation), whose Extra
+// carries the decision's estimated and actual visit counts. Comparing
+// the auto row with the per-query minimum across PRs is what makes the
+// planner's acceptance claim checkable.
+func (r *Runner) PlanJSON(w io.Writer, factor float64) error {
+	ix := r.planIndex(factor)
+	report := &BenchReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Factor:    factor,
+		DocBytes:  len(r.XML(factor)),
+		DocNodes:  stats.Of(ix).Nodes(),
+	}
+	add := func(name string, extra map[string]float64, fn func(b *testing.B)) {
+		if r.stopped() {
+			return
+		}
+		res := testing.Benchmark(fn)
+		if r.stopped() {
+			return
+		}
+		row := toResult(name, res)
+		if len(extra) > 0 {
+			if row.Extra == nil {
+				row.Extra = map[string]float64{}
+			}
+			for k, v := range extra {
+				row.Extra[k] = v
+			}
+		}
+		report.Results = append(report.Results, row)
+	}
+	for i := 1; i <= 10; i++ {
+		c, err := queries.Compile(i)
+		if err != nil {
+			return err
+		}
+		for _, m := range methodLabels {
+			method := m.method
+			add(fmt.Sprintf("plan/U%d/%s", i, method), nil, func(b *testing.B) {
+				b.ReportAllocs()
+				for j := 0; j < b.N; j++ {
+					_, err := c.EvalContext(r.opts.Context, ix.Root, method)
+					r.check(err)
+				}
+			})
+		}
+		dec := plan.WouldChoose(c, ix)
+		tr := obs.NewTrace()
+		if _, err := c.EvalContext(obs.WithTrace(r.opts.Context, tr), ix.Root, dec.Method); err != nil {
+			r.check(err)
+		}
+		add(fmt.Sprintf("plan/U%d/auto", i), map[string]float64{
+			"est_nodes":    float64(dec.EstNodes),
+			"est_cost":     dec.EstCost,
+			"actual_nodes": float64(tr.NodesVisited()),
+		}, func(b *testing.B) {
+			b.ReportAllocs()
+			for j := 0; j < b.N; j++ {
+				d := plan.WouldChoose(c, ix)
+				_, err := c.EvalContext(r.opts.Context, ix.Root, d.Method)
+				r.check(err)
+			}
+		})
+	}
+	if err := r.opts.Context.Err(); err != nil {
+		return fmt.Errorf("plan sweep interrupted: %w", err)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// PlanSmoke runs the CI planner check at factor 0.01: for every
+// embedded query, evaluating with the planner's choice (planner
+// consulted per evaluation, as in the auto rows of the sweep) must not
+// be more than maxRegression slower than the best static method, plus a
+// constant slack for the consultation itself. A failure means the cost
+// model started picking a method a whole document pass worse than the
+// best — the one mistake a planner must never make.
+func (r *Runner) PlanSmoke(maxRegression float64) error {
+	const factor = 0.01
+	ix := r.planIndex(factor)
+	start := time.Now()
+	var failures []string
+	worst := 0.0
+	for i := 1; i <= 10; i++ {
+		c, err := queries.Compile(i)
+		if err != nil {
+			return err
+		}
+		cell := r.measurePlanCell(c, ix)
+		if r.stopped() {
+			return r.opts.Context.Err()
+		}
+		best := cell.static[0]
+		bestM := methodLabels[0].label
+		for j, d := range cell.static[1:] {
+			if d < best {
+				best, bestM = d, methodLabels[j+1].label
+			}
+		}
+		over := float64(cell.auto-best) / float64(best)
+		if over > worst {
+			worst = over
+		}
+		limit := best + time.Duration(float64(best)*maxRegression) + planSlack
+		if cell.auto > limit {
+			failures = append(failures, fmt.Sprintf(
+				"U%d: auto (%s) %v > %v (best static %s %v + %.0f%% + slack)",
+				i, cell.dec.Method, cell.auto, limit, bestM, best, 100*maxRegression))
+		}
+	}
+	fmt.Fprintf(r.opts.Out, "plan smoke: 10 queries at factor %g in %v, worst auto-vs-best gap %.1f%% (limit %.0f%%+%v)\n",
+		factor, time.Since(start).Round(time.Millisecond), 100*worst, 100*maxRegression, planSlack)
+	if len(failures) > 0 {
+		return fmt.Errorf("planner regression:\n  %s", joinLines(failures))
+	}
+	return nil
+}
+
+func joinLines(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += s
+	}
+	return out
+}

@@ -346,6 +346,17 @@ func (r *Registry) Histogram(name, help string) *Histogram {
 	return r.childOf(f, nil).hist
 }
 
+// HistogramBuckets registers (or returns) the unlabeled histogram name
+// with caller-chosen bucket upper bounds — for instruments that do not
+// measure time (the bounds are still expressed as durations because the
+// exposition renders all histogram samples in seconds: observe
+// dimensionless ratios as time.Duration(ratio * float64(time.Second))
+// and the scrape reads them back as plain numbers).
+func (r *Registry) HistogramBuckets(name, help string, bounds []time.Duration) *Histogram {
+	f := r.register(name, help, kindHistogram, nil, bounds)
+	return r.childOf(f, nil).hist
+}
+
 // CounterVec is a counter family with labels; resolve children with
 // With (and retain them — resolution takes the family lock).
 type CounterVec struct {

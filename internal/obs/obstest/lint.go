@@ -19,7 +19,7 @@ var (
 // Lint parses a text exposition and applies the Prometheus naming and
 // structure lints this repo commits to: valid metric and label names,
 // HELP+TYPE preceding every family's samples, counters ending in
-// _total, duration histograms ending in _seconds, gauges not ending in
+// _total, histograms ending in a base unit (_seconds, _ratio), gauges not ending in
 // _total, cumulative buckets monotonic and the +Inf bucket equal to
 // _count. It returns the set of family names seen, so callers can
 // additionally assert coverage (engine, store, WAL, ... families all
@@ -87,8 +87,11 @@ func Lint(t *testing.T, text string) map[string]string {
 					t.Fatalf("line %d: counter %q does not end in _total", ln+1, name)
 				}
 			case "histogram":
-				if !strings.HasSuffix(name, "_seconds") {
-					t.Fatalf("line %d: histogram %q does not end in _seconds", ln+1, name)
+				// Histograms carry a base unit suffix: _seconds for
+				// durations, _ratio for dimensionless samples (the
+				// planner's estimation error).
+				if !strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_ratio") {
+					t.Fatalf("line %d: histogram %q does not end in a base unit (_seconds, _ratio)", ln+1, name)
 				}
 			case "gauge":
 				if strings.HasSuffix(name, "_total") {

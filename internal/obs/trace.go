@@ -44,8 +44,30 @@ type Trace struct {
 	// figure of the trace.
 	visits []*uint32
 
+	plan   *PlanTrace
 	view   *ViewTrace
 	commit *CommitTrace
+}
+
+// PlanTrace is the planner section of a trace: what the cost-based
+// method planner decided (or would have decided, when ?method= forced
+// the choice) for this request, with its estimates — ?explain=1 pairs
+// them with the actual visit counters.
+type PlanTrace struct {
+	// Method is the method the planner chose.
+	Method string `json:"method"`
+	// Auto reports whether the planner's choice was actually used
+	// (false when a forced ?method= overrode it).
+	Auto bool `json:"auto"`
+	// EstNodes and EstCost are the model's estimates for the method
+	// that ran: predicted visited nodes and cost in visit units.
+	EstNodes int64   `json:"est_nodes"`
+	EstCost  float64 `json:"est_cost"`
+	// Reason is the planner's one-line justification.
+	Reason string `json:"reason,omitempty"`
+	// CacheHit reports whether the decision came from the engine's
+	// decision cache rather than a fresh cost-model run.
+	CacheHit bool `json:"decision_cache_hit,omitempty"`
 }
 
 // ViewTrace is the view-read section of a trace: the same reading the
@@ -205,6 +227,20 @@ func (t *Trace) NodesVisited() int {
 		n += uint64(*p)
 	}
 	return int(n)
+}
+
+// SetPlan records the planner section.
+func (t *Trace) SetPlan(p *PlanTrace) {
+	t.mu.Lock()
+	t.plan = p
+	t.mu.Unlock()
+}
+
+// Plan returns the planner section, nil when no planner ran.
+func (t *Trace) Plan() *PlanTrace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.plan
 }
 
 // SetView records the view-read section.

@@ -1,0 +1,62 @@
+package plan
+
+import (
+	"time"
+
+	"xtq/internal/core"
+	"xtq/internal/obs"
+)
+
+// Planner metrics on the process-wide registry. The estimation-error
+// histogram is dimensionless (ratio of estimated to actual visited
+// nodes); the registry's exposition renders histogram samples in
+// seconds, so ratios are observed as duration-encoded seconds and the
+// buckets are symmetric powers of two around 1.0 — a scrape showing
+// mass outside [1/4, 4] means the cost model has drifted from the
+// evaluators.
+var (
+	mDecisions = obs.Default.CounterVec("xtq_plan_decisions_total",
+		"Planner method decisions, including decision-cache hits.", "method")
+	mEstError = obs.Default.HistogramBuckets("xtq_plan_est_error_ratio",
+		"Ratio of planner-estimated to actually visited nodes.", ratioBuckets())
+)
+
+// ratioBuckets returns bounds 1/32, 1/16, ..., 16, 32 encoded as
+// durations (1.0 == time.Second).
+func ratioBuckets() []time.Duration {
+	out := make([]time.Duration, 0, 11)
+	for e := -5; e <= 5; e++ {
+		r := 1.0
+		for i := 0; i < e; i++ {
+			r *= 2
+		}
+		for i := 0; i > e; i-- {
+			r /= 2
+		}
+		out = append(out, time.Duration(r*float64(time.Second)))
+	}
+	return out
+}
+
+// RecordDecision counts one planner resolution of method m — fresh
+// cost-model runs (Choose calls it) and decision-cache hits (the
+// engine's cache calls it on hit) alike, so the counter reads as "how
+// often did Auto resolve to m".
+func RecordDecision(m core.Method) {
+	mDecisions.With(string(m)).Inc()
+}
+
+// ObserveError records one estimated-vs-actual comparison after a
+// planned evaluation: the ratio est/actual, with both sides clamped to
+// at least one node so empty selections stay finite.
+func ObserveError(estNodes int64, actualNodes int) {
+	e := float64(estNodes)
+	if e < 1 {
+		e = 1
+	}
+	a := float64(actualNodes)
+	if a < 1 {
+		a = 1
+	}
+	mEstError.Observe(time.Duration(e / a * float64(time.Second)))
+}

@@ -1,0 +1,109 @@
+package plan
+
+import (
+	"context"
+	"testing"
+
+	"xtq/internal/core"
+	"xtq/internal/queries"
+	"xtq/internal/stats"
+	"xtq/internal/tree"
+	"xtq/internal/xmark"
+)
+
+func xmarkIndex(t *testing.T, factor float64) *tree.Index {
+	t.Helper()
+	doc, err := xmark.Generate(xmark.Config{Factor: factor, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ix, _ := tree.Freeze(doc, nil)
+	return ix
+}
+
+func compile(t *testing.T, i int) *core.Compiled {
+	t.Helper()
+	c, err := queries.Compile(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// Every XMark query must get a concrete, runnable decision with
+// positive estimates and a reason.
+func TestChooseDecisions(t *testing.T) {
+	ix := xmarkIndex(t, 0.005)
+	for i := 1; i <= 10; i++ {
+		c := compile(t, i)
+		dec := Choose(c, ix)
+		if dec.Method == core.MethodAuto || dec.Method == "" {
+			t.Fatalf("U%d: planner returned non-concrete method %q", i, dec.Method)
+		}
+		if dec.EstNodes < 1 || dec.EstCost <= 0 {
+			t.Fatalf("U%d: degenerate estimate %+v", i, dec)
+		}
+		if dec.Reason == "" {
+			t.Fatalf("U%d: no reason", i)
+		}
+		if _, err := c.EvalContext(context.Background(), ix.Root, dec.Method); err != nil {
+			t.Fatalf("U%d: planned method %s fails: %v", i, dec.Method, err)
+		}
+	}
+}
+
+// The estimator must never price a whole-document pass below the guided
+// scan of a selective child path: U1 (/site/people/person, no
+// qualifiers, no '//') is the clearest case — the planner has to pick
+// the guided top-down method, and its estimate must stay well under the
+// document size times the naive pass count.
+func TestChoosePrefersGuidedOnSelectivePaths(t *testing.T) {
+	ix := xmarkIndex(t, 0.01)
+	dec := Choose(compile(t, 1), ix)
+	if dec.Method != core.MethodTopDown {
+		t.Fatalf("U1: chose %s, want topdown (reason: %s)", dec.Method, dec.Reason)
+	}
+	n := int64(stats.Of(ix).Nodes())
+	if dec.EstNodes >= n {
+		t.Fatalf("U1: estimated %d visits over a %d-node document", dec.EstNodes, n)
+	}
+}
+
+// A path whose label does not occur kills the frontier: the estimate
+// must collapse to near zero rather than a document pass.
+func TestEstimateDeadFrontier(t *testing.T) {
+	ix := xmarkIndex(t, 0.005)
+	q, err := core.ParseQuery(`transform copy $a := doc("x") modify do delete $a/site/nosuchlabel/item return $a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := q.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := EstimateMethod(c, stats.Of(ix), core.MethodTopDown)
+	if est.Nodes > int64(stats.Of(ix).Nodes()/10) {
+		t.Fatalf("dead frontier estimated %d visits", est.Nodes)
+	}
+}
+
+// Without statistics the planner degrades to the engine default.
+func TestChooseWithoutStatistics(t *testing.T) {
+	dec := Choose(compile(t, 1), nil)
+	if dec.Method != core.MethodTopDown {
+		t.Fatalf("nil index: chose %s, want topdown", dec.Method)
+	}
+}
+
+// Estimates must rank the no-op rewriting and copy baselines above the
+// guided methods on every XMark query — they pay whole-document passes
+// the paper's measurements never see winning.
+func TestBaselinesNeverWin(t *testing.T) {
+	ix := xmarkIndex(t, 0.005)
+	for i := 1; i <= 10; i++ {
+		dec := Choose(compile(t, i), ix)
+		if dec.Method == core.MethodNaive || dec.Method == core.MethodCopyUpdate {
+			t.Fatalf("U%d: planner picked baseline %s", i, dec.Method)
+		}
+	}
+}

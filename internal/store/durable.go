@@ -59,7 +59,10 @@ func (o Options) withDefaults() Options {
 			return q.Compile()
 		}
 	}
-	if o.Method == "" {
+	if o.Method == "" || o.Method == core.MethodAuto {
+		// Replay is method-independent (every method yields the same
+		// result), so Auto pins the deterministic default rather than
+		// re-planning over replay trees that carry no statistics.
 		o.Method = core.MethodTopDown
 	}
 	switch {

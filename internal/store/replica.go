@@ -113,7 +113,9 @@ func (o ReplayOptions) env() replayEnv {
 			return q.Compile()
 		}
 	}
-	if env.method == "" {
+	if env.method == "" || env.method == core.MethodAuto {
+		// As in durable replay: method-independent, so Auto pins the
+		// deterministic default.
 		env.method = core.MethodTopDown
 	}
 	return env

@@ -45,6 +45,7 @@ import (
 
 	"xtq/internal/core"
 	"xtq/internal/obs"
+	"xtq/internal/plan"
 	"xtq/internal/tree"
 	"xtq/internal/wal"
 	"xtq/internal/xerr"
@@ -667,9 +668,37 @@ func (st *Store) apply(ctx context.Context, name string, c *core.Compiled, m cor
 			return nil, Commit{}, conflict(name, base, snap.version)
 		}
 
-		out, err := c.EvalContext(ctx, snap.root, m)
+		// Resolve MethodAuto against this round's snapshot: its sealed
+		// index carries the statistics the planner prices methods with,
+		// and a lost CAS race re-plans against the winner's version.
+		em := m
+		var dec *plan.Decision
+		if m == core.MethodAuto {
+			d := plan.Choose(c, snap.ix)
+			em, dec = d.Method, &d
+		}
+		if tr := obs.TraceFrom(ctx); tr != nil {
+			tr.SetMethod(string(em))
+			if dec != nil {
+				tr.SetPlan(&obs.PlanTrace{
+					Method: string(dec.Method), Auto: true,
+					EstNodes: dec.EstNodes, EstCost: dec.EstCost,
+					Reason: dec.Reason,
+				})
+			}
+		}
+
+		evalStart := time.Now()
+		out, err := c.EvalContext(ctx, snap.root, em)
 		if err != nil {
 			return nil, Commit{}, err
+		}
+		if tr := obs.TraceFrom(ctx); tr != nil {
+			tr.AddEval(time.Since(evalStart))
+			tr.SetDocNodes(snap.NumNodes())
+			if dec != nil {
+				plan.ObserveError(dec.EstNodes, tr.NodesVisited())
+			}
 		}
 
 		var (
@@ -684,7 +713,7 @@ func (st *Store) apply(ctx context.Context, name string, c *core.Compiled, m cor
 		// (early-exit on the first difference, cheaper than the copy it
 		// saves) keeps the zero-copy semantics method-independent.
 		noop := out == snap.root
-		if !noop && m != core.MethodTopDown && m != core.MethodTwoPass {
+		if !noop && em != core.MethodTopDown && em != core.MethodTwoPass {
 			noop = tree.Equal(out, snap.root)
 		}
 		if noop {

@@ -1,6 +1,9 @@
 package tree
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Index is the dense per-document view of a tree: a frozen symbol table
 // covering every element label and attribute name, plus a preorder
@@ -66,6 +69,11 @@ type Index struct {
 	// stable across the chain. nil for non-chain indexes.
 	chain *chainID
 	epoch int32
+	// stats caches the per-document statistics record (see stats.go):
+	// eager for sealed snapshots, computed on first Stats() call for
+	// plain indexes. Atomic because lazy computation may race between
+	// concurrent readers of a shared document.
+	stats atomic.Pointer[Stats]
 }
 
 // chainID is an identity token shared by every version of one
@@ -211,6 +219,12 @@ func Seal(doc *Node) *Index {
 	}
 	if ix.chain == nil && ix.cols != nil {
 		ix.chain = &chainID{}
+	}
+	// Collect the planner's statistics while the whole tree is at hand:
+	// one pass over the columns (or the walk, for partially-foreign
+	// trees), instead of a lazy walk on the first planned evaluation.
+	if ix.stats.Load() == nil {
+		ix.stats.Store(computeStats(ix))
 	}
 	return ix
 }

@@ -78,6 +78,16 @@ func PathCopy(out *Node, prev *Index) (*Node, *Index, CopyStats) {
 	next := start
 	var stats CopyStats
 
+	// The statistics record is maintained incrementally alongside the
+	// copy: nodes this commit creates are added as the walk allocates
+	// them (their depth is the walk's frame depth — the spine runs from
+	// the root), and the previous version's dropped nodes are
+	// subtracted afterwards by a prune-at-aliased-subtrees walk (see
+	// below). kept records the ordinals of the aliased subtree roots
+	// that walk prunes at.
+	ns := prev.Stats().clone(prev.Syms.Len())
+	kept := make(map[int32]struct{}, 8)
+
 	// Per-new-node records for the post-walk subtree-size accumulation:
 	// parent ordinal and size, indexed by ord-start.
 	var parents, sizes []int32
@@ -110,10 +120,12 @@ func PathCopy(out *Node, prev *Index) (*Node, *Index, CopyStats) {
 		ord       int32
 		parentOrd int32
 		nextOrd   int32 // next-sibling ordinal (NilOrd for last child)
+		depth     int32
 	}
 
 	root, rootOrd := alloc(out)
-	stack := []frame{{out, root, rootOrd, NilOrd, NilOrd}}
+	ns.add(root, 0)
+	stack := []frame{{out, root, rootOrd, NilOrd, NilOrd, 0}}
 	for len(stack) > 0 {
 		f := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -131,12 +143,14 @@ func PathCopy(out *Node, prev *Index) (*Node, *Index, CopyStats) {
 				if co, ok := prev.OrdOf(ch); ok {
 					f.dst.Children[i] = ch
 					ords[i] = co
+					kept[co] = struct{}{}
 					csz := prev.cols.sizeAt(co)
 					sizes[f.ord-start] += csz
 					stats.SharedWithBase += int(csz)
 					continue
 				}
 				cd, co := alloc(ch)
+				ns.add(cd, f.depth+1)
 				f.dst.Children[i] = cd
 				ords[i] = co
 			}
@@ -155,7 +169,7 @@ func PathCopy(out *Node, prev *Index) (*Node, *Index, CopyStats) {
 					b.setNext(ords[i], sib)
 					continue
 				}
-				stack = append(stack, frame{f.src.Children[i], ch, ords[i], f.ord, sib})
+				stack = append(stack, frame{f.src.Children[i], ch, ords[i], f.ord, sib, f.depth + 1})
 			}
 		}
 		b.setRow(f.ord, f.dst, f.parentOrd, first, f.nextOrd, 1)
@@ -185,11 +199,35 @@ func PathCopy(out *Node, prev *Index) (*Node, *Index, CopyStats) {
 		return Freeze(out, prev)
 	}
 
+	// Subtract the previous version's dropped nodes from the statistics:
+	// walk its columns from its root, pruning at every aliased subtree
+	// (those survive wholesale, and the update operations never move a
+	// surviving subtree, so its depths carry over unchanged). Cost is
+	// O(spine + deleted), the same delta the copy itself paid.
+	{
+		type dframe struct{ ord, depth int32 }
+		dstack := make([]dframe, 0, 16)
+		po, _ := prev.OrdOf(prev.Root)
+		dstack = append(dstack, dframe{po, 0})
+		for len(dstack) > 0 {
+			f := dstack[len(dstack)-1]
+			dstack = dstack[:len(dstack)-1]
+			if _, ok := kept[f.ord]; ok {
+				continue
+			}
+			ns.subOrd(prev.cols, f.ord, f.depth)
+			for ch := prev.cols.firstAt(f.ord); ch != NilOrd; ch = prev.cols.nextAt(ch) {
+				dstack = append(dstack, dframe{ch, f.depth + 1})
+			}
+		}
+	}
+
 	ix.Root = root
 	ix.Syms = syms
 	ix.NumNodes = width
 	ix.Live = live
 	ix.cols = b.finish()
+	ix.stats.Store(ns)
 	stats.Bytes += b.bytes
 	stats.CopiedChunks, stats.SharedChunks = b.chunkStats()
 	return root, ix, stats

@@ -155,6 +155,7 @@ func Freeze(src *Node, base *Index) (*Node, *Index, CopyStats) {
 		stats.CopiedChunks = ix.cols.NumChunks()
 		stats.Bytes += int64(stats.CopiedChunks) * colsChunkBytes
 	}
+	ix.stats.Store(computeStats(ix))
 	return root, ix, stats
 }
 

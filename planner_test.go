@@ -1,0 +1,110 @@
+package xtq
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"xtq/internal/obs"
+	"xtq/internal/queries"
+)
+
+// plannerTrials is the per-(query, method) repetition count; the
+// minimum over trials filters scheduler noise (and the one-time planner
+// decision of the first Auto trial).
+const plannerTrials = 4
+
+// plannerSlack absorbs constant per-evaluation overhead (trace
+// bookkeeping, the decision-cache lookup) so the 25% bound measures the
+// method choice, not fixed costs, on sub-millisecond documents.
+const plannerSlack = 500 * time.Microsecond
+
+// TestPlannerProperty is the planner's acceptance property over the
+// paper's XMark workload at two scale factors: for every (query,
+// document) pair, evaluating with MethodAuto is never more than 25%
+// (plus a constant slack) slower than the best static method, and the
+// planner's estimated visit count is within 10x of the nodes the chosen
+// evaluator actually visited.
+func TestPlannerProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing property; skipped in -short")
+	}
+	statics := []Method{MethodCopyUpdate, MethodNaive, MethodTwoPass, MethodTopDown}
+	engines := map[Method]*Engine{MethodAuto: NewEngine(WithMethod(MethodAuto))}
+	for _, m := range statics {
+		engines[m] = NewEngine(WithMethod(m))
+	}
+
+	minEval := func(t *testing.T, eng *Engine, src string, doc *Node) time.Duration {
+		t.Helper()
+		p, err := eng.Prepare(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < plannerTrials; i++ {
+			start := time.Now()
+			if _, err := p.Eval(context.Background(), doc); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	for _, factor := range []float64{0.001, 0.01} {
+		doc, err := GenerateXMark(XMarkConfig{Factor: factor, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i <= 10; i++ {
+			src := queries.Transform(i).String()
+
+			best := time.Duration(1<<63 - 1)
+			var bestM Method
+			for _, m := range statics {
+				if d := minEval(t, engines[m], src, doc); d < best {
+					best, bestM = d, m
+				}
+			}
+			auto := minEval(t, engines[MethodAuto], src, doc)
+			if limit := best + best/4 + plannerSlack; auto > limit {
+				t.Errorf("factor=%g U%d: auto %v > %v (best static %s %v + 25%% + slack)",
+					factor, i, auto, limit, bestM, best)
+			}
+
+			// Estimated vs actual visits of the planned method.
+			tr := obs.NewTrace()
+			ctx := obs.WithTrace(context.Background(), tr)
+			p, err := engines[MethodAuto].PrepareContext(ctx, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := p.Eval(ctx, doc); err != nil {
+				t.Fatal(err)
+			}
+			pt := tr.Plan()
+			if pt == nil || !pt.Auto {
+				t.Fatalf("factor=%g U%d: no auto plan trace (%+v)", factor, i, pt)
+			}
+			if pt.Method != tr.Method() {
+				t.Errorf("factor=%g U%d: plan method %q but trace method %q",
+					factor, i, pt.Method, tr.Method())
+			}
+			est := float64(pt.EstNodes)
+			actual := float64(tr.NodesVisited())
+			if est < 1 {
+				est = 1
+			}
+			if actual < 1 {
+				actual = 1
+			}
+			if ratio := est / actual; ratio > 10 || ratio < 0.1 {
+				t.Errorf("factor=%g U%d (%s): estimated %v vs actual %v visits (ratio %.2f)",
+					factor, i, pt.Method, pt.EstNodes, tr.NodesVisited(), ratio)
+			}
+		}
+	}
+}

@@ -7,7 +7,10 @@ import (
 	"xtq/internal/compose"
 	"xtq/internal/core"
 	"xtq/internal/obs"
+	"xtq/internal/plan"
 	"xtq/internal/saxeval"
+	"xtq/internal/stats"
+	"xtq/internal/tree"
 )
 
 // Prepared is a compiled transform query bound to its engine: the parse
@@ -58,11 +61,58 @@ func (p *Prepared) evalMethod(ctx context.Context, src Source, m Method) (*Node,
 		return nil, err
 	}
 	tr := obs.TraceFrom(ctx)
+	var pt *obs.PlanTrace
+	if m == core.MethodAuto {
+		// Resolve Auto before evaluation: the planner picks a concrete
+		// method from the document's statistics (indexing the document
+		// as a side effect — which Eval would do anyway).
+		dec, hit := p.eng.decide(p.src, p.compiled, doc)
+		m = dec.Method
+		pt = &obs.PlanTrace{
+			Method:   string(dec.Method),
+			Auto:     true,
+			EstNodes: dec.EstNodes,
+			EstCost:  dec.EstCost,
+			Reason:   dec.Reason,
+			CacheHit: hit,
+		}
+	} else if tr != nil {
+		// A forced method under a trace still gets a planner section:
+		// what the planner would have chosen (the serving layer reports
+		// it as planned_method) and the model's estimate for the method
+		// that actually runs, so EXPLAIN compares estimated to actual
+		// visits apples-to-apples. Not recorded in the decisions metric
+		// — the decision was not used.
+		ix := tree.EnsureIndex(doc)
+		would := plan.WouldChoose(p.compiled, ix)
+		est := plan.EstimateMethod(p.compiled, stats.Of(ix), m)
+		pt = &obs.PlanTrace{
+			Method:   string(would.Method),
+			Auto:     false,
+			EstNodes: est.Nodes,
+			EstCost:  est.Cost,
+			Reason:   would.Reason,
+		}
+	}
 	if tr != nil {
-		// Deferred: only a trace that is actually rendered (?explain=1,
-		// a slow-query line) pays for the O(n) document count.
 		tr.SetMethod(string(m))
-		tr.SetDocNodesFunc(doc.Size)
+		if pt != nil {
+			tr.SetPlan(pt)
+		}
+		if ix := tree.IndexOf(doc); ix != nil {
+			// O(1) from the index instead of the O(n) subtree walk —
+			// sealed snapshots track their live count, plain indexes
+			// their width.
+			if n := ix.Live; n > 0 {
+				tr.SetDocNodes(n)
+			} else {
+				tr.SetDocNodes(ix.NumNodes)
+			}
+		} else {
+			// Deferred: only a trace that is actually rendered
+			// (?explain=1, a slow-query line) pays for the O(n) count.
+			tr.SetDocNodesFunc(doc.Size)
+		}
 	}
 	start := time.Now()
 	out, err := p.compiled.EvalContext(ctx, doc, m)
@@ -70,6 +120,9 @@ func (p *Prepared) evalMethod(ctx context.Context, src Source, m Method) (*Node,
 	mEvalSeconds.With(string(m)).Observe(d)
 	if tr != nil {
 		tr.AddEval(d)
+		if pt != nil {
+			plan.ObserveError(pt.EstNodes, tr.NodesVisited())
+		}
 	}
 	if err != nil {
 		return nil, classify(err, KindEval)

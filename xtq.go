@@ -131,6 +131,13 @@ const (
 	MethodTwoPass = core.MethodTwoPass
 	// MethodCopyUpdate is the snapshot baseline ("GalaXUpdate").
 	MethodCopyUpdate = core.MethodCopyUpdate
+	// MethodAuto asks the cost-based planner to pick one of the
+	// concrete methods per (query, document) from the document's
+	// statistics; ?explain=1 (and obs.Trace.Plan) report the choice
+	// with its estimates.
+	MethodAuto = core.MethodAuto
+	// Auto is shorthand for MethodAuto: NewEngine(WithMethod(Auto)).
+	Auto = core.MethodAuto
 )
 
 // Methods lists the in-memory evaluation methods.
